@@ -1,0 +1,98 @@
+//===- bench/BenchUtil.h - Shared bench harness helpers --------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure/table reproduction harnesses: corpus
+/// construction (language + generated files + pre-lexed token streams,
+/// mirroring the paper's pre-tokenized benchmark methodology), and scale
+/// control via the COSTAR_BENCH_SCALE environment variable (default 1.0;
+/// smaller values shrink corpora for quick runs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_BENCH_BENCHUTIL_H
+#define COSTAR_BENCH_BENCHUTIL_H
+
+#include "lang/Language.h"
+#include "stats/Stats.h"
+#include "workload/Generators.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace costar {
+namespace bench {
+
+inline double benchScale() {
+  const char *Env = std::getenv("COSTAR_BENCH_SCALE");
+  if (!Env)
+    return 1.0;
+  double Scale = std::atof(Env);
+  return Scale > 0 ? Scale : 1.0;
+}
+
+/// One benchmark language with a generated, pre-lexed corpus.
+struct BenchCorpus {
+  lang::Language L;
+  std::vector<std::string> Sources;
+  std::vector<Word> TokenStreams;
+  uint64_t TotalBytes = 0;
+  uint64_t TotalTokens = 0;
+};
+
+/// Builds the corpus for \p Id: \p NumFiles files with token targets spread
+/// geometrically over [MinTokens, MaxTokens * scale].
+inline BenchCorpus makeCorpus(lang::LangId Id, uint32_t NumFiles,
+                              uint32_t MinTokens, uint32_t MaxTokens,
+                              uint64_t Seed = 20260706) {
+  BenchCorpus C{lang::makeLanguage(Id), {}, {}, 0, 0};
+  double Scale = benchScale();
+  uint32_t Max = std::max<uint32_t>(MinTokens + 1,
+                                    static_cast<uint32_t>(MaxTokens * Scale));
+  workload::Corpus Raw =
+      workload::generateCorpus(Id, Seed, NumFiles, MinTokens, Max);
+  for (std::string &Src : Raw.Files) {
+    lexer::LexResult Lexed = C.L.lex(Src);
+    if (!Lexed.ok()) {
+      std::fprintf(stderr, "internal error: %s corpus failed to lex: %s\n",
+                   C.L.Name.c_str(), Lexed.Error.c_str());
+      std::exit(1);
+    }
+    C.TotalBytes += Src.size();
+    C.TotalTokens += Lexed.Tokens.size();
+    C.Sources.push_back(std::move(Src));
+    C.TokenStreams.push_back(std::move(Lexed.Tokens));
+  }
+  return C;
+}
+
+/// Default per-language corpus shapes for the timing figures. Python's
+/// grammar is by far the largest, so its files are kept smaller (as in the
+/// paper, where the Python data set is 4 MB vs. 192 MB of XML).
+inline BenchCorpus makeTimingCorpus(lang::LangId Id, uint32_t NumFiles) {
+  switch (Id) {
+  case lang::LangId::Json:
+    return makeCorpus(Id, NumFiles, 200, 80000);
+  case lang::LangId::Xml:
+    return makeCorpus(Id, NumFiles, 200, 80000);
+  case lang::LangId::Dot:
+    return makeCorpus(Id, NumFiles, 200, 50000);
+  case lang::LangId::Python:
+    // Python files stay smaller than the other benchmarks, as in the paper
+    // (the Python corpus is 4 MB against 192 MB of XML) -- the per-token
+    // cost on the big Python grammar is the highest of the four (Figure 9's
+    // slowest plot).
+    return makeCorpus(Id, NumFiles, 500, 25000);
+  }
+  return makeCorpus(Id, NumFiles, 200, 50000);
+}
+
+} // namespace bench
+} // namespace costar
+
+#endif // COSTAR_BENCH_BENCHUTIL_H

@@ -1,0 +1,70 @@
+//===- bench/bench_profile_comparisons.cpp - Section 6.1 profile --------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the profiling observation of Section 6.1: CoStar's
+/// performance differences across benchmarks track grammar size because
+/// the extracted code leans on AVL-tree maps/sets whose operations cost
+/// O(log n) *symbol comparisons* — profiling showed compareNT at ~17% of
+/// Python runtime but only ~5% of JSON runtime, with comparison functions
+/// overall near 50% on Python.
+///
+/// We instrument the same two comparison families (nonterminal compares in
+/// visited sets, key compares in the SLL DFA cache) and report
+/// comparisons-per-token per benchmark: the counts should grow with
+/// grammar size, with Python far ahead of JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+
+#include "adt/Instrument.h"
+#include "core/Parser.h"
+
+#include <cstdio>
+
+using namespace costar;
+using namespace costar::bench;
+
+int main() {
+  std::printf("=== Section 6.1 profile: symbol comparisons per token ===\n\n");
+
+  stats::Table T({8, 6, 14, 14, 14});
+  T.row({"bench", "|P|", "NT cmp/tok", "key cmp/tok", "total cmp/tok"});
+  T.sep();
+
+  double JsonTotal = 0, PythonTotal = 0;
+  for (lang::LangId Id : lang::allLanguages()) {
+    BenchCorpus C = makeTimingCorpus(Id, /*NumFiles=*/4);
+    Parser P(C.L.G, C.L.Start);
+
+    adt::ComparisonCounters::reset();
+    uint64_t Tokens = 0;
+    for (const Word &W : C.TokenStreams) {
+      (void)P.parse(W);
+      Tokens += W.size();
+    }
+    double NtPerTok =
+        double(adt::ComparisonCounters::nonterminal()) / double(Tokens);
+    double KeyPerTok =
+        double(adt::ComparisonCounters::cacheKey()) / double(Tokens);
+    double Total = NtPerTok + KeyPerTok;
+    if (Id == lang::LangId::Json)
+      JsonTotal = Total;
+    if (Id == lang::LangId::Python)
+      PythonTotal = Total;
+    T.row({C.L.Name, std::to_string(C.L.G.numProductions()),
+           stats::fmt(NtPerTok, 1), stats::fmt(KeyPerTok, 1),
+           stats::fmt(Total, 1)});
+  }
+  std::fputs(T.str().c_str(), stdout);
+
+  std::printf("\nShape check (paper: comparison work grows with grammar "
+              "size; Python >> JSON): %s (Python/JSON = %.1fx)\n",
+              PythonTotal > 2 * JsonTotal ? "HOLDS" : "VIOLATED",
+              PythonTotal / JsonTotal);
+  return PythonTotal > 2 * JsonTotal ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+//===- examples/ambiguity_demo.cpp - Grammar debugging with Ambig --------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workflow Section 3.5 of the paper describes: "CoStar's tolerance of
+/// ambiguity is mainly for grammar development and debugging purposes; it
+/// assists users with the process of testing unfinished grammars,
+/// detecting ambiguities, and removing them."
+///
+/// We develop a small statement language with the classic dangling-else
+/// ambiguity, let the parser flag it (Ambig labels on concrete inputs),
+/// then fix the grammar the standard way (matched/unmatched split) and
+/// watch the same inputs come back Unique with the conventional
+/// innermost-if association.
+///
+/// Run:  ./ambiguity_demo
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+#include "gdsl/GrammarDsl.h"
+#include "grammar/Derivation.h"
+
+#include <cstdio>
+
+using namespace costar;
+
+namespace {
+
+Word tokenize(const Grammar &G, std::initializer_list<const char *> Names) {
+  Word W;
+  for (const char *Name : Names) {
+    TerminalId T = G.lookupTerminal(Name);
+    W.emplace_back(T, Name);
+  }
+  return W;
+}
+
+void tryParse(const char *Label, const gdsl::LoadedGrammar &L,
+              std::initializer_list<const char *> Names) {
+  Word W = tokenize(L.G, Names);
+  ParseResult R = parse(L.G, L.Start, W);
+  std::printf("  %-28s -> ", Label);
+  switch (R.kind()) {
+  case ParseResult::Kind::Unique:
+    std::printf("UNIQUE  %s\n", R.tree()->toString(L.G).c_str());
+    break;
+  case ParseResult::Kind::Ambig: {
+    std::printf("AMBIG   %s\n", R.tree()->toString(L.G).c_str());
+    // Cross-check with the exhaustive oracle: there really are >= 2 trees.
+    uint64_t Trees = countParseTrees(L.G, L.Start, W, 4);
+    std::printf("  %-28s    (oracle counts %llu distinct trees)\n", "",
+                (unsigned long long)Trees);
+    break;
+  }
+  case ParseResult::Kind::Reject:
+    std::printf("REJECT  %s\n", R.rejectReason().c_str());
+    break;
+  case ParseResult::Kind::Error:
+    std::printf("ERROR\n");
+    break;
+  }
+}
+
+} // namespace
+
+int main() {
+  // Draft 1: the textbook dangling-else grammar.
+  const char *Draft1 = R"(
+stmt : 'if' 'cond' 'then' stmt
+     | 'if' 'cond' 'then' stmt 'else' stmt
+     | 'print' ;
+)";
+  gdsl::LoadedGrammar L1 = gdsl::loadGrammar(Draft1);
+  if (!L1.ok()) {
+    std::printf("grammar error: %s\n", L1.Error.c_str());
+    return 1;
+  }
+  std::printf("Draft grammar (dangling else):\n%s\n", Draft1);
+  tryParse("print", L1, {"print"});
+  tryParse("if c then print", L1, {"if", "cond", "then", "print"});
+  tryParse("if c then if ... else ...", L1,
+           {"if", "cond", "then", "if", "cond", "then", "print", "else",
+            "print"});
+  std::printf("\nThe nested if/else input is AMBIG: the else can attach to "
+              "either if.\n"
+              "CoStar returned one correct tree and flagged the input, "
+              "exactly the\nSection 3.5 debugging contract.\n\n");
+
+  // Draft 2: the classic fix — split statements into matched (every then
+  // has an else) and unmatched.
+  const char *Draft2 = R"(
+stmt      : matched | unmatched ;
+matched   : 'if' 'cond' 'then' matched 'else' matched
+          | 'print' ;
+unmatched : 'if' 'cond' 'then' stmt
+          | 'if' 'cond' 'then' matched 'else' unmatched ;
+)";
+  gdsl::LoadedGrammar L2 = gdsl::loadGrammar(Draft2);
+  if (!L2.ok()) {
+    std::printf("grammar error: %s\n", L2.Error.c_str());
+    return 1;
+  }
+  std::printf("Fixed grammar (matched/unmatched split):\n%s\n", Draft2);
+  tryParse("print", L2, {"print"});
+  tryParse("if c then print", L2, {"if", "cond", "then", "print"});
+  tryParse("if c then if ... else ...", L2,
+           {"if", "cond", "then", "if", "cond", "then", "print", "else",
+            "print"});
+  std::printf("\nNow the same input is UNIQUE, with the else bound to the "
+              "inner if\n(the conventional association).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+//===- examples/calc.cpp - Expression evaluator over parse trees ---------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A calculator built on the full pipeline: a grammar written in the DSL
+/// (EBNF repetition, desugared automatically), a DFA lexer generated from
+/// regex rules, the CoStar parser, and an evaluator that folds the parse
+/// tree into a number. Since top-down grammars cannot be left-recursive,
+/// the usual expr/term/factor layering is written with repetition, and the
+/// evaluator folds the resulting lists left-to-right so that '-' and '/'
+/// associate conventionally.
+///
+/// Run:  ./calc "1 + 2 * (3 - 4) / 2"
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+#include "gdsl/GrammarDsl.h"
+#include "lexer/Scanner.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace costar;
+
+namespace {
+
+const char *CalcGrammar = R"(
+expr   : term ( ( '+' | '-' ) term )* ;
+term   : factor ( ( '*' | '/' ) factor )* ;
+factor : NUMBER | '(' expr ')' | '-' factor ;
+)";
+
+/// Evaluates a parse tree node by case analysis on its rule.
+double eval(const Grammar &G, const Tree &T) {
+  if (T.isLeaf())
+    return std::stod(T.token().Lexeme);
+  const std::string &Rule = G.nonterminalName(T.nonterminal());
+  const Forest &Kids = T.children();
+
+  if (Rule == "factor") {
+    if (Kids.size() == 1)
+      return eval(G, *Kids[0]); // NUMBER
+    if (Kids.size() == 2)
+      return -eval(G, *Kids[1]); // '-' factor
+    return eval(G, *Kids[1]);    // '(' expr ')'
+  }
+  if (Rule == "expr" || Rule == "term") {
+    // head followed by a desugared right-recursive list of (op, operand).
+    double Acc = eval(G, *Kids[0]);
+    const Tree *List = Kids.size() > 1 ? Kids[1].get() : nullptr;
+    while (List && !List->children().empty()) {
+      // list -> group list' ; group -> (op-group operand), where the
+      // operator hides under its own desugared alternative group — descend
+      // to the leaf.
+      const Tree &Group = *List->children()[0];
+      const Tree *OpNode = Group.children()[0].get();
+      while (!OpNode->isLeaf())
+        OpNode = OpNode->children()[0].get();
+      const std::string &Op = G.terminalName(OpNode->token().Term);
+      double Rhs = eval(G, *Group.children()[1]);
+      if (Op == "+")
+        Acc += Rhs;
+      else if (Op == "-")
+        Acc -= Rhs;
+      else if (Op == "*")
+        Acc *= Rhs;
+      else
+        Acc /= Rhs;
+      List = List->children().size() > 1 ? List->children()[1].get()
+                                         : nullptr;
+    }
+    return Acc;
+  }
+  // Synthesized wrapper nonterminals with a single child.
+  return eval(G, *Kids[0]);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Input = argc > 1 ? argv[1] : "1 + 2 * (3 - 4) / 2";
+
+  gdsl::LoadedGrammar L = gdsl::loadGrammar(CalcGrammar);
+  if (!L.ok()) {
+    std::fprintf(stderr, "grammar error: %s\n", L.Error.c_str());
+    return 2;
+  }
+
+  lexer::LexerSpec Spec;
+  Spec.token("NUMBER", "[0-9]+(\\.[0-9]+)?")
+      .literal("+")
+      .literal("-")
+      .literal("*")
+      .literal("/")
+      .literal("(")
+      .literal(")")
+      .skip("WS", "[ \\t\\n]+");
+  lexer::Scanner Scan(Spec, L.G);
+  if (!Scan.ok()) {
+    std::fprintf(stderr, "lexer error: %s\n", Scan.buildError().c_str());
+    return 2;
+  }
+
+  lexer::LexResult Lexed = Scan.scan(Input);
+  if (!Lexed.ok()) {
+    std::fprintf(stderr, "lex error: %s at column %u\n", Lexed.Error.c_str(),
+                 Lexed.ErrorCol);
+    return 1;
+  }
+
+  ParseResult R = parse(L.G, L.Start, Lexed.Tokens);
+  if (R.kind() != ParseResult::Kind::Unique) {
+    if (R.kind() == ParseResult::Kind::Reject)
+      std::fprintf(stderr, "parse error: %s\n", R.rejectReason().c_str());
+    else
+      std::fprintf(stderr, "unexpected parse result\n");
+    return 1;
+  }
+
+  std::printf("%s = %g\n", Input.c_str(), eval(L.G, *R.tree()));
+  return 0;
+}

@@ -1,0 +1,163 @@
+//===- examples/grammar_lint.cpp - Grammar development tool --------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A grammar linter built from this repository's analyses — the tooling
+/// side of the paper's grammar-debugging story. Given a grammar in the DSL
+/// (a file path, or a built-in demo), it reports:
+///
+///   - useless symbols (nonproductive / unreachable nonterminals);
+///   - left-recursive nonterminals (the static decision procedure of
+///     Section 8's future work), and whether Paull's rewrite can fix them
+///     (offering the rewritten grammar when it can);
+///   - whether the grammar fits LL(1), with the conflicting table entries
+///     (if it does, a verified-LL(1)-style parser suffices; if not, you
+///     need ALL(*));
+///   - ambiguities found by probing: words sampled from the grammar are
+///     parsed with CoStar, and Ambig results are reported with the
+///     offending word.
+///
+/// Run:  ./grammar_lint [file.g]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+#include "gdsl/GrammarDsl.h"
+#include "grammar/LeftRecursion.h"
+#include "grammar/Sampler.h"
+#include "ll1/Ll1Parser.h"
+#include "xform/Transforms.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace costar;
+
+int main(int argc, char **argv) {
+  std::string Source;
+  if (argc > 1) {
+    std::ifstream In(argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  } else {
+    Source = R"(
+// A deliberately messy grammar: left recursion, an ambiguity, useless
+// symbols, and a non-LL(1) decision.
+stmt   : 'if' COND 'then' stmt
+       | 'if' COND 'then' stmt 'else' stmt
+       | expr ;
+expr   : expr '+' NUM | NUM ;
+dead   : dead 'x' ;
+orphan : NUM ;
+)";
+    std::printf("(no file given; linting a built-in demo grammar)\n");
+  }
+
+  gdsl::LoadedGrammar L = gdsl::loadGrammar(Source);
+  if (!L.ok()) {
+    std::printf("syntax error: %s\n", L.Error.c_str());
+    return 1;
+  }
+  const Grammar &G = L.G;
+  std::printf("\nloaded %u nonterminals, %u terminals, %u productions "
+              "(start: %s)\n",
+              G.numNonterminals(), G.numTerminals(), G.numProductions(),
+              G.nonterminalName(L.Start).c_str());
+
+  int Findings = 0;
+
+  // --- Useless symbols.
+  GrammarAnalysis A(G, L.Start);
+  for (NonterminalId X = 0; X < G.numNonterminals(); ++X)
+    if (!A.productive(X)) {
+      std::printf("warning: '%s' derives no terminal string\n",
+                  G.nonterminalName(X).c_str());
+      ++Findings;
+    }
+  {
+    xform::TransformResult Reduced = xform::removeUselessSymbols(G, L.Start);
+    if (Reduced.ok() &&
+        Reduced.G.numNonterminals() < G.numNonterminals()) {
+      // Report reachable-but-dropped symbols not already flagged.
+      for (NonterminalId X = 0; X < G.numNonterminals(); ++X)
+        if (A.productive(X) &&
+            Reduced.G.lookupNonterminal(G.nonterminalName(X)) ==
+                UINT32_MAX) {
+          std::printf("warning: '%s' is unreachable from the start rule\n",
+                      G.nonterminalName(X).c_str());
+          ++Findings;
+        }
+    }
+  }
+
+  // --- Left recursion.
+  std::vector<NonterminalId> Lr = leftRecursiveNonterminals(A);
+  if (!Lr.empty()) {
+    std::printf("error: left-recursive nonterminals:");
+    for (NonterminalId X : Lr)
+      std::printf(" %s", G.nonterminalName(X).c_str());
+    std::printf("\n");
+    Findings += static_cast<int>(Lr.size());
+    xform::TransformResult Fixed = xform::eliminateLeftRecursion(G, L.Start);
+    if (Fixed.ok()) {
+      std::printf("note: Paull's rewrite removes the recursion; "
+                  "equivalent grammar:\n%s",
+                  gdsl::printGrammar(Fixed.G, Fixed.Start).c_str());
+    } else {
+      std::printf("note: automatic rewrite unavailable: %s\n",
+                  Fixed.Error.c_str());
+    }
+  }
+
+  // --- LL(1) fit.
+  {
+    ll1::Ll1Parser Ll(G, L.Start);
+    if (Ll.isLl1()) {
+      std::printf("note: grammar is LL(1); one-token lookahead suffices\n");
+    } else {
+      std::printf("note: grammar is not LL(1) (%zu conflicts); ALL(*) "
+                  "prediction required. First conflict:\n  %s\n",
+                  Ll.conflicts().size(), Ll.conflicts()[0].c_str());
+    }
+  }
+
+  // --- Ambiguity probing (only meaningful without left recursion).
+  if (Lr.empty() && A.productive(L.Start)) {
+    Parser P(G, L.Start);
+    DerivationSampler Sampler(A, 20260706);
+    std::set<std::string> Reported;
+    for (int I = 0; I < 200 && Reported.size() < 3; ++I) {
+      Word W = Sampler.sampleWord(L.Start, 6);
+      if (W.size() > 24)
+        continue;
+      ParseResult R = P.parse(W);
+      if (R.kind() != ParseResult::Kind::Ambig)
+        continue;
+      std::string Text;
+      for (const Token &T : W)
+        Text += G.terminalName(T.Term) + " ";
+      if (Reported.insert(Text).second) {
+        std::printf("error: ambiguous input found: %s\n", Text.c_str());
+        ++Findings;
+      }
+    }
+    if (Reported.empty())
+      std::printf("note: no ambiguity found in 200 sampled words\n");
+  } else if (!Lr.empty()) {
+    std::printf("note: skipping ambiguity probe (fix left recursion "
+                "first)\n");
+  }
+
+  std::printf("\n%d finding(s)\n", Findings);
+  return Findings == 0 ? 0 : 1;
+}

@@ -1,0 +1,164 @@
+//===- adt/BigNat.h - Arbitrary-precision natural numbers ------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small arbitrary-precision natural-number type. CoStar's termination
+/// measure (Section 4.3 of the paper) computes stackScore values of the form
+/// b^e * n where the exponent is bounded only by the number of grammar
+/// nonterminals plus the stack height, so the values overflow any fixed-width
+/// integer on realistic grammars (Coq's `nat` is unbounded). BigNat supports
+/// exactly the operations the measure needs: addition, multiplication by a
+/// machine word, exponentiation, and total ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ADT_BIGNAT_H
+#define COSTAR_ADT_BIGNAT_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace costar {
+namespace adt {
+
+/// An arbitrary-precision natural number stored as base-2^32 limbs, least
+/// significant limb first, with no trailing zero limbs.
+class BigNat {
+  std::vector<uint32_t> Limbs;
+
+  void trim() {
+    while (!Limbs.empty() && Limbs.back() == 0)
+      Limbs.pop_back();
+  }
+
+public:
+  BigNat() = default;
+  /*implicit*/ BigNat(uint64_t Value) {
+    if (Value)
+      Limbs.push_back(static_cast<uint32_t>(Value));
+    if (Value >> 32)
+      Limbs.push_back(static_cast<uint32_t>(Value >> 32));
+  }
+
+  bool isZero() const { return Limbs.empty(); }
+
+  /// Three-way comparison: negative, zero, or positive as *this <, ==, > RHS.
+  int compare(const BigNat &RHS) const {
+    if (Limbs.size() != RHS.Limbs.size())
+      return Limbs.size() < RHS.Limbs.size() ? -1 : 1;
+    for (size_t I = Limbs.size(); I-- > 0;)
+      if (Limbs[I] != RHS.Limbs[I])
+        return Limbs[I] < RHS.Limbs[I] ? -1 : 1;
+    return 0;
+  }
+
+  bool operator<(const BigNat &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const BigNat &RHS) const { return compare(RHS) <= 0; }
+  bool operator==(const BigNat &RHS) const { return compare(RHS) == 0; }
+  bool operator!=(const BigNat &RHS) const { return compare(RHS) != 0; }
+  bool operator>(const BigNat &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const BigNat &RHS) const { return compare(RHS) >= 0; }
+
+  BigNat &operator+=(const BigNat &RHS) {
+    if (Limbs.size() < RHS.Limbs.size())
+      Limbs.resize(RHS.Limbs.size(), 0);
+    uint64_t Carry = 0;
+    for (size_t I = 0; I < Limbs.size(); ++I) {
+      uint64_t Sum = Carry + Limbs[I];
+      if (I < RHS.Limbs.size())
+        Sum += RHS.Limbs[I];
+      Limbs[I] = static_cast<uint32_t>(Sum);
+      Carry = Sum >> 32;
+    }
+    if (Carry)
+      Limbs.push_back(static_cast<uint32_t>(Carry));
+    return *this;
+  }
+
+  BigNat operator+(const BigNat &RHS) const {
+    BigNat Result = *this;
+    Result += RHS;
+    return Result;
+  }
+
+  /// Multiplies in place by a machine word.
+  BigNat &mulWord(uint32_t Factor) {
+    if (Factor == 0) {
+      Limbs.clear();
+      return *this;
+    }
+    uint64_t Carry = 0;
+    for (uint32_t &Limb : Limbs) {
+      uint64_t Product = static_cast<uint64_t>(Limb) * Factor + Carry;
+      Limb = static_cast<uint32_t>(Product);
+      Carry = Product >> 32;
+    }
+    if (Carry)
+      Limbs.push_back(static_cast<uint32_t>(Carry));
+    return *this;
+  }
+
+  BigNat operator*(const BigNat &RHS) const {
+    BigNat Result;
+    if (isZero() || RHS.isZero())
+      return Result;
+    Result.Limbs.assign(Limbs.size() + RHS.Limbs.size(), 0);
+    for (size_t I = 0; I < Limbs.size(); ++I) {
+      uint64_t Carry = 0;
+      for (size_t J = 0; J < RHS.Limbs.size(); ++J) {
+        uint64_t Product = static_cast<uint64_t>(Limbs[I]) * RHS.Limbs[J] +
+                           Result.Limbs[I + J] + Carry;
+        Result.Limbs[I + J] = static_cast<uint32_t>(Product);
+        Carry = Product >> 32;
+      }
+      Result.Limbs[I + RHS.Limbs.size()] += static_cast<uint32_t>(Carry);
+    }
+    Result.trim();
+    return Result;
+  }
+
+  /// \returns Base raised to the power \p Exp (0^0 = 1, matching Coq's pow).
+  static BigNat pow(uint32_t Base, uint32_t Exp) {
+    BigNat Result(1);
+    BigNat Square(Base);
+    while (Exp) {
+      if (Exp & 1)
+        Result = Result * Square;
+      Square = Square * Square;
+      Exp >>= 1;
+    }
+    return Result;
+  }
+
+  /// Decimal rendering, for diagnostics and tests.
+  std::string toString() const {
+    if (isZero())
+      return "0";
+    std::vector<uint32_t> Work(Limbs.rbegin(), Limbs.rend());
+    std::string Digits;
+    while (!Work.empty()) {
+      uint64_t Remainder = 0;
+      std::vector<uint32_t> Quotient;
+      for (uint32_t Limb : Work) {
+        uint64_t Current = (Remainder << 32) | Limb;
+        uint32_t Q = static_cast<uint32_t>(Current / 10);
+        Remainder = Current % 10;
+        if (!Quotient.empty() || Q != 0)
+          Quotient.push_back(Q);
+      }
+      Digits.push_back(static_cast<char>('0' + Remainder));
+      Work = std::move(Quotient);
+    }
+    return std::string(Digits.rbegin(), Digits.rend());
+  }
+};
+
+} // namespace adt
+} // namespace costar
+
+#endif // COSTAR_ADT_BIGNAT_H

@@ -1,0 +1,253 @@
+//===- adt/PersistentMap.h - Persistent AVL map ----------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project, a reproduction of "CoStar: A Verified
+// ALL(*) Parser" (PLDI 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A purely functional (persistent) ordered map backed by an AVL tree with
+/// path copying, mirroring the Coq Standard Library's FMapAVL that the
+/// original CoStar extraction uses. Insertions, deletions, and lookups
+/// perform O(log n) comparisons; updates share structure with the previous
+/// version of the map, so old versions remain valid and immutable.
+///
+/// The comparator is a template parameter so callers can instrument it (see
+/// adt/Instrument.h); the paper's profiling discussion (Section 6.1)
+/// attributes a large fraction of CoStar's runtime on big grammars to
+/// exactly these comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ADT_PERSISTENTMAP_H
+#define COSTAR_ADT_PERSISTENTMAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace costar {
+namespace adt {
+
+/// A persistent ordered map from \p K to \p V.
+///
+/// Copying a PersistentMap is O(1) (it copies a node pointer); all mutating
+/// operations return a new map and leave the receiver untouched.
+template <typename K, typename V, typename Compare = std::less<K>>
+class PersistentMap {
+  struct Node {
+    K Key;
+    V Value;
+    std::shared_ptr<const Node> Left;
+    std::shared_ptr<const Node> Right;
+    int32_t Height;
+    uint64_t Size;
+
+    Node(K Key, V Value, std::shared_ptr<const Node> Left,
+         std::shared_ptr<const Node> Right)
+        : Key(std::move(Key)), Value(std::move(Value)), Left(std::move(Left)),
+          Right(std::move(Right)) {
+      Height = 1 + std::max(heightOf(this->Left), heightOf(this->Right));
+      Size = 1 + sizeOf(this->Left) + sizeOf(this->Right);
+    }
+  };
+  using NodePtr = std::shared_ptr<const Node>;
+
+  NodePtr Root;
+  Compare Less;
+
+  static int32_t heightOf(const NodePtr &N) { return N ? N->Height : 0; }
+  static uint64_t sizeOf(const NodePtr &N) { return N ? N->Size : 0; }
+  static int32_t balanceOf(const NodePtr &N) {
+    return N ? heightOf(N->Left) - heightOf(N->Right) : 0;
+  }
+
+  static NodePtr makeNode(K Key, V Value, NodePtr Left, NodePtr Right) {
+    return std::make_shared<const Node>(std::move(Key), std::move(Value),
+                                        std::move(Left), std::move(Right));
+  }
+
+  /// Rebuilds a node from children that differ in height by at most two,
+  /// restoring the AVL balance invariant with at most two rotations.
+  static NodePtr balance(K Key, V Value, NodePtr Left, NodePtr Right) {
+    int32_t HL = heightOf(Left), HR = heightOf(Right);
+    if (HL > HR + 1) {
+      assert(Left && "left-heavy node must have a left child");
+      if (heightOf(Left->Left) >= heightOf(Left->Right))
+        return makeNode(Left->Key, Left->Value, Left->Left,
+                        makeNode(std::move(Key), std::move(Value), Left->Right,
+                                 std::move(Right)));
+      const NodePtr &LR = Left->Right;
+      return makeNode(LR->Key, LR->Value,
+                      makeNode(Left->Key, Left->Value, Left->Left, LR->Left),
+                      makeNode(std::move(Key), std::move(Value), LR->Right,
+                               std::move(Right)));
+    }
+    if (HR > HL + 1) {
+      assert(Right && "right-heavy node must have a right child");
+      if (heightOf(Right->Right) >= heightOf(Right->Left))
+        return makeNode(Right->Key, Right->Value,
+                        makeNode(std::move(Key), std::move(Value),
+                                 std::move(Left), Right->Left),
+                        Right->Right);
+      const NodePtr &RL = Right->Left;
+      return makeNode(RL->Key, RL->Value,
+                      makeNode(std::move(Key), std::move(Value),
+                               std::move(Left), RL->Left),
+                      makeNode(Right->Key, Right->Value, RL->Right,
+                               Right->Right));
+    }
+    return makeNode(std::move(Key), std::move(Value), std::move(Left),
+                    std::move(Right));
+  }
+
+  NodePtr insertNode(const NodePtr &N, const K &Key, const V &Value) const {
+    if (!N)
+      return makeNode(Key, Value, nullptr, nullptr);
+    if (Less(Key, N->Key))
+      return balance(N->Key, N->Value, insertNode(N->Left, Key, Value),
+                     N->Right);
+    if (Less(N->Key, Key))
+      return balance(N->Key, N->Value, N->Left,
+                     insertNode(N->Right, Key, Value));
+    return makeNode(Key, Value, N->Left, N->Right);
+  }
+
+  /// Removes and returns the minimum binding of a non-empty subtree.
+  static NodePtr removeMin(const NodePtr &N, const Node *&Min) {
+    assert(N && "removeMin on empty subtree");
+    if (!N->Left) {
+      Min = N.get();
+      return N->Right;
+    }
+    NodePtr NewLeft = removeMin(N->Left, Min);
+    return balance(N->Key, N->Value, std::move(NewLeft), N->Right);
+  }
+
+  NodePtr eraseNode(const NodePtr &N, const K &Key, bool &Erased) const {
+    if (!N)
+      return nullptr;
+    if (Less(Key, N->Key))
+      return balance(N->Key, N->Value, eraseNode(N->Left, Key, Erased),
+                     N->Right);
+    if (Less(N->Key, Key))
+      return balance(N->Key, N->Value, N->Left,
+                     eraseNode(N->Right, Key, Erased));
+    Erased = true;
+    if (!N->Left)
+      return N->Right;
+    if (!N->Right)
+      return N->Left;
+    const Node *Min = nullptr;
+    NodePtr NewRight = removeMin(N->Right, Min);
+    return balance(Min->Key, Min->Value, N->Left, std::move(NewRight));
+  }
+
+  explicit PersistentMap(NodePtr Root) : Root(std::move(Root)) {}
+
+public:
+  PersistentMap() = default;
+
+  /// \returns the number of bindings in the map.
+  uint64_t size() const { return sizeOf(Root); }
+  bool empty() const { return !Root; }
+
+  /// \returns a pointer to the value bound to \p Key, or nullptr.
+  const V *find(const K &Key) const {
+    const Node *N = Root.get();
+    while (N) {
+      if (Less(Key, N->Key))
+        N = N->Left.get();
+      else if (Less(N->Key, Key))
+        N = N->Right.get();
+      else
+        return &N->Value;
+    }
+    return nullptr;
+  }
+
+  bool contains(const K &Key) const { return find(Key) != nullptr; }
+
+  /// \returns a new map in which \p Key is bound to \p Value (replacing any
+  /// previous binding).
+  PersistentMap insert(const K &Key, const V &Value) const {
+    return PersistentMap(insertNode(Root, Key, Value));
+  }
+
+  /// \returns a new map with any binding for \p Key removed.
+  PersistentMap erase(const K &Key) const {
+    bool Erased = false;
+    NodePtr NewRoot = eraseNode(Root, Key, Erased);
+    if (!Erased)
+      return *this;
+    return PersistentMap(std::move(NewRoot));
+  }
+
+  /// Applies \p Fn to each (key, value) binding in ascending key order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    forEachNode(Root.get(), Fn);
+  }
+
+  /// \returns the height of the underlying AVL tree (for testing).
+  int32_t height() const { return heightOf(Root); }
+
+  /// \returns true if the AVL shape and ordering invariants hold (testing).
+  bool checkInvariants() const {
+    const K *Prev = nullptr;
+    return checkNode(Root.get(), Prev);
+  }
+
+private:
+  template <typename FnT> static void forEachNode(const Node *N, FnT &Fn) {
+    if (!N)
+      return;
+    forEachNode(N->Left.get(), Fn);
+    Fn(N->Key, N->Value);
+    forEachNode(N->Right.get(), Fn);
+  }
+
+  bool checkNode(const Node *N, const K *&Prev) const {
+    if (!N)
+      return true;
+    int32_t Balance = heightOf(N->Left) - heightOf(N->Right);
+    if (Balance < -1 || Balance > 1)
+      return false;
+    if (!checkNode(N->Left.get(), Prev))
+      return false;
+    if (Prev && !Less(*Prev, N->Key))
+      return false;
+    Prev = &N->Key;
+    return checkNode(N->Right.get(), Prev);
+  }
+};
+
+/// A persistent ordered set, implemented as a PersistentMap to unit.
+template <typename K, typename Compare = std::less<K>> class PersistentSet {
+  struct Unit {};
+  PersistentMap<K, Unit, Compare> Map;
+
+public:
+  uint64_t size() const { return Map.size(); }
+  bool empty() const { return Map.empty(); }
+  bool contains(const K &Key) const { return Map.contains(Key); }
+  PersistentSet insert(const K &Key) const {
+    PersistentSet S;
+    S.Map = Map.insert(Key, Unit{});
+    return S;
+  }
+  PersistentSet erase(const K &Key) const {
+    PersistentSet S;
+    S.Map = Map.erase(Key);
+    return S;
+  }
+  template <typename FnT> void forEach(FnT Fn) const {
+    Map.forEach([&Fn](const K &Key, const Unit &) { Fn(Key); });
+  }
+};
+
+} // namespace adt
+} // namespace costar
+
+#endif // COSTAR_ADT_PERSISTENTMAP_H

@@ -1,0 +1,62 @@
+//===- adt/StringPool.h - String interning ---------------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple string interner mapping names to dense integer ids and back.
+/// Grammar terminals and nonterminals are referred to by id throughout the
+/// parser; names exist only at the edges (grammar loading, diagnostics,
+/// tree printing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ADT_STRINGPOOL_H
+#define COSTAR_ADT_STRINGPOOL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace costar {
+namespace adt {
+
+/// Interns strings, assigning each distinct string a dense id in insertion
+/// order.
+class StringPool {
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, uint32_t> Ids;
+
+public:
+  /// Interns \p Name, returning its id (allocating a fresh one if new).
+  uint32_t intern(const std::string &Name) {
+    auto It = Ids.find(Name);
+    if (It != Ids.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Names.size());
+    Names.push_back(Name);
+    Ids.emplace(Name, Id);
+    return Id;
+  }
+
+  /// \returns the id for \p Name, or UINT32_MAX if it was never interned.
+  uint32_t lookup(const std::string &Name) const {
+    auto It = Ids.find(Name);
+    return It == Ids.end() ? UINT32_MAX : It->second;
+  }
+
+  const std::string &name(uint32_t Id) const {
+    assert(Id < Names.size() && "string id out of range");
+    return Names[Id];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Names.size()); }
+};
+
+} // namespace adt
+} // namespace costar
+
+#endif // COSTAR_ADT_STRINGPOOL_H

@@ -1,0 +1,107 @@
+//===- atn/Atn.cpp - Augmented transition networks -----------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atn/Atn.h"
+
+using namespace costar;
+using namespace costar::atn;
+
+Atn::Atn(const Grammar &Grammar, NonterminalId Start) : G(&Grammar) {
+  uint32_t N = Grammar.numNonterminals();
+  RuleStartState.resize(N);
+  RuleStopState.resize(N);
+  FollowSites.assign(N, {});
+  CanFinish.assign(N, false);
+
+  auto AddState = [&](NonterminalId Rule, bool IsStop) {
+    States.push_back(State{Rule, IsStop, {}});
+    return static_cast<AtnStateId>(States.size() - 1);
+  };
+
+  for (NonterminalId X = 0; X < N; ++X) {
+    RuleStartState[X] = AddState(X, false);
+    RuleStopState[X] = AddState(X, true);
+  }
+
+  // One state chain per production.
+  Chain.resize(Grammar.numProductions());
+  for (ProductionId Id = 0; Id < Grammar.numProductions(); ++Id) {
+    const Production &P = Grammar.production(Id);
+    AtnStateId Prev = AddState(P.Lhs, false);
+    Chain[Id].push_back(Prev);
+    AtnTransition Enter;
+    Enter.K = AtnTransition::Kind::Epsilon;
+    Enter.Target = Prev;
+    Enter.Alt = Id;
+    States[RuleStartState[P.Lhs]].Trans.push_back(Enter);
+
+    for (Symbol S : P.Rhs) {
+      AtnStateId Next = AddState(P.Lhs, false);
+      AtnTransition T;
+      T.Target = Next;
+      if (S.isTerminal()) {
+        T.K = AtnTransition::Kind::Atom;
+        T.Term = S.terminalId();
+      } else {
+        T.K = AtnTransition::Kind::RuleRef;
+        T.Rule = S.nonterminalId();
+        T.Target = RuleStartState[S.nonterminalId()];
+        T.Follow = Next;
+        FollowSites[S.nonterminalId()].push_back(Next);
+      }
+      States[Prev].Trans.push_back(T);
+      Prev = Next;
+      Chain[Id].push_back(Prev);
+    }
+    AtnTransition Exit;
+    Exit.K = AtnTransition::Kind::Epsilon;
+    Exit.Target = RuleStopState[P.Lhs];
+    States[Prev].Trans.push_back(Exit);
+  }
+
+  // CanFinish: end of input may follow X iff X is the start symbol, or X
+  // occurs at a position whose rule remainder is nullable inside a rule
+  // that can itself finish. Requires nullability, computed locally.
+  std::vector<bool> Nullable(N, false);
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (ProductionId Id = 0; Id < Grammar.numProductions(); ++Id) {
+      const Production &P = Grammar.production(Id);
+      if (Nullable[P.Lhs])
+        continue;
+      bool All = true;
+      for (Symbol S : P.Rhs)
+        if (S.isTerminal() || !Nullable[S.nonterminalId()]) {
+          All = false;
+          break;
+        }
+      if (All) {
+        Nullable[P.Lhs] = true;
+        Changed = true;
+      }
+    }
+  }
+  if (Start < N)
+    CanFinish[Start] = true;
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (ProductionId Id = 0; Id < Grammar.numProductions(); ++Id) {
+      const Production &P = Grammar.production(Id);
+      if (!CanFinish[P.Lhs])
+        continue;
+      for (size_t I = P.Rhs.size(); I-- > 0;) {
+        Symbol S = P.Rhs[I];
+        if (S.isNonterminal() && !CanFinish[S.nonterminalId()]) {
+          CanFinish[S.nonterminalId()] = true;
+          Changed = true;
+        }
+        if (S.isTerminal() ||
+            (S.isNonterminal() && !Nullable[S.nonterminalId()]))
+          break;
+      }
+    }
+  }
+}

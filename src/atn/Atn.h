@@ -1,0 +1,107 @@
+//===- atn/Atn.h - Augmented transition networks ---------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline parser's grammar representation: an augmented transition
+/// network (Woods 1970), the representation original ALL(*) operates on
+/// (Parr, Harwell, Fisher — OOPSLA 2014). CoStar deliberately works on the
+/// CFG directly (Section 3.5 of the CoStar paper calls the difference
+/// minor, "because an ATN is merely a graph representation of a CFG"); the
+/// baseline keeps the original design so the Figure 10/11 comparison pits
+/// the verified-style functional interpreter against the imperative
+/// original.
+///
+/// Construction: each nonterminal X gets a rule-start and a rule-stop
+/// state; each production X -> s1..sn becomes a chain
+///   ruleStart(X) --eps[alt]--> c0 --s1--> c1 ... cn --eps--> ruleStop(X),
+/// where terminal edges are Atom transitions and nonterminal edges are
+/// RuleRef transitions carrying the follow state to return to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ATN_ATN_H
+#define COSTAR_ATN_ATN_H
+
+#include "grammar/Grammar.h"
+
+#include <vector>
+
+namespace costar {
+namespace atn {
+
+/// Index of an ATN state.
+using AtnStateId = uint32_t;
+
+/// One ATN transition.
+struct AtnTransition {
+  enum class Kind {
+    Epsilon, ///< no input consumed
+    Atom,    ///< consumes terminal Term
+    RuleRef, ///< invokes rule Rule, then resumes at Follow
+  };
+  Kind K = Kind::Epsilon;
+  AtnStateId Target = 0;
+  TerminalId Term = 0;       // Atom
+  NonterminalId Rule = 0;    // RuleRef
+  AtnStateId Follow = 0;     // RuleRef: return state in the caller
+  /// For epsilon edges out of a rule-start state: the production this
+  /// alternative corresponds to (InvalidProductionId otherwise).
+  ProductionId Alt = InvalidProductionId;
+};
+
+/// An ATN built from a Grammar.
+class Atn {
+public:
+  struct State {
+    NonterminalId Rule = 0; ///< owning nonterminal
+    bool IsRuleStop = false;
+    std::vector<AtnTransition> Trans;
+  };
+
+private:
+  std::vector<State> States;
+  std::vector<AtnStateId> RuleStartState;
+  std::vector<AtnStateId> RuleStopState;
+  /// Per rule: the RuleRef transitions that invoke it (caller rule-ref
+  /// follow states), for wildcard-stack returns in SLL prediction.
+  std::vector<std::vector<AtnStateId>> FollowSites;
+  /// Per rule: true if the end of input may follow a completed invocation
+  /// of the rule somewhere in a start-rooted derivation.
+  std::vector<bool> CanFinish;
+  const Grammar *G = nullptr;
+
+public:
+  /// Builds the ATN for \p G with FollowSites/CanFinish computed relative
+  /// to \p Start.
+  Atn(const Grammar &G, NonterminalId Start);
+
+  const Grammar &grammar() const { return *G; }
+  const State &state(AtnStateId Id) const { return States[Id]; }
+  size_t numStates() const { return States.size(); }
+
+  AtnStateId ruleStart(NonterminalId X) const { return RuleStartState[X]; }
+  AtnStateId ruleStop(NonterminalId X) const { return RuleStopState[X]; }
+
+  const std::vector<AtnStateId> &followSites(NonterminalId X) const {
+    return FollowSites[X];
+  }
+  bool canFinish(NonterminalId X) const { return CanFinish[X]; }
+
+  /// The chain state of production \p Id at position \p Pos: the state
+  /// reached after \p Pos symbols of the right-hand side. Used to translate
+  /// parser stack frames into full LL prediction contexts.
+  AtnStateId chainState(ProductionId Id, uint32_t Pos) const {
+    return Chain[Id][Pos];
+  }
+
+private:
+  std::vector<std::vector<AtnStateId>> Chain;
+};
+
+} // namespace atn
+} // namespace costar
+
+#endif // COSTAR_ATN_ATN_H

@@ -1,0 +1,105 @@
+//===- atn/AtnParser.cpp - Imperative ALL(*) baseline parser -------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atn/AtnParser.h"
+
+using namespace costar;
+using namespace costar::atn;
+
+ParseResult AtnParser::parse(const Word &Input, Stats *StatsOut) {
+  uint64_t HitsBefore = Cache.Hits, MissesBefore = Cache.Misses;
+  AtnSimulator Sim(Net, Cache);
+  Stats St;
+
+  // Reset visited stamps; epoch 0 marks nothing.
+  VisitedStamp.assign(G.numNonterminals(), 0);
+  Epoch = 1;
+
+  std::vector<Symbol> StartSyms{Symbol::nonterminal(Start)};
+  std::vector<Frame> Stack;
+  Stack.push_back(Frame{InvalidProductionId, &StartSyms, 0, {}});
+  size_t Pos = 0;
+  bool UniqueFlag = true;
+
+  auto Finish = [&](ParseResult R) {
+    if (StatsOut) {
+      St.CacheHits = Cache.Hits - HitsBefore;
+      St.CacheMisses = Cache.Misses - MissesBefore;
+      *StatsOut = St;
+    }
+    return R;
+  };
+
+  for (;;) {
+    ++St.Steps;
+    Frame &Top = Stack.back();
+
+    if (Top.done()) {
+      if (Stack.size() == 1) {
+        if (Pos != Input.size())
+          return Finish(ParseResult::reject(
+              "input remains after the start symbol was fully derived",
+              Pos));
+        if (Top.Trees.size() != 1)
+          return Finish(ParseResult::error(ParseError::invalidState(
+              "bottom frame does not hold exactly one tree")));
+        TreePtr Root = Top.Trees.front();
+        return Finish(UniqueFlag ? ParseResult::unique(std::move(Root))
+                                 : ParseResult::ambig(std::move(Root)));
+      }
+      Frame Popped = std::move(Stack.back());
+      Stack.pop_back();
+      Frame &Caller = Stack.back();
+      NonterminalId X = Caller.headSymbol().nonterminalId();
+      Caller.Trees.push_back(Tree::node(X, std::move(Popped.Trees)));
+      ++Caller.Next;
+      VisitedStamp[X] = 0;
+      continue;
+    }
+
+    Symbol Head = Top.headSymbol();
+    if (Head.isTerminal()) {
+      if (Pos == Input.size())
+        return Finish(ParseResult::reject(
+            "unexpected end of input; expected " +
+                G.terminalName(Head.terminalId()),
+            Pos));
+      if (Input[Pos].Term != Head.terminalId())
+        return Finish(ParseResult::reject(
+            "expected " + G.terminalName(Head.terminalId()) + ", found " +
+                G.terminalName(Input[Pos].Term),
+            Pos));
+      Top.Trees.push_back(Tree::leaf(Input[Pos]));
+      ++Top.Next;
+      ++Pos;
+      ++Epoch;
+      continue;
+    }
+
+    NonterminalId X = Head.nonterminalId();
+    if (VisitedStamp[X] == Epoch)
+      return Finish(ParseResult::error(ParseError::leftRecursive(X)));
+
+    AtnPrediction P = Sim.adaptivePredict(X, Stack, Input, Pos, &St.Sim);
+    switch (P.K) {
+    case AtnPrediction::Kind::Ambig:
+      UniqueFlag = false;
+      [[fallthrough]];
+    case AtnPrediction::Kind::Unique: {
+      VisitedStamp[X] = Epoch;
+      const Production &Prod = G.production(P.Prod);
+      Stack.push_back(Frame{P.Prod, &Prod.Rhs, 0, {}});
+      break;
+    }
+    case AtnPrediction::Kind::Reject:
+      return Finish(ParseResult::reject(
+          "no viable alternative for " + G.nonterminalName(X), Pos));
+    case AtnPrediction::Kind::Error:
+      return Finish(ParseResult::error(
+          ParseError{ParseErrorKind::LeftRecursive, X, P.Error}));
+    }
+  }
+}

@@ -1,0 +1,62 @@
+//===- atn/AtnParser.h - Imperative ALL(*) baseline parser -----*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "ANTLR parser" role in the Figure 10/11 experiments: an imperative
+/// ALL(*) interpreter over the ATN with mutable frames, epoch-stamped
+/// left-recursion detection, hash-map DFA caching, and cache reuse across
+/// inputs. It consumes the same Grammar and produces the same ParseResult
+/// and Tree types as the CoStar core, enabling both differential testing
+/// and head-to-head benchmarking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ATN_ATNPARSER_H
+#define COSTAR_ATN_ATNPARSER_H
+
+#include "atn/AtnSimulator.h"
+#include "core/ParseResult.h"
+
+namespace costar {
+namespace atn {
+
+/// A reusable baseline parser for one grammar and start symbol. The DFA
+/// cache persists across parse() calls (ANTLR's default); call resetCache()
+/// between files to measure the paper's cold-cache configuration.
+class AtnParser {
+public:
+  struct Stats {
+    uint64_t Steps = 0;
+    AtnSimStats Sim;
+    uint64_t CacheHits = 0;
+    uint64_t CacheMisses = 0;
+  };
+
+  AtnParser(const Grammar &G, NonterminalId Start)
+      : G(G), Start(Start), Net(G, Start) {}
+
+  ParseResult parse(const Word &Input, Stats *StatsOut = nullptr);
+
+  void resetCache() { Cache = AtnCache(); }
+  const AtnCache &cache() const { return Cache; }
+  const Atn &atn() const { return Net; }
+
+private:
+  const Grammar &G;
+  NonterminalId Start;
+  Atn Net;
+  AtnCache Cache;
+  /// Epoch-stamped visited marks for dynamic left-recursion detection: a
+  /// nonterminal is "visited since the last consume" iff its stamp equals
+  /// the current epoch.
+  std::vector<uint64_t> VisitedStamp;
+  uint64_t Epoch = 0;
+};
+
+} // namespace atn
+} // namespace costar
+
+#endif // COSTAR_ATN_ATNPARSER_H

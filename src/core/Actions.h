@@ -1,0 +1,125 @@
+//===- core/Actions.h - Semantic actions over parse trees ------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic actions — the Section 8 future-work extension: "We plan to add
+/// support for user-defined semantic actions ... so that the tool can
+/// produce and validate semantic values with a user-defined type."
+///
+/// A SemanticActions<V> table maps each production to a fold function from
+/// child values to a value of type V, plus a leaf function from tokens to
+/// V. evaluate() folds a parse tree bottom-up. The paper notes the subtle
+/// interaction with ambiguity: two distinct trees for an ambiguous word
+/// may map to the same semantic value, so evaluateParse() reports, along
+/// with the value, whether the *value* is known unique — a Unique parse
+/// always is; an Ambig parse's value is conservatively flagged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_CORE_ACTIONS_H
+#define COSTAR_CORE_ACTIONS_H
+
+#include "core/ParseResult.h"
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace costar {
+
+/// A table of semantic actions producing values of type \p V.
+template <typename V> class SemanticActions {
+public:
+  /// Folds one production's child values into the node's value.
+  using Rule = std::function<V(std::span<const V>)>;
+  /// Maps a consumed token to its leaf value.
+  using LeafRule = std::function<V(const Token &)>;
+
+private:
+  const Grammar &G;
+  std::vector<Rule> Rules;
+  LeafRule Leaf;
+
+public:
+  /// Actions default to: leaves get V{}, nodes get the first child's value
+  /// (or V{} for epsilon productions) — the identity-ish fold, so sparse
+  /// tables work out of the box.
+  explicit SemanticActions(const Grammar &G)
+      : G(G), Rules(G.numProductions()),
+        Leaf([](const Token &) { return V{}; }) {}
+
+  /// Installs the action for production \p Id.
+  SemanticActions &on(ProductionId Id, Rule Fn) {
+    assert(Id < Rules.size() && "production id out of range");
+    Rules[Id] = std::move(Fn);
+    return *this;
+  }
+
+  /// Installs one action for every production of \p X.
+  SemanticActions &onNonterminal(NonterminalId X, Rule Fn) {
+    for (ProductionId Id : G.productionsFor(X))
+      Rules[Id] = Fn;
+    return *this;
+  }
+
+  SemanticActions &onLeaf(LeafRule Fn) {
+    Leaf = std::move(Fn);
+    return *this;
+  }
+
+  /// Folds \p T bottom-up. The tree must structurally conform to G (always
+  /// true for parser-produced trees).
+  V evaluate(const Tree &T) const {
+    if (T.isLeaf())
+      return Leaf(T.token());
+    std::vector<V> Kids;
+    Kids.reserve(T.children().size());
+    for (const TreePtr &Child : T.children())
+      Kids.push_back(evaluate(*Child));
+    // Identify the production: match the children's root symbols.
+    std::vector<Symbol> Rhs;
+    Rhs.reserve(T.children().size());
+    for (const TreePtr &Child : T.children())
+      Rhs.push_back(Child->rootSymbol());
+    for (ProductionId Id : G.productionsFor(T.nonterminal())) {
+      if (G.production(Id).Rhs != Rhs)
+        continue;
+      if (Rules[Id])
+        return Rules[Id](Kids);
+      return Kids.empty() ? V{} : std::move(Kids.front());
+    }
+    assert(false && "tree does not conform to the grammar");
+    return V{};
+  }
+};
+
+/// A semantic value plus whether it is known to be the input's unique
+/// semantic value.
+template <typename V> struct SemanticResult {
+  V Value{};
+  /// True for Unique parses. False for Ambig parses: another derivation
+  /// exists, and it may (or may not) denote a different value — exactly
+  /// the complication Section 8 calls out.
+  bool ValueKnownUnique = false;
+};
+
+/// Evaluates the actions over an accepting parse result.
+/// \returns nullopt if \p R is not an accepting result.
+template <typename V>
+std::optional<SemanticResult<V>>
+evaluateParse(const SemanticActions<V> &Actions, const ParseResult &R) {
+  if (!R.accepted())
+    return std::nullopt;
+  SemanticResult<V> Out;
+  Out.Value = Actions.evaluate(*R.tree());
+  Out.ValueKnownUnique = R.kind() == ParseResult::Kind::Unique;
+  return Out;
+}
+
+} // namespace costar
+
+#endif // COSTAR_CORE_ACTIONS_H

@@ -1,0 +1,204 @@
+//===- core/Machine.cpp - The CoStar stack machine --------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+
+#include "core/Measure.h"
+
+using namespace costar;
+
+Machine::Machine(const Grammar &G, const PredictionTables &Tables,
+                 NonterminalId Start, const Word &Input,
+                 const ParseOptions &Opts, SllCache *SharedCache)
+    : G(G), Tables(Tables), StartSyms({Symbol::nonterminal(Start)}),
+      Input(Input), Cache(SharedCache ? SharedCache : &OwnedCache),
+      Opts(Opts) {
+  Stack.push_back(Frame{InvalidProductionId, &StartSyms, 0, {}});
+}
+
+std::optional<ParseResult> Machine::step() {
+  ++MachineStats.Steps;
+  assert(!Stack.empty() && "machine stack underflow");
+  Frame &Top = Stack.back();
+
+  if (Top.done()) {
+    if (Stack.size() == 1) {
+      // Final configuration check (Section 3.3): no more stack symbols, no
+      // more tokens, a single tree in the bottom frame.
+      if (Pos != Input.size())
+        return ParseResult::reject("input remains after the start symbol "
+                                   "was fully derived",
+                                   Pos);
+      if (Top.Trees.size() != 1)
+        return ParseResult::error(ParseError::invalidState(
+            "bottom frame does not hold exactly one tree"));
+      TreePtr Root = Top.Trees.front();
+      return UniqueFlag ? ParseResult::unique(std::move(Root))
+                        : ParseResult::ambig(std::move(Root));
+    }
+    // return operation.
+    ++MachineStats.Returns;
+    Frame Popped = std::move(Stack.back());
+    Stack.pop_back();
+    Frame &Caller = Stack.back();
+    if (Caller.done() || !Caller.headSymbol().isNonterminal())
+      return ParseResult::error(ParseError::invalidState(
+          "return with no open nonterminal in the caller frame"));
+    NonterminalId X = Caller.headSymbol().nonterminalId();
+    if (Popped.Prod == InvalidProductionId ||
+        G.production(Popped.Prod).Lhs != X)
+      return ParseResult::error(ParseError::invalidState(
+          "returned frame's production does not reduce the caller's open "
+          "nonterminal"));
+    Caller.Trees.push_back(Tree::node(X, std::move(Popped.Trees)));
+    ++Caller.Next;
+    // X is now fully processed; it is no longer "open since the last
+    // consume" (required for the visited-set invariant of Lemma 5.10 and
+    // for the constant-score return case of Lemma 4.4).
+    Visited = Visited.erase(X);
+    return std::nullopt;
+  }
+
+  Symbol Head = Top.headSymbol();
+  if (Head.isTerminal()) {
+    // consume operation.
+    TerminalId A = Head.terminalId();
+    if (Pos == Input.size())
+      return ParseResult::reject(
+          "unexpected end of input; expected " + G.terminalName(A), Pos);
+    const Token &Tok = Input[Pos];
+    if (Tok.Term != A)
+      return ParseResult::reject("expected " + G.terminalName(A) +
+                                     ", found " + G.terminalName(Tok.Term) +
+                                     " '" + Tok.Lexeme + "'",
+                                 Pos);
+    ++MachineStats.Consumes;
+    Top.Trees.push_back(Tree::leaf(Tok));
+    ++Top.Next;
+    ++Pos;
+    Visited = VisitedSet();
+    return std::nullopt;
+  }
+
+  // push operation.
+  NonterminalId X = Head.nonterminalId();
+  if (Visited.contains(X))
+    return ParseResult::error(ParseError::leftRecursive(X));
+
+  PredictionResult Prediction;
+  if (Opts.Mode == ParseOptions::PredictionMode::LlOnly) {
+    ++MachineStats.Pred.Predictions;
+    Prediction = llPredict(G, X, Stack, Visited, Input, Pos);
+  } else {
+    Prediction = adaptivePredict(G, Tables, *Cache, X, Stack, Visited, Input,
+                                 Pos, &MachineStats.Pred);
+  }
+
+  switch (Prediction.ResultKind) {
+  case PredictionResult::Kind::Ambig:
+    // A genuine (LL-mode) ambiguity: record it and keep parsing with the
+    // chosen alternative (Section 5.3).
+    UniqueFlag = false;
+    [[fallthrough]];
+  case PredictionResult::Kind::Unique: {
+    ++MachineStats.Pushes;
+    const Production &P = G.production(Prediction.Prod);
+    assert(P.Lhs == X && "prediction returned a right-hand side for the "
+                         "wrong nonterminal");
+    Visited = Visited.insert(X);
+    Stack.push_back(Frame{Prediction.Prod, &P.Rhs, 0, {}});
+    return std::nullopt;
+  }
+  case PredictionResult::Kind::Reject:
+    return ParseResult::reject(
+        "no viable alternative for " + G.nonterminalName(X), Pos);
+  case PredictionResult::Kind::Error:
+    return ParseResult::error(Prediction.Err);
+  }
+  return ParseResult::error(
+      ParseError::invalidState("unreachable prediction result"));
+}
+
+ParseResult Machine::run() {
+  Measure Prev;
+  bool HavePrev = false;
+  for (;;) {
+    if (Opts.CheckInvariants) {
+      std::string Violation = checkMachineInvariants(G, Stack, Visited);
+      if (!Violation.empty())
+        return ParseResult::error(ParseError::invalidState(
+            "invariant violation: " + Violation));
+      Measure Cur = computeMeasure(G, Stack, Visited, tokensRemaining());
+      if (HavePrev && !Cur.lexLess(Prev))
+        return ParseResult::error(ParseError::invalidState(
+            "step failed to decrease the termination measure: " +
+            Prev.toString() + " -> " + Cur.toString()));
+      Prev = std::move(Cur);
+      HavePrev = true;
+    }
+    if (Opts.MaxSteps && MachineStats.Steps >= Opts.MaxSteps)
+      return ParseResult::error(
+          ParseError::invalidState("step budget exceeded"));
+    if (std::optional<ParseResult> Result = step())
+      return *Result;
+  }
+}
+
+std::string costar::checkMachineInvariants(const Grammar &G,
+                                           std::span<const Frame> Stack,
+                                           const VisitedSet &Visited) {
+  if (Stack.empty())
+    return "empty frame stack";
+
+  // WfInit / WfFinal: the bottom frame processes exactly the start symbol.
+  const Frame &Bottom = Stack.front();
+  if (Bottom.Prod != InvalidProductionId)
+    return "bottom frame carries a grammar production";
+  if (Bottom.Syms->size() != 1 || !(*Bottom.Syms)[0].isNonterminal())
+    return "bottom frame does not hold a single start nonterminal";
+
+  for (size_t I = 0; I < Stack.size(); ++I) {
+    const Frame &F = Stack[I];
+    if (F.Next > F.Syms->size())
+      return "frame processed past the end of its right-hand side";
+    if (F.Trees.size() != F.Next)
+      return "frame tree count does not match its processed symbols";
+    for (size_t J = 0; J < F.Next; ++J)
+      if (F.Trees[J]->rootSymbol() != (*F.Syms)[J])
+        return "frame tree root does not match its processed symbol";
+
+    if (I == 0)
+      continue;
+    // WfUpper: each upper frame holds a complete right-hand side for the
+    // open nonterminal in the frame below.
+    if (F.Prod == InvalidProductionId)
+      return "upper frame carries no grammar production";
+    if (F.Syms != &G.production(F.Prod).Rhs)
+      return "upper frame symbols are not its production's right-hand side";
+    const Frame &Caller = Stack[I - 1];
+    if (Caller.done() || !Caller.headSymbol().isNonterminal())
+      return "caller frame has no open nonterminal";
+    if (Caller.headSymbol().nonterminalId() != G.production(F.Prod).Lhs)
+      return "upper frame's production does not expand the caller's open "
+             "nonterminal";
+  }
+
+  // Visited-set invariant (Lemma 5.10): every visited nonterminal is an
+  // open nonterminal in some caller frame.
+  std::string Violation;
+  Visited.forEach([&](NonterminalId X) {
+    if (!Violation.empty())
+      return;
+    for (size_t I = 0; I + 1 < Stack.size(); ++I) {
+      const Frame &F = Stack[I];
+      if (!F.done() && F.headSymbol() == Symbol::nonterminal(X))
+        return;
+    }
+    Violation = "visited nonterminal " + G.nonterminalName(X) +
+                " is not open in any caller frame";
+  });
+  return Violation;
+}

@@ -1,0 +1,51 @@
+//===- core/Measure.cpp - Termination measure ------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Measure.h"
+
+using namespace costar;
+using adt::BigNat;
+
+BigNat costar::stackScore(const Grammar &G, std::span<const Frame> Frames,
+                          const VisitedSet &Visited) {
+  uint32_t Universe = G.numNonterminals();
+  uint64_t VisitedCount = Visited.size();
+  assert(VisitedCount <= Universe && "visited set exceeds universe");
+  uint32_t Base = static_cast<uint32_t>(1 + G.maxRhsLen());
+  uint32_t Exponent = static_cast<uint32_t>(Universe - VisitedCount);
+
+  BigNat Score;
+  // Frames is bottom-to-top; walk top-down so the exponent increments as we
+  // descend (stackScore' of the paper).
+  for (size_t I = Frames.size(); I-- > 0;) {
+    const Frame &F = Frames[I];
+    bool IsTop = (I + 1 == Frames.size());
+    size_t Unprocessed = F.unprocessedCount();
+    // Caller frames' head symbol is the open nonterminal whose pending work
+    // is accounted for by the frames above; exclude it from the count.
+    if (!IsTop) {
+      assert(Unprocessed >= 1 && "caller frame with no open nonterminal");
+      Unprocessed -= 1;
+    }
+    if (Unprocessed) {
+      BigNat Term = BigNat::pow(Base, Exponent);
+      Term.mulWord(static_cast<uint32_t>(Unprocessed));
+      Score += Term;
+    }
+    ++Exponent;
+  }
+  return Score;
+}
+
+Measure costar::computeMeasure(const Grammar &G, std::span<const Frame> Frames,
+                               const VisitedSet &Visited,
+                               size_t TokensRemaining) {
+  Measure M;
+  M.TokensRemaining = BigNat(TokensRemaining);
+  M.StackScore = stackScore(G, Frames, Visited);
+  M.StackHeight = BigNat(Frames.size());
+  return M;
+}

@@ -1,0 +1,73 @@
+//===- core/Measure.h - Termination measure --------------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The well-founded measure from Section 4 of the paper, made executable.
+/// In Coq, this measure is what lets multistep pass the termination checker;
+/// here it serves as a machine-checkable specification: Lemma 4.2 ("every
+/// step strictly decreases meas in the lexicographic order on N^3") becomes
+/// a property test over execution traces and an optional debug assertion
+/// inside the parser loop.
+///
+/// meas(sigma) = ( #remaining tokens,
+///                 stackScore(G, suffix stack, visited set),
+///                 suffix stack height )
+///
+/// stackScore weights each frame's unprocessed symbols by b^e with
+/// b = 1 + maxRhsLen(G) and an exponent that starts at |U \ V| for the top
+/// frame and grows toward the bottom. Caller (non-top) frames count their
+/// unprocessed symbols *minus the open head nonterminal*, whose remaining
+/// work is represented by the frames above it; this is the "carefully
+/// chosen exponent" that makes pushes strictly decreasing (the new frame
+/// contributes at most b^(e-1) * maxRhsLen < b^e, the amount by which the
+/// caller's contribution drops). Exponents are bounded only by
+/// |nonterminals| + stack height, hence BigNat.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_CORE_MEASURE_H
+#define COSTAR_CORE_MEASURE_H
+
+#include "adt/BigNat.h"
+#include "core/Frame.h"
+
+#include <span>
+
+namespace costar {
+
+/// The measure triple, ordered lexicographically (<3 in the paper).
+struct Measure {
+  adt::BigNat TokensRemaining;
+  adt::BigNat StackScore;
+  adt::BigNat StackHeight;
+
+  /// Lexicographic comparison: *this <3 RHS.
+  bool lexLess(const Measure &RHS) const {
+    if (TokensRemaining != RHS.TokensRemaining)
+      return TokensRemaining < RHS.TokensRemaining;
+    if (StackScore != RHS.StackScore)
+      return StackScore < RHS.StackScore;
+    return StackHeight < RHS.StackHeight;
+  }
+
+  std::string toString() const {
+    return "(" + TokensRemaining.toString() + ", " + StackScore.toString() +
+           ", " + StackHeight.toString() + ")";
+  }
+};
+
+/// stackScore (Section 4.3). \p Frames is bottom-to-top (the machine's
+/// representation); the top frame gets the initial exponent |U \ V|.
+adt::BigNat stackScore(const Grammar &G, std::span<const Frame> Frames,
+                       const VisitedSet &Visited);
+
+/// meas (Section 4.2): the full measure for a machine state.
+Measure computeMeasure(const Grammar &G, std::span<const Frame> Frames,
+                       const VisitedSet &Visited, size_t TokensRemaining);
+
+} // namespace costar
+
+#endif // COSTAR_CORE_MEASURE_H

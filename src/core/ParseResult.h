@@ -1,0 +1,141 @@
+//===- core/ParseResult.h - Parser result types ----------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result types from Figure 1 of the paper:
+///
+///   Errors       e ::= InvalidState | LeftRecursive(X)
+///   Predictions  p ::= UniqueP(gamma) | AmbigP(gamma) | RejectP | ErrorP(e)
+///   ParseResults R ::= Unique(v) | Ambig(v) | Reject | Error(e)
+///
+/// Error results indicate an inconsistent machine state; the paper proves
+/// (and our property tests check) that they never occur for
+/// non-left-recursive grammars, making the parser a decision procedure for
+/// language membership.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_CORE_PARSERESULT_H
+#define COSTAR_CORE_PARSERESULT_H
+
+#include "grammar/Grammar.h"
+#include "grammar/Tree.h"
+
+#include <string>
+
+namespace costar {
+
+/// The ways the machine can reach an inconsistent state.
+enum class ParseErrorKind {
+  /// The machine state violates a structural invariant.
+  InvalidState,
+  /// Dynamic left-recursion detection fired for a nonterminal.
+  LeftRecursive,
+};
+
+/// An error value e (Figure 1).
+struct ParseError {
+  ParseErrorKind Kind = ParseErrorKind::InvalidState;
+  /// The offending nonterminal, for LeftRecursive errors.
+  NonterminalId Nt = 0;
+  std::string Message;
+
+  static ParseError invalidState(std::string Message) {
+    return ParseError{ParseErrorKind::InvalidState, 0, std::move(Message)};
+  }
+  static ParseError leftRecursive(NonterminalId Nt) {
+    return ParseError{ParseErrorKind::LeftRecursive, Nt, {}};
+  }
+};
+
+/// Outcome of one adaptivePredict call (Figure 1's Predictions p). The
+/// meaning of Ambig differs between LL mode (true input ambiguity) and SLL
+/// mode (possible overapproximation; triggers failover to LL).
+struct PredictionResult {
+  enum class Kind { Unique, Ambig, Reject, Error };
+  Kind ResultKind = Kind::Reject;
+  ProductionId Prod = InvalidProductionId;
+  ParseError Err;
+
+  static PredictionResult unique(ProductionId Prod) {
+    return {Kind::Unique, Prod, {}};
+  }
+  static PredictionResult ambig(ProductionId Prod) {
+    return {Kind::Ambig, Prod, {}};
+  }
+  static PredictionResult reject() { return {Kind::Reject, 0, {}}; }
+  static PredictionResult error(ParseError E) {
+    return {Kind::Error, 0, std::move(E)};
+  }
+};
+
+/// The top-level parse outcome (Figure 1's Parse Results R).
+class ParseResult {
+public:
+  enum class Kind { Unique, Ambig, Reject, Error };
+
+private:
+  Kind ResultKind;
+  TreePtr Root;
+  std::string RejectReason;
+  size_t RejectTokenIndex = 0;
+  ParseError Err;
+
+  ParseResult(Kind K, TreePtr Root) : ResultKind(K), Root(std::move(Root)) {}
+  ParseResult(std::string Reason, size_t TokenIndex)
+      : ResultKind(Kind::Reject), RejectReason(std::move(Reason)),
+        RejectTokenIndex(TokenIndex) {}
+  explicit ParseResult(ParseError E)
+      : ResultKind(Kind::Error), Err(std::move(E)) {}
+
+public:
+  /// The input has exactly one parse tree; this is it.
+  static ParseResult unique(TreePtr Root) {
+    return ParseResult(Kind::Unique, std::move(Root));
+  }
+  /// The input is ambiguous; \p Root is one of its parse trees.
+  static ParseResult ambig(TreePtr Root) {
+    return ParseResult(Kind::Ambig, std::move(Root));
+  }
+  /// The input is not in the grammar's language.
+  static ParseResult reject(std::string Reason, size_t TokenIndex) {
+    return ParseResult(std::move(Reason), TokenIndex);
+  }
+  /// The machine reached an inconsistent state (never happens for
+  /// non-left-recursive grammars).
+  static ParseResult error(ParseError E) {
+    return ParseResult(std::move(E));
+  }
+
+  Kind kind() const { return ResultKind; }
+  bool accepted() const {
+    return ResultKind == Kind::Unique || ResultKind == Kind::Ambig;
+  }
+
+  /// The parse tree, for Unique/Ambig results.
+  const TreePtr &tree() const {
+    assert(accepted() && "tree() on a non-accepting result");
+    return Root;
+  }
+
+  const std::string &rejectReason() const {
+    assert(ResultKind == Kind::Reject && "not a Reject result");
+    return RejectReason;
+  }
+  size_t rejectTokenIndex() const {
+    assert(ResultKind == Kind::Reject && "not a Reject result");
+    return RejectTokenIndex;
+  }
+
+  const ParseError &err() const {
+    assert(ResultKind == Kind::Error && "not an Error result");
+    return Err;
+  }
+};
+
+} // namespace costar
+
+#endif // COSTAR_CORE_PARSERESULT_H

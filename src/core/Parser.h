@@ -1,0 +1,78 @@
+//===- core/Parser.h - Top-level CoStar API --------------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry points to CoStar (Section 3.1 of the paper).
+///
+///   parse(G, S, w) returns
+///     - Unique(v): v is the sole S-rooted parse tree for w;
+///     - Ambig(v):  v is one of several distinct parse trees for w;
+///     - Reject:    w is not in L(G);
+///     - Error(e):  the machine reached an inconsistent state (proven — and
+///                  here property-tested — not to occur for
+///                  non-left-recursive grammars).
+///
+/// Parser wraps the per-grammar static work (grammar analysis and SLL
+/// stable-return tables) so it can be shared across many inputs; each
+/// parse() call uses a fresh SLL DFA cache by default, matching the paper's
+/// benchmark configuration, with opt-in cache reuse across inputs as the
+/// Section 8 extension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_CORE_PARSER_H
+#define COSTAR_CORE_PARSER_H
+
+#include "core/Machine.h"
+#include "grammar/Analysis.h"
+
+namespace costar {
+
+/// A reusable CoStar parser for one grammar and start symbol.
+class Parser {
+  const Grammar &G;
+  NonterminalId Start;
+  ParseOptions Opts;
+  GrammarAnalysis Analysis;
+  PredictionTables Tables;
+  SllCache SharedCache;
+
+public:
+  Parser(const Grammar &G, NonterminalId Start, ParseOptions Opts = {})
+      : G(G), Start(Start), Opts(Opts), Analysis(G, Start),
+        Tables(G, Analysis) {}
+
+  /// Parses \p Input, optionally reporting machine statistics.
+  ParseResult parse(const Word &Input, Machine::Stats *StatsOut = nullptr) {
+    Machine M(G, Tables, Start, Input, Opts,
+              Opts.ReuseCache ? &SharedCache : nullptr);
+    ParseResult Result = M.run();
+    if (StatsOut)
+      *StatsOut = M.stats();
+    return Result;
+  }
+
+  const Grammar &grammar() const { return G; }
+  NonterminalId startSymbol() const { return Start; }
+  const GrammarAnalysis &analysis() const { return Analysis; }
+  const PredictionTables &tables() const { return Tables; }
+  const SllCache &sharedCache() const { return SharedCache; }
+
+  /// Drops any state accumulated by cache reuse.
+  void resetCache() { SharedCache = SllCache(); }
+};
+
+/// One-shot convenience wrapper: builds the static tables, parses, and
+/// discards them. Prefer Parser for repeated parsing with one grammar.
+inline ParseResult parse(const Grammar &G, NonterminalId Start,
+                         const Word &Input, ParseOptions Opts = {}) {
+  Parser P(G, Start, Opts);
+  return P.parse(Input);
+}
+
+} // namespace costar
+
+#endif // COSTAR_CORE_PARSER_H

@@ -1,0 +1,463 @@
+//===- core/Prediction.cpp - ALL(*) adaptivePredict ------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prediction.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+using namespace costar;
+
+/// Serialization sentinel terminating a frame list. Distinct from
+/// InvalidProductionId (the machine's bottom frame id), which may appear in
+/// LL stacks.
+static constexpr uint32_t SerialEnd = 0xFFFFFFFEu;
+
+void costar::serializeSubparser(const Subparser &Sp,
+                                std::vector<uint32_t> &Out) {
+  Out.push_back(Sp.Prediction);
+  for (const SimStackNode *N = Sp.Stack.get(); N; N = N->Tail.get()) {
+    assert(N->F.Prod != SerialEnd && "production id collides with sentinel");
+    Out.push_back(N->F.Prod);
+    Out.push_back(N->F.Pos);
+  }
+  Out.push_back(SerialEnd);
+}
+
+//===----------------------------------------------------------------------===//
+// PredictionTables
+//===----------------------------------------------------------------------===//
+
+PredictionTables::PredictionTables(const Grammar &Grammar,
+                                   const GrammarAnalysis &A)
+    : G(Grammar) {
+  uint32_t N = G.numNonterminals();
+  ReturnTargets.assign(N, {});
+  CanFinishNt.assign(N, false);
+  for (NonterminalId X = 0; X < N; ++X)
+    CanFinishNt[X] = A.followEnd(X);
+
+  // Direct return targets: for each occurrence of X at (r, p), an
+  // empty-stack subparser finishing a rule for X resumes at (r, p + 1) when
+  // that position is not at the end of r. Occurrences at the end of r are
+  // "union edges": finishing X there immediately finishes r, so X inherits
+  // the return targets of r's left-hand side. We resolve the union edges by
+  // fixpoint iteration (the occurrence graph may be cyclic).
+  std::vector<std::vector<NonterminalId>> UnionEdges(N);
+  auto AddTarget = [&](NonterminalId X, SimFrame F) {
+    std::vector<SimFrame> &Targets = ReturnTargets[X];
+    for (const SimFrame &Existing : Targets)
+      if (Existing.Prod == F.Prod && Existing.Pos == F.Pos)
+        return false;
+    Targets.push_back(F);
+    return true;
+  };
+
+  for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
+    const Production &P = G.production(Id);
+    for (uint32_t Pos = 0; Pos < P.Rhs.size(); ++Pos) {
+      if (!P.Rhs[Pos].isNonterminal())
+        continue;
+      NonterminalId X = P.Rhs[Pos].nonterminalId();
+      if (Pos + 1 < P.Rhs.size())
+        AddTarget(X, SimFrame{Id, &P.Rhs, Pos + 1});
+      else
+        UnionEdges[X].push_back(P.Lhs);
+    }
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NonterminalId X = 0; X < N; ++X) {
+      for (NonterminalId Y : UnionEdges[X]) {
+        // Copy: AddTarget may reallocate ReturnTargets[X] while we read
+        // ReturnTargets[Y] when X == Y.
+        std::vector<SimFrame> FromY = ReturnTargets[Y];
+        for (const SimFrame &F : FromY)
+          Changed |= AddTarget(X, F);
+        if (CanFinishNt[Y] && !CanFinishNt[X]) {
+          CanFinishNt[X] = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Closure and move
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class SimMode { LL, SLL };
+
+struct ClosureOut {
+  std::vector<Subparser> Configs;
+  std::optional<ParseError> Err;
+};
+
+/// Shared subparser simulation engine for both prediction modes.
+class Simulator {
+  const Grammar &G;
+  const PredictionTables *Tables; // non-null iff Mode == SLL
+  SimMode Mode;
+
+public:
+  Simulator(const Grammar &G, const PredictionTables *Tables, SimMode Mode)
+      : G(G), Tables(Tables), Mode(Mode) {
+    assert((Mode == SimMode::SLL) == (Tables != nullptr) &&
+           "SLL simulation requires prediction tables");
+  }
+
+  /// Advances every subparser in \p Work until it is stable (head symbol is
+  /// a terminal) or final (stack empty), forking at nonterminals and
+  /// performing returns at exhausted frames. Detects left recursion via the
+  /// per-subparser visited sets.
+  ClosureOut closure(std::vector<Subparser> Work) const {
+    ClosureOut Out;
+    struct KeyHash {
+      size_t operator()(const std::vector<uint32_t> &Key) const {
+        uint64_t H = 0xCBF29CE484222325ull;
+        for (uint32_t V : Key) {
+          H ^= V;
+          H *= 0x100000001B3ull;
+        }
+        return static_cast<size_t>(H);
+      }
+    };
+    std::unordered_set<std::vector<uint32_t>, KeyHash> Seen;
+    std::vector<uint32_t> KeyBuf;
+    while (!Work.empty()) {
+      Subparser Sp = std::move(Work.back());
+      Work.pop_back();
+      KeyBuf.clear();
+      serializeSubparser(Sp, KeyBuf);
+      if (!Seen.insert(KeyBuf).second)
+        continue;
+
+      if (!Sp.Stack) {
+        // Emitted configs' visited sets are never consulted again (the
+        // next simulation step is a move, which resets them), so drop
+        // them here to keep cached DFA states lean.
+        Sp.Visited = VisitedSet();
+        Out.Configs.push_back(std::move(Sp));
+        continue;
+      }
+      const SimFrame &Top = Sp.Stack->F;
+      if (Top.done()) {
+        if (Top.Prod == InvalidProductionId) {
+          // The simulated machine's bottom frame is exhausted: the whole
+          // parse completed (LL mode only; SLL stacks never hold it).
+          assert(Mode == SimMode::LL && !Sp.Stack->Tail &&
+                 "bottom frame must be the lowest LL sim frame");
+          Out.Configs.push_back(
+              Subparser{Sp.Prediction, nullptr, std::move(Sp.Visited)});
+          continue;
+        }
+        NonterminalId Lhs = G.production(Top.Prod).Lhs;
+        VisitedSet PoppedVisited = Sp.Visited.erase(Lhs);
+        if (Sp.Stack->Tail) {
+          // Ordinary return: advance the caller past the open nonterminal.
+          SimFrame Caller = Sp.Stack->Tail->F;
+          assert(!Caller.done() && Caller.headSymbol().isNonterminal() &&
+                 "caller frame has no open nonterminal");
+          Caller.Pos += 1;
+          Work.push_back(Subparser{
+              Sp.Prediction,
+              std::make_shared<SimStackNode>(Caller, Sp.Stack->Tail->Tail),
+              std::move(PoppedVisited)});
+          continue;
+        }
+        // Empty-stack return: simulate a return to the statically computed
+        // stable caller frames (the SLL overapproximation, Section 3.5).
+        assert(Mode == SimMode::SLL &&
+               "LL subparser stack emptied below the bottom frame");
+        if (Tables->canFinish(Lhs))
+          Work.push_back(Subparser{Sp.Prediction, nullptr, PoppedVisited});
+        for (const SimFrame &Target : Tables->returnTargets(Lhs))
+          Work.push_back(
+              Subparser{Sp.Prediction,
+                        std::make_shared<SimStackNode>(Target, nullptr),
+                        PoppedVisited});
+        continue;
+      }
+
+      Symbol Head = Top.headSymbol();
+      if (Head.isTerminal()) {
+        Sp.Visited = VisitedSet();
+        Out.Configs.push_back(std::move(Sp));
+        continue;
+      }
+      NonterminalId Y = Head.nonterminalId();
+      if (Sp.Visited.contains(Y)) {
+        Out.Err = ParseError::leftRecursive(Y);
+        return Out;
+      }
+      VisitedSet PushedVisited = Sp.Visited.insert(Y);
+      for (ProductionId P : G.productionsFor(Y))
+        Work.push_back(
+            Subparser{Sp.Prediction,
+                      std::make_shared<SimStackNode>(
+                          SimFrame{P, &G.production(P).Rhs, 0}, Sp.Stack),
+                      PushedVisited});
+    }
+    return Out;
+  }
+
+  /// Consumes terminal \p T: stable subparsers whose head matches advance
+  /// (resetting their visited sets); all others, including finals, die.
+  std::vector<Subparser> move(const std::vector<Subparser> &Configs,
+                              TerminalId T) const {
+    std::vector<Subparser> Out;
+    for (const Subparser &Sp : Configs) {
+      if (!Sp.Stack)
+        continue;
+      const SimFrame &Top = Sp.Stack->F;
+      Symbol Head = Top.headSymbol();
+      assert(Head.isTerminal() && "move on a non-stable subparser");
+      if (Head.terminalId() != T)
+        continue;
+      SimFrame Advanced = Top;
+      Advanced.Pos += 1;
+      Out.push_back(Subparser{
+          Sp.Prediction,
+          std::make_shared<SimStackNode>(Advanced, Sp.Stack->Tail),
+          VisitedSet()});
+    }
+    return Out;
+  }
+};
+
+/// Distinct predictions carried by \p Configs, ascending.
+std::vector<ProductionId>
+distinctPredictions(const std::vector<Subparser> &Configs) {
+  std::vector<ProductionId> Preds;
+  for (const Subparser &Sp : Configs)
+    Preds.push_back(Sp.Prediction);
+  std::sort(Preds.begin(), Preds.end());
+  Preds.erase(std::unique(Preds.begin(), Preds.end()), Preds.end());
+  return Preds;
+}
+
+/// Distinct predictions of final (empty-stack) configs, ascending.
+std::vector<ProductionId>
+distinctFinalPredictions(const std::vector<Subparser> &Configs) {
+  std::vector<ProductionId> Preds;
+  for (const Subparser &Sp : Configs)
+    if (!Sp.Stack)
+      Preds.push_back(Sp.Prediction);
+  std::sort(Preds.begin(), Preds.end());
+  Preds.erase(std::unique(Preds.begin(), Preds.end()), Preds.end());
+  return Preds;
+}
+
+/// Shared end-of-input resolution: only subparsers that completed an entire
+/// simulated parse survive; ties of two or more predictions mean ambiguity.
+PredictionResult resolveAtEndOfInput(const std::vector<ProductionId> &Finals) {
+  if (Finals.empty())
+    return PredictionResult::reject();
+  if (Finals.size() == 1)
+    return PredictionResult::unique(Finals[0]);
+  return PredictionResult::ambig(Finals[0]);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// LL prediction
+//===----------------------------------------------------------------------===//
+
+PredictionResult costar::llPredict(const Grammar &G, NonterminalId X,
+                                   std::span<const Frame> MachineStack,
+                                   const VisitedSet &Visited,
+                                   const Word &Input, size_t Pos) {
+  assert(!MachineStack.empty() && "LL prediction with an empty stack");
+  assert(MachineStack.back().headSymbol() == Symbol::nonterminal(X) &&
+         "decision nonterminal is not the top stack symbol");
+
+  // Mirror the machine's suffix stack, bottom to top; the decision
+  // nonterminal stays open in the top frame.
+  SimStackPtr Base;
+  for (const Frame &F : MachineStack)
+    Base = std::make_shared<SimStackNode>(
+        SimFrame{F.Prod, F.Syms, static_cast<uint32_t>(F.Next)}, Base);
+
+  VisitedSet InitVisited = Visited.insert(X);
+  std::vector<Subparser> Init;
+  for (ProductionId P : G.productionsFor(X))
+    Init.push_back(
+        Subparser{P,
+                  std::make_shared<SimStackNode>(
+                      SimFrame{P, &G.production(P).Rhs, 0}, Base),
+                  InitVisited});
+
+  Simulator Sim(G, nullptr, SimMode::LL);
+  ClosureOut CR = Sim.closure(std::move(Init));
+  size_t I = Pos;
+  for (;;) {
+    if (CR.Err)
+      return PredictionResult::error(*CR.Err);
+    if (CR.Configs.empty())
+      return PredictionResult::reject();
+    std::vector<ProductionId> Preds = distinctPredictions(CR.Configs);
+    if (Preds.size() == 1)
+      return PredictionResult::unique(Preds[0]);
+    if (I == Input.size())
+      return resolveAtEndOfInput(distinctFinalPredictions(CR.Configs));
+    CR = Sim.closure(Sim.move(CR.Configs, Input[I].Term));
+    ++I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SLL cache
+//===----------------------------------------------------------------------===//
+
+uint32_t SllCache::intern(std::vector<Subparser> Configs) {
+  // Canonicalize: sort configs by serialized identity, then flatten into a
+  // single key.
+  std::vector<std::pair<std::vector<uint32_t>, size_t>> Keyed;
+  Keyed.reserve(Configs.size());
+  for (size_t I = 0; I < Configs.size(); ++I) {
+    std::vector<uint32_t> Key;
+    serializeSubparser(Configs[I], Key);
+    Keyed.emplace_back(std::move(Key), I);
+  }
+  std::sort(Keyed.begin(), Keyed.end());
+  std::vector<uint32_t> FlatKey;
+  for (const auto &[Key, Index] : Keyed)
+    FlatKey.insert(FlatKey.end(), Key.begin(), Key.end());
+
+  if (const uint32_t *Found = Intern.find(FlatKey))
+    return *Found;
+
+  DfaState St;
+  St.Configs.reserve(Configs.size());
+  for (const auto &[Key, Index] : Keyed)
+    St.Configs.push_back(std::move(Configs[Index]));
+  std::vector<ProductionId> Preds = distinctPredictions(St.Configs);
+  if (Preds.empty())
+    St.Res = Resolution::Reject;
+  else if (Preds.size() == 1) {
+    St.Res = Resolution::Unique;
+    St.UniquePred = Preds[0];
+  }
+  St.FinalPreds = distinctFinalPredictions(St.Configs);
+
+  uint32_t Id = static_cast<uint32_t>(States.size());
+  States.push_back(std::move(St));
+  Intern = Intern.insert(FlatKey, Id);
+  return Id;
+}
+
+std::optional<uint32_t> SllCache::findStart(NonterminalId X) const {
+  if (const uint32_t *Found = StartStates.find(X))
+    return *Found;
+  return std::nullopt;
+}
+
+void SllCache::recordStart(NonterminalId X, uint32_t Id) {
+  StartStates = StartStates.insert(X, Id);
+}
+
+std::optional<uint32_t> SllCache::findTransition(uint32_t From,
+                                                 TerminalId T) const {
+  uint64_t Key = (static_cast<uint64_t>(From) << 32) | T;
+  if (const uint32_t *Found = Transitions.find(Key))
+    return *Found;
+  return std::nullopt;
+}
+
+void SllCache::recordTransition(uint32_t From, TerminalId T, uint32_t To) {
+  uint64_t Key = (static_cast<uint64_t>(From) << 32) | T;
+  Transitions = Transitions.insert(Key, To);
+}
+
+//===----------------------------------------------------------------------===//
+// SLL prediction
+//===----------------------------------------------------------------------===//
+
+PredictionResult costar::sllPredict(const Grammar &G,
+                                    const PredictionTables &Tables,
+                                    SllCache &Cache, NonterminalId X,
+                                    const Word &Input, size_t Pos) {
+  Simulator Sim(G, &Tables, SimMode::SLL);
+
+  uint32_t Sid;
+  if (std::optional<uint32_t> Start = Cache.findStart(X)) {
+    ++Cache.Hits;
+    Sid = *Start;
+  } else {
+    ++Cache.Misses;
+    VisitedSet InitVisited = VisitedSet().insert(X);
+    std::vector<Subparser> Init;
+    for (ProductionId P : G.productionsFor(X))
+      Init.push_back(
+          Subparser{P,
+                    std::make_shared<SimStackNode>(
+                        SimFrame{P, &G.production(P).Rhs, 0}, nullptr),
+                    InitVisited});
+    ClosureOut CR = Sim.closure(std::move(Init));
+    if (CR.Err)
+      return PredictionResult::error(*CR.Err);
+    Sid = Cache.intern(std::move(CR.Configs));
+    Cache.recordStart(X, Sid);
+  }
+
+  size_t I = Pos;
+  for (;;) {
+    // Note: do not hold a reference to the state across intern() calls.
+    SllCache::Resolution Res = Cache.state(Sid).Res;
+    if (Res == SllCache::Resolution::Reject)
+      return PredictionResult::reject();
+    if (Res == SllCache::Resolution::Unique)
+      return PredictionResult::unique(Cache.state(Sid).UniquePred);
+    if (I == Input.size())
+      return resolveAtEndOfInput(Cache.state(Sid).FinalPreds);
+
+    TerminalId T = Input[I].Term;
+    if (std::optional<uint32_t> Next = Cache.findTransition(Sid, T)) {
+      ++Cache.Hits;
+      Sid = *Next;
+    } else {
+      ++Cache.Misses;
+      ClosureOut CR = Sim.closure(Sim.move(Cache.state(Sid).Configs, T));
+      if (CR.Err)
+        return PredictionResult::error(*CR.Err);
+      uint32_t NextId = Cache.intern(std::move(CR.Configs));
+      Cache.recordTransition(Sid, T, NextId);
+      Sid = NextId;
+    }
+    ++I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// adaptivePredict
+//===----------------------------------------------------------------------===//
+
+PredictionResult costar::adaptivePredict(
+    const Grammar &G, const PredictionTables &Tables, SllCache &Cache,
+    NonterminalId X, std::span<const Frame> MachineStack,
+    const VisitedSet &Visited, const Word &Input, size_t Pos,
+    PredictionStats *Stats) {
+  if (Stats) {
+    ++Stats->Predictions;
+    ++Stats->SllPredictions;
+  }
+  PredictionResult SllRes = sllPredict(G, Tables, Cache, X, Input, Pos);
+  if (SllRes.ResultKind != PredictionResult::Kind::Ambig)
+    return SllRes;
+  // The SLL result may be unsound (the overapproximated stacks kept a
+  // right-hand side alive that precise simulation would rule out): restart
+  // in LL mode.
+  if (Stats)
+    ++Stats->Failovers;
+  return llPredict(G, X, MachineStack, Visited, Input, Pos);
+}

@@ -1,0 +1,230 @@
+//===- core/Prediction.h - ALL(*) adaptivePredict --------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ALL(*) prediction mechanism (Section 3.4 of the paper). When the
+/// machine's top stack symbol is a nonterminal X, adaptivePredict chooses a
+/// right-hand side by launching one subparser per production of X and
+/// advancing them in lockstep over the remaining tokens.
+///
+/// Two strategies, combined exactly as in the paper:
+///
+///  - LL prediction simulates the parser precisely: subparser stacks start
+///    as a copy of the real suffix stack, so LL identifies all and only the
+///    viable right-hand sides. No caching.
+///
+///  - SLL prediction is faster but imprecise: subparser stacks contain only
+///    the candidate right-hand side, and when a stack empties the subparser
+///    simulates a return to *statically computed* stable caller frames (the
+///    CoStar variant of ANTLR's wildcard stack; see Section 3.5). Analysis
+///    steps are cached in a DFA keyed per decision nonterminal.
+///
+/// adaptivePredict first runs SLL; a unique or reject answer is trusted
+/// (SLL overapproximates LL), while an ambiguous answer may be an artifact
+/// of the overapproximation, so prediction fails over to LL mode. An LL
+/// AmbigP result is genuine input ambiguity and flips the machine's
+/// uniqueness flag.
+///
+/// Both modes carry per-subparser visited sets so that prediction detects
+/// left recursion dynamically, just like the top-level machine (the paper
+/// factors the same lemmata across both proofs; we factor the same code).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_CORE_PREDICTION_H
+#define COSTAR_CORE_PREDICTION_H
+
+#include "core/Frame.h"
+#include "core/ParseResult.h"
+#include "grammar/Analysis.h"
+#include "grammar/Token.h"
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace costar {
+
+//===----------------------------------------------------------------------===//
+// Subparsers
+//===----------------------------------------------------------------------===//
+
+/// One frame of a subparser's simulation stack: a right-hand side and a
+/// position within it. Syms caches the symbol storage for Prod (or the
+/// machine's synthesized start sequence when Prod is InvalidProductionId).
+struct SimFrame {
+  ProductionId Prod = InvalidProductionId;
+  const std::vector<Symbol> *Syms = nullptr;
+  uint32_t Pos = 0;
+
+  bool done() const { return Pos == Syms->size(); }
+  Symbol headSymbol() const {
+    assert(!done() && "headSymbol() on an exhausted sim frame");
+    return (*Syms)[Pos];
+  }
+};
+
+struct SimStackNode;
+/// Immutable shared stack: forks during closure share their tails (CoStar
+/// forgoes ANTLR's graph-structured stack but still shares tails this way).
+using SimStackPtr = std::shared_ptr<const SimStackNode>;
+
+struct SimStackNode {
+  SimFrame F;
+  SimStackPtr Tail;
+  SimStackNode(SimFrame F, SimStackPtr Tail)
+      : F(F), Tail(std::move(Tail)) {}
+};
+
+/// A subparser theta = (gamma, Psi): the prediction it carries plus its
+/// simulation stack. A null Stack means the subparser has completed an
+/// entire simulated parse ("final"); it survives only if the token sequence
+/// is exhausted at that point.
+struct Subparser {
+  ProductionId Prediction = InvalidProductionId;
+  SimStackPtr Stack;
+  /// Nonterminals opened but not closed since the last simulated consume;
+  /// used for dynamic left-recursion detection inside prediction.
+  VisitedSet Visited;
+};
+
+/// Serializes a subparser's (prediction, stack) identity for deduplication
+/// and DFA-state keys. Visited sets are excluded: they only influence
+/// left-recursion errors, not simulation moves.
+void serializeSubparser(const Subparser &Sp, std::vector<uint32_t> &Out);
+
+//===----------------------------------------------------------------------===//
+// Static prediction tables
+//===----------------------------------------------------------------------===//
+
+/// Grammar-derived static tables for SLL prediction: for each nonterminal
+/// X, the stable frames an empty-stack subparser returns to when a rule for
+/// X is exhausted (every grammar occurrence of X, with chains of
+/// end-of-rule occurrences resolved transitively), and whether end-of-input
+/// may follow X (in which case the empty-stack subparser may also be final).
+class PredictionTables {
+  const Grammar &G;
+  std::vector<std::vector<SimFrame>> ReturnTargets;
+  std::vector<bool> CanFinishNt;
+
+public:
+  PredictionTables(const Grammar &G, const GrammarAnalysis &A);
+
+  const Grammar &grammar() const { return G; }
+  const std::vector<SimFrame> &returnTargets(NonterminalId X) const {
+    return ReturnTargets[X];
+  }
+  bool canFinish(NonterminalId X) const { return CanFinishNt[X]; }
+};
+
+//===----------------------------------------------------------------------===//
+// SLL DFA cache
+//===----------------------------------------------------------------------===//
+
+/// Counting comparator for DFA-cache keys (Section 6.1's profile shows key
+/// comparisons dominating CoStar's runtime on large grammars).
+struct CacheKeyLess {
+  bool operator()(const std::vector<uint32_t> &A,
+                  const std::vector<uint32_t> &B) const {
+    ++adt::ComparisonCounters::cacheKey();
+    return std::lexicographical_compare(A.begin(), A.end(), B.begin(),
+                                        B.end());
+  }
+};
+
+struct CacheU64Less {
+  bool operator()(uint64_t A, uint64_t B) const {
+    ++adt::ComparisonCounters::cacheKey();
+    return A < B;
+  }
+};
+
+/// The DFA cache for SLL prediction. States are canonicalized sets of SLL
+/// subparsers; transitions are keyed by (state, terminal). Internally the
+/// cache uses persistent AVL maps, mirroring the FMapAVL-based cache of the
+/// Coq development (and giving the same comparison-dominated cost profile).
+class SllCache {
+public:
+  /// How a DFA state resolves prediction if reached mid-input.
+  enum class Resolution { Pending, Unique, Reject };
+
+  struct DfaState {
+    /// The stable/final subparsers this state denotes.
+    std::vector<Subparser> Configs;
+    Resolution Res = Resolution::Pending;
+    ProductionId UniquePred = InvalidProductionId;
+    /// Distinct predictions of final (empty-stack) configs, ascending.
+    std::vector<ProductionId> FinalPreds;
+  };
+
+private:
+  std::vector<DfaState> States;
+  adt::PersistentMap<std::vector<uint32_t>, uint32_t, CacheKeyLess> Intern;
+  adt::PersistentMap<uint64_t, uint32_t, CacheU64Less> Transitions;
+  adt::PersistentMap<NonterminalId, uint32_t, CompareNT> StartStates;
+
+public:
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+  /// Interns \p Configs (sorted by serialized key) as a DFA state,
+  /// computing its resolution; returns the existing id when already known.
+  uint32_t intern(std::vector<Subparser> Configs);
+
+  const DfaState &state(uint32_t Id) const {
+    assert(Id < States.size() && "DFA state id out of range");
+    return States[Id];
+  }
+
+  std::optional<uint32_t> findStart(NonterminalId X) const;
+  void recordStart(NonterminalId X, uint32_t Id);
+
+  std::optional<uint32_t> findTransition(uint32_t From, TerminalId T) const;
+  void recordTransition(uint32_t From, TerminalId T, uint32_t To);
+
+  size_t numStates() const { return States.size(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Prediction entry points
+//===----------------------------------------------------------------------===//
+
+/// Per-parse prediction statistics (used by benches and ablations).
+struct PredictionStats {
+  uint64_t Predictions = 0;
+  uint64_t SllPredictions = 0;
+  uint64_t Failovers = 0;
+};
+
+/// LL prediction for decision nonterminal \p X. \p MachineStack is the
+/// machine's frame stack (bottom to top; the top frame's head symbol must
+/// be X), \p Visited the machine's visited set, and \p Input / \p Pos the
+/// remaining token sequence.
+PredictionResult llPredict(const Grammar &G, NonterminalId X,
+                           std::span<const Frame> MachineStack,
+                           const VisitedSet &Visited, const Word &Input,
+                           size_t Pos);
+
+/// SLL prediction for decision nonterminal \p X, caching analysis steps in
+/// \p Cache. An Ambig result means "multiple right-hand sides survived under
+/// the stack overapproximation" and must trigger LL failover.
+PredictionResult sllPredict(const Grammar &G, const PredictionTables &Tables,
+                            SllCache &Cache, NonterminalId X,
+                            const Word &Input, size_t Pos);
+
+/// The combined ALL(*) prediction routine: SLL first, failing over to LL
+/// when SLL reports ambiguity. Unique/Reject/Error SLL results are final.
+PredictionResult adaptivePredict(const Grammar &G,
+                                 const PredictionTables &Tables,
+                                 SllCache &Cache, NonterminalId X,
+                                 std::span<const Frame> MachineStack,
+                                 const VisitedSet &Visited, const Word &Input,
+                                 size_t Pos,
+                                 PredictionStats *Stats = nullptr);
+
+} // namespace costar
+
+#endif // COSTAR_CORE_PREDICTION_H

@@ -1,0 +1,110 @@
+//===- earley/Earley.cpp - Earley recognition -----------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "earley/Earley.h"
+
+#include <unordered_set>
+
+using namespace costar;
+using namespace costar::earley;
+
+namespace {
+
+/// An Earley item: production, dot position, origin chart index.
+struct Item {
+  ProductionId Prod;
+  uint32_t Dot;
+  uint32_t Origin;
+
+  bool operator==(const Item &RHS) const {
+    return Prod == RHS.Prod && Dot == RHS.Dot && Origin == RHS.Origin;
+  }
+};
+
+struct ItemHash {
+  size_t operator()(const Item &I) const {
+    uint64_t H = (static_cast<uint64_t>(I.Prod) << 40) ^
+                 (static_cast<uint64_t>(I.Dot) << 20) ^ I.Origin;
+    H *= 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(H ^ (H >> 31));
+  }
+};
+
+} // namespace
+
+EarleyRecognizer::EarleyRecognizer(const Grammar &Grammar,
+                                   NonterminalId Start)
+    : G(Grammar), Start(Start) {
+  GrammarAnalysis A(G, Start);
+  Nullable.resize(G.numNonterminals());
+  for (NonterminalId X = 0; X < G.numNonterminals(); ++X)
+    Nullable[X] = A.nullable(X);
+}
+
+bool EarleyRecognizer::recognizes(std::span<const Token> W) const {
+  RunStats Stats;
+  return recognizes(W, Stats);
+}
+
+bool EarleyRecognizer::recognizes(std::span<const Token> W,
+                                  RunStats &Stats) const {
+  size_t N = W.size();
+  std::vector<std::vector<Item>> Chart(N + 1);
+  std::vector<std::unordered_set<Item, ItemHash>> Seen(N + 1);
+
+  auto Add = [&](size_t Pos, Item It) {
+    if (Seen[Pos].insert(It).second)
+      Chart[Pos].push_back(It);
+  };
+
+  for (ProductionId Id : G.productionsFor(Start))
+    Add(0, Item{Id, 0, 0});
+
+  for (size_t Pos = 0; Pos <= N; ++Pos) {
+    // Chart[Pos] grows during the scan; index-based loop.
+    for (size_t I = 0; I < Chart[Pos].size(); ++I) {
+      Item It = Chart[Pos][I];
+      ++Stats.Items;
+      const Production &P = G.production(It.Prod);
+      if (It.Dot == P.Rhs.size()) {
+        // Complete: advance every item in the origin set waiting on LHS.
+        // (Origin == Pos only for nullable completions, which the
+        // Aycock-Horspool step below already handles; running it again is
+        // harmless because Add deduplicates.)
+        const std::vector<Item> &Parents = Chart[It.Origin];
+        for (size_t J = 0; J < Parents.size(); ++J) {
+          Item Parent = Parents[J];
+          const Production &PP = G.production(Parent.Prod);
+          if (Parent.Dot < PP.Rhs.size() &&
+              PP.Rhs[Parent.Dot] == Symbol::nonterminal(P.Lhs))
+            Add(Pos, Item{Parent.Prod, Parent.Dot + 1, Parent.Origin});
+        }
+        continue;
+      }
+      Symbol Next = P.Rhs[It.Dot];
+      if (Next.isTerminal()) {
+        // Scan.
+        if (Pos < N && W[Pos].Term == Next.terminalId())
+          Add(Pos + 1, Item{It.Prod, It.Dot + 1, It.Origin});
+        continue;
+      }
+      // Predict.
+      NonterminalId Y = Next.nonterminalId();
+      for (ProductionId Id : G.productionsFor(Y))
+        Add(Pos, Item{Id, 0, static_cast<uint32_t>(Pos)});
+      // Aycock-Horspool: if Y is nullable, advance over it immediately.
+      if (Nullable[Y])
+        Add(Pos, Item{It.Prod, It.Dot + 1, It.Origin});
+    }
+  }
+
+  for (const Item &It : Chart[N]) {
+    const Production &P = G.production(It.Prod);
+    if (P.Lhs == Start && It.Origin == 0 && It.Dot == P.Rhs.size())
+      return true;
+  }
+  return false;
+}

@@ -1,0 +1,63 @@
+//===- earley/Earley.h - Earley recognition --------------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An Earley recognizer for arbitrary CFGs — the "general parsing"
+/// comparison point from the paper's related work (Section 7 discusses
+/// verified general parsers: Ridge's combinator construction, certified
+/// CYK). The introduction argues such algorithms' generality "is likely to
+/// hinder fast and predictable performance on the deterministic grammars
+/// that are sufficient for many practical applications";
+/// bench_related_general measures exactly that against CoStar on the
+/// benchmark grammars.
+///
+/// Within the test suite the recognizer doubles as a membership oracle
+/// that, unlike the top-down parsers, handles left-recursive grammars
+/// directly (Earley has no left-recursion restriction), and as an
+/// independent check on the derivation-counting oracle.
+///
+/// Implementation: classic chart parsing with predict/scan/complete, plus
+/// the Aycock–Horspool nullable fix (completing nullable predictions
+/// eagerly) so epsilon-heavy grammars are handled without item
+/// reprocessing subtleties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_EARLEY_EARLEY_H
+#define COSTAR_EARLEY_EARLEY_H
+
+#include "grammar/Analysis.h"
+#include "grammar/Token.h"
+
+#include <span>
+
+namespace costar {
+namespace earley {
+
+/// A reusable Earley recognizer for one grammar + start symbol.
+class EarleyRecognizer {
+  const Grammar &G;
+  NonterminalId Start;
+  std::vector<bool> Nullable;
+
+public:
+  EarleyRecognizer(const Grammar &G, NonterminalId Start);
+
+  /// Decides w in L(G).
+  bool recognizes(std::span<const Token> W) const;
+
+  /// Statistics from the last chart: total items processed (the cost
+  /// driver general parsing pays even on deterministic input).
+  struct RunStats {
+    uint64_t Items = 0;
+  };
+  bool recognizes(std::span<const Token> W, RunStats &Stats) const;
+};
+
+} // namespace earley
+} // namespace costar
+
+#endif // COSTAR_EARLEY_EARLEY_H

@@ -1,0 +1,504 @@
+//===- gdsl/GrammarDsl.cpp - Grammar DSL with EBNF desugaring ---------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gdsl/GrammarDsl.h"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <set>
+
+using namespace costar;
+using namespace costar::gdsl;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// DSL tokens
+//===----------------------------------------------------------------------===//
+
+enum class DslTokKind {
+  Ident,   // rule or token identifier
+  Literal, // 'quoted literal'
+  Colon,
+  Semi,
+  Pipe,
+  LParen,
+  RParen,
+  Star,
+  Plus,
+  Quest,
+  End,
+  Bad,
+};
+
+struct DslTok {
+  DslTokKind Kind;
+  std::string Text;
+  uint32_t Line;
+};
+
+class DslLexer {
+  const std::string &Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+
+public:
+  explicit DslLexer(const std::string &Src) : Src(Src) {}
+
+  DslTok next() {
+    for (;;) {
+      // Skip whitespace and // comments.
+      while (Pos < Src.size() &&
+             (Src[Pos] == ' ' || Src[Pos] == '\t' || Src[Pos] == '\r' ||
+              Src[Pos] == '\n')) {
+        if (Src[Pos] == '\n')
+          ++Line;
+        ++Pos;
+      }
+      if (Pos + 1 < Src.size() && Src[Pos] == '/' && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+    if (Pos >= Src.size())
+      return {DslTokKind::End, "", Line};
+    char C = Src[Pos];
+    switch (C) {
+    case ':':
+      ++Pos;
+      return {DslTokKind::Colon, ":", Line};
+    case ';':
+      ++Pos;
+      return {DslTokKind::Semi, ";", Line};
+    case '|':
+      ++Pos;
+      return {DslTokKind::Pipe, "|", Line};
+    case '(':
+      ++Pos;
+      return {DslTokKind::LParen, "(", Line};
+    case ')':
+      ++Pos;
+      return {DslTokKind::RParen, ")", Line};
+    case '*':
+      ++Pos;
+      return {DslTokKind::Star, "*", Line};
+    case '+':
+      ++Pos;
+      return {DslTokKind::Plus, "+", Line};
+    case '?':
+      ++Pos;
+      return {DslTokKind::Quest, "?", Line};
+    case '\'': {
+      size_t Start = ++Pos;
+      std::string Text;
+      while (Pos < Src.size() && Src[Pos] != '\'') {
+        if (Src[Pos] == '\\' && Pos + 1 < Src.size())
+          ++Pos; // keep escaped char verbatim
+        Text.push_back(Src[Pos]);
+        ++Pos;
+      }
+      if (Pos >= Src.size())
+        return {DslTokKind::Bad, "unterminated literal", Line};
+      ++Pos; // closing quote
+      if (Text.empty())
+        return {DslTokKind::Bad, "empty literal", Line};
+      (void)Start;
+      return {DslTokKind::Literal, Text, Line};
+    }
+    default:
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        size_t Start = Pos;
+        while (Pos < Src.size() &&
+               (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+                Src[Pos] == '_'))
+          ++Pos;
+        return {DslTokKind::Ident, Src.substr(Start, Pos - Start), Line};
+      }
+      ++Pos;
+      return {DslTokKind::Bad, std::string("unexpected character '") + C +
+                                   "'",
+              Line};
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// EBNF AST
+//===----------------------------------------------------------------------===//
+
+struct Element;
+using ElementPtr = std::unique_ptr<Element>;
+using Sequence = std::vector<ElementPtr>;
+using Alternatives = std::vector<Sequence>;
+
+struct Element {
+  enum class Kind { Ident, Literal, Group, Star, Plus, Opt } K;
+  std::string Name;  // Ident / Literal
+  Alternatives Alts; // Group
+  ElementPtr Child;  // Star / Plus / Opt
+};
+
+struct EbnfRule {
+  std::string Name;
+  Alternatives Alts;
+  uint32_t Line;
+};
+
+/// Recursive-descent parser for the DSL (this bootstrap parser is
+/// hand-written; everything downstream uses CoStar itself).
+class DslParser {
+  DslLexer Lexer;
+  DslTok Tok;
+  std::string Error;
+
+  void advance() { Tok = Lexer.next(); }
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "line " + std::to_string(Tok.Line) + ": " + Msg;
+  }
+
+  /// element := primary ('*' | '+' | '?')?
+  /// primary := Ident | Literal | '(' alternatives ')'
+  ElementPtr parseElement() {
+    auto E = std::make_unique<Element>();
+    switch (Tok.Kind) {
+    case DslTokKind::Ident:
+      E->K = Element::Kind::Ident;
+      E->Name = Tok.Text;
+      advance();
+      break;
+    case DslTokKind::Literal:
+      E->K = Element::Kind::Literal;
+      E->Name = Tok.Text;
+      advance();
+      break;
+    case DslTokKind::LParen: {
+      advance();
+      E->K = Element::Kind::Group;
+      E->Alts = parseAlternatives();
+      if (Tok.Kind != DslTokKind::RParen) {
+        fail("expected ')'");
+        return nullptr;
+      }
+      advance();
+      break;
+    }
+    default:
+      fail("expected a symbol, literal, or '('");
+      return nullptr;
+    }
+    while (Tok.Kind == DslTokKind::Star || Tok.Kind == DslTokKind::Plus ||
+           Tok.Kind == DslTokKind::Quest) {
+      auto Wrapper = std::make_unique<Element>();
+      Wrapper->K = Tok.Kind == DslTokKind::Star  ? Element::Kind::Star
+                   : Tok.Kind == DslTokKind::Plus ? Element::Kind::Plus
+                                                  : Element::Kind::Opt;
+      Wrapper->Child = std::move(E);
+      E = std::move(Wrapper);
+      advance();
+    }
+    return E;
+  }
+
+  Sequence parseSequence() {
+    Sequence Seq;
+    while (Tok.Kind == DslTokKind::Ident || Tok.Kind == DslTokKind::Literal ||
+           Tok.Kind == DslTokKind::LParen) {
+      ElementPtr E = parseElement();
+      if (!E)
+        return Seq;
+      Seq.push_back(std::move(E));
+    }
+    return Seq;
+  }
+
+  Alternatives parseAlternatives() {
+    Alternatives Alts;
+    Alts.push_back(parseSequence());
+    while (Tok.Kind == DslTokKind::Pipe) {
+      advance();
+      Alts.push_back(parseSequence());
+    }
+    return Alts;
+  }
+
+public:
+  explicit DslParser(const std::string &Src) : Lexer(Src) { advance(); }
+
+  std::vector<EbnfRule> parseRules() {
+    std::vector<EbnfRule> Rules;
+    while (Error.empty() && Tok.Kind != DslTokKind::End) {
+      if (Tok.Kind == DslTokKind::Bad) {
+        fail(Tok.Text);
+        break;
+      }
+      if (Tok.Kind != DslTokKind::Ident) {
+        fail("expected a rule name");
+        break;
+      }
+      EbnfRule Rule;
+      Rule.Name = Tok.Text;
+      Rule.Line = Tok.Line;
+      advance();
+      if (Tok.Kind != DslTokKind::Colon) {
+        fail("expected ':' after rule name");
+        break;
+      }
+      advance();
+      Rule.Alts = parseAlternatives();
+      if (Tok.Kind != DslTokKind::Semi) {
+        fail("expected ';' at the end of rule '" + Rule.Name + "'");
+        break;
+      }
+      advance();
+      Rules.push_back(std::move(Rule));
+    }
+    return Rules;
+  }
+
+  const std::string &error() const { return Error; }
+};
+
+//===----------------------------------------------------------------------===//
+// Desugaring
+//===----------------------------------------------------------------------===//
+
+bool isTokenName(const std::string &Name) {
+  return !Name.empty() && std::isupper(static_cast<unsigned char>(Name[0]));
+}
+
+/// Lowers the EBNF AST into BNF productions, synthesizing fresh
+/// nonterminals for groups and repetition.
+class Desugarer {
+  LoadedGrammar &Out;
+  std::set<std::string> RuleNames;
+  std::set<std::string> SeenLiterals;
+  std::set<std::string> SeenTokens;
+  uint32_t FreshCounter = 0;
+
+  NonterminalId freshNonterminal(const std::string &Base, const char *Tag) {
+    ++Out.SynthesizedNonterminals;
+    std::string Name =
+        Base + "__" + Tag + std::to_string(FreshCounter++);
+    return Out.G.internNonterminal(Name);
+  }
+
+  Symbol lowerElement(const Element &E, const std::string &RuleName) {
+    switch (E.K) {
+    case Element::Kind::Ident:
+      if (RuleNames.count(E.Name))
+        return Symbol::nonterminal(Out.G.internNonterminal(E.Name));
+      if (isTokenName(E.Name)) {
+        if (SeenTokens.insert(E.Name).second)
+          Out.NamedTerminals.push_back(E.Name);
+        return Symbol::terminal(Out.G.internTerminal(E.Name));
+      }
+      Out.Error = "rule '" + RuleName + "' references undefined rule '" +
+                  E.Name + "'";
+      return Symbol::terminal(0);
+    case Element::Kind::Literal:
+      if (SeenLiterals.insert(E.Name).second)
+        Out.LiteralTerminals.push_back(E.Name);
+      return Symbol::terminal(Out.G.internTerminal(E.Name));
+    case Element::Kind::Group: {
+      NonterminalId N = freshNonterminal(RuleName, "grp");
+      lowerAlternatives(N, E.Alts, RuleName);
+      return Symbol::nonterminal(N);
+    }
+    case Element::Kind::Star: {
+      // N -> eps | child N  (right recursion; see file comment).
+      Symbol Child = lowerElement(*E.Child, RuleName);
+      NonterminalId N = freshNonterminal(RuleName, "star");
+      Out.G.addProduction(N, {});
+      Out.G.addProduction(N, {Child, Symbol::nonterminal(N)});
+      return Symbol::nonterminal(N);
+    }
+    case Element::Kind::Plus: {
+      // N -> child N | child.
+      Symbol Child = lowerElement(*E.Child, RuleName);
+      NonterminalId N = freshNonterminal(RuleName, "plus");
+      Out.G.addProduction(N, {Child, Symbol::nonterminal(N)});
+      Out.G.addProduction(N, {Child});
+      return Symbol::nonterminal(N);
+    }
+    case Element::Kind::Opt: {
+      // N -> eps | child.
+      Symbol Child = lowerElement(*E.Child, RuleName);
+      NonterminalId N = freshNonterminal(RuleName, "opt");
+      Out.G.addProduction(N, {});
+      Out.G.addProduction(N, {Child});
+      return Symbol::nonterminal(N);
+    }
+    }
+    return Symbol::terminal(0);
+  }
+
+public:
+  explicit Desugarer(LoadedGrammar &Out) : Out(Out) {}
+
+  void declareRules(const std::vector<EbnfRule> &Rules) {
+    for (const EbnfRule &R : Rules) {
+      if (isTokenName(R.Name)) {
+        Out.Error = "line " + std::to_string(R.Line) +
+                    ": rule name '" + R.Name +
+                    "' must start with a lowercase letter (UPPERCASE names "
+                    "are token types)";
+        return;
+      }
+      if (!RuleNames.insert(R.Name).second) {
+        Out.Error = "line " + std::to_string(R.Line) + ": duplicate rule '" +
+                    R.Name + "'";
+        return;
+      }
+      Out.G.internNonterminal(R.Name);
+    }
+  }
+
+  void lowerAlternatives(NonterminalId Lhs, const Alternatives &Alts,
+                         const std::string &RuleName) {
+    for (const Sequence &Seq : Alts) {
+      std::vector<Symbol> Rhs;
+      for (const ElementPtr &E : Seq) {
+        Rhs.push_back(lowerElement(*E, RuleName));
+        if (!Out.ok())
+          return;
+      }
+      Out.G.addProduction(Lhs, std::move(Rhs));
+    }
+  }
+
+  void lowerRules(const std::vector<EbnfRule> &Rules) {
+    for (const EbnfRule &R : Rules) {
+      lowerAlternatives(Out.G.lookupNonterminal(R.Name), R.Alts, R.Name);
+      if (!Out.ok())
+        return;
+    }
+  }
+};
+
+} // namespace
+
+LoadedGrammar costar::gdsl::loadGrammar(const std::string &Text) {
+  LoadedGrammar Out;
+  DslParser Parser(Text);
+  std::vector<EbnfRule> Rules = Parser.parseRules();
+  if (!Parser.error().empty()) {
+    Out.Error = Parser.error();
+    return Out;
+  }
+  if (Rules.empty()) {
+    Out.Error = "grammar contains no rules";
+    return Out;
+  }
+  Desugarer D(Out);
+  D.declareRules(Rules);
+  if (!Out.ok())
+    return Out;
+  D.lowerRules(Rules);
+  if (!Out.ok())
+    return Out;
+  Out.Start = Out.G.lookupNonterminal(Rules.front().Name);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isValidRuleName(const std::string &Name) {
+  if (Name.empty() || !std::islower(static_cast<unsigned char>(Name[0])))
+    return false;
+  for (char C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+      return false;
+  return true;
+}
+
+bool isValidTokenName(const std::string &Name) {
+  if (Name.empty() || !std::isupper(static_cast<unsigned char>(Name[0])))
+    return false;
+  for (char C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+      return false;
+  return true;
+}
+
+/// Quotes a terminal as a DSL literal, escaping quotes and backslashes.
+std::string quoteLiteral(const std::string &Text) {
+  std::string Out = "'";
+  for (char C : Text) {
+    if (C == '\'' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  Out.push_back('\'');
+  return Out;
+}
+
+} // namespace
+
+std::string costar::gdsl::printGrammar(const Grammar &G,
+                                       NonterminalId Start) {
+  // Rule names must satisfy the DSL's lowercase convention; sanitize and
+  // de-duplicate.
+  std::vector<std::string> RuleNames(G.numNonterminals());
+  std::set<std::string> Used;
+  for (NonterminalId X = 0; X < G.numNonterminals(); ++X) {
+    std::string Name = G.nonterminalName(X);
+    if (!isValidRuleName(Name)) {
+      std::string Sanitized;
+      for (char C : Name)
+        if (std::isalnum(static_cast<unsigned char>(C)) || C == '_')
+          Sanitized.push_back(
+              static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
+      if (Sanitized.empty() ||
+          !std::islower(static_cast<unsigned char>(Sanitized[0])))
+        Sanitized = "r_" + Sanitized;
+      Name = Sanitized;
+    }
+    std::string Candidate = Name;
+    int Counter = 2;
+    while (!Used.insert(Candidate).second)
+      Candidate = Name + "_" + std::to_string(Counter++);
+    RuleNames[X] = Candidate;
+  }
+
+  auto SymbolText = [&](Symbol S) {
+    if (S.isNonterminal())
+      return RuleNames[S.nonterminalId()];
+    const std::string &Name = G.terminalName(S.terminalId());
+    return isValidTokenName(Name) ? Name : quoteLiteral(Name);
+  };
+
+  std::string Out;
+  auto PrintRule = [&](NonterminalId X) {
+    Out += RuleNames[X];
+    Out += " :";
+    bool FirstAlt = true;
+    for (ProductionId Id : G.productionsFor(X)) {
+      if (!FirstAlt)
+        Out += "\n  |";
+      FirstAlt = false;
+      for (Symbol S : G.production(Id).Rhs) {
+        Out += ' ';
+        Out += SymbolText(S);
+      }
+    }
+    Out += " ;\n";
+  };
+
+  PrintRule(Start);
+  for (NonterminalId X = 0; X < G.numNonterminals(); ++X)
+    if (X != Start && !G.productionsFor(X).empty())
+      PrintRule(X);
+  return Out;
+}

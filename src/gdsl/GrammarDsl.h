@@ -1,0 +1,74 @@
+//===- gdsl/GrammarDsl.h - Grammar DSL with EBNF desugaring ----*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A textual grammar format modeled on ANTLR's, and the conversion tool the
+/// paper describes in Section 6.1: CoStar is parameterized by a BNF
+/// grammar, so EBNF operators are desugared into equivalent BNF structure,
+/// "generating fresh nonterminals and adding new productions to the grammar
+/// as necessary".
+///
+/// Format (one rule per line group, ';'-terminated):
+///
+///   json    : value EOF ;
+///   value   : obj | arr | STRING | NUMBER | 'true' | 'false' | 'null' ;
+///   obj     : '{' ( pair ( ',' pair )* )? '}' ;
+///
+/// Conventions (ANTLR's): lowercase identifiers are parser rules
+/// (nonterminals), UPPERCASE identifiers are token types (terminals), and
+/// quoted literals are terminals named by their text. `*`, `+`, `?`,
+/// grouping, and alternation are supported; repetition desugars to
+/// right-recursive list nonterminals (never left-recursive ones, so
+/// desugared grammars stay in CoStar's supported class).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GDSL_GRAMMARDSL_H
+#define COSTAR_GDSL_GRAMMARDSL_H
+
+#include "grammar/Grammar.h"
+
+#include <string>
+#include <vector>
+
+namespace costar {
+namespace gdsl {
+
+/// The result of loading a grammar DSL file.
+struct LoadedGrammar {
+  Grammar G;
+  /// The first rule in the file is the start symbol.
+  NonterminalId Start = 0;
+  /// Terminal names that came from quoted literals (e.g. "{", "true");
+  /// lexers match these as fixed keywords/punctuators.
+  std::vector<std::string> LiteralTerminals;
+  /// Terminal names that came from UPPERCASE token identifiers (e.g.
+  /// STRING); lexers must supply rules for these.
+  std::vector<std::string> NamedTerminals;
+  /// Nonterminals synthesized by EBNF desugaring (for diagnostics and the
+  /// Figure 8 production counts, which the paper reports post-desugaring).
+  uint32_t SynthesizedNonterminals = 0;
+
+  /// Empty iff the load succeeded.
+  std::string Error;
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses and desugars grammar DSL \p Text. On error, the returned
+/// LoadedGrammar has a non-empty Error naming the line.
+LoadedGrammar loadGrammar(const std::string &Text);
+
+/// Renders \p G back into DSL text (BNF only — desugared grammars print
+/// their synthesized list nonterminals as ordinary rules). Terminal names
+/// that are not UPPERCASE token identifiers are quoted as literals, so the
+/// output round-trips through loadGrammar into an isomorphic grammar; the
+/// first printed rule is \p Start.
+std::string printGrammar(const Grammar &G, NonterminalId Start);
+
+} // namespace gdsl
+} // namespace costar
+
+#endif // COSTAR_GDSL_GRAMMARDSL_H

@@ -1,0 +1,183 @@
+//===- grammar/Analysis.cpp - Grammar analyses -----------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Analysis.h"
+
+using namespace costar;
+
+GrammarAnalysis::GrammarAnalysis(const Grammar &Grammar, NonterminalId Start)
+    : G(Grammar) {
+  uint32_t N = G.numNonterminals();
+  NullableNt.assign(N, false);
+  FirstNt.assign(N, {});
+  FollowNt.assign(N, {});
+  FollowEndNt.assign(N, false);
+  ProductiveNt.assign(N, false);
+  MinHeightNt.assign(N, UINT32_MAX);
+  computeNullable();
+  computeFirst();
+  computeFollow(Start);
+  computeProductive();
+  computeMinHeight();
+}
+
+void GrammarAnalysis::computeNullable() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
+      const Production &P = G.production(Id);
+      if (NullableNt[P.Lhs])
+        continue;
+      bool AllNullable = true;
+      for (Symbol S : P.Rhs) {
+        if (S.isTerminal() || !NullableNt[S.nonterminalId()]) {
+          AllNullable = false;
+          break;
+        }
+      }
+      if (AllNullable) {
+        NullableNt[P.Lhs] = true;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool GrammarAnalysis::nullableSeq(std::span<const Symbol> Syms) const {
+  for (Symbol S : Syms)
+    if (S.isTerminal() || !NullableNt[S.nonterminalId()])
+      return false;
+  return true;
+}
+
+void GrammarAnalysis::computeFirst() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
+      const Production &P = G.production(Id);
+      std::set<TerminalId> &First = FirstNt[P.Lhs];
+      size_t Before = First.size();
+      for (Symbol S : P.Rhs) {
+        if (S.isTerminal()) {
+          First.insert(S.terminalId());
+          break;
+        }
+        NonterminalId Y = S.nonterminalId();
+        First.insert(FirstNt[Y].begin(), FirstNt[Y].end());
+        if (!NullableNt[Y])
+          break;
+      }
+      Changed |= First.size() != Before;
+    }
+  }
+}
+
+std::set<TerminalId>
+GrammarAnalysis::firstOfSeq(std::span<const Symbol> Syms,
+                            bool &NullableOut) const {
+  std::set<TerminalId> First;
+  for (Symbol S : Syms) {
+    if (S.isTerminal()) {
+      First.insert(S.terminalId());
+      NullableOut = false;
+      return First;
+    }
+    NonterminalId Y = S.nonterminalId();
+    First.insert(FirstNt[Y].begin(), FirstNt[Y].end());
+    if (!NullableNt[Y]) {
+      NullableOut = false;
+      return First;
+    }
+  }
+  NullableOut = true;
+  return First;
+}
+
+void GrammarAnalysis::computeFollow(NonterminalId Start) {
+  if (Start < FollowEndNt.size())
+    FollowEndNt[Start] = true;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
+      const Production &P = G.production(Id);
+      for (size_t I = 0; I < P.Rhs.size(); ++I) {
+        if (P.Rhs[I].isTerminal())
+          continue;
+        NonterminalId X = P.Rhs[I].nonterminalId();
+        size_t Before = FollowNt[X].size();
+        bool BeforeEnd = FollowEndNt[X];
+        bool RestNullable = false;
+        std::span<const Symbol> Rest(P.Rhs.data() + I + 1,
+                                     P.Rhs.size() - I - 1);
+        std::set<TerminalId> RestFirst = firstOfSeq(Rest, RestNullable);
+        FollowNt[X].insert(RestFirst.begin(), RestFirst.end());
+        if (RestNullable) {
+          FollowNt[X].insert(FollowNt[P.Lhs].begin(), FollowNt[P.Lhs].end());
+          if (FollowEndNt[P.Lhs])
+            FollowEndNt[X] = true;
+        }
+        Changed |= FollowNt[X].size() != Before || FollowEndNt[X] != BeforeEnd;
+      }
+    }
+  }
+}
+
+void GrammarAnalysis::computeProductive() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
+      const Production &P = G.production(Id);
+      if (ProductiveNt[P.Lhs])
+        continue;
+      bool AllProductive = true;
+      for (Symbol S : P.Rhs) {
+        if (S.isNonterminal() && !ProductiveNt[S.nonterminalId()]) {
+          AllProductive = false;
+          break;
+        }
+      }
+      if (AllProductive) {
+        ProductiveNt[P.Lhs] = true;
+        Changed = true;
+      }
+    }
+  }
+}
+
+void GrammarAnalysis::computeMinHeight() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
+      const Production &P = G.production(Id);
+      uint32_t Height = minHeightSeq(P.Rhs);
+      if (Height == UINT32_MAX)
+        continue;
+      // A Node adds one level above the tallest child (leaves have height 1;
+      // an epsilon Node has height 1).
+      uint32_t Candidate = Height + 1;
+      if (Candidate < MinHeightNt[P.Lhs]) {
+        MinHeightNt[P.Lhs] = Candidate;
+        Changed = true;
+      }
+    }
+  }
+}
+
+uint32_t GrammarAnalysis::minHeightSeq(std::span<const Symbol> Syms) const {
+  uint32_t Max = 0;
+  for (Symbol S : Syms) {
+    uint32_t H = S.isTerminal() ? 1 : MinHeightNt[S.nonterminalId()];
+    if (H == UINT32_MAX)
+      return UINT32_MAX;
+    Max = std::max(Max, H);
+  }
+  return Max;
+}

@@ -1,0 +1,83 @@
+//===- grammar/Analysis.h - Grammar analyses -------------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static grammar analyses shared by the parsers and tools: nullability,
+/// FIRST and FOLLOW sets (used by the LL(1) baseline and by the SLL stable-
+/// return computation), productivity, reachability, and minimum derivation
+/// heights (used by the random sentence sampler). All analyses are standard
+/// monotone fixpoints over the production table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GRAMMAR_ANALYSIS_H
+#define COSTAR_GRAMMAR_ANALYSIS_H
+
+#include "grammar/Grammar.h"
+
+#include <set>
+#include <span>
+#include <vector>
+
+namespace costar {
+
+/// Precomputed grammar facts. Construct once per grammar; all queries are
+/// O(1) or O(set size).
+class GrammarAnalysis {
+  const Grammar &G;
+  std::vector<bool> NullableNt;
+  std::vector<std::set<TerminalId>> FirstNt;
+  std::vector<std::set<TerminalId>> FollowNt;
+  /// True if the end of input may follow this nonterminal.
+  std::vector<bool> FollowEndNt;
+  std::vector<bool> ProductiveNt;
+  /// Minimum height of any derivation tree rooted at this nonterminal;
+  /// UINT32_MAX for nonproductive nonterminals.
+  std::vector<uint32_t> MinHeightNt;
+
+  void computeNullable();
+  void computeFirst();
+  void computeFollow(NonterminalId Start);
+  void computeProductive();
+  void computeMinHeight();
+
+public:
+  /// Analyzes \p G; FOLLOW sets are computed relative to \p Start.
+  GrammarAnalysis(const Grammar &G, NonterminalId Start);
+
+  const Grammar &grammar() const { return G; }
+
+  bool nullable(NonterminalId X) const { return NullableNt[X]; }
+
+  /// \returns true if every symbol in \p Syms derives the empty word.
+  bool nullableSeq(std::span<const Symbol> Syms) const;
+
+  const std::set<TerminalId> &first(NonterminalId X) const {
+    return FirstNt[X];
+  }
+  const std::set<TerminalId> &follow(NonterminalId X) const {
+    return FollowNt[X];
+  }
+  bool followEnd(NonterminalId X) const { return FollowEndNt[X]; }
+
+  /// FIRST of a sentential form: the terminals that can begin a word derived
+  /// from \p Syms. \p NullableOut is set to whether the whole form is
+  /// nullable.
+  std::set<TerminalId> firstOfSeq(std::span<const Symbol> Syms,
+                                  bool &NullableOut) const;
+
+  /// \returns true if \p X derives at least one terminal string.
+  bool productive(NonterminalId X) const { return ProductiveNt[X]; }
+
+  uint32_t minHeight(NonterminalId X) const { return MinHeightNt[X]; }
+
+  /// Minimum derivation height of a sentential form (max over symbols).
+  uint32_t minHeightSeq(std::span<const Symbol> Syms) const;
+};
+
+} // namespace costar
+
+#endif // COSTAR_GRAMMAR_ANALYSIS_H

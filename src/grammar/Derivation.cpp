@@ -1,0 +1,127 @@
+//===- grammar/Derivation.cpp - Executable derivation relation -------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Derivation.h"
+
+#include <map>
+#include <tuple>
+
+using namespace costar;
+
+namespace {
+
+/// Validates tree structure against the grammar: leaves carry terminals
+/// matching their root symbol, and every Node's children spell out one of
+/// its nonterminal's right-hand sides (rule DerNonterminal of Figure 3).
+bool checkStructure(const Grammar &G, Symbol S, const Tree &V) {
+  if (V.isLeaf())
+    return S.isTerminal() && S.terminalId() == V.token().Term;
+  if (!S.isNonterminal() || S.nonterminalId() != V.nonterminal())
+    return false;
+  std::vector<Symbol> Rhs;
+  Rhs.reserve(V.children().size());
+  for (const TreePtr &Child : V.children())
+    Rhs.push_back(Child->rootSymbol());
+  if (!G.hasProduction(V.nonterminal(), Rhs))
+    return false;
+  for (size_t I = 0; I < V.children().size(); ++I)
+    if (!checkStructure(G, Rhs[I], *V.children()[I]))
+      return false;
+  return true;
+}
+
+/// Memoized tree counting over word spans. Entities are either a symbol or
+/// a (production, position) suffix of a right-hand side, matching the two
+/// mutually inductive relations of Figure 3.
+class TreeCounter {
+  const Grammar &G;
+  std::span<const Token> W;
+  uint64_t Cap;
+  // Key: (isSeq, id, pos, lo, hi).
+  using Key = std::tuple<bool, uint32_t, uint32_t, uint32_t, uint32_t>;
+  std::map<Key, uint64_t> Memo;
+  std::map<Key, bool> InProgress;
+  /// Number of cycle cuts taken so far. A result computed while a cut
+  /// happened beneath it depends on which ancestors were active, so it
+  /// must not be memoized (it would undercount in other contexts).
+  uint64_t Cuts = 0;
+
+  uint64_t capped(uint64_t A, uint64_t B) { return std::min(A + B, Cap); }
+
+public:
+  TreeCounter(const Grammar &G, std::span<const Token> W, uint64_t Cap)
+      : G(G), W(W), Cap(Cap) {}
+
+  uint64_t countSym(Symbol S, uint32_t Lo, uint32_t Hi) {
+    if (S.isTerminal())
+      return (Hi - Lo == 1 && W[Lo].Term == S.terminalId()) ? 1 : 0;
+    Key K{false, S.raw(), 0, Lo, Hi};
+    auto It = Memo.find(K);
+    if (It != Memo.end())
+      return It->second;
+    bool &Active = InProgress[K];
+    // Re-entry on the same (symbol, span) is a same-span derivation cycle
+    // (only possible with left recursion): cycle-free counting treats it
+    // as contributing no further trees.
+    if (Active) {
+      ++Cuts;
+      return 0;
+    }
+    Active = true;
+    uint64_t CutsBefore = Cuts;
+    uint64_t Count = 0;
+    for (ProductionId Id : G.productionsFor(S.nonterminalId()))
+      Count = capped(Count, countSeq(Id, 0, Lo, Hi));
+    Active = false;
+    if (Cuts == CutsBefore)
+      Memo[K] = Count;
+    return Count;
+  }
+
+  uint64_t countSeq(ProductionId Id, uint32_t Pos, uint32_t Lo, uint32_t Hi) {
+    const Production &P = G.production(Id);
+    if (Pos == P.Rhs.size())
+      return Lo == Hi ? 1 : 0;
+    Key K{true, Id, Pos, Lo, Hi};
+    auto It = Memo.find(K);
+    if (It != Memo.end())
+      return It->second;
+    uint64_t CutsBefore = Cuts;
+    uint64_t Count = 0;
+    for (uint32_t Mid = Lo; Mid <= Hi && Count < Cap; ++Mid) {
+      uint64_t Head = countSym(P.Rhs[Pos], Lo, Mid);
+      if (!Head)
+        continue;
+      uint64_t Tail = countSeq(Id, Pos + 1, Mid, Hi);
+      Count = std::min(Count + Head * Tail, Cap);
+    }
+    if (Cuts == CutsBefore)
+      Memo[K] = Count;
+    return Count;
+  }
+};
+
+} // namespace
+
+bool costar::checkDerivation(const Grammar &G, Symbol S,
+                             std::span<const Token> W, const Tree &V) {
+  if (!checkStructure(G, S, V))
+    return false;
+  Word Yield = V.yield();
+  if (Yield.size() != W.size())
+    return false;
+  for (size_t I = 0; I < Yield.size(); ++I)
+    if (Yield[I] != W[I])
+      return false;
+  return true;
+}
+
+uint64_t costar::countParseTrees(const Grammar &G, NonterminalId Start,
+                                 std::span<const Token> W, uint64_t Cap) {
+  TreeCounter Counter(G, W, Cap);
+  return Counter.countSym(Symbol::nonterminal(Start), 0,
+                          static_cast<uint32_t>(W.size()));
+}

@@ -1,0 +1,51 @@
+//===- grammar/Derivation.h - Executable derivation relation ---*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CoStar correctness specification made executable. Figure 3 of the
+/// paper defines mutually inductive derivation relations "symbol s derives
+/// word w producing tree v" and "sentential form gamma derives w producing
+/// forest f". checkDerivation decides that judgment for concrete trees, so
+/// every soundness theorem the paper proves in Coq can be *checked* here at
+/// runtime on each parser result.
+///
+/// Also provided: countParseTrees, a capped exhaustive enumerator used as an
+/// independent ground truth for the ambiguity-detection theorems (a word is
+/// ambiguous iff it has >= 2 distinct parse trees).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GRAMMAR_DERIVATION_H
+#define COSTAR_GRAMMAR_DERIVATION_H
+
+#include "grammar/Grammar.h"
+#include "grammar/Tree.h"
+
+#include <span>
+
+namespace costar {
+
+/// Decides the judgment s -v-> w: \p V is a correct parse tree rooted at
+/// \p S for word \p W under grammar \p G.
+bool checkDerivation(const Grammar &G, Symbol S, std::span<const Token> W,
+                     const Tree &V);
+
+/// Counts the distinct *cycle-free* parse trees rooted at nonterminal
+/// \p Start for \p W, capped at \p Cap (so the answer "2" means "two or
+/// more" when Cap is 2). Cycle-free means the derivation never revisits
+/// the same nonterminal over the same input span (X =>+ X deriving the
+/// same substring); grammars without such cycles — including every
+/// non-left-recursive grammar in the test suite — have exactly as many
+/// cycle-free trees as trees. For grammars *with* same-span cycles (e.g.
+/// left-recursive ones) the true tree count may be infinite; the
+/// cycle-free count is then a finite lower bound that still decides
+/// membership exactly (any derivable word has a cycle-free derivation).
+uint64_t countParseTrees(const Grammar &G, NonterminalId Start,
+                         std::span<const Token> W, uint64_t Cap = 2);
+
+} // namespace costar
+
+#endif // COSTAR_GRAMMAR_DERIVATION_H

@@ -1,0 +1,30 @@
+//===- grammar/Grammar.cpp - Context-free grammars ------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Grammar.h"
+
+using namespace costar;
+
+std::string Grammar::productionToString(ProductionId Id) const {
+  const Production &P = production(Id);
+  std::string Out = nonterminalName(P.Lhs) + " ->";
+  if (P.Rhs.empty())
+    Out += " <eps>";
+  for (Symbol S : P.Rhs) {
+    Out += ' ';
+    Out += symbolName(S);
+  }
+  return Out;
+}
+
+std::string Grammar::toString() const {
+  std::string Out;
+  for (ProductionId Id = 0; Id < numProductions(); ++Id) {
+    Out += productionToString(Id);
+    Out += '\n';
+  }
+  return Out;
+}

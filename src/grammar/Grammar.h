@@ -1,0 +1,142 @@
+//===- grammar/Grammar.h - Context-free grammars ---------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BNF context-free grammars. A Grammar owns interned terminal and
+/// nonterminal names, and a list of productions grouped by left-hand side.
+/// CoStar is parametric over a grammar that it interprets at parse time, so
+/// Grammar is the central immutable input to every parser in this
+/// repository (the CoStar core, the ATN baseline, and the LL(1) baseline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GRAMMAR_GRAMMAR_H
+#define COSTAR_GRAMMAR_GRAMMAR_H
+
+#include "adt/StringPool.h"
+#include "grammar/Symbol.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace costar {
+
+/// Index of a production within a Grammar. Production ids double as
+/// right-hand-side ids throughout the parsers.
+using ProductionId = uint32_t;
+
+/// Sentinel production id used for synthesized frames (e.g. the machine's
+/// bottom frame, which processes the start symbol and corresponds to no
+/// grammar production).
+constexpr ProductionId InvalidProductionId = UINT32_MAX;
+
+/// A grammar production X -> s1 s2 ... sn (n may be 0 for epsilon rules).
+struct Production {
+  NonterminalId Lhs = 0;
+  std::vector<Symbol> Rhs;
+};
+
+/// An immutable-after-construction BNF grammar.
+///
+/// Build a grammar by interning symbol names and adding productions, then
+/// treat it as read-only; the parsers index into its production table by
+/// ProductionId and never copy right-hand sides.
+class Grammar {
+  adt::StringPool TerminalNames;
+  adt::StringPool NonterminalNames;
+  std::vector<Production> Productions;
+  /// Production ids grouped by left-hand side, in insertion order.
+  std::vector<std::vector<ProductionId>> ProdsByLhs;
+  size_t MaxRhsLength = 0;
+
+public:
+  /// Interns a terminal name, returning its id.
+  TerminalId internTerminal(const std::string &Name) {
+    return TerminalNames.intern(Name);
+  }
+
+  /// Interns a nonterminal name, returning its id.
+  NonterminalId internNonterminal(const std::string &Name) {
+    NonterminalId Id = NonterminalNames.intern(Name);
+    if (Id >= ProdsByLhs.size())
+      ProdsByLhs.resize(Id + 1);
+    return Id;
+  }
+
+  /// \returns the id of a previously interned terminal, or UINT32_MAX.
+  TerminalId lookupTerminal(const std::string &Name) const {
+    return TerminalNames.lookup(Name);
+  }
+
+  /// \returns the id of a previously interned nonterminal, or UINT32_MAX.
+  NonterminalId lookupNonterminal(const std::string &Name) const {
+    return NonterminalNames.lookup(Name);
+  }
+
+  /// Adds the production \p Lhs -> \p Rhs and returns its id.
+  ProductionId addProduction(NonterminalId Lhs, std::vector<Symbol> Rhs) {
+    assert(Lhs < ProdsByLhs.size() && "unknown nonterminal");
+    ProductionId Id = static_cast<ProductionId>(Productions.size());
+    MaxRhsLength = std::max(MaxRhsLength, Rhs.size());
+    Productions.push_back(Production{Lhs, std::move(Rhs)});
+    ProdsByLhs[Lhs].push_back(Id);
+    return Id;
+  }
+
+  uint32_t numTerminals() const { return TerminalNames.size(); }
+  uint32_t numNonterminals() const { return NonterminalNames.size(); }
+  uint32_t numProductions() const {
+    return static_cast<uint32_t>(Productions.size());
+  }
+
+  const Production &production(ProductionId Id) const {
+    assert(Id < Productions.size() && "production id out of range");
+    return Productions[Id];
+  }
+
+  /// \returns ids of all productions with left-hand side \p Lhs, in the
+  /// order they were added (prediction resolves ties toward earlier ones).
+  const std::vector<ProductionId> &productionsFor(NonterminalId Lhs) const {
+    assert(Lhs < ProdsByLhs.size() && "nonterminal id out of range");
+    return ProdsByLhs[Lhs];
+  }
+
+  /// The length of the longest right-hand side; the stackScore base is
+  /// 1 + this value (Section 4.3 of the paper).
+  size_t maxRhsLen() const { return MaxRhsLength; }
+
+  const std::string &terminalName(TerminalId Id) const {
+    return TerminalNames.name(Id);
+  }
+  const std::string &nonterminalName(NonterminalId Id) const {
+    return NonterminalNames.name(Id);
+  }
+
+  /// \returns true if \p Lhs -> \p Rhs is a production of this grammar.
+  bool hasProduction(NonterminalId Lhs, const std::vector<Symbol> &Rhs) const {
+    for (ProductionId Id : productionsFor(Lhs))
+      if (Productions[Id].Rhs == Rhs)
+        return true;
+    return false;
+  }
+
+  /// Renders a symbol using this grammar's name tables.
+  std::string symbolName(Symbol S) const {
+    return S.isTerminal() ? terminalName(S.terminalId())
+                          : nonterminalName(S.nonterminalId());
+  }
+
+  /// Renders one production as "X -> s1 s2 ..." for diagnostics.
+  std::string productionToString(ProductionId Id) const;
+
+  /// Renders the whole grammar, one production per line.
+  std::string toString() const;
+};
+
+} // namespace costar
+
+#endif // COSTAR_GRAMMAR_GRAMMAR_H

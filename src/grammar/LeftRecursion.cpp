@@ -1,0 +1,108 @@
+//===- grammar/LeftRecursion.cpp - Static left-recursion check -------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/LeftRecursion.h"
+
+using namespace costar;
+
+namespace {
+
+/// Tarjan-style SCC detection over the left-corner relation; a nonterminal
+/// is left-recursive iff its SCC has more than one member or it has a
+/// left-corner self-edge.
+class LeftCornerScc {
+  const Grammar &G;
+  const GrammarAnalysis &A;
+  std::vector<std::vector<NonterminalId>> Succ;
+  std::vector<bool> SelfEdge;
+  std::vector<uint32_t> Index, LowLink;
+  std::vector<bool> OnStack;
+  std::vector<NonterminalId> Stack;
+  uint32_t NextIndex = 0;
+  std::vector<bool> LeftRecursive;
+
+  void buildEdges() {
+    uint32_t N = G.numNonterminals();
+    Succ.assign(N, {});
+    SelfEdge.assign(N, false);
+    for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
+      const Production &P = G.production(Id);
+      for (Symbol S : P.Rhs) {
+        if (S.isNonterminal()) {
+          NonterminalId Y = S.nonterminalId();
+          Succ[P.Lhs].push_back(Y);
+          if (Y == P.Lhs)
+            SelfEdge[P.Lhs] = true;
+          if (!A.nullable(Y))
+            break;
+        } else {
+          break;
+        }
+      }
+    }
+  }
+
+  void strongConnect(NonterminalId V) {
+    Index[V] = LowLink[V] = NextIndex++;
+    Stack.push_back(V);
+    OnStack[V] = true;
+    for (NonterminalId W : Succ[V]) {
+      if (Index[W] == UINT32_MAX) {
+        strongConnect(W);
+        LowLink[V] = std::min(LowLink[V], LowLink[W]);
+      } else if (OnStack[W]) {
+        LowLink[V] = std::min(LowLink[V], Index[W]);
+      }
+    }
+    if (LowLink[V] != Index[V])
+      return;
+    // V roots an SCC; pop it.
+    std::vector<NonterminalId> Component;
+    for (;;) {
+      NonterminalId W = Stack.back();
+      Stack.pop_back();
+      OnStack[W] = false;
+      Component.push_back(W);
+      if (W == V)
+        break;
+    }
+    bool Recursive = Component.size() > 1;
+    for (NonterminalId W : Component)
+      Recursive |= SelfEdge[W];
+    if (Recursive)
+      for (NonterminalId W : Component)
+        LeftRecursive[W] = true;
+  }
+
+public:
+  LeftCornerScc(const GrammarAnalysis &Analysis)
+      : G(Analysis.grammar()), A(Analysis) {
+    uint32_t N = G.numNonterminals();
+    Index.assign(N, UINT32_MAX);
+    LowLink.assign(N, 0);
+    OnStack.assign(N, false);
+    LeftRecursive.assign(N, false);
+    buildEdges();
+    for (NonterminalId V = 0; V < N; ++V)
+      if (Index[V] == UINT32_MAX)
+        strongConnect(V);
+  }
+
+  std::vector<NonterminalId> result() const {
+    std::vector<NonterminalId> Out;
+    for (NonterminalId V = 0; V < LeftRecursive.size(); ++V)
+      if (LeftRecursive[V])
+        Out.push_back(V);
+    return Out;
+  }
+};
+
+} // namespace
+
+std::vector<NonterminalId>
+costar::leftRecursiveNonterminals(const GrammarAnalysis &A) {
+  return LeftCornerScc(A).result();
+}

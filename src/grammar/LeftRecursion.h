@@ -1,0 +1,45 @@
+//===- grammar/LeftRecursion.h - Static left-recursion check ---*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static decision procedure for the "no left recursion" grammar property
+/// that appears as an assumption in every CoStar correctness theorem. The
+/// paper (Section 8) leaves implementing this check as future work; we
+/// provide it here and use it (a) to validate benchmark grammars up front
+/// and (b) as the ground truth against which the parser's *dynamic*
+/// left-recursion detection (Section 4.1) is tested.
+///
+/// Following Lasser et al. (ITP 2019), nonterminal X is left-recursive iff
+/// there is a nullable path from X back to X: a sequence of productions
+/// X -> alpha1 Y1 beta1, Y1 -> alpha2 Y2 beta2, ..., Yn = X where every
+/// alpha_i is nullable. Equivalently, X lies on a cycle of the left-corner
+/// relation "X => Y iff some production X -> alpha Y beta has nullable
+/// alpha".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GRAMMAR_LEFTRECURSION_H
+#define COSTAR_GRAMMAR_LEFTRECURSION_H
+
+#include "grammar/Analysis.h"
+
+#include <vector>
+
+namespace costar {
+
+/// \returns the nonterminals that are left-recursive in \p A's grammar
+/// (those lying on a cycle of the left-corner relation), in ascending id
+/// order. The grammar is non-left-recursive iff the result is empty.
+std::vector<NonterminalId> leftRecursiveNonterminals(const GrammarAnalysis &A);
+
+/// Convenience: true if the grammar has no left-recursive nonterminal.
+inline bool isLeftRecursionFree(const GrammarAnalysis &A) {
+  return leftRecursiveNonterminals(A).empty();
+}
+
+} // namespace costar
+
+#endif // COSTAR_GRAMMAR_LEFTRECURSION_H

@@ -1,0 +1,61 @@
+//===- grammar/Sampler.cpp - Random derivation sampler ---------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Sampler.h"
+
+using namespace costar;
+
+TreePtr DerivationSampler::sampleTree(NonterminalId Start,
+                                      uint32_t MaxHeight) {
+  if (!A.productive(Start))
+    return nullptr;
+  uint32_t Budget = std::max(MaxHeight, A.minHeight(Start));
+  return sampleSymbol(Symbol::nonterminal(Start), Budget);
+}
+
+TreePtr DerivationSampler::sampleSymbol(Symbol S, uint32_t Budget) {
+  if (S.isTerminal()) {
+    // Synthesize a token whose literal is the terminal's name; property
+    // tests only compare terminals and literals, so this is canonical.
+    return Tree::leaf(Token(S.terminalId(), G.terminalName(S.terminalId())));
+  }
+
+  NonterminalId X = S.nonterminalId();
+  assert(A.productive(X) && "sampling from a nonproductive nonterminal");
+
+  // Candidate productions: those completable within the remaining budget.
+  std::vector<ProductionId> Fits;
+  for (ProductionId Id : G.productionsFor(X)) {
+    uint32_t H = A.minHeightSeq(G.production(Id).Rhs);
+    if (H != UINT32_MAX && H + 1 <= Budget)
+      Fits.push_back(Id);
+  }
+  ProductionId Chosen;
+  if (Fits.empty()) {
+    // Budget exhausted: take a production of minimal completion height.
+    Chosen = InvalidProductionId;
+    uint32_t Best = UINT32_MAX;
+    for (ProductionId Id : G.productionsFor(X)) {
+      uint32_t H = A.minHeightSeq(G.production(Id).Rhs);
+      if (H < Best) {
+        Best = H;
+        Chosen = Id;
+      }
+    }
+    assert(Chosen != InvalidProductionId && "productive NT has no viable rhs");
+  } else {
+    std::uniform_int_distribution<size_t> Dist(0, Fits.size() - 1);
+    Chosen = Fits[Dist(Rng)];
+  }
+
+  const Production &P = G.production(Chosen);
+  Forest Children;
+  Children.reserve(P.Rhs.size());
+  uint32_t ChildBudget = Budget == 0 ? 0 : Budget - 1;
+  for (Symbol Child : P.Rhs)
+    Children.push_back(sampleSymbol(Child, ChildBudget));
+  return Tree::node(X, std::move(Children));
+}

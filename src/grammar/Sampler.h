@@ -1,0 +1,57 @@
+//===- grammar/Sampler.h - Random derivation sampler -----------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Samples random derivation trees from a grammar. Used by the completeness
+/// property tests (Theorems 5.11/5.12): a sampled tree's yield is by
+/// construction a word of the language with a known parse tree, so the
+/// parser must accept it — and on unambiguous grammars must return the
+/// identical tree labeled Unique.
+///
+/// To guarantee termination the sampler carries a height budget: it chooses
+/// uniformly among the productions whose minimum completion height fits the
+/// remaining budget, falling back to a minimum-height production when the
+/// budget is exhausted. Nonproductive start symbols are rejected up front.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GRAMMAR_SAMPLER_H
+#define COSTAR_GRAMMAR_SAMPLER_H
+
+#include "grammar/Analysis.h"
+#include "grammar/Tree.h"
+
+#include <random>
+
+namespace costar {
+
+/// Random sentence/derivation generator for a fixed grammar.
+class DerivationSampler {
+  const GrammarAnalysis &A;
+  const Grammar &G;
+  std::mt19937_64 Rng;
+
+  TreePtr sampleSymbol(Symbol S, uint32_t Budget);
+
+public:
+  DerivationSampler(const GrammarAnalysis &A, uint64_t Seed)
+      : A(A), G(A.grammar()), Rng(Seed) {}
+
+  /// Samples a derivation tree rooted at \p Start whose height is at most
+  /// roughly \p MaxHeight (always at least the minimum derivation height).
+  /// \returns nullptr if \p Start is nonproductive.
+  TreePtr sampleTree(NonterminalId Start, uint32_t MaxHeight);
+
+  /// Samples a word of the language rooted at \p Start.
+  Word sampleWord(NonterminalId Start, uint32_t MaxHeight) {
+    TreePtr T = sampleTree(Start, MaxHeight);
+    return T ? T->yield() : Word{};
+  }
+};
+
+} // namespace costar
+
+#endif // COSTAR_GRAMMAR_SAMPLER_H

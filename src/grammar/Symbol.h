@@ -1,0 +1,89 @@
+//===- grammar/Symbol.h - Grammar symbols ----------------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grammar symbols: terminals and nonterminals, each identified by a dense
+/// integer id scoped to a Grammar (Figure 1 of the paper: s ::= a | X).
+/// A Symbol packs the kind into the top bit of a 32-bit word so symbol
+/// sequences stay compact and comparisons stay cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GRAMMAR_SYMBOL_H
+#define COSTAR_GRAMMAR_SYMBOL_H
+
+#include "adt/Instrument.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+namespace costar {
+
+/// Id of a terminal symbol within a Grammar.
+using TerminalId = uint32_t;
+/// Id of a nonterminal symbol within a Grammar.
+using NonterminalId = uint32_t;
+
+/// A grammar symbol: either a terminal or a nonterminal.
+class Symbol {
+  static constexpr uint32_t NonterminalBit = 0x80000000u;
+  uint32_t Bits = 0;
+
+  explicit Symbol(uint32_t Bits) : Bits(Bits) {}
+
+public:
+  Symbol() = default;
+
+  static Symbol terminal(TerminalId Id) {
+    assert(!(Id & NonterminalBit) && "terminal id too large");
+    return Symbol(Id);
+  }
+
+  static Symbol nonterminal(NonterminalId Id) {
+    assert(!(Id & NonterminalBit) && "nonterminal id too large");
+    return Symbol(Id | NonterminalBit);
+  }
+
+  bool isTerminal() const { return !(Bits & NonterminalBit); }
+  bool isNonterminal() const { return Bits & NonterminalBit; }
+
+  TerminalId terminalId() const {
+    assert(isTerminal() && "not a terminal");
+    return Bits;
+  }
+
+  NonterminalId nonterminalId() const {
+    assert(isNonterminal() && "not a nonterminal");
+    return Bits & ~NonterminalBit;
+  }
+
+  /// Raw encoding, usable as a map key or hash input.
+  uint32_t raw() const { return Bits; }
+
+  bool operator==(const Symbol &RHS) const { return Bits == RHS.Bits; }
+  bool operator!=(const Symbol &RHS) const { return Bits != RHS.Bits; }
+  bool operator<(const Symbol &RHS) const { return Bits < RHS.Bits; }
+};
+
+/// Ordering on nonterminal ids that counts invocations, mirroring the
+/// compareNT function the paper profiles in Section 6.1.
+struct CompareNT {
+  bool operator()(NonterminalId A, NonterminalId B) const {
+    ++adt::ComparisonCounters::nonterminal();
+    return A < B;
+  }
+};
+
+} // namespace costar
+
+template <> struct std::hash<costar::Symbol> {
+  size_t operator()(const costar::Symbol &S) const noexcept {
+    return std::hash<uint32_t>()(S.raw());
+  }
+};
+
+#endif // COSTAR_GRAMMAR_SYMBOL_H

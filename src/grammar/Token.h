@@ -1,0 +1,49 @@
+//===- grammar/Token.h - Lexical tokens ------------------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A token pairs a terminal symbol with the literal text it was lexed from
+/// (Figure 1 of the paper: t ::= (a, l)), plus source coordinates for
+/// diagnostics. CoStar parses pre-tokenized input, so tokens are the unit of
+/// communication between the lexer substrate and the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GRAMMAR_TOKEN_H
+#define COSTAR_GRAMMAR_TOKEN_H
+
+#include "grammar/Symbol.h"
+
+#include <string>
+#include <vector>
+
+namespace costar {
+
+/// A lexed token: terminal id, literal text, and source position.
+struct Token {
+  TerminalId Term = 0;
+  std::string Lexeme;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  Token() = default;
+  Token(TerminalId Term, std::string Lexeme, uint32_t Line = 0,
+        uint32_t Col = 0)
+      : Term(Term), Lexeme(std::move(Lexeme)), Line(Line), Col(Col) {}
+
+  /// Tokens compare by terminal and literal; positions are metadata only.
+  bool operator==(const Token &RHS) const {
+    return Term == RHS.Term && Lexeme == RHS.Lexeme;
+  }
+  bool operator!=(const Token &RHS) const { return !(*this == RHS); }
+};
+
+/// An input word is a sequence of tokens.
+using Word = std::vector<Token>;
+
+} // namespace costar
+
+#endif // COSTAR_GRAMMAR_TOKEN_H

@@ -1,0 +1,58 @@
+//===- grammar/Tree.cpp - Parse trees --------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Tree.h"
+
+#include "grammar/Grammar.h"
+
+using namespace costar;
+
+void Tree::appendYield(Word &Out) const {
+  if (isLeaf()) {
+    Out.push_back(Tok);
+    return;
+  }
+  for (const TreePtr &Child : Children)
+    Child->appendYield(Out);
+}
+
+size_t Tree::nodeCount() const {
+  if (isLeaf())
+    return 1;
+  size_t Count = 1;
+  for (const TreePtr &Child : Children)
+    Count += Child->nodeCount();
+  return Count;
+}
+
+bool Tree::equals(const Tree &A, const Tree &B) {
+  if (A.TreeKind != B.TreeKind)
+    return false;
+  if (A.isLeaf())
+    return A.Tok == B.Tok;
+  if (A.Nt != B.Nt || A.Children.size() != B.Children.size())
+    return false;
+  for (size_t I = 0; I < A.Children.size(); ++I)
+    if (!treeEquals(A.Children[I], B.Children[I]))
+      return false;
+  return true;
+}
+
+std::string Tree::toString(const Grammar &G) const {
+  if (isLeaf()) {
+    const std::string &Name = G.terminalName(Tok.Term);
+    if (!Tok.Lexeme.empty() && Tok.Lexeme != Name)
+      return Name + "(" + Tok.Lexeme + ")";
+    return Name;
+  }
+  std::string Out = "(" + G.nonterminalName(Nt);
+  for (const TreePtr &Child : Children) {
+    Out += ' ';
+    Out += Child->toString(G);
+  }
+  Out += ')';
+  return Out;
+}

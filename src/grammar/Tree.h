@@ -1,0 +1,112 @@
+//===- grammar/Tree.h - Parse trees ----------------------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable parse trees (Figure 1 of the paper: v ::= Leaf(t) | Node(X, f)).
+/// Trees are shared via shared_ptr<const Tree>: partial derivations built on
+/// the machine's prefix stack become subtrees of the final result without
+/// copying, which stands in for the garbage-collected sharing the extracted
+/// OCaml implementation enjoys (and removes the manual-memory-management
+/// friction of building ALL(*) parse forests in C++ by hand).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GRAMMAR_TREE_H
+#define COSTAR_GRAMMAR_TREE_H
+
+#include "grammar/Token.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace costar {
+
+class Grammar;
+class Tree;
+
+/// Shared immutable parse tree handle.
+using TreePtr = std::shared_ptr<const Tree>;
+/// A forest: the children of a Node, in left-to-right order.
+using Forest = std::vector<TreePtr>;
+
+/// An immutable parse tree node: a Leaf holding one token, or a Node holding
+/// a nonterminal and the subtrees for one of its right-hand sides.
+class Tree {
+public:
+  enum class Kind { Leaf, Node };
+
+private:
+  Kind TreeKind;
+  Token Tok;            // valid when TreeKind == Leaf
+  NonterminalId Nt = 0; // valid when TreeKind == Node
+  Forest Children;      // valid when TreeKind == Node
+
+  explicit Tree(Token Tok) : TreeKind(Kind::Leaf), Tok(std::move(Tok)) {}
+  Tree(NonterminalId Nt, Forest Children)
+      : TreeKind(Kind::Node), Nt(Nt), Children(std::move(Children)) {}
+
+public:
+  static TreePtr leaf(Token Tok) {
+    return TreePtr(new Tree(std::move(Tok)));
+  }
+  static TreePtr node(NonterminalId Nt, Forest Children) {
+    return TreePtr(new Tree(Nt, std::move(Children)));
+  }
+
+  Kind kind() const { return TreeKind; }
+  bool isLeaf() const { return TreeKind == Kind::Leaf; }
+
+  const Token &token() const {
+    assert(isLeaf() && "token() on a Node");
+    return Tok;
+  }
+  NonterminalId nonterminal() const {
+    assert(!isLeaf() && "nonterminal() on a Leaf");
+    return Nt;
+  }
+  const Forest &children() const {
+    assert(!isLeaf() && "children() on a Leaf");
+    return Children;
+  }
+
+  /// The root grammar symbol of this tree.
+  Symbol rootSymbol() const {
+    return isLeaf() ? Symbol::terminal(Tok.Term) : Symbol::nonterminal(Nt);
+  }
+
+  /// Appends this tree's leaf tokens, left to right, to \p Out.
+  void appendYield(Word &Out) const;
+
+  /// \returns the leaf tokens of this tree, left to right.
+  Word yield() const {
+    Word Out;
+    appendYield(Out);
+    return Out;
+  }
+
+  /// \returns the number of tree nodes (leaves and internal).
+  size_t nodeCount() const;
+
+  /// Structural equality (tokens compare by terminal and literal).
+  static bool equals(const Tree &A, const Tree &B);
+
+  /// Renders the tree as an S-expression using \p G's symbol names.
+  std::string toString(const Grammar &G) const;
+};
+
+/// Structural equality over shared handles (null-safe).
+inline bool treeEquals(const TreePtr &A, const TreePtr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  return Tree::equals(*A, *B);
+}
+
+} // namespace costar
+
+#endif // COSTAR_GRAMMAR_TREE_H

@@ -1,0 +1,59 @@
+//===- grammar/TreeDot.cpp - Parse-tree DOT export ------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/TreeDot.h"
+
+using namespace costar;
+
+namespace {
+
+/// Escapes text for inclusion in a double-quoted DOT string.
+std::string dotEscape(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+void emitNode(const Grammar &G, const Tree &T, std::string &Out,
+              uint64_t &NextId, uint64_t MyId) {
+  if (T.isLeaf()) {
+    Out += "  n" + std::to_string(MyId) + " [shape=\"oval\", label=\"" +
+           dotEscape(G.terminalName(T.token().Term));
+    if (!T.token().Lexeme.empty() &&
+        T.token().Lexeme != G.terminalName(T.token().Term))
+      Out += " '" + dotEscape(T.token().Lexeme) + "'";
+    Out += "\"];\n";
+    return;
+  }
+  Out += "  n" + std::to_string(MyId) + " [shape=\"box\", label=\"" +
+         dotEscape(G.nonterminalName(T.nonterminal())) + "\"];\n";
+  for (const TreePtr &Child : T.children()) {
+    uint64_t ChildId = NextId++;
+    Out += "  n" + std::to_string(MyId) + " -> n" +
+           std::to_string(ChildId) + ";\n";
+    emitNode(G, *Child, Out, NextId, ChildId);
+  }
+}
+
+} // namespace
+
+std::string costar::treeToDot(const Grammar &G, const Tree &T,
+                              const std::string &Name) {
+  std::string Out = "digraph " + Name + " {\n";
+  Out += "  node [fontname=\"monospace\"];\n";
+  uint64_t NextId = 1;
+  emitNode(G, T, Out, NextId, 0);
+  Out += "}\n";
+  return Out;
+}

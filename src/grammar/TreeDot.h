@@ -1,0 +1,34 @@
+//===- grammar/TreeDot.h - Parse-tree DOT export ---------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports parse trees as Graphviz DOT digraphs for visualization —
+/// standard parser-tooling fare, with a twist available only in this
+/// repository: DOT is one of the benchmark languages, so an exported tree
+/// can be fed straight back into the DOT parser (the integration tests
+/// do exactly that).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GRAMMAR_TREEDOT_H
+#define COSTAR_GRAMMAR_TREEDOT_H
+
+#include "grammar/Grammar.h"
+#include "grammar/Tree.h"
+
+#include <string>
+
+namespace costar {
+
+/// Renders \p T as a DOT digraph. Nonterminal nodes are boxes labeled with
+/// the rule name; leaves are ovals labeled "TERMINAL 'literal'". \p Name
+/// is the graph id.
+std::string treeToDot(const Grammar &G, const Tree &T,
+                      const std::string &Name = "parse_tree");
+
+} // namespace costar
+
+#endif // COSTAR_GRAMMAR_TREEDOT_H

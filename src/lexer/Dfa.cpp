@@ -1,0 +1,132 @@
+//===- lexer/Dfa.cpp - DFA construction and minimization ---------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Dfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace costar;
+using namespace costar::lexer;
+
+Dfa Dfa::fromNfa(const Nfa &N) {
+  Dfa D;
+  std::map<std::vector<uint32_t>, uint32_t> StateIds;
+  std::vector<std::vector<uint32_t>> Sets;
+
+  auto InternSet = [&](std::vector<uint32_t> Set) -> uint32_t {
+    auto It = StateIds.find(Set);
+    if (It != StateIds.end())
+      return It->second;
+    // Highest-priority (lowest-index) rule among accepting members wins.
+    int32_t Accept = NoRule;
+    for (uint32_t S : Set) {
+      int32_t Rule = N.states()[S].AcceptRule;
+      if (Rule != Nfa::NoRule && (Accept == NoRule || Rule < Accept))
+        Accept = Rule;
+    }
+    uint32_t Id = D.addState(Accept);
+    StateIds.emplace(Set, Id);
+    Sets.push_back(std::move(Set));
+    return Id;
+  };
+
+  std::vector<uint32_t> StartSet{N.start()};
+  N.epsilonClosure(StartSet);
+  uint32_t StartId = InternSet(std::move(StartSet));
+  D.setStart(StartId);
+
+  for (uint32_t Id = 0; Id < Sets.size(); ++Id) {
+    // Copy: InternSet may reallocate Sets.
+    std::vector<uint32_t> Set = Sets[Id];
+    // For each input byte, collect the move set. Iterating 256 bytes over
+    // the member states' class edges is simple and fast enough for lexer-
+    // sized automata.
+    std::array<std::vector<uint32_t>, 256> Moves;
+    for (uint32_t S : Set)
+      for (const auto &[Chars, Target] : N.states()[S].CharEdges)
+        for (int C = 0; C < 256; ++C)
+          if (Chars.test(C))
+            Moves[C].push_back(Target);
+    for (int C = 0; C < 256; ++C) {
+      if (Moves[C].empty())
+        continue;
+      std::sort(Moves[C].begin(), Moves[C].end());
+      Moves[C].erase(std::unique(Moves[C].begin(), Moves[C].end()),
+                     Moves[C].end());
+      N.epsilonClosure(Moves[C]);
+      uint32_t Target = InternSet(std::move(Moves[C]));
+      D.setTransition(Id, static_cast<unsigned char>(C),
+                      static_cast<int32_t>(Target));
+    }
+  }
+  return D;
+}
+
+Dfa Dfa::minimized() const {
+  size_t N = numStates();
+  // Initial partition: states grouped by accept tag.
+  std::vector<int32_t> Block(N);
+  std::map<int32_t, int32_t> TagBlocks;
+  int32_t NumBlocks = 0;
+  for (size_t S = 0; S < N; ++S) {
+    auto [It, Inserted] = TagBlocks.emplace(AcceptRule[S], NumBlocks);
+    if (Inserted)
+      ++NumBlocks;
+    Block[S] = It->second;
+  }
+
+  // Moore refinement: split blocks whose members disagree on the block of
+  // any successor (DeadState maps to block -1).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::map<std::pair<int32_t, std::vector<int32_t>>, int32_t> Signatures;
+    std::vector<int32_t> NewBlock(N);
+    int32_t NewNumBlocks = 0;
+    for (size_t S = 0; S < N; ++S) {
+      std::vector<int32_t> Sig(256);
+      for (int C = 0; C < 256; ++C) {
+        int32_t T = Transitions[S][C];
+        Sig[C] = T == DeadState ? -1 : Block[T];
+      }
+      auto [It, Inserted] =
+          Signatures.emplace(std::make_pair(Block[S], std::move(Sig)),
+                             NewNumBlocks);
+      if (Inserted)
+        ++NewNumBlocks;
+      NewBlock[S] = It->second;
+    }
+    if (NewNumBlocks != NumBlocks) {
+      Changed = true;
+      Block = std::move(NewBlock);
+      NumBlocks = NewNumBlocks;
+    }
+  }
+
+  // Emit one state per block.
+  Dfa Min;
+  for (int32_t B = 0; B < NumBlocks; ++B)
+    Min.addState(NoRule);
+  std::vector<bool> Done(NumBlocks, false);
+  for (size_t S = 0; S < N; ++S) {
+    int32_t B = Block[S];
+    if (Done[B])
+      continue;
+    Done[B] = true;
+    // addState above gave every block NoRule; fix tags and transitions from
+    // this representative.
+    Min.AcceptRule[B] = AcceptRule[S];
+    for (int C = 0; C < 256; ++C) {
+      int32_t T = Transitions[S][C];
+      Min.setTransition(B, static_cast<unsigned char>(C),
+                        T == DeadState ? DeadState : Block[T]);
+    }
+  }
+  Min.setStart(Block[StartState]);
+  return Min;
+}

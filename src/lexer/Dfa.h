@@ -1,0 +1,74 @@
+//===- lexer/Dfa.h - DFA construction and minimization ---------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic finite automata over the byte alphabet: subset
+/// construction from an Nfa (with rule-priority resolution: a DFA state
+/// containing several accepting NFA states accepts the lowest-numbered
+/// rule), and Moore-style partition-refinement minimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_LEXER_DFA_H
+#define COSTAR_LEXER_DFA_H
+
+#include "lexer/Nfa.h"
+
+#include <array>
+
+namespace costar {
+namespace lexer {
+
+/// A dense DFA: per-state 256-entry transition tables.
+class Dfa {
+public:
+  static constexpr int32_t DeadState = -1;
+  static constexpr int32_t NoRule = -1;
+
+  using Row = std::array<int32_t, 256>;
+
+private:
+  std::vector<Row> Transitions;
+  std::vector<int32_t> AcceptRule;
+  uint32_t StartState = 0;
+
+public:
+  /// Builds the DFA recognizing the same rule-tagged language as \p N.
+  static Dfa fromNfa(const Nfa &N);
+
+  /// \returns an equivalent DFA with the minimum number of states (dead
+  /// state removal plus partition refinement on accept tags).
+  Dfa minimized() const;
+
+  uint32_t start() const { return StartState; }
+  size_t numStates() const { return Transitions.size(); }
+
+  /// Next state from \p State on byte \p C, or DeadState.
+  int32_t next(uint32_t State, unsigned char C) const {
+    return Transitions[State][C];
+  }
+
+  /// Rule accepted in \p State, or NoRule.
+  int32_t acceptRule(uint32_t State) const { return AcceptRule[State]; }
+
+  // Mutating interface used by the builders.
+  uint32_t addState(int32_t Accept) {
+    Row R;
+    R.fill(DeadState);
+    Transitions.push_back(R);
+    AcceptRule.push_back(Accept);
+    return static_cast<uint32_t>(Transitions.size() - 1);
+  }
+  void setTransition(uint32_t From, unsigned char C, int32_t To) {
+    Transitions[From][C] = To;
+  }
+  void setStart(uint32_t S) { StartState = S; }
+};
+
+} // namespace lexer
+} // namespace costar
+
+#endif // COSTAR_LEXER_DFA_H

@@ -1,0 +1,118 @@
+//===- lexer/Indenter.cpp - Indentation-sensitive lexing ----------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Indenter.h"
+
+using namespace costar;
+using namespace costar::lexer;
+
+IndentingScanner::IndentingScanner(const Scanner &Inner, Grammar &G,
+                                   IndenterConfig Config)
+    : Inner(Inner), Newline(G.internTerminal(Config.NewlineName)),
+      Indent(G.internTerminal(Config.IndentName)),
+      Dedent(G.internTerminal(Config.DedentName)), Config(Config) {}
+
+LexResult IndentingScanner::scan(const std::string &Src) const {
+  LexResult Result;
+  std::vector<uint32_t> IndentStack{0};
+  int32_t BracketDepth = 0;
+  bool Continuation = false; // previous physical line ended with backslash
+  bool LineHasTokens = false;
+  uint32_t LineNo = 0;
+
+  size_t Pos = 0;
+  while (Pos <= Src.size()) {
+    // Extract the next physical line (without the newline).
+    size_t Eol = Src.find('\n', Pos);
+    bool LastLine = Eol == std::string::npos;
+    std::string Line = Src.substr(Pos, LastLine ? std::string::npos
+                                                : Eol - Pos);
+    Pos = LastLine ? Src.size() + 1 : Eol + 1;
+    ++LineNo;
+
+    uint32_t ContentStart = 0;
+    bool Joined = Continuation || BracketDepth > 0;
+    Continuation = false;
+
+    if (!Joined) {
+      // Measure indentation.
+      uint32_t Col = 0;
+      while (ContentStart < Line.size() &&
+             (Line[ContentStart] == ' ' || Line[ContentStart] == '\t')) {
+        Col = Line[ContentStart] == '\t'
+                  ? (Col / Config.TabWidth + 1) * Config.TabWidth
+                  : Col + 1;
+        ++ContentStart;
+      }
+      // Blank and comment-only lines produce no tokens and do not affect
+      // indentation.
+      bool Blank = ContentStart >= Line.size() ||
+                   Line[ContentStart] == '\r' ||
+                   Line[ContentStart] == Config.CommentChar;
+      if (Blank) {
+        if (LastLine)
+          break;
+        continue;
+      }
+      // Close the previous logical line.
+      if (LineHasTokens) {
+        Result.Tokens.emplace_back(Newline, "\n", LineNo - 1, 1);
+        LineHasTokens = false;
+      }
+      // Emit INDENT / DEDENTs against the column stack.
+      if (Col > IndentStack.back()) {
+        IndentStack.push_back(Col);
+        Result.Tokens.emplace_back(Indent, "", LineNo, 1);
+      } else {
+        while (Col < IndentStack.back()) {
+          IndentStack.pop_back();
+          Result.Tokens.emplace_back(Dedent, "", LineNo, 1);
+        }
+        if (Col != IndentStack.back()) {
+          Result.Error = "inconsistent dedent";
+          Result.ErrorLine = LineNo;
+          Result.ErrorCol = 1;
+          return Result;
+        }
+      }
+    }
+
+    // Explicit joining: a trailing backslash splices the next line.
+    std::string Content = Line.substr(ContentStart);
+    if (!Content.empty() && Content.back() == '\r')
+      Content.pop_back();
+    if (!Content.empty() && Content.back() == '\\') {
+      Content.pop_back();
+      Continuation = true;
+    }
+
+    size_t Before = Result.Tokens.size();
+    if (!Inner.scanInto(Content, LineNo, ContentStart + 1, Result.Tokens,
+                        Result))
+      return Result;
+    // Track bracket depth for implicit joining.
+    for (size_t I = Before; I < Result.Tokens.size(); ++I) {
+      const std::string &Lex = Result.Tokens[I].Lexeme;
+      if (Lex == "(" || Lex == "[" || Lex == "{")
+        ++BracketDepth;
+      else if (Lex == ")" || Lex == "]" || Lex == "}")
+        --BracketDepth;
+    }
+    if (Result.Tokens.size() > Before)
+      LineHasTokens = true;
+    if (LastLine)
+      break;
+  }
+
+  // Close the final logical line and drain the indent stack.
+  if (LineHasTokens)
+    Result.Tokens.emplace_back(Newline, "\n", LineNo, 1);
+  while (IndentStack.back() > 0) {
+    IndentStack.pop_back();
+    Result.Tokens.emplace_back(Dedent, "", LineNo, 1);
+  }
+  return Result;
+}

@@ -1,0 +1,75 @@
+//===- lexer/ModalScanner.cpp - Lexer modes -----------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/ModalScanner.h"
+
+using namespace costar;
+using namespace costar::lexer;
+
+ModalScanner::ModalScanner(const ModalLexerSpec &Spec, Grammar &G) {
+  if (Spec.modes().empty()) {
+    BuildError = "modal scanner needs at least one mode";
+    return;
+  }
+  for (const ModalLexerSpec::Mode &M : Spec.modes()) {
+    LexerSpec Flat;
+    std::vector<int32_t> Next;
+    for (const ModalLexerSpec::ModeRule &R : M.Rules) {
+      if (R.Rule.IsLiteral)
+        Flat.literal(R.Rule.Pattern);
+      else if (R.Rule.Skip)
+        Flat.skip(R.Rule.Name, R.Rule.Pattern);
+      else
+        Flat.token(R.Rule.Name, R.Rule.Pattern);
+      Next.push_back(R.NextMode);
+    }
+    auto S = std::make_unique<Scanner>(Flat, G);
+    if (!S->ok()) {
+      BuildError = "mode '" + M.Name + "': " + S->buildError();
+      return;
+    }
+    Scanners.push_back(std::move(S));
+    NextMode.push_back(std::move(Next));
+  }
+}
+
+LexResult ModalScanner::scan(const std::string &Input) const {
+  LexResult Result;
+  if (!ok()) {
+    Result.Error = BuildError;
+    return Result;
+  }
+  int32_t Mode = 0;
+  uint32_t Line = 1, Col = 1;
+  size_t Pos = 0;
+  while (Pos < Input.size()) {
+    const Scanner &S = *Scanners[Mode];
+    Scanner::MatchResult M = S.matchAt(Input, Pos);
+    if (M.Rule < 0) {
+      Result.Error = std::string("unexpected character '") + Input[Pos] +
+                     "' in mode " + std::to_string(Mode);
+      Result.ErrorLine = Line;
+      Result.ErrorCol = Col;
+      return Result;
+    }
+    TerminalId T = S.ruleTerminal(M.Rule);
+    if (T != UINT32_MAX)
+      Result.Tokens.emplace_back(T, Input.substr(Pos, M.Length), Line, Col);
+    for (size_t I = Pos; I < Pos + M.Length; ++I) {
+      if (Input[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    Pos += M.Length;
+    int32_t Switch = NextMode[Mode][M.Rule];
+    if (Switch >= 0)
+      Mode = Switch;
+  }
+  return Result;
+}

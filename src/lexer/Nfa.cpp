@@ -1,0 +1,96 @@
+//===- lexer/Nfa.cpp - Thompson NFA construction -----------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Nfa.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace costar;
+using namespace costar::lexer;
+
+std::pair<uint32_t, uint32_t> Nfa::build(const Regex &Re) {
+  switch (Re.K) {
+  case Regex::Kind::Epsilon: {
+    uint32_t In = addState(), Out = addState();
+    States[In].EpsEdges.push_back(Out);
+    return {In, Out};
+  }
+  case Regex::Kind::Class: {
+    uint32_t In = addState(), Out = addState();
+    States[In].CharEdges.emplace_back(Re.Chars, Out);
+    return {In, Out};
+  }
+  case Regex::Kind::Concat: {
+    auto [AIn, AOut] = build(*Re.A);
+    auto [BIn, BOut] = build(*Re.B);
+    States[AOut].EpsEdges.push_back(BIn);
+    return {AIn, BOut};
+  }
+  case Regex::Kind::Alt: {
+    uint32_t In = addState(), Out = addState();
+    auto [AIn, AOut] = build(*Re.A);
+    auto [BIn, BOut] = build(*Re.B);
+    States[In].EpsEdges.push_back(AIn);
+    States[In].EpsEdges.push_back(BIn);
+    States[AOut].EpsEdges.push_back(Out);
+    States[BOut].EpsEdges.push_back(Out);
+    return {In, Out};
+  }
+  case Regex::Kind::Star: {
+    uint32_t In = addState(), Out = addState();
+    auto [AIn, AOut] = build(*Re.A);
+    States[In].EpsEdges.push_back(AIn);
+    States[In].EpsEdges.push_back(Out);
+    States[AOut].EpsEdges.push_back(AIn);
+    States[AOut].EpsEdges.push_back(Out);
+    return {In, Out};
+  }
+  case Regex::Kind::Plus: {
+    auto [AIn, AOut] = build(*Re.A);
+    uint32_t Out = addState();
+    States[AOut].EpsEdges.push_back(AIn);
+    States[AOut].EpsEdges.push_back(Out);
+    return {AIn, Out};
+  }
+  case Regex::Kind::Opt: {
+    uint32_t In = addState(), Out = addState();
+    auto [AIn, AOut] = build(*Re.A);
+    States[In].EpsEdges.push_back(AIn);
+    States[In].EpsEdges.push_back(Out);
+    States[AOut].EpsEdges.push_back(Out);
+    return {In, Out};
+  }
+  }
+  assert(false && "unknown regex kind");
+  return {0, 0};
+}
+
+void Nfa::addRule(const Regex &Re, int32_t RuleIndex) {
+  assert(RuleIndex >= 0 && "rule index must be non-negative");
+  auto [In, Out] = build(Re);
+  States[Out].AcceptRule = RuleIndex;
+  States[StartState].EpsEdges.push_back(In);
+}
+
+void Nfa::epsilonClosure(std::vector<uint32_t> &Set) const {
+  std::vector<uint32_t> Work(Set.begin(), Set.end());
+  std::vector<bool> InSet(States.size(), false);
+  for (uint32_t S : Set)
+    InSet[S] = true;
+  while (!Work.empty()) {
+    uint32_t S = Work.back();
+    Work.pop_back();
+    for (uint32_t T : States[S].EpsEdges) {
+      if (InSet[T])
+        continue;
+      InSet[T] = true;
+      Set.push_back(T);
+      Work.push_back(T);
+    }
+  }
+  std::sort(Set.begin(), Set.end());
+}

@@ -1,0 +1,71 @@
+//===- lexer/Nfa.h - Thompson NFA construction -----------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nondeterministic finite automata built from regex ASTs by Thompson's
+/// construction. A combined NFA holds one fragment per lexer rule, all
+/// reachable from a shared start state; accepting states are tagged with
+/// their rule index so the DFA can implement rule-priority tie-breaking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_LEXER_NFA_H
+#define COSTAR_LEXER_NFA_H
+
+#include "lexer/Regex.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace costar {
+namespace lexer {
+
+/// An NFA over the byte alphabet with epsilon transitions.
+class Nfa {
+public:
+  static constexpr int32_t NoRule = -1;
+
+  struct State {
+    /// Character-class transitions.
+    std::vector<std::pair<CharSet, uint32_t>> CharEdges;
+    /// Epsilon transitions.
+    std::vector<uint32_t> EpsEdges;
+    /// Rule index this state accepts, or NoRule.
+    int32_t AcceptRule = NoRule;
+  };
+
+private:
+  std::vector<State> States;
+  uint32_t StartState = 0;
+
+  uint32_t addState() {
+    States.emplace_back();
+    return static_cast<uint32_t>(States.size() - 1);
+  }
+
+  /// Builds a fragment for \p Re, returning (entry, exit) state ids; the
+  /// exit state has no outgoing edges yet.
+  std::pair<uint32_t, uint32_t> build(const Regex &Re);
+
+public:
+  Nfa() { StartState = addState(); }
+
+  /// Adds \p Re as the recognizer for rule \p RuleIndex.
+  void addRule(const Regex &Re, int32_t RuleIndex);
+
+  uint32_t start() const { return StartState; }
+  const std::vector<State> &states() const { return States; }
+  size_t numStates() const { return States.size(); }
+
+  /// Expands \p Set (a sorted state-id list) to its epsilon closure,
+  /// keeping it sorted and duplicate-free.
+  void epsilonClosure(std::vector<uint32_t> &Set) const;
+};
+
+} // namespace lexer
+} // namespace costar
+
+#endif // COSTAR_LEXER_NFA_H

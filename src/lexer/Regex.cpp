@@ -1,0 +1,363 @@
+//===- lexer/Regex.cpp - Regular expression ASTs ----------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Regex.h"
+
+#include <cassert>
+
+using namespace costar;
+using namespace costar::lexer;
+
+RegexPtr Regex::epsilon() {
+  auto R = std::make_shared<Regex>();
+  R->K = Kind::Epsilon;
+  return R;
+}
+
+RegexPtr Regex::charClass(CharSet Chars) {
+  auto R = std::make_shared<Regex>();
+  R->K = Kind::Class;
+  R->Chars = Chars;
+  return R;
+}
+
+RegexPtr Regex::literalChar(unsigned char C) {
+  CharSet S;
+  S.set(C);
+  return charClass(S);
+}
+
+RegexPtr Regex::literalString(const std::string &Text) {
+  if (Text.empty())
+    return epsilon();
+  RegexPtr R = literalChar(static_cast<unsigned char>(Text[0]));
+  for (size_t I = 1; I < Text.size(); ++I)
+    R = concat(R, literalChar(static_cast<unsigned char>(Text[I])));
+  return R;
+}
+
+RegexPtr Regex::concat(RegexPtr A, RegexPtr B) {
+  auto R = std::make_shared<Regex>();
+  R->K = Kind::Concat;
+  R->A = std::move(A);
+  R->B = std::move(B);
+  return R;
+}
+
+RegexPtr Regex::alt(RegexPtr A, RegexPtr B) {
+  auto R = std::make_shared<Regex>();
+  R->K = Kind::Alt;
+  R->A = std::move(A);
+  R->B = std::move(B);
+  return R;
+}
+
+RegexPtr Regex::star(RegexPtr A) {
+  auto R = std::make_shared<Regex>();
+  R->K = Kind::Star;
+  R->A = std::move(A);
+  return R;
+}
+
+RegexPtr Regex::plus(RegexPtr A) {
+  auto R = std::make_shared<Regex>();
+  R->K = Kind::Plus;
+  R->A = std::move(A);
+  return R;
+}
+
+RegexPtr Regex::opt(RegexPtr A) {
+  auto R = std::make_shared<Regex>();
+  R->K = Kind::Opt;
+  R->A = std::move(A);
+  return R;
+}
+
+namespace {
+
+CharSet digitSet() {
+  CharSet S;
+  for (char C = '0'; C <= '9'; ++C)
+    S.set(static_cast<unsigned char>(C));
+  return S;
+}
+
+CharSet wordSet() {
+  CharSet S = digitSet();
+  for (char C = 'a'; C <= 'z'; ++C)
+    S.set(static_cast<unsigned char>(C));
+  for (char C = 'A'; C <= 'Z'; ++C)
+    S.set(static_cast<unsigned char>(C));
+  S.set('_');
+  return S;
+}
+
+CharSet spaceSet() {
+  CharSet S;
+  for (unsigned char C : {' ', '\t', '\n', '\r', '\f', '\v'})
+    S.set(C);
+  return S;
+}
+
+/// Recursive-descent regex parser over the byte alphabet.
+class RegexParser {
+  const std::string &Pat;
+  size_t Pos = 0;
+  std::string Error;
+
+  bool atEnd() const { return Pos >= Pat.size(); }
+  char peek() const { return Pat[Pos]; }
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " at offset " + std::to_string(Pos) + " in /" + Pat + "/";
+  }
+
+  static int hexValue(char C) {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    if (C >= 'A' && C <= 'F')
+      return C - 'A' + 10;
+    return -1;
+  }
+
+  /// Parses one escape sequence (after the backslash) into a CharSet.
+  CharSet parseEscape() {
+    if (atEnd()) {
+      fail("dangling backslash");
+      return {};
+    }
+    char C = Pat[Pos++];
+    CharSet S;
+    switch (C) {
+    case 'n':
+      S.set('\n');
+      return S;
+    case 't':
+      S.set('\t');
+      return S;
+    case 'r':
+      S.set('\r');
+      return S;
+    case 'f':
+      S.set('\f');
+      return S;
+    case 'v':
+      S.set('\v');
+      return S;
+    case '0':
+      S.set(0);
+      return S;
+    case 'd':
+      return digitSet();
+    case 'D':
+      return ~digitSet();
+    case 'w':
+      return wordSet();
+    case 'W':
+      return ~wordSet();
+    case 's':
+      return spaceSet();
+    case 'S':
+      return ~spaceSet();
+    case 'x': {
+      if (Pos + 1 >= Pat.size() || hexValue(Pat[Pos]) < 0 ||
+          hexValue(Pat[Pos + 1]) < 0) {
+        fail("\\x expects two hex digits");
+        return {};
+      }
+      int V = hexValue(Pat[Pos]) * 16 + hexValue(Pat[Pos + 1]);
+      Pos += 2;
+      S.set(static_cast<unsigned char>(V));
+      return S;
+    }
+    default:
+      // Punctuation escapes match themselves.
+      S.set(static_cast<unsigned char>(C));
+      return S;
+    }
+  }
+
+  /// Parses a [...] class body (after the opening bracket).
+  CharSet parseClass() {
+    bool Negated = false;
+    if (!atEnd() && peek() == '^') {
+      Negated = true;
+      ++Pos;
+    }
+    CharSet S;
+    bool First = true;
+    while (!atEnd() && (peek() != ']' || First)) {
+      First = false;
+      CharSet Piece;
+      unsigned char Lo = 0;
+      bool SingleChar = false;
+      if (peek() == '\\') {
+        ++Pos;
+        Piece = parseEscape();
+        if (Piece.count() == 1) {
+          SingleChar = true;
+          for (int I = 0; I < 256; ++I)
+            if (Piece.test(I))
+              Lo = static_cast<unsigned char>(I);
+        }
+      } else {
+        Lo = static_cast<unsigned char>(Pat[Pos++]);
+        Piece.set(Lo);
+        SingleChar = true;
+      }
+      // Range "a-z" (the '-' must not be the last char before ']').
+      if (SingleChar && !atEnd() && peek() == '-' && Pos + 1 < Pat.size() &&
+          Pat[Pos + 1] != ']') {
+        ++Pos; // consume '-'
+        unsigned char Hi;
+        if (peek() == '\\') {
+          ++Pos;
+          CharSet HiSet = parseEscape();
+          if (HiSet.count() != 1) {
+            fail("range bound must be a single character");
+            return {};
+          }
+          Hi = 0;
+          for (int I = 0; I < 256; ++I)
+            if (HiSet.test(I))
+              Hi = static_cast<unsigned char>(I);
+        } else {
+          Hi = static_cast<unsigned char>(Pat[Pos++]);
+        }
+        if (Hi < Lo) {
+          fail("inverted character range");
+          return {};
+        }
+        Piece.reset();
+        for (int C = Lo; C <= Hi; ++C)
+          Piece.set(static_cast<unsigned char>(C));
+      }
+      S |= Piece;
+    }
+    if (atEnd()) {
+      fail("unterminated character class");
+      return {};
+    }
+    ++Pos; // closing ']'
+    return Negated ? ~S : S;
+  }
+
+  RegexPtr parsePrimary() {
+    if (atEnd()) {
+      fail("expected a regex term");
+      return nullptr;
+    }
+    char C = Pat[Pos];
+    switch (C) {
+    case '(': {
+      ++Pos;
+      RegexPtr R = parseAlt();
+      if (atEnd() || peek() != ')') {
+        fail("expected ')'");
+        return nullptr;
+      }
+      ++Pos;
+      return R;
+    }
+    case '[': {
+      ++Pos;
+      CharSet S = parseClass();
+      if (!Error.empty())
+        return nullptr;
+      return Regex::charClass(S);
+    }
+    case '\\': {
+      ++Pos;
+      CharSet S = parseEscape();
+      if (!Error.empty())
+        return nullptr;
+      return Regex::charClass(S);
+    }
+    case '.': {
+      ++Pos;
+      CharSet S;
+      S.set();
+      S.reset('\n');
+      return Regex::charClass(S);
+    }
+    case ')':
+    case '|':
+    case '*':
+    case '+':
+    case '?':
+      fail(std::string("unexpected '") + C + "'");
+      return nullptr;
+    default:
+      ++Pos;
+      return Regex::literalChar(static_cast<unsigned char>(C));
+    }
+  }
+
+  RegexPtr parsePostfix() {
+    RegexPtr R = parsePrimary();
+    while (R && !atEnd()) {
+      char C = peek();
+      if (C == '*')
+        R = Regex::star(std::move(R));
+      else if (C == '+')
+        R = Regex::plus(std::move(R));
+      else if (C == '?')
+        R = Regex::opt(std::move(R));
+      else
+        break;
+      ++Pos;
+    }
+    return R;
+  }
+
+  RegexPtr parseConcat() {
+    if (atEnd() || peek() == '|' || peek() == ')')
+      return Regex::epsilon();
+    RegexPtr R = parsePostfix();
+    while (R && !atEnd() && peek() != '|' && peek() != ')') {
+      RegexPtr Next = parsePostfix();
+      if (!Next)
+        return nullptr;
+      R = Regex::concat(std::move(R), std::move(Next));
+    }
+    return R;
+  }
+
+  RegexPtr parseAlt() {
+    RegexPtr R = parseConcat();
+    while (R && !atEnd() && peek() == '|') {
+      ++Pos;
+      RegexPtr Next = parseConcat();
+      if (!Next)
+        return nullptr;
+      R = Regex::alt(std::move(R), std::move(Next));
+    }
+    return R;
+  }
+
+public:
+  explicit RegexParser(const std::string &Pat) : Pat(Pat) {}
+
+  RegexParseResult run() {
+    RegexParseResult Result;
+    Result.Re = parseAlt();
+    if (Error.empty() && !atEnd())
+      fail("trailing input");
+    Result.Error = Error;
+    if (!Result.ok())
+      Result.Re = nullptr;
+    return Result;
+  }
+};
+
+} // namespace
+
+RegexParseResult costar::lexer::parseRegex(const std::string &Pattern) {
+  return RegexParser(Pattern).run();
+}

@@ -1,0 +1,80 @@
+//===- lexer/Regex.h - Regular expression ASTs -----------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regular expressions for the lexer-generator substrate. The CoStar
+/// evaluation tokenizes inputs with ANTLR lexers before parsing; this
+/// repository replaces them with a from-scratch pipeline: regex AST ->
+/// Thompson NFA -> subset-construction DFA -> minimized DFA -> maximal-
+/// munch scanner (see lexer/Nfa.h, lexer/Dfa.h, lexer/Scanner.h).
+///
+/// Supported syntax: literal characters, '.', escapes (\n \t \r \0 \\ and
+/// punctuation escapes, \d \w \s and their complements, \xNN), character
+/// classes with ranges and negation, grouping, alternation, and the * + ?
+/// postfix operators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_LEXER_REGEX_H
+#define COSTAR_LEXER_REGEX_H
+
+#include <bitset>
+#include <memory>
+#include <string>
+
+namespace costar {
+namespace lexer {
+
+/// A set of byte values (the scanner alphabet is bytes 0-255).
+using CharSet = std::bitset<256>;
+
+struct Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+/// Regular expression AST node.
+struct Regex {
+  enum class Kind {
+    Epsilon, ///< matches the empty string
+    Class,   ///< matches one byte in Chars
+    Concat,  ///< A then B
+    Alt,     ///< A or B
+    Star,    ///< zero or more A
+    Plus,    ///< one or more A
+    Opt,     ///< zero or one A
+  };
+
+  Kind K;
+  CharSet Chars; // Class
+  RegexPtr A;    // Concat/Alt/Star/Plus/Opt
+  RegexPtr B;    // Concat/Alt
+
+  static RegexPtr epsilon();
+  static RegexPtr charClass(CharSet Chars);
+  static RegexPtr literalChar(unsigned char C);
+  /// Matches exactly \p Text (a concatenation of literal characters);
+  /// useful for keyword and punctuator rules.
+  static RegexPtr literalString(const std::string &Text);
+  static RegexPtr concat(RegexPtr A, RegexPtr B);
+  static RegexPtr alt(RegexPtr A, RegexPtr B);
+  static RegexPtr star(RegexPtr A);
+  static RegexPtr plus(RegexPtr A);
+  static RegexPtr opt(RegexPtr A);
+};
+
+/// Result of parsing a regex pattern.
+struct RegexParseResult {
+  RegexPtr Re;
+  std::string Error; ///< empty on success
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses \p Pattern into a Regex AST.
+RegexParseResult parseRegex(const std::string &Pattern);
+
+} // namespace lexer
+} // namespace costar
+
+#endif // COSTAR_LEXER_REGEX_H

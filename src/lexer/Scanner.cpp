@@ -1,0 +1,98 @@
+//===- lexer/Scanner.cpp - Maximal-munch scanner ------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Scanner.h"
+
+using namespace costar;
+using namespace costar::lexer;
+
+Scanner::Scanner(const LexerSpec &Spec, Grammar &G) {
+  Nfa N;
+  int32_t RuleIndex = 0;
+  for (const LexRule &Rule : Spec.rules()) {
+    RegexPtr Re;
+    if (Rule.IsLiteral) {
+      Re = Regex::literalString(Rule.Pattern);
+    } else {
+      RegexParseResult Parsed = parseRegex(Rule.Pattern);
+      if (!Parsed.ok()) {
+        BuildError = "rule '" + Rule.Name + "': " + Parsed.Error;
+        return;
+      }
+      Re = Parsed.Re;
+    }
+    N.addRule(*Re, RuleIndex++);
+    RuleTerminal.push_back(Rule.Skip ? UINT32_MAX : G.internTerminal(Rule.Name));
+  }
+  D = Dfa::fromNfa(N).minimized();
+  if (D.acceptRule(D.start()) != Dfa::NoRule) {
+    const LexRule &Bad = Spec.rules()[D.acceptRule(D.start())];
+    BuildError = "rule '" + Bad.Name + "' matches the empty string";
+  }
+}
+
+Scanner::MatchResult Scanner::matchAt(const std::string &Input,
+                                      size_t Pos) const {
+  // Maximal munch: run the DFA as far as possible, remembering the last
+  // accepting position.
+  MatchResult Best;
+  int32_t Cur = static_cast<int32_t>(D.start());
+  size_t I = Pos;
+  while (I < Input.size()) {
+    Cur = D.next(static_cast<uint32_t>(Cur),
+                 static_cast<unsigned char>(Input[I]));
+    if (Cur == Dfa::DeadState)
+      break;
+    ++I;
+    int32_t Rule = D.acceptRule(static_cast<uint32_t>(Cur));
+    if (Rule != Dfa::NoRule) {
+      Best.Rule = Rule;
+      Best.Length = I - Pos;
+    }
+  }
+  return Best;
+}
+
+bool Scanner::scanInto(const std::string &Input, uint32_t Line,
+                       uint32_t StartCol, Word &Out, LexResult &Err) const {
+  assert(ok() && "scanning with a scanner that failed to build");
+  uint32_t Col = StartCol;
+  size_t Pos = 0;
+  while (Pos < Input.size()) {
+    MatchResult M = matchAt(Input, Pos);
+    int32_t LastAccept = M.Rule;
+    size_t LastLen = M.Length;
+    if (LastAccept < 0) {
+      Err.Error = std::string("unexpected character '") + Input[Pos] + "'";
+      Err.ErrorLine = Line;
+      Err.ErrorCol = Col;
+      return false;
+    }
+    TerminalId T = RuleTerminal[LastAccept];
+    if (T != UINT32_MAX)
+      Out.emplace_back(T, Input.substr(Pos, LastLen), Line, Col);
+    for (size_t J = Pos; J < Pos + LastLen; ++J) {
+      if (Input[J] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    Pos += LastLen;
+  }
+  return true;
+}
+
+LexResult Scanner::scan(const std::string &Input) const {
+  LexResult Result;
+  if (!ok()) {
+    Result.Error = BuildError;
+    return Result;
+  }
+  scanInto(Input, 1, 1, Result.Tokens, Result);
+  return Result;
+}

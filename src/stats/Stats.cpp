@@ -1,0 +1,156 @@
+//===- stats/Stats.cpp - Regression, LOWESS, timing ---------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace costar;
+using namespace costar::stats;
+
+Regression costar::stats::linearRegression(std::span<const double> X,
+                                           std::span<const double> Y) {
+  assert(X.size() == Y.size() && X.size() >= 2 && "need at least two points");
+  size_t N = X.size();
+  double MeanX = 0, MeanY = 0;
+  for (size_t I = 0; I < N; ++I) {
+    MeanX += X[I];
+    MeanY += Y[I];
+  }
+  MeanX /= N;
+  MeanY /= N;
+  double SXX = 0, SXY = 0, SYY = 0;
+  for (size_t I = 0; I < N; ++I) {
+    double DX = X[I] - MeanX, DY = Y[I] - MeanY;
+    SXX += DX * DX;
+    SXY += DX * DY;
+    SYY += DY * DY;
+  }
+  Regression R;
+  R.Slope = SXX > 0 ? SXY / SXX : 0;
+  R.Intercept = MeanY - R.Slope * MeanX;
+  R.R2 = (SXX > 0 && SYY > 0) ? (SXY * SXY) / (SXX * SYY) : 1.0;
+  return R;
+}
+
+std::vector<double> costar::stats::lowess(std::span<const double> X,
+                                          std::span<const double> Y,
+                                          double F) {
+  size_t N = X.size();
+  assert(N == Y.size() && N >= 2 && "need at least two points");
+  assert(std::is_sorted(X.begin(), X.end()) && "X must be sorted");
+  size_t R = std::max<size_t>(2, static_cast<size_t>(std::ceil(F * N)));
+  R = std::min(R, N);
+
+  std::vector<double> Fitted(N);
+  for (size_t I = 0; I < N; ++I) {
+    // Window of the R nearest neighbors of X[I] (X is sorted, so slide a
+    // window).
+    size_t Lo = I >= R ? I - R : 0;
+    size_t BestLo = Lo, BestHi = Lo + R;
+    double BestSpan = HUGE_VAL;
+    for (size_t Start = Lo; Start + R <= N && Start <= I; ++Start) {
+      double Span = std::max(X[I] - X[Start],
+                             X[Start + R - 1] - X[I]);
+      if (Span < BestSpan) {
+        BestSpan = Span;
+        BestLo = Start;
+        BestHi = Start + R;
+      }
+    }
+    double DMax = 0;
+    for (size_t J = BestLo; J < BestHi; ++J)
+      DMax = std::max(DMax, std::abs(X[J] - X[I]));
+    if (DMax == 0)
+      DMax = 1;
+
+    // Tricube-weighted least squares over the window.
+    double SW = 0, SWX = 0, SWY = 0, SWXX = 0, SWXY = 0;
+    for (size_t J = BestLo; J < BestHi; ++J) {
+      double D = std::abs(X[J] - X[I]) / DMax;
+      double T = 1 - D * D * D;
+      double W = T * T * T;
+      SW += W;
+      SWX += W * X[J];
+      SWY += W * Y[J];
+      SWXX += W * X[J] * X[J];
+      SWXY += W * X[J] * Y[J];
+    }
+    double Denom = SW * SWXX - SWX * SWX;
+    if (std::abs(Denom) < 1e-12 * SWXX) {
+      Fitted[I] = SW > 0 ? SWY / SW : Y[I];
+    } else {
+      double Slope = (SW * SWXY - SWX * SWY) / Denom;
+      double Intercept = (SWY - Slope * SWX) / SW;
+      Fitted[I] = Slope * X[I] + Intercept;
+    }
+  }
+  return Fitted;
+}
+
+double costar::stats::maxRelativeDeviation(std::span<const double> X,
+                                           std::span<const double> Fitted,
+                                           const Regression &Line,
+                                           double Floor) {
+  assert(X.size() == Fitted.size());
+  double Max = 0;
+  for (size_t I = 0; I < X.size(); ++I) {
+    double Expect = Line.at(X[I]);
+    double Rel = std::abs(Fitted[I] - Expect) /
+                 std::max(std::abs(Expect), Floor);
+    Max = std::max(Max, Rel);
+  }
+  return Max;
+}
+
+double costar::stats::timeOnce(const std::function<void()> &Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  Fn();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+double costar::stats::timeMedian(const std::function<void()> &Fn,
+                                 int Trials) {
+  assert(Trials >= 1);
+  std::vector<double> Times;
+  Times.reserve(Trials);
+  for (int I = 0; I < Trials; ++I)
+    Times.push_back(timeOnce(Fn));
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+Table &Table::row(const std::vector<std::string> &Cells) {
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    size_t W = I < Widths.size() ? Widths[I] : 12;
+    std::string Cell = Cells[I];
+    if (Cell.size() < W)
+      Cell.insert(0, W - Cell.size(), ' ');
+    Out += Cell;
+    Out += I + 1 < Cells.size() ? "  " : "";
+  }
+  Out += '\n';
+  return *this;
+}
+
+Table &Table::sep() {
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total, '-');
+  Out += '\n';
+  return *this;
+}
+
+std::string costar::stats::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}

@@ -1,0 +1,87 @@
+//===- stats/Stats.h - Regression, LOWESS, timing --------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statistical toolkit behind the Figure 9 linearity argument: a
+/// least-squares regression line, a from-scratch LOWESS smoother (Cleveland
+/// 1979: tricube-weighted local linear fits), and the deviation metric we
+/// report — the paper demonstrates linear-time parsing by showing that the
+/// unconstrained LOWESS curve coincides with the regression line. Also:
+/// steady-clock timing helpers and fixed-width table formatting for the
+/// bench harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_STATS_STATS_H
+#define COSTAR_STATS_STATS_H
+
+#include <chrono>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace costar {
+namespace stats {
+
+/// y = Slope * x + Intercept, with the coefficient of determination.
+struct Regression {
+  double Slope = 0;
+  double Intercept = 0;
+  double R2 = 0;
+
+  double at(double X) const { return Slope * X + Intercept; }
+};
+
+/// Ordinary least squares over the points (X[i], Y[i]).
+Regression linearRegression(std::span<const double> X,
+                            std::span<const double> Y);
+
+/// LOWESS (locally weighted scatterplot smoothing): for each X[i], fits a
+/// line to the ceil(F * n) nearest neighbors with tricube distance weights
+/// and evaluates it at X[i]. \p X must be sorted ascending. F close to 0
+/// gives a jagged curve, close to 1 a smooth one; the paper uses F = 0.1.
+std::vector<double> lowess(std::span<const double> X,
+                           std::span<const double> Y, double F);
+
+/// Max over points of |Fitted[i] - Line.at(X[i])| / max(|Line.at(X[i])|,
+/// Floor): how far the unconstrained smoother strays from the straight
+/// line. Small values (a few percent) indicate a linear relationship.
+double maxRelativeDeviation(std::span<const double> X,
+                            std::span<const double> Fitted,
+                            const Regression &Line, double Floor = 1e-9);
+
+/// Wall-clock seconds for one call of \p Fn.
+double timeOnce(const std::function<void()> &Fn);
+
+/// Median wall-clock seconds over \p Trials calls of \p Fn (the paper
+/// averages five trials per point; median is robust to scheduler noise).
+double timeMedian(const std::function<void()> &Fn, int Trials);
+
+/// Simple fixed-width table printer for bench output.
+class Table {
+  std::vector<size_t> Widths;
+  std::string Out;
+
+public:
+  explicit Table(std::vector<size_t> ColumnWidths)
+      : Widths(std::move(ColumnWidths)) {}
+
+  /// Appends one row; cells are left-padded to the column widths.
+  Table &row(const std::vector<std::string> &Cells);
+  /// Appends a dashed separator row.
+  Table &sep();
+
+  const std::string &str() const { return Out; }
+};
+
+/// Formats \p Value with \p Precision digits after the point.
+std::string fmt(double Value, int Precision = 3);
+
+} // namespace stats
+} // namespace costar
+
+#endif // COSTAR_STATS_STATS_H

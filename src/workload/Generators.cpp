@@ -1,0 +1,411 @@
+//===- workload/Generators.cpp - Synthetic corpus generators ------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generators.h"
+
+#include <cmath>
+
+using namespace costar;
+using namespace costar::workload;
+
+namespace {
+
+/// Shared helper state: a token budget counted down as text is emitted.
+/// Budgets are approximate; generators stop opening new constructs once the
+/// budget is spent but always close what they opened.
+struct Gen {
+  std::mt19937_64 &Rng;
+  std::string Out;
+  int64_t Budget;
+
+  Gen(std::mt19937_64 &Rng, uint32_t TargetTokens)
+      : Rng(Rng), Budget(TargetTokens) {}
+
+  uint64_t pick(uint64_t N) { return Rng() % N; }
+  bool chance(uint32_t Percent) { return pick(100) < Percent; }
+
+  void emit(const std::string &Text, int64_t Tokens = 1) {
+    Out += Text;
+    Budget -= Tokens;
+  }
+
+  std::string ident() {
+    static const char *Stems[] = {"alpha", "beta",  "gamma", "delta",
+                                  "node",  "value", "item",  "field",
+                                  "count", "total", "index", "name"};
+    return std::string(Stems[pick(12)]) + std::to_string(pick(100));
+  }
+
+  std::string number() { return std::to_string(pick(100000)); }
+};
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+class JsonGen : Gen {
+  void value(uint32_t Depth) {
+    // Deeper nodes and exhausted budgets favor scalars.
+    uint64_t Choice = Budget <= 0 || Depth > 6 ? 2 + pick(4) : pick(6);
+    switch (Choice) {
+    case 0: { // object
+      uint64_t Pairs = 1 + pick(5);
+      emit("{");
+      for (uint64_t I = 0; I < Pairs; ++I) {
+        if (I)
+          emit(",");
+        emit("\"" + ident() + "\"", 1);
+        emit(":");
+        value(Depth + 1);
+        if (Budget <= 0)
+          break;
+      }
+      emit("}");
+      break;
+    }
+    case 1: { // array
+      uint64_t Elems = 1 + pick(6);
+      emit("[");
+      for (uint64_t I = 0; I < Elems; ++I) {
+        if (I)
+          emit(",");
+        value(Depth + 1);
+        if (Budget <= 0)
+          break;
+      }
+      emit("]");
+      break;
+    }
+    case 2:
+      emit("\"" + ident() + "\"");
+      break;
+    case 3:
+      emit(number());
+      break;
+    case 4:
+      emit(chance(50) ? "true" : "false");
+      break;
+    default:
+      emit("null");
+      break;
+    }
+  }
+
+public:
+  using Gen::Gen;
+  std::string run() {
+    // Top level: an object with enough members to hit the budget.
+    emit("{\n", 1);
+    bool First = true;
+    while (Budget > 0) {
+      if (!First)
+        emit(",\n", 1);
+      First = false;
+      emit("\"" + ident() + "\"");
+      emit(": ");
+      value(1);
+    }
+    emit("\n}\n", 1);
+    return std::move(Out);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// XML
+//===----------------------------------------------------------------------===//
+
+class XmlGen : Gen {
+  void attributes() {
+    // Attribute runs are what make the elt rule non-LL(k); emit plenty.
+    uint64_t N = pick(5);
+    for (uint64_t I = 0; I < N; ++I) {
+      emit(" " + ident(), 1);
+      emit("=");
+      emit("\"" + ident() + "\"");
+    }
+  }
+
+  void element(uint32_t Depth) {
+    std::string Tag = ident();
+    if (Budget <= 0 || Depth > 5 || chance(25)) {
+      // Self-closing.
+      emit("<" + Tag, 2);
+      attributes();
+      emit("/>", 1);
+      return;
+    }
+    emit("<" + Tag, 2);
+    attributes();
+    emit(">", 1);
+    uint64_t Children = 1 + pick(4);
+    for (uint64_t I = 0; I < Children; ++I) {
+      switch (pick(10)) {
+      case 0:
+        emit("<!-- comment " + ident() + " -->", 1);
+        break;
+      case 1:
+        emit("&amp;", 1);
+        break;
+      case 2:
+        emit("&#" + number() + ";", 1);
+        break;
+      case 3:
+        emit("<![CDATA[raw " + ident() + " data]]>", 1);
+        break;
+      case 4:
+      case 5:
+      case 6:
+        emit("some text content here ", 1);
+        break;
+      default:
+        element(Depth + 1);
+        break;
+      }
+      if (Budget <= 0)
+        break;
+    }
+    emit("</" + Tag + ">", 3);
+  }
+
+public:
+  using Gen::Gen;
+  std::string run() {
+    emit("<?xml version=\"1.0\"?>\n", 5);
+    emit("<root>\n", 3);
+    while (Budget > 0) {
+      element(1);
+      emit("\n", 0);
+    }
+    emit("</root>\n", 3);
+    return std::move(Out);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// DOT
+//===----------------------------------------------------------------------===//
+
+class DotGen : Gen {
+  std::vector<std::string> Nodes;
+
+  void attrList() {
+    emit(" [", 1);
+    uint64_t N = 1 + pick(3);
+    for (uint64_t I = 0; I < N; ++I) {
+      if (I)
+        emit(",");
+      emit(ident(), 1);
+      emit("=");
+      emit("\"" + ident() + "\"");
+    }
+    emit("]");
+  }
+
+  const std::string &someNode() {
+    if (Nodes.empty() || (chance(30) && Nodes.size() < 4000)) {
+      Nodes.push_back("n" + std::to_string(Nodes.size()));
+      return Nodes.back();
+    }
+    return Nodes[pick(Nodes.size())];
+  }
+
+public:
+  using Gen::Gen;
+  std::string run() {
+    emit("digraph generated {\n", 3);
+    emit("  graph", 1);
+    attrList();
+    emit(";\n", 1);
+    while (Budget > 0) {
+      switch (pick(5)) {
+      case 0: { // node statement with attributes
+        emit("  " + someNode(), 1);
+        attrList();
+        emit(";\n", 1);
+        break;
+      }
+      case 1: { // attribute assignment
+        emit("  " + ident(), 1);
+        emit(" = ");
+        emit("\"" + ident() + "\"");
+        emit(";\n", 1);
+        break;
+      }
+      case 2: { // subgraph
+        emit("  subgraph cluster" + std::to_string(pick(100)) + " {\n", 4);
+        for (uint64_t I = 0; I < 1 + pick(3); ++I) {
+          emit("    " + someNode(), 1);
+          emit(" -> ", 1);
+          emit(someNode(), 1);
+          emit(";\n", 1);
+        }
+        emit("  }\n", 1);
+        break;
+      }
+      default: { // edge chain
+        emit("  " + someNode(), 1);
+        uint64_t Hops = 1 + pick(3);
+        for (uint64_t I = 0; I < Hops; ++I) {
+          emit(" -> ", 1);
+          emit(someNode(), 1);
+        }
+        if (chance(40))
+          attrList();
+        emit(";\n", 1);
+        break;
+      }
+      }
+    }
+    emit("}\n", 1);
+    return std::move(Out);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Python subset
+//===----------------------------------------------------------------------===//
+
+class PythonGen : Gen {
+  std::string IndentStr;
+
+  void indentLine(const std::string &Text, int64_t Tokens) {
+    emit(IndentStr + Text + "\n", Tokens + 1); // +1 for NEWLINE
+  }
+
+  std::string expr(uint32_t Depth) {
+    if (Depth > 2 || chance(50)) {
+      switch (pick(4)) {
+      case 0:
+        return ident();
+      case 1:
+        return number();
+      case 2:
+        return "'" + ident() + "'";
+      default:
+        return ident() + "(" + ident() + ", " + number() + ")";
+      }
+    }
+    static const char *Ops[] = {" + ", " - ", " * ", " == ", " < ", " and "};
+    Budget -= 3;
+    return expr(Depth + 1) + Ops[pick(6)] + expr(Depth + 1);
+  }
+
+  void block(uint32_t Depth) {
+    IndentStr += "    ";
+    uint64_t Stmts = 1 + pick(2);
+    for (uint64_t I = 0; I < Stmts; ++I)
+      statement(Depth);
+    IndentStr.resize(IndentStr.size() - 4);
+  }
+
+  void statement(uint32_t Depth) {
+    if (Budget <= 0 || Depth > 2) {
+      indentLine(ident() + " = " + expr(3), 4);
+      return;
+    }
+    switch (pick(8)) {
+    case 0:
+      indentLine("if " + expr(2) + ":", 4);
+      block(Depth + 1);
+      if (chance(40)) {
+        indentLine("else:", 2);
+        block(Depth + 1);
+      }
+      break;
+    case 1:
+      indentLine("while " + expr(2) + ":", 4);
+      block(Depth + 1);
+      break;
+    case 2:
+      indentLine("for " + ident() + " in " + ident() + ":", 6);
+      block(Depth + 1);
+      break;
+    case 3:
+      indentLine("return " + expr(2), 4);
+      break;
+    case 4:
+      indentLine(ident() + "." + ident() + "(" + expr(3) + ")", 7);
+      break;
+    default:
+      indentLine(ident() + " = " + expr(2), 4);
+      break;
+    }
+  }
+
+  void topLevelConstruct() {
+    if (chance(30)) {
+      emit("class " + ident() + ":\n", 4);
+      IndentStr = "    ";
+      emit("    def " + ident() + "(self, " + ident() + "):\n", 9);
+      IndentStr = "        ";
+      uint64_t Stmts = 1 + pick(3);
+      for (uint64_t I = 0; I < Stmts; ++I)
+        statement(1);
+      IndentStr.clear();
+    } else {
+      emit("def " + ident() + "(" + ident() + ", " + ident() + "=" +
+               number() + "):\n",
+           10);
+      IndentStr = "    ";
+      uint64_t Stmts = 1 + pick(3);
+      for (uint64_t I = 0; I < Stmts; ++I)
+        statement(1);
+      IndentStr.clear();
+    }
+    emit("\n", 0);
+  }
+
+public:
+  using Gen::Gen;
+  /// Files are sequences of many small, independently random constructs:
+  /// unbounded structural diversity (as in real code bases, where parse
+  /// cost tracks length) with per-construct cost variance averaged away
+  /// over the dozens of constructs in even a small file.
+  std::string run() {
+    while (Budget > 0)
+      topLevelConstruct();
+    return std::move(Out);
+  }
+};
+
+} // namespace
+
+std::string costar::workload::generateSource(lang::LangId Lang,
+                                             std::mt19937_64 &Rng,
+                                             uint32_t TargetTokens) {
+  switch (Lang) {
+  case lang::LangId::Json:
+    return JsonGen(Rng, TargetTokens).run();
+  case lang::LangId::Xml:
+    return XmlGen(Rng, TargetTokens).run();
+  case lang::LangId::Dot:
+    return DotGen(Rng, TargetTokens).run();
+  case lang::LangId::Python:
+    return PythonGen(Rng, TargetTokens).run();
+  }
+  assert(false && "unknown language");
+  return "";
+}
+
+Corpus costar::workload::generateCorpus(lang::LangId Lang, uint64_t Seed,
+                                        uint32_t NumFiles, uint32_t MinTokens,
+                                        uint32_t MaxTokens) {
+  Corpus C;
+  std::mt19937_64 Rng(Seed);
+  double Ratio = NumFiles > 1
+                     ? std::pow(double(MaxTokens) / MinTokens,
+                                1.0 / (NumFiles - 1))
+                     : 1.0;
+  double Target = MinTokens;
+  for (uint32_t I = 0; I < NumFiles; ++I) {
+    std::string Src =
+        generateSource(Lang, Rng, static_cast<uint32_t>(Target));
+    C.TotalBytes += Src.size();
+    C.Files.push_back(std::move(Src));
+    Target *= Ratio;
+  }
+  return C;
+}

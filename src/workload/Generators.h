@@ -1,0 +1,51 @@
+//===- workload/Generators.h - Synthetic corpus generators -----*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded synthetic workload generators standing in for the paper's
+/// benchmark corpora (Section 6.1: ANTLR-evaluation DOT data, LL(1)-
+/// evaluation JSON data, the Open American National Corpus for XML, and
+/// the Python 3.6 standard library). Each generator emits source text with
+/// realistic structure for its language — nesting, attribute runs (the
+/// non-LL(k) hot spot for XML), statement/expression mixes for Python —
+/// sized to an approximate token target, so Figure 9's time-vs-tokens
+/// sweeps exercise the same code paths as the original corpora.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_WORKLOAD_GENERATORS_H
+#define COSTAR_WORKLOAD_GENERATORS_H
+
+#include "lang/Language.h"
+
+#include <random>
+#include <string>
+
+namespace costar {
+namespace workload {
+
+/// Generates one synthetic source file for \p Lang of roughly
+/// \p TargetTokens tokens (within a small factor; callers measure the
+/// actual token count after lexing).
+std::string generateSource(lang::LangId Lang, std::mt19937_64 &Rng,
+                           uint32_t TargetTokens);
+
+/// A generated corpus: file sizes spread geometrically between
+/// \p MinTokens and \p MaxTokens.
+struct Corpus {
+  std::vector<std::string> Files;
+  uint64_t TotalBytes = 0;
+};
+
+/// Generates \p NumFiles files for \p Lang with token targets spread
+/// geometrically across [MinTokens, MaxTokens].
+Corpus generateCorpus(lang::LangId Lang, uint64_t Seed, uint32_t NumFiles,
+                      uint32_t MinTokens, uint32_t MaxTokens);
+
+} // namespace workload
+} // namespace costar
+
+#endif // COSTAR_WORKLOAD_GENERATORS_H

@@ -1,0 +1,328 @@
+//===- xform/Transforms.cpp - Grammar transformations --------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/Transforms.h"
+
+#include "grammar/Analysis.h"
+#include "grammar/LeftRecursion.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace costar;
+using namespace costar::xform;
+
+namespace {
+
+/// A mutable working copy of a grammar: per-nonterminal alternative lists,
+/// with symbols still using the *original* grammar's ids plus ids for
+/// freshly synthesized nonterminals.
+struct WorkGrammar {
+  const Grammar &Original;
+  std::vector<std::string> NtNames;
+  /// Alts[X] = list of right-hand sides of X.
+  std::vector<std::vector<std::vector<Symbol>>> Alts;
+
+  explicit WorkGrammar(const Grammar &G) : Original(G) {
+    NtNames.reserve(G.numNonterminals());
+    Alts.resize(G.numNonterminals());
+    for (NonterminalId X = 0; X < G.numNonterminals(); ++X) {
+      NtNames.push_back(G.nonterminalName(X));
+      for (ProductionId Id : G.productionsFor(X))
+        Alts[X].push_back(G.production(Id).Rhs);
+    }
+  }
+
+  NonterminalId fresh(const std::string &Base) {
+    std::string Name = Base;
+    int Counter = 0;
+    auto Exists = [&](const std::string &N) {
+      return std::find(NtNames.begin(), NtNames.end(), N) != NtNames.end();
+    };
+    while (Exists(Name))
+      Name = Base + std::to_string(Counter++);
+    NtNames.push_back(Name);
+    Alts.emplace_back();
+    return static_cast<NonterminalId>(NtNames.size() - 1);
+  }
+
+  /// Emits a fresh Grammar keeping only the nonterminals with Keep[X]
+  /// set. Terminal ids are preserved (interned in original order).
+  TransformResult emit(NonterminalId Start,
+                       const std::vector<bool> &Keep) const {
+    TransformResult Out;
+    for (TerminalId T = 0; T < Original.numTerminals(); ++T)
+      Out.G.internTerminal(Original.terminalName(T));
+    std::vector<NonterminalId> Remap(NtNames.size(), UINT32_MAX);
+    for (NonterminalId X = 0; X < NtNames.size(); ++X)
+      if (Keep[X])
+        Remap[X] = Out.G.internNonterminal(NtNames[X]);
+    for (NonterminalId X = 0; X < NtNames.size(); ++X) {
+      if (!Keep[X])
+        continue;
+      for (const std::vector<Symbol> &Rhs : Alts[X]) {
+        std::vector<Symbol> Mapped;
+        Mapped.reserve(Rhs.size());
+        bool Dropped = false;
+        for (Symbol S : Rhs) {
+          if (S.isTerminal()) {
+            Mapped.push_back(S);
+            continue;
+          }
+          NonterminalId Y = Remap[S.nonterminalId()];
+          if (Y == UINT32_MAX) {
+            Dropped = true;
+            break;
+          }
+          Mapped.push_back(Symbol::nonterminal(Y));
+        }
+        if (!Dropped)
+          Out.G.addProduction(Remap[X], std::move(Mapped));
+      }
+    }
+    assert(Remap[Start] != UINT32_MAX && "start symbol was dropped");
+    Out.Start = Remap[Start];
+    return Out;
+  }
+
+  TransformResult emitAll(NonterminalId Start) const {
+    return emit(Start, std::vector<bool>(NtNames.size(), true));
+  }
+};
+
+/// Productivity over a WorkGrammar.
+std::vector<bool> computeProductive(const WorkGrammar &W) {
+  std::vector<bool> Productive(W.Alts.size(), false);
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (NonterminalId X = 0; X < W.Alts.size(); ++X) {
+      if (Productive[X])
+        continue;
+      for (const std::vector<Symbol> &Rhs : W.Alts[X]) {
+        bool All = true;
+        for (Symbol S : Rhs)
+          if (S.isNonterminal() && !Productive[S.nonterminalId()]) {
+            All = false;
+            break;
+          }
+        if (All) {
+          Productive[X] = true;
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return Productive;
+}
+
+/// Reachability from Start, restricted to productions whose nonterminals
+/// are all in \p Allowed.
+std::vector<bool> computeReachable(const WorkGrammar &W, NonterminalId Start,
+                                   const std::vector<bool> &Allowed) {
+  std::vector<bool> Reachable(W.Alts.size(), false);
+  if (!Allowed[Start])
+    return Reachable;
+  std::vector<NonterminalId> Work{Start};
+  Reachable[Start] = true;
+  while (!Work.empty()) {
+    NonterminalId X = Work.back();
+    Work.pop_back();
+    for (const std::vector<Symbol> &Rhs : W.Alts[X]) {
+      bool UsableRhs = true;
+      for (Symbol S : Rhs)
+        if (S.isNonterminal() && !Allowed[S.nonterminalId()])
+          UsableRhs = false;
+      if (!UsableRhs)
+        continue;
+      for (Symbol S : Rhs) {
+        if (!S.isNonterminal())
+          continue;
+        NonterminalId Y = S.nonterminalId();
+        if (!Reachable[Y]) {
+          Reachable[Y] = true;
+          Work.push_back(Y);
+        }
+      }
+    }
+  }
+  return Reachable;
+}
+
+/// Drops useless symbols inside a WorkGrammar (mutating Alts in place so
+/// later passes see only useful material); returns the keep mask.
+std::vector<bool> pruneUseless(WorkGrammar &W, NonterminalId Start) {
+  std::vector<bool> Productive = computeProductive(W);
+  // Drop unproductive alternatives before computing reachability.
+  for (NonterminalId X = 0; X < W.Alts.size(); ++X) {
+    auto &A = W.Alts[X];
+    A.erase(std::remove_if(A.begin(), A.end(),
+                           [&](const std::vector<Symbol> &Rhs) {
+                             for (Symbol S : Rhs)
+                               if (S.isNonterminal() &&
+                                   !Productive[S.nonterminalId()])
+                                 return true;
+                             return false;
+                           }),
+            A.end());
+  }
+  std::vector<bool> Reachable = computeReachable(W, Start, Productive);
+  std::vector<bool> Keep(W.Alts.size());
+  for (NonterminalId X = 0; X < W.Alts.size(); ++X)
+    Keep[X] = Productive[X] && Reachable[X];
+  return Keep;
+}
+
+} // namespace
+
+TransformResult costar::xform::removeUselessSymbols(const Grammar &G,
+                                                    NonterminalId Start) {
+  WorkGrammar W(G);
+  std::vector<bool> Keep = pruneUseless(W, Start);
+  if (!Keep[Start]) {
+    TransformResult Out;
+    Out.Error = "start symbol '" + G.nonterminalName(Start) +
+                "' derives no terminal string";
+    return Out;
+  }
+  return W.emit(Start, Keep);
+}
+
+TransformResult costar::xform::eliminateLeftRecursion(const Grammar &G,
+                                                      NonterminalId Start) {
+  // Paull's algorithm requires a reduced grammar.
+  WorkGrammar W(G);
+  std::vector<bool> Keep = pruneUseless(W, Start);
+  if (!Keep[Start]) {
+    TransformResult Out;
+    Out.Error = "start symbol '" + G.nonterminalName(Start) +
+                "' derives no terminal string";
+    return Out;
+  }
+  // Compact: renumber kept nonterminals so the ordered loops below range
+  // over exactly the useful ones. Easiest via an emit/rebuild round trip.
+  TransformResult Reduced = W.emit(Start, Keep);
+  WorkGrammar R(Reduced.G);
+  NonterminalId RStart = Reduced.Start;
+  uint32_t OriginalCount = static_cast<uint32_t>(R.Alts.size());
+
+  for (NonterminalId I = 0; I < OriginalCount; ++I) {
+    // Substitute earlier nonterminals at the head of I's alternatives.
+    for (NonterminalId J = 0; J < I; ++J) {
+      std::vector<std::vector<Symbol>> NewAlts;
+      for (const std::vector<Symbol> &Rhs : R.Alts[I]) {
+        if (Rhs.empty() || Rhs[0] != Symbol::nonterminal(J)) {
+          NewAlts.push_back(Rhs);
+          continue;
+        }
+        for (const std::vector<Symbol> &Sub : R.Alts[J]) {
+          std::vector<Symbol> Expanded = Sub;
+          Expanded.insert(Expanded.end(), Rhs.begin() + 1, Rhs.end());
+          NewAlts.push_back(std::move(Expanded));
+        }
+      }
+      R.Alts[I] = std::move(NewAlts);
+    }
+    // Eliminate direct left recursion on I.
+    std::vector<std::vector<Symbol>> Recursive, Base;
+    for (const std::vector<Symbol> &Rhs : R.Alts[I]) {
+      if (!Rhs.empty() && Rhs[0] == Symbol::nonterminal(I)) {
+        std::vector<Symbol> Tail(Rhs.begin() + 1, Rhs.end());
+        // A -> A contributes nothing to the language; drop it.
+        if (!Tail.empty())
+          Recursive.push_back(std::move(Tail));
+      } else {
+        Base.push_back(Rhs);
+      }
+    }
+    if (Recursive.empty()) {
+      // No usable recursion; still drop any A -> A unit self-productions
+      // filtered above.
+      R.Alts[I] = std::move(Base);
+      continue;
+    }
+    NonterminalId Cont = R.fresh(R.NtNames[I] + "__lr");
+    R.Alts[I].clear();
+    for (std::vector<Symbol> Rhs : Base) {
+      Rhs.push_back(Symbol::nonterminal(Cont));
+      R.Alts[I].push_back(std::move(Rhs));
+    }
+    for (std::vector<Symbol> Tail : Recursive) {
+      Tail.push_back(Symbol::nonterminal(Cont));
+      R.Alts[Cont].push_back(std::move(Tail));
+    }
+    R.Alts[Cont].push_back({}); // epsilon
+  }
+
+  TransformResult Out = R.emitAll(RStart);
+  // The classic algorithm misses hidden left recursion (nullable-prefix
+  // cycles); be honest about it rather than returning a wrong grammar.
+  GrammarAnalysis Check(Out.G, Out.Start);
+  if (!isLeftRecursionFree(Check)) {
+    TransformResult Err;
+    Err.Error = "grammar has hidden left recursion (left-corner cycle "
+                "through a nullable prefix), which Paull's algorithm does "
+                "not eliminate";
+    return Err;
+  }
+  return Out;
+}
+
+TransformResult costar::xform::leftFactor(const Grammar &G,
+                                          NonterminalId Start) {
+  WorkGrammar W(G);
+  // Worklist of nonterminals to (re)factor, including fresh ones.
+  std::vector<NonterminalId> Work;
+  for (NonterminalId X = 0; X < W.Alts.size(); ++X)
+    Work.push_back(X);
+
+  while (!Work.empty()) {
+    NonterminalId X = Work.back();
+    Work.pop_back();
+    // Group alternatives by first symbol.
+    std::map<Symbol, std::vector<size_t>> Groups;
+    for (size_t I = 0; I < W.Alts[X].size(); ++I)
+      if (!W.Alts[X][I].empty())
+        Groups[W.Alts[X][I][0]].push_back(I);
+
+    for (auto &[Head, Members] : Groups) {
+      if (Members.size() < 2)
+        continue;
+      // Longest common prefix of the group.
+      size_t PrefixLen = W.Alts[X][Members[0]].size();
+      for (size_t I : Members)
+        PrefixLen = std::min(PrefixLen, W.Alts[X][I].size());
+      for (size_t P = 0; P < PrefixLen; ++P)
+        for (size_t I : Members)
+          if (W.Alts[X][I][P] != W.Alts[X][Members[0]][P]) {
+            PrefixLen = P;
+            break;
+          }
+      assert(PrefixLen >= 1 && "grouped alternatives share a first symbol");
+
+      NonterminalId Suffix = W.fresh(W.NtNames[X] + "__lf");
+      std::vector<Symbol> Prefix(W.Alts[X][Members[0]].begin(),
+                                 W.Alts[X][Members[0]].begin() + PrefixLen);
+      for (size_t I : Members)
+        W.Alts[Suffix].push_back(std::vector<Symbol>(
+            W.Alts[X][I].begin() + PrefixLen, W.Alts[X][I].end()));
+      // Replace the group with one factored alternative. Erase back to
+      // front so indices stay valid.
+      std::vector<size_t> Sorted(Members.begin(), Members.end());
+      std::sort(Sorted.rbegin(), Sorted.rend());
+      for (size_t I : Sorted)
+        W.Alts[X].erase(W.Alts[X].begin() + I);
+      Prefix.push_back(Symbol::nonterminal(Suffix));
+      W.Alts[X].push_back(std::move(Prefix));
+      // Both X (other groups may remain) and the fresh suffix may need
+      // further factoring.
+      Work.push_back(X);
+      Work.push_back(Suffix);
+      break; // Groups iterators invalidated; revisit X from the worklist.
+    }
+  }
+  return W.emitAll(Start);
+}

@@ -1,0 +1,111 @@
+//===- tests/RandomGrammar.h - Random grammar generation -------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random CFG generation for property tests. The paper's theorems quantify
+/// over all non-left-recursive grammars; we approximate that quantification
+/// by sweeping randomly generated grammars (filtered by the static
+/// left-recursion decision procedure) and randomly sampled / corrupted
+/// words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_TESTS_RANDOMGRAMMAR_H
+#define COSTAR_TESTS_RANDOMGRAMMAR_H
+
+#include "grammar/Analysis.h"
+#include "grammar/Grammar.h"
+#include "grammar/LeftRecursion.h"
+#include "grammar/Token.h"
+
+#include <random>
+#include <string>
+
+namespace costar {
+namespace test {
+
+struct RandomGrammarOptions {
+  uint32_t NumNonterminals = 4;
+  uint32_t NumTerminals = 3;
+  uint32_t MaxProductionsPerNt = 3;
+  uint32_t MaxRhsLen = 4;
+};
+
+/// Generates an arbitrary random grammar (possibly left-recursive, possibly
+/// with nonproductive nonterminals). Nonterminal 0 is the intended start.
+inline Grammar randomGrammar(std::mt19937_64 &Rng,
+                             const RandomGrammarOptions &Opts = {}) {
+  Grammar G;
+  for (uint32_t I = 0; I < Opts.NumNonterminals; ++I)
+    G.internNonterminal("N" + std::to_string(I));
+  for (uint32_t I = 0; I < Opts.NumTerminals; ++I)
+    G.internTerminal("t" + std::to_string(I));
+  for (uint32_t Nt = 0; Nt < Opts.NumNonterminals; ++Nt) {
+    uint32_t NumProds = 1 + Rng() % Opts.MaxProductionsPerNt;
+    for (uint32_t P = 0; P < NumProds; ++P) {
+      uint32_t Len = Rng() % (Opts.MaxRhsLen + 1);
+      std::vector<Symbol> Rhs;
+      for (uint32_t I = 0; I < Len; ++I) {
+        // Bias toward terminals (2:1) so sampled words stay small and most
+        // generated grammars are productive.
+        if (Rng() % 3 != 0)
+          Rhs.push_back(Symbol::terminal(
+              static_cast<TerminalId>(Rng() % Opts.NumTerminals)));
+        else
+          Rhs.push_back(Symbol::nonterminal(
+              static_cast<NonterminalId>(Rng() % Opts.NumNonterminals)));
+      }
+      G.addProduction(Nt, std::move(Rhs));
+    }
+  }
+  return G;
+}
+
+/// Generates a random grammar that is non-left-recursive and whose start
+/// symbol (nonterminal 0) is productive, retrying until one is found.
+inline Grammar randomNonLeftRecursiveGrammar(
+    std::mt19937_64 &Rng, const RandomGrammarOptions &Opts = {}) {
+  for (;;) {
+    Grammar G = randomGrammar(Rng, Opts);
+    GrammarAnalysis A(G, /*Start=*/0);
+    if (!A.productive(0))
+      continue;
+    if (!isLeftRecursionFree(A))
+      continue;
+    return G;
+  }
+}
+
+/// Randomly corrupts \p W: deletes, duplicates, or replaces a token. The
+/// result may or may not still be in the language; property tests must not
+/// assume either way.
+inline Word corruptWord(std::mt19937_64 &Rng, const Grammar &G, Word W) {
+  if (W.empty()) {
+    TerminalId T = static_cast<TerminalId>(Rng() % G.numTerminals());
+    W.emplace_back(T, G.terminalName(T));
+    return W;
+  }
+  size_t I = Rng() % W.size();
+  switch (Rng() % 3) {
+  case 0:
+    W.erase(W.begin() + I);
+    break;
+  case 1:
+    W.insert(W.begin() + I, W[I]);
+    break;
+  default: {
+    TerminalId T = static_cast<TerminalId>(Rng() % G.numTerminals());
+    W[I] = Token(T, G.terminalName(T));
+    break;
+  }
+  }
+  return W;
+}
+
+} // namespace test
+} // namespace costar
+
+#endif // COSTAR_TESTS_RANDOMGRAMMAR_H

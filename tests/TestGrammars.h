@@ -1,0 +1,103 @@
+//===- tests/TestGrammars.h - Shared test fixtures -------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small grammars used across the test suite, including the two worked
+/// examples from the paper (Figures 2 and 6), plus helpers for building
+/// grammars and token words concisely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_TESTS_TESTGRAMMARS_H
+#define COSTAR_TESTS_TESTGRAMMARS_H
+
+#include "grammar/Grammar.h"
+#include "grammar/Token.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace costar {
+namespace test {
+
+/// Builds grammars from a compact textual form: each production is
+/// "Lhs -> s1 s2 ..." (or "Lhs ->" for epsilon), one per line. Symbols
+/// starting with a lowercase letter or a non-alphabetic character are
+/// terminals; symbols starting with an uppercase letter are nonterminals.
+/// (Note: the opposite of ANTLR's convention; these fixtures follow the
+/// paper's notation, where S, A are nonterminals and a, b terminals.)
+inline Grammar makeGrammar(const std::string &Text) {
+  Grammar G;
+  std::istringstream Lines(Text);
+  std::string Line;
+  auto IsNonterminal = [](const std::string &Name) {
+    return !Name.empty() && Name[0] >= 'A' && Name[0] <= 'Z';
+  };
+  // First pass interns all left-hand sides so productions can reference
+  // nonterminals defined later.
+  std::vector<std::pair<std::string, std::vector<std::string>>> Rules;
+  while (std::getline(Lines, Line)) {
+    std::istringstream Words(Line);
+    std::string Lhs, Arrow, Sym;
+    if (!(Words >> Lhs))
+      continue;
+    Words >> Arrow;
+    assert(Arrow == "->" && "expected '->' in grammar line");
+    std::vector<std::string> Rhs;
+    while (Words >> Sym)
+      Rhs.push_back(Sym);
+    assert(IsNonterminal(Lhs) && "left-hand side must be a nonterminal");
+    G.internNonterminal(Lhs);
+    Rules.emplace_back(std::move(Lhs), std::move(Rhs));
+  }
+  for (auto &[Lhs, Rhs] : Rules) {
+    std::vector<Symbol> Syms;
+    for (const std::string &Name : Rhs)
+      Syms.push_back(IsNonterminal(Name)
+                         ? Symbol::nonterminal(G.internNonterminal(Name))
+                         : Symbol::terminal(G.internTerminal(Name)));
+    G.addProduction(G.lookupNonterminal(Lhs), std::move(Syms));
+  }
+  return G;
+}
+
+/// Builds a token word from space-separated terminal names, which must all
+/// be already interned in \p G.
+inline Word makeWord(const Grammar &G, const std::string &Text) {
+  Word W;
+  std::istringstream Words(Text);
+  std::string Name;
+  while (Words >> Name) {
+    TerminalId T = G.lookupTerminal(Name);
+    assert(T != UINT32_MAX && "unknown terminal in test word");
+    W.emplace_back(T, Name);
+  }
+  return W;
+}
+
+/// The grammar of Figure 2: S -> Ac | Ad; A -> aA | b. Unambiguous, not
+/// LL(1) (both S-alternatives start with A), exercising real prediction.
+inline Grammar figure2Grammar() {
+  return makeGrammar("S -> A c\n"
+                     "S -> A d\n"
+                     "A -> a A\n"
+                     "A -> b\n");
+}
+
+/// The grammar of Figure 6: S -> X | Y; X -> a; Y -> a. The word "a" is
+/// ambiguous (two distinct parse trees).
+inline Grammar figure6Grammar() {
+  return makeGrammar("S -> X\n"
+                     "S -> Y\n"
+                     "X -> a\n"
+                     "Y -> a\n");
+}
+
+} // namespace test
+} // namespace costar
+
+#endif // COSTAR_TESTS_TESTGRAMMARS_H

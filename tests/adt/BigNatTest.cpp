@@ -1,0 +1,85 @@
+//===- tests/adt/BigNatTest.cpp ---------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/BigNat.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using costar::adt::BigNat;
+
+TEST(BigNat, ZeroProperties) {
+  BigNat Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_EQ(Zero.toString(), "0");
+  EXPECT_TRUE(Zero == BigNat(0));
+  EXPECT_TRUE(Zero < BigNat(1));
+}
+
+TEST(BigNat, SmallArithmeticMatchesUint64) {
+  std::mt19937_64 Rng(7);
+  for (int I = 0; I < 200; ++I) {
+    uint64_t A = Rng() % (1ull << 31);
+    uint64_t B = Rng() % (1ull << 31);
+    EXPECT_EQ((BigNat(A) + BigNat(B)).toString(), std::to_string(A + B));
+    EXPECT_EQ((BigNat(A) * BigNat(B)).toString(), std::to_string(A * B));
+    EXPECT_EQ(BigNat(A) < BigNat(B), A < B);
+    EXPECT_EQ(BigNat(A) == BigNat(B), A == B);
+  }
+}
+
+TEST(BigNat, CarryPropagation) {
+  BigNat A(0xFFFFFFFFull);
+  BigNat One(1);
+  EXPECT_EQ((A + One).toString(), "4294967296");
+  BigNat B(0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ((B + One).toString(), "18446744073709551616");
+}
+
+TEST(BigNat, PowSmallCases) {
+  EXPECT_EQ(BigNat::pow(2, 0).toString(), "1");
+  EXPECT_EQ(BigNat::pow(2, 10).toString(), "1024");
+  EXPECT_EQ(BigNat::pow(10, 9).toString(), "1000000000");
+  EXPECT_EQ(BigNat::pow(0, 0).toString(), "1") << "0^0 = 1, matching Coq";
+  EXPECT_EQ(BigNat::pow(0, 5).toString(), "0");
+}
+
+TEST(BigNat, PowLargeExponentExceedsUint64) {
+  // 3^100: the kind of value stackScore produces on a grammar with ~100
+  // nonterminals. Reference value computed independently.
+  EXPECT_EQ(BigNat::pow(3, 100).toString(),
+            "515377520732011331036461129765621272702107522001");
+}
+
+TEST(BigNat, PowMonotoneInExponent) {
+  for (uint32_t E = 0; E < 60; ++E)
+    EXPECT_TRUE(BigNat::pow(7, E) < BigNat::pow(7, E + 1));
+}
+
+TEST(BigNat, MulWordMatchesMul) {
+  std::mt19937_64 Rng(11);
+  for (int I = 0; I < 100; ++I) {
+    BigNat A = BigNat::pow(static_cast<uint32_t>(2 + Rng() % 30),
+                           static_cast<uint32_t>(Rng() % 40));
+    uint32_t W = static_cast<uint32_t>(Rng());
+    BigNat ByWord = A;
+    ByWord.mulWord(W);
+    EXPECT_TRUE(ByWord == A * BigNat(W));
+  }
+}
+
+TEST(BigNat, ComparisonIsTotalOrderOnSamples) {
+  std::vector<BigNat> Samples;
+  for (uint32_t E = 0; E < 20; ++E)
+    Samples.push_back(BigNat::pow(5, E) + BigNat(E));
+  for (size_t I = 0; I < Samples.size(); ++I)
+    for (size_t J = 0; J < Samples.size(); ++J) {
+      int C = Samples[I].compare(Samples[J]);
+      EXPECT_EQ(C < 0, Samples[J].compare(Samples[I]) > 0);
+      EXPECT_EQ(C == 0, I == J);
+    }
+}

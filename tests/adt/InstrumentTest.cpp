@@ -1,0 +1,52 @@
+//===- tests/adt/InstrumentTest.cpp -------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Instrument.h"
+
+#include "adt/PersistentMap.h"
+#include "grammar/Symbol.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::adt;
+
+TEST(Instrument, CountersStartAtZeroAfterReset) {
+  ComparisonCounters::reset();
+  EXPECT_EQ(ComparisonCounters::nonterminal(), 0u);
+  EXPECT_EQ(ComparisonCounters::cacheKey(), 0u);
+}
+
+TEST(Instrument, CompareNtCountsEveryInvocation) {
+  ComparisonCounters::reset();
+  CompareNT Less;
+  EXPECT_TRUE(Less(1, 2));
+  EXPECT_FALSE(Less(2, 1));
+  EXPECT_FALSE(Less(3, 3));
+  EXPECT_EQ(ComparisonCounters::nonterminal(), 3u);
+  EXPECT_EQ(ComparisonCounters::cacheKey(), 0u) << "wrong slot untouched";
+}
+
+TEST(Instrument, MapOperationsDriveTheCounter) {
+  ComparisonCounters::reset();
+  PersistentMap<NonterminalId, int, CompareNT> M;
+  for (NonterminalId X = 0; X < 32; ++X)
+    M = M.insert(X, static_cast<int>(X));
+  uint64_t AfterInserts = ComparisonCounters::nonterminal();
+  EXPECT_GT(AfterInserts, 32u) << "each insert costs O(log n) comparisons";
+  (void)M.find(17);
+  EXPECT_GT(ComparisonCounters::nonterminal(), AfterInserts);
+  // Lookups in a 32-key AVL tree take at most ~2 * height comparisons.
+  EXPECT_LT(ComparisonCounters::nonterminal(), AfterInserts + 20);
+}
+
+TEST(Instrument, CountingLessAdapterTargetsChosenSlot) {
+  ComparisonCounters::reset();
+  CountingLess<std::less<int>, &ComparisonCounters::cacheKey> Less;
+  EXPECT_TRUE(Less(1, 2));
+  EXPECT_EQ(ComparisonCounters::cacheKey(), 1u);
+  EXPECT_EQ(ComparisonCounters::nonterminal(), 0u);
+}

@@ -1,0 +1,137 @@
+//===- tests/adt/PersistentMapTest.cpp --------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/PersistentMap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+using namespace costar::adt;
+
+TEST(PersistentMap, EmptyMapHasNoBindings) {
+  PersistentMap<int, int> M;
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_EQ(M.find(42), nullptr);
+  EXPECT_FALSE(M.contains(42));
+}
+
+TEST(PersistentMap, InsertThenFind) {
+  PersistentMap<int, std::string> M;
+  auto M2 = M.insert(1, "one").insert(2, "two").insert(3, "three");
+  ASSERT_NE(M2.find(2), nullptr);
+  EXPECT_EQ(*M2.find(2), "two");
+  EXPECT_EQ(M2.size(), 3u);
+  // The original is untouched (persistence).
+  EXPECT_TRUE(M.empty());
+}
+
+TEST(PersistentMap, InsertReplacesExistingBinding) {
+  PersistentMap<int, int> M;
+  auto M2 = M.insert(7, 1).insert(7, 2);
+  EXPECT_EQ(M2.size(), 1u);
+  EXPECT_EQ(*M2.find(7), 2);
+}
+
+TEST(PersistentMap, OldVersionsSurviveUpdates) {
+  PersistentMap<int, int> V0;
+  auto V1 = V0.insert(1, 10);
+  auto V2 = V1.insert(2, 20);
+  auto V3 = V2.erase(1);
+  EXPECT_EQ(V1.size(), 1u);
+  EXPECT_EQ(V2.size(), 2u);
+  EXPECT_EQ(V3.size(), 1u);
+  EXPECT_NE(V2.find(1), nullptr);
+  EXPECT_EQ(V3.find(1), nullptr);
+  EXPECT_NE(V3.find(2), nullptr);
+}
+
+TEST(PersistentMap, EraseMissingKeyIsIdentity) {
+  PersistentMap<int, int> M;
+  auto M2 = M.insert(1, 1);
+  auto M3 = M2.erase(99);
+  EXPECT_EQ(M3.size(), 1u);
+  EXPECT_TRUE(M3.contains(1));
+}
+
+TEST(PersistentMap, ForEachVisitsInAscendingOrder) {
+  PersistentMap<int, int> M;
+  for (int I : {5, 1, 4, 2, 3})
+    M = M.insert(I, I * 10);
+  std::vector<int> Keys;
+  M.forEach([&](int K, int V) {
+    Keys.push_back(K);
+    EXPECT_EQ(V, K * 10);
+  });
+  EXPECT_EQ(Keys, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(PersistentMap, AscendingInsertionStaysBalanced) {
+  PersistentMap<int, int> M;
+  for (int I = 0; I < 1024; ++I)
+    M = M.insert(I, I);
+  EXPECT_EQ(M.size(), 1024u);
+  EXPECT_TRUE(M.checkInvariants());
+  // A balanced tree over 1024 keys has height ~10; AVL guarantees at most
+  // ~1.44 log2(n).
+  EXPECT_LE(M.height(), 15);
+}
+
+TEST(PersistentMap, RandomOpsAgreeWithStdMap) {
+  std::mt19937 Rng(12345);
+  PersistentMap<int, int> M;
+  std::map<int, int> Ref;
+  for (int Step = 0; Step < 4000; ++Step) {
+    int Key = static_cast<int>(Rng() % 200);
+    switch (Rng() % 3) {
+    case 0:
+    case 1: {
+      int Value = static_cast<int>(Rng() % 1000);
+      M = M.insert(Key, Value);
+      Ref[Key] = Value;
+      break;
+    }
+    case 2:
+      M = M.erase(Key);
+      Ref.erase(Key);
+      break;
+    }
+  }
+  EXPECT_EQ(M.size(), Ref.size());
+  EXPECT_TRUE(M.checkInvariants());
+  for (auto &[K, V] : Ref) {
+    ASSERT_NE(M.find(K), nullptr) << "missing key " << K;
+    EXPECT_EQ(*M.find(K), V);
+  }
+  M.forEach([&](int K, int V) {
+    auto It = Ref.find(K);
+    ASSERT_NE(It, Ref.end()) << "extra key " << K;
+    EXPECT_EQ(It->second, V);
+  });
+}
+
+TEST(PersistentSet, InsertContainsErase) {
+  PersistentSet<int> S;
+  auto S2 = S.insert(3).insert(1).insert(2).insert(3);
+  EXPECT_EQ(S2.size(), 3u);
+  EXPECT_TRUE(S2.contains(1));
+  EXPECT_FALSE(S2.contains(4));
+  auto S3 = S2.erase(1);
+  EXPECT_FALSE(S3.contains(1));
+  EXPECT_TRUE(S2.contains(1)) << "persistence: old version unchanged";
+}
+
+TEST(PersistentSet, ForEachAscending) {
+  PersistentSet<int> S;
+  for (int I : {9, 3, 7, 1})
+    S = S.insert(I);
+  std::vector<int> Keys;
+  S.forEach([&](int K) { Keys.push_back(K); });
+  EXPECT_EQ(Keys, (std::vector<int>{1, 3, 7, 9}));
+}

@@ -1,0 +1,152 @@
+//===- tests/atn/AtnSimulatorTest.cpp -----------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the baseline's prediction engine in isolation: SLL
+/// simulation over the DFA cache, full-context LL simulation, conflict
+/// detection, and the two-stage failover policy — plus agreement with the
+/// CoStar core's prediction on shared decisions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "atn/AtnSimulator.h"
+
+#include "../TestGrammars.h"
+#include "core/Prediction.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::atn;
+using namespace costar::test;
+
+namespace {
+
+struct StartContext {
+  std::vector<Symbol> StartSyms;
+  std::vector<Frame> Stack;
+  explicit StartContext(NonterminalId Start)
+      : StartSyms({Symbol::nonterminal(Start)}) {
+    Stack.push_back(Frame{InvalidProductionId, &StartSyms, 0, {}});
+  }
+};
+
+} // namespace
+
+TEST(AtnSimulator, SllResolvesFigure2Decisions) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  Atn Net(G, S);
+  AtnCache Cache;
+  AtnSimulator Sim(Net, Cache);
+
+  Word W = makeWord(G, "a b d");
+  AtnPrediction P = Sim.sllPredict(S, W, 0);
+  ASSERT_EQ(P.K, AtnPrediction::Kind::Unique);
+  EXPECT_EQ(P.Prod, G.productionsFor(S)[1]) << "S -> A d";
+
+  Word W2 = makeWord(G, "b c");
+  AtnPrediction P2 = Sim.sllPredict(S, W2, 0);
+  ASSERT_EQ(P2.K, AtnPrediction::Kind::Unique);
+  EXPECT_EQ(P2.Prod, G.productionsFor(S)[0]) << "S -> A c";
+}
+
+TEST(AtnSimulator, SllRejectsWhenNothingViable) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  Atn Net(G, S);
+  AtnCache Cache;
+  AtnSimulator Sim(Net, Cache);
+  AtnPrediction P = Sim.sllPredict(S, makeWord(G, "c"), 0);
+  EXPECT_EQ(P.K, AtnPrediction::Kind::Reject);
+}
+
+TEST(AtnSimulator, ConflictDetectedWithoutReachingEndOfInput) {
+  // Figure 6: both alternatives reach identical configurations after one
+  // token; the conflict check fires mid-stream (unlike CoStar's
+  // end-of-input-only policy). Give prediction extra lookahead to prove it
+  // does not need to consume it.
+  Grammar G = makeGrammar("S -> X t t t\nS -> Y t t t\nX -> a\nY -> a\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  Atn Net(G, S);
+  AtnCache Cache;
+  AtnSimulator Sim(Net, Cache);
+  StartContext Ctx(S);
+  Word W = makeWord(G, "a t t t");
+  AtnPrediction P = Sim.llPredict(S, Ctx.Stack, W, 0);
+  ASSERT_EQ(P.K, AtnPrediction::Kind::Ambig);
+  EXPECT_EQ(P.Prod, G.productionsFor(S)[0]) << "resolves to min alt";
+
+  // CoStar's LL prediction reaches the same verdict (at end of input).
+  PredictionResult CoStarP =
+      llPredict(G, S, Ctx.Stack, VisitedSet(), W, 0);
+  EXPECT_EQ(CoStarP.ResultKind, PredictionResult::Kind::Ambig);
+  EXPECT_EQ(CoStarP.Prod, P.Prod);
+}
+
+TEST(AtnSimulator, TwoStageFailoverOnContextSensitiveDecision) {
+  Grammar G = makeGrammar("S -> A\n"
+                          "S -> l A r\n"
+                          "A -> a\n"
+                          "A -> a r\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  NonterminalId A = G.lookupNonterminal("A");
+  Atn Net(G, S);
+  AtnCache Cache;
+  AtnSimulator Sim(Net, Cache);
+
+  // SLL alone cannot resolve A's decision before "a r<eof>".
+  Word Rest = makeWord(G, "a r");
+  AtnPrediction Sll = Sim.sllPredict(A, Rest, 0);
+  EXPECT_EQ(Sll.K, AtnPrediction::Kind::Error);
+
+  // Full adaptivePredict falls over to LL with the bracketed context and
+  // resolves uniquely to A -> a.
+  std::vector<Symbol> StartSyms{Symbol::nonterminal(S)};
+  std::vector<Frame> Stack;
+  Stack.push_back(Frame{InvalidProductionId, &StartSyms, 0, {}});
+  ProductionId Bracketed = G.productionsFor(S)[1];
+  Frame Upper{Bracketed, &G.production(Bracketed).Rhs, 1, {}};
+  Upper.Trees.push_back(
+      Tree::leaf(Token(G.lookupTerminal("l"), "l"))); // processed 'l'
+  Stack.push_back(Upper);
+
+  AtnSimStats Stats;
+  AtnPrediction P = Sim.adaptivePredict(A, Stack, Rest, 0, &Stats);
+  ASSERT_EQ(P.K, AtnPrediction::Kind::Unique);
+  EXPECT_EQ(P.Prod, G.productionsFor(A)[0]);
+  EXPECT_EQ(Stats.SllFailovers, 1u);
+}
+
+TEST(AtnSimulator, DfaCacheConvergesAcrossQueries) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  Atn Net(G, S);
+  AtnCache Cache;
+  AtnSimulator Sim(Net, Cache);
+  Word W = makeWord(G, "a a a b d");
+  (void)Sim.sllPredict(S, W, 0);
+  size_t States = Cache.numStates();
+  uint64_t Misses = Cache.Misses;
+  for (int I = 0; I < 5; ++I)
+    (void)Sim.sllPredict(S, W, 0);
+  EXPECT_EQ(Cache.numStates(), States) << "no new states on repeats";
+  EXPECT_EQ(Cache.Misses, Misses);
+  EXPECT_GT(Cache.Hits, 0u);
+}
+
+TEST(AtnSimulator, ContextOverflowReportsErrorNotHang) {
+  // Left-recursive rule: closure would grow contexts forever; the depth
+  // guard must turn that into an error.
+  Grammar G = makeGrammar("S -> S a\nS -> a\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  Atn Net(G, S);
+  AtnCache Cache;
+  AtnSimulator Sim(Net, Cache);
+  AtnPrediction P = Sim.sllPredict(S, makeWord(G, "a a"), 0);
+  ASSERT_EQ(P.K, AtnPrediction::Kind::Error);
+  EXPECT_NE(P.Error.find("left-recursive"), std::string::npos);
+}

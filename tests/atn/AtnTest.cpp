@@ -1,0 +1,136 @@
+//===- tests/atn/AtnTest.cpp ------------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atn/AtnParser.h"
+
+#include "../TestGrammars.h"
+#include "grammar/Derivation.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::atn;
+using namespace costar::test;
+
+TEST(Atn, ConstructionShape) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  NonterminalId A = G.lookupNonterminal("A");
+  Atn Net(G, S);
+  // Two states per rule + one per production + one per RHS symbol.
+  EXPECT_EQ(Net.numStates(), 2u * 2 + 4 + 7);
+  // Rule start states fan out one epsilon per alternative, tagged with the
+  // production.
+  const Atn::State &SStart = Net.state(Net.ruleStart(S));
+  ASSERT_EQ(SStart.Trans.size(), 2u);
+  EXPECT_EQ(SStart.Trans[0].Alt, G.productionsFor(S)[0]);
+  EXPECT_EQ(SStart.Trans[1].Alt, G.productionsFor(S)[1]);
+  // A is invoked from S -> A c, S -> A d, A -> a A: three follow sites.
+  EXPECT_EQ(Net.followSites(A).size(), 3u);
+  EXPECT_TRUE(Net.followSites(S).empty());
+  EXPECT_TRUE(Net.canFinish(S));
+  EXPECT_FALSE(Net.canFinish(A));
+}
+
+TEST(Atn, ChainStatesIndexProductionPositions) {
+  Grammar G = figure2Grammar();
+  Atn Net(G, G.lookupNonterminal("S"));
+  // Production 0 is S -> A c: chain has 3 states (positions 0, 1, 2).
+  AtnStateId C0 = Net.chainState(0, 0);
+  AtnStateId C1 = Net.chainState(0, 1);
+  AtnStateId C2 = Net.chainState(0, 2);
+  EXPECT_NE(C0, C1);
+  EXPECT_NE(C1, C2);
+  // Position 0 has a RuleRef on A whose follow is position 1.
+  const AtnTransition &T = Net.state(C0).Trans[0];
+  EXPECT_EQ(T.K, AtnTransition::Kind::RuleRef);
+  EXPECT_EQ(T.Follow, C1);
+  // The final chain state exits to the rule stop.
+  EXPECT_EQ(Net.state(C2).Trans[0].Target,
+            Net.ruleStop(G.lookupNonterminal("S")));
+}
+
+TEST(AtnParser, Figure2Parses) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  AtnParser P(G, S);
+  ParseResult R = P.parse(makeWord(G, "a b d"));
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(R.tree()->toString(G), "(S (A a (A b)) d)");
+  EXPECT_EQ(P.parse(makeWord(G, "a b")).kind(), ParseResult::Kind::Reject);
+  EXPECT_EQ(P.parse(makeWord(G, "d")).kind(), ParseResult::Kind::Reject);
+  EXPECT_EQ(P.parse(Word{}).kind(), ParseResult::Kind::Reject);
+}
+
+TEST(AtnParser, DetectsAmbiguityEarly) {
+  // Figure 6: the conflict is visible to the config-set check as soon as
+  // both alternatives reach identical configurations — unlike CoStar, no
+  // need to reach end of input (Section 3.5 difference).
+  Grammar G = figure6Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  AtnParser P(G, S);
+  ParseResult R = P.parse(makeWord(G, "a"));
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Ambig);
+  EXPECT_EQ(R.tree()->toString(G), "(S (X a))") << "resolves to min alt";
+  EXPECT_TRUE(checkDerivation(G, Symbol::nonterminal(S), makeWord(G, "a"),
+                              *R.tree()));
+}
+
+TEST(AtnParser, LeftRecursionIsAnError) {
+  Grammar G = makeGrammar("S -> S a\nS -> a\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  AtnParser P(G, S);
+  ParseResult R = P.parse(makeWord(G, "a a"));
+  EXPECT_EQ(R.kind(), ParseResult::Kind::Error);
+}
+
+TEST(AtnParser, SllFailoverMatchesCoStarCase) {
+  // The same grammar that forces CoStar's SLL->LL failover.
+  Grammar G = makeGrammar("S -> A\n"
+                          "S -> l A r\n"
+                          "A -> a\n"
+                          "A -> a r\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  AtnParser P(G, S);
+  AtnParser::Stats Stats;
+  ParseResult R = P.parse(makeWord(G, "l a r"), &Stats);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(R.tree()->toString(G), "(S l (A a) r)");
+  EXPECT_GE(Stats.Sim.SllFailovers, 1u);
+}
+
+TEST(AtnParser, CacheWarmupReducesMisses) {
+  // The Figure 11 mechanism: a second parse of similar input hits the DFA
+  // cache instead of recomputing closures.
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  AtnParser P(G, S);
+  AtnParser::Stats Cold, Warm;
+  Word W = makeWord(G, "a a a a b c");
+  ASSERT_EQ(P.parse(W, &Cold).kind(), ParseResult::Kind::Unique);
+  ASSERT_EQ(P.parse(W, &Warm).kind(), ParseResult::Kind::Unique);
+  EXPECT_GT(Cold.CacheMisses, 0u);
+  EXPECT_EQ(Warm.CacheMisses, 0u) << "fully warmed";
+  EXPECT_GT(Warm.CacheHits, 0u);
+  // resetCache() restores the cold behavior.
+  P.resetCache();
+  AtnParser::Stats ColdAgain;
+  ASSERT_EQ(P.parse(W, &ColdAgain).kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(ColdAgain.CacheMisses, Cold.CacheMisses);
+}
+
+TEST(CtxPool, HashConsingSharesStructure) {
+  CtxPool Pool;
+  const Ctx *A = Pool.get(7, nullptr);
+  const Ctx *B = Pool.get(7, nullptr);
+  EXPECT_EQ(A, B) << "identical stacks share one node";
+  const Ctx *C = Pool.get(9, A);
+  const Ctx *D = Pool.get(9, B);
+  EXPECT_EQ(C, D);
+  EXPECT_EQ(C->Depth, 2u);
+  EXPECT_NE(Pool.get(8, nullptr), A);
+  EXPECT_EQ(Pool.size(), 3u);
+}

@@ -1,0 +1,152 @@
+//===- tests/core/ActionsTest.cpp -------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the semantic-actions extension (Section 8 future work): value
+/// folding over parse trees, sparse action tables, and the
+/// ambiguity-vs-semantic-value interaction the paper calls out.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Actions.h"
+
+#include "../TestGrammars.h"
+#include "core/Parser.h"
+#include "gdsl/GrammarDsl.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::test;
+
+namespace {
+
+/// An arithmetic grammar over single tokens: E -> n | p E E | m E E
+/// (prefix plus/times; prefix form keeps it unambiguous and non-LL(1)-
+/// hostile without left recursion).
+Grammar arithGrammar() {
+  return makeGrammar("E -> n\n"
+                     "E -> p E E\n"
+                     "E -> m E E\n");
+}
+
+} // namespace
+
+TEST(Actions, FoldsArithmetic) {
+  Grammar G = arithGrammar();
+  NonterminalId E = G.lookupNonterminal("E");
+  TerminalId n = G.lookupTerminal("n");
+  TerminalId p = G.lookupTerminal("p");
+  TerminalId m = G.lookupTerminal("m");
+
+  SemanticActions<int> Acts(G);
+  Acts.onLeaf([n](const Token &T) {
+        // Number leaves carry their value in the literal; operator leaves
+        // denote nothing.
+        return T.Term == n ? std::atoi(T.Lexeme.c_str()) : 0;
+      })
+      .on(0, [](std::span<const int> Kids) { return Kids[0]; })
+      .on(1, [](std::span<const int> Kids) { return Kids[1] + Kids[2]; })
+      .on(2, [](std::span<const int> Kids) { return Kids[1] * Kids[2]; });
+
+  // m (p 2 3) 4 -> (2 + 3) * 4 = 20.
+  Word W{Token(m, "m"), Token(p, "p"), Token(n, "2"), Token(n, "3"),
+         Token(n, "4")};
+  ParseResult R = parse(G, E, W);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+
+  auto Result = evaluateParse(Acts, R);
+  ASSERT_TRUE(Result.has_value());
+  EXPECT_EQ(Result->Value, (2 + 3) * 4);
+  EXPECT_TRUE(Result->ValueKnownUnique);
+}
+
+TEST(Actions, DefaultsPassThroughFirstChild) {
+  Grammar G = makeGrammar("S -> A b\nA -> a\n");
+  SemanticActions<std::string> Acts(G);
+  Acts.onLeaf([](const Token &T) { return T.Lexeme; });
+  // No node actions installed: S and A pass their first child through.
+  ParseResult R = parse(G, 0, makeWord(G, "a b"));
+  ASSERT_TRUE(R.accepted());
+  EXPECT_EQ(Acts.evaluate(*R.tree()), "a");
+}
+
+TEST(Actions, EpsilonProductionYieldsDefaultValue) {
+  Grammar G = makeGrammar("S -> A b\nA ->\nA -> a\n");
+  SemanticActions<int> Acts(G);
+  Acts.onLeaf([](const Token &) { return 7; });
+  ParseResult R = parse(G, 0, makeWord(G, "b"));
+  ASSERT_TRUE(R.accepted());
+  // S passes through child A; A -> eps has no children -> int{} == 0.
+  EXPECT_EQ(Acts.evaluate(*R.tree()), 0);
+}
+
+TEST(Actions, OnNonterminalInstallsForAllAlternatives) {
+  Grammar G = arithGrammar();
+  NonterminalId E = G.lookupNonterminal("E");
+  SemanticActions<int> Count(G);
+  Count.onLeaf([](const Token &) { return 1; })
+      .onNonterminal(E, [](std::span<const int> Kids) {
+        int Sum = 0;
+        for (int K : Kids)
+          Sum += K;
+        return Sum;
+      });
+  Word W = makeWord(G, "p n n");
+  ParseResult R = parse(G, E, W);
+  ASSERT_TRUE(R.accepted());
+  EXPECT_EQ(Count.evaluate(*R.tree()), 3) << "counts the leaves";
+}
+
+TEST(Actions, AmbiguousParseValueNotKnownUnique) {
+  // Figure 6 grammar: "a" has two trees. Under actions where both denote
+  // the same value, the value is right but flagged as not-known-unique —
+  // exactly the Section 8 subtlety.
+  Grammar G = figure6Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  SemanticActions<int> Acts(G);
+  Acts.onLeaf([](const Token &) { return 1; });
+  ParseResult R = parse(G, S, makeWord(G, "a"));
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Ambig);
+  auto Result = evaluateParse(Acts, R);
+  ASSERT_TRUE(Result.has_value());
+  EXPECT_EQ(Result->Value, 1);
+  EXPECT_FALSE(Result->ValueKnownUnique);
+}
+
+TEST(Actions, RejectedParseYieldsNoValue) {
+  Grammar G = arithGrammar();
+  SemanticActions<int> Acts(G);
+  ParseResult R = parse(G, 0, makeWord(G, "p n"));
+  EXPECT_EQ(R.kind(), ParseResult::Kind::Reject);
+  EXPECT_FALSE(evaluateParse(Acts, R).has_value());
+}
+
+TEST(Actions, WorksThroughDesugaredEbnf) {
+  // Sum a comma-separated number list via the DSL (star desugaring).
+  gdsl::LoadedGrammar L = gdsl::loadGrammar("list : N ( 'c' N )* ;\n");
+  ASSERT_TRUE(L.ok());
+  TerminalId N = L.G.lookupTerminal("N");
+  TerminalId C = L.G.lookupTerminal("c");
+  Word W{Token(N, "10"), Token(C, "c"), Token(N, "20"), Token(C, "c"),
+         Token(N, "12")};
+  ParseResult R = parse(L.G, L.Start, W);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+
+  SemanticActions<int> Sum(L.G);
+  Sum.onLeaf([&](const Token &T) {
+    return T.Term == N ? std::atoi(T.Lexeme.c_str()) : 0;
+  });
+  // Every node sums its children.
+  for (ProductionId Id = 0; Id < L.G.numProductions(); ++Id)
+    Sum.on(Id, [](std::span<const int> Kids) {
+      int Total = 0;
+      for (int K : Kids)
+        Total += K;
+      return Total;
+    });
+  EXPECT_EQ(Sum.evaluate(*R.tree()), 42);
+}

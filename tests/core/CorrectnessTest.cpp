@@ -1,0 +1,208 @@
+//===- tests/core/CorrectnessTest.cpp ---------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correctness theorems of Section 5 as property sweeps:
+///
+///   Theorem 5.1  (soundness, unique): Unique(v) => v is the sole tree.
+///   Theorem 5.6  (soundness, ambiguous): Ambig(v) => v is one of >= 2.
+///   Theorem 5.8  (error-free termination): no Error results on
+///                non-left-recursive grammars, valid or invalid input.
+///   Theorems 5.11/5.12 (completeness): words with a tree are accepted and
+///                labeled correctly.
+///
+/// Ground truth comes from two independent oracles: the executable
+/// derivation relation (checkDerivation) and the capped exhaustive tree
+/// counter (countParseTrees).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+
+#include "../RandomGrammar.h"
+#include "../TestGrammars.h"
+#include "grammar/Derivation.h"
+#include "grammar/Sampler.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::test;
+
+namespace {
+
+/// Full cross-check of one parse result against the oracles. \p CountCap
+/// guards the exponential enumerator; words longer than \p MaxOracleLen
+/// skip the counting oracle but still check derivation soundness.
+void checkResultAgainstOracles(const Grammar &G, NonterminalId S,
+                               const Word &W, const ParseResult &R,
+                               size_t MaxOracleLen = 14) {
+  // Theorem 5.8: never an error.
+  ASSERT_NE(R.kind(), ParseResult::Kind::Error)
+      << "error on non-left-recursive grammar: " << G.toString();
+
+  if (R.accepted()) {
+    // Soundness: the returned tree is a correct derivation.
+    EXPECT_TRUE(checkDerivation(G, Symbol::nonterminal(S), W, *R.tree()))
+        << "tree " << R.tree()->toString(G) << " is not a derivation";
+  }
+
+  if (W.size() > MaxOracleLen)
+    return;
+  uint64_t Trees = countParseTrees(G, S, W, /*Cap=*/2);
+  switch (R.kind()) {
+  case ParseResult::Kind::Unique:
+    EXPECT_EQ(Trees, 1u) << "Unique label but " << Trees << " trees exist";
+    break;
+  case ParseResult::Kind::Ambig:
+    EXPECT_EQ(Trees, 2u) << "Ambig label but fewer than 2 trees exist";
+    break;
+  case ParseResult::Kind::Reject:
+    EXPECT_EQ(Trees, 0u) << "rejected a word with a parse tree";
+    break;
+  case ParseResult::Kind::Error:
+    break; // unreachable; asserted above
+  }
+}
+
+} // namespace
+
+TEST(Correctness, SweepRandomGrammarsValidAndCorruptedWords) {
+  std::mt19937_64 Rng(424242);
+  ParseOptions Opts;
+  Opts.CheckInvariants = true;
+  Opts.MaxSteps = 1u << 22;
+  int Parses = 0;
+  for (int Trial = 0; Trial < 80; ++Trial) {
+    Grammar G = randomNonLeftRecursiveGrammar(Rng);
+    GrammarAnalysis A(G, 0);
+    DerivationSampler Sampler(A, Rng());
+    for (int WordTrial = 0; WordTrial < 6; ++WordTrial) {
+      TreePtr Known = Sampler.sampleTree(0, 5);
+      ASSERT_NE(Known, nullptr);
+      Word Valid = Known->yield();
+      if (Valid.size() > 30)
+        continue;
+
+      // Completeness: a word with a known tree must be accepted.
+      ParseResult R = parse(G, 0, Valid, Opts);
+      ASSERT_TRUE(R.accepted())
+          << "rejected a derivable word on grammar:\n"
+          << G.toString();
+      checkResultAgainstOracles(G, 0, Valid, R);
+      // Theorem 5.11: on unique words the parser returns *the* tree.
+      if (R.kind() == ParseResult::Kind::Unique &&
+          Valid.size() <= 14)
+        EXPECT_TRUE(treeEquals(R.tree(), Known));
+
+      // Error-free termination on arbitrary (possibly invalid) input.
+      Word Corrupted = corruptWord(Rng, G, Valid);
+      ParseResult R2 = parse(G, 0, Corrupted, Opts);
+      checkResultAgainstOracles(G, 0, Corrupted, R2);
+      Parses += 2;
+    }
+  }
+  // Guard against the sweep silently skipping everything.
+  EXPECT_GT(Parses, 300);
+}
+
+TEST(Correctness, DecisionProcedureAgreesWithOracleOnShortWords) {
+  // Exhaustively decide membership for all words up to length 4 over a
+  // small alphabet and compare with the tree-counting oracle: the parser is
+  // a decision procedure for L(G) (Section 1).
+  std::mt19937_64 Rng(7);
+  RandomGrammarOptions GOpts;
+  GOpts.NumNonterminals = 3;
+  GOpts.NumTerminals = 2;
+  ParseOptions Opts;
+  Opts.CheckInvariants = true;
+  Opts.MaxSteps = 1u << 20;
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    Grammar G = randomNonLeftRecursiveGrammar(Rng, GOpts);
+    for (uint32_t Len = 0; Len <= 4; ++Len) {
+      uint32_t Count = 1;
+      for (uint32_t I = 0; I < Len; ++I)
+        Count *= G.numTerminals();
+      for (uint32_t Code = 0; Code < Count; ++Code) {
+        Word W;
+        uint32_t C = Code;
+        for (uint32_t I = 0; I < Len; ++I) {
+          TerminalId T = C % G.numTerminals();
+          C /= G.numTerminals();
+          W.emplace_back(T, G.terminalName(T));
+        }
+        ParseResult R = parse(G, 0, W, Opts);
+        checkResultAgainstOracles(G, 0, W, R);
+      }
+    }
+  }
+}
+
+TEST(Correctness, AmbiguousGrammarZoo) {
+  struct Case {
+    const char *GrammarText;
+    const char *WordText;
+    bool Ambiguous;
+  };
+  const Case Cases[] = {
+      // Figure 6.
+      {"S -> X\nS -> Y\nX -> a\nY -> a\n", "a", true},
+      // Dangling else: "i i x e x" attaches the else to either if.
+      {"S -> i S\nS -> i S e S\nS -> x\n", "i i x e x", true},
+      {"S -> i S\nS -> i S e S\nS -> x\n", "i x e x", false},
+      // Lukasiewicz prefix terms are unambiguous despite the non-LL(1)
+      // shape.
+      {"S -> a S S\nS -> b\n", "a a b b b", false},
+      {"S -> a S S\nS -> b\n", "a b b", false},
+      // Epsilon ambiguity: two ways to split nothing.
+      {"S -> A A b\nA ->\nA -> a\n", "b", false},
+      {"S -> A A b\nA ->\nA -> a\n", "a b", true},
+      // Unambiguous but requiring full-input lookahead.
+      {"S -> A c\nS -> A d\nA -> a A\nA -> b\n", "a a b d", false},
+  };
+  ParseOptions Opts;
+  Opts.CheckInvariants = true;
+  Opts.MaxSteps = 1u << 20;
+  for (const Case &C : Cases) {
+    Grammar G = makeGrammar(C.GrammarText);
+    NonterminalId S = G.lookupNonterminal("S");
+    Word W = makeWord(G, C.WordText);
+    ParseResult R = parse(G, S, W, Opts);
+    ASSERT_TRUE(R.accepted()) << C.GrammarText << " on " << C.WordText;
+    EXPECT_EQ(R.kind() == ParseResult::Kind::Ambig, C.Ambiguous)
+        << C.GrammarText << " on " << C.WordText;
+    checkResultAgainstOracles(G, S, W, R);
+  }
+}
+
+TEST(Correctness, AmbiguityDetectedMidParse) {
+  // Ambiguity buried under an unambiguous wrapper: the uniqueness flag must
+  // flip midway and stick (AmbigTail propagation, Figure 6 discussion).
+  Grammar G = makeGrammar("S -> l M r\n"
+                          "M -> X\nM -> Y\nX -> a\nY -> a\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  Word W = makeWord(G, "l a r");
+  ParseOptions Opts;
+  Opts.CheckInvariants = true;
+  ParseResult R = parse(G, S, W, Opts);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Ambig);
+  checkResultAgainstOracles(G, S, W, R);
+}
+
+TEST(Correctness, WhitespaceOfTokensDoesNotAffectDecision) {
+  // Tokens carry literals; parsing decisions depend only on terminals.
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  Word W = makeWord(G, "a b d");
+  for (Token &T : W)
+    T.Lexeme = "literal-" + T.Lexeme;
+  ParseResult R = parse(G, S, W);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+  // Leaves preserve the literals they consumed.
+  Word Yield = R.tree()->yield();
+  ASSERT_EQ(Yield.size(), 3u);
+  EXPECT_EQ(Yield[0].Lexeme, "literal-a");
+}

@@ -1,0 +1,132 @@
+//===- tests/core/Figure2TraceTest.cpp ----------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine trace of Figure 2, replayed state by state. The paper walks
+/// the stack machine through parsing "abd" with S -> Ac | Ad, A -> aA | b,
+/// showing at each state the operation taken, the remaining tokens, and
+/// the visited set:
+///
+///   (s0) abd {}     --push-->    (s1) abd {S}   --push-->
+///   (s2) abd {S,A}  --consume--> (s3) bd  {}    --push-->
+///   (s4) bd  {A}    --consume--> (s5) d   {}    --return-->
+///   (s6) d   {}     --consume--> (s7) eps {}    -> Unique tree
+///
+/// This test drives Machine::step() and asserts every column of that
+/// figure (plus the stack shapes the figure draws).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+
+#include "../TestGrammars.h"
+#include "core/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::test;
+
+namespace {
+
+std::vector<NonterminalId> visitedList(const VisitedSet &V) {
+  std::vector<NonterminalId> Out;
+  V.forEach([&](NonterminalId X) { Out.push_back(X); });
+  return Out;
+}
+
+} // namespace
+
+TEST(Figure2Trace, StateByState) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  NonterminalId A = G.lookupNonterminal("A");
+  GrammarAnalysis Analysis(G, S);
+  PredictionTables Tables(G, Analysis);
+  Word W = makeWord(G, "a b d");
+  ParseOptions Opts;
+  Machine M(G, Tables, S, W, Opts);
+
+  // (s0): one frame holding the start symbol; 3 tokens; visited {}.
+  EXPECT_EQ(M.stack().size(), 1u);
+  EXPECT_EQ(M.stack()[0].headSymbol(), Symbol::nonterminal(S));
+  EXPECT_EQ(M.tokensRemaining(), 3u);
+  EXPECT_TRUE(visitedList(M.visited()).empty());
+
+  // (s0) -> (s1): push S -> A d (adaptivePredict scans to the final d).
+  ASSERT_FALSE(M.step().has_value());
+  EXPECT_EQ(M.stack().size(), 2u);
+  EXPECT_EQ(M.stack()[1].Prod, G.productionsFor(S)[1]) << "S -> A d chosen";
+  EXPECT_EQ(M.stack()[1].headSymbol(), Symbol::nonterminal(A));
+  EXPECT_EQ(M.tokensRemaining(), 3u);
+  EXPECT_EQ(visitedList(M.visited()), (std::vector<NonterminalId>{S}));
+
+  // (s1) -> (s2): push A -> a A; visited grows to {S, A}.
+  ASSERT_FALSE(M.step().has_value());
+  EXPECT_EQ(M.stack().size(), 3u);
+  EXPECT_EQ(M.stack()[2].Prod, G.productionsFor(A)[0]) << "A -> a A chosen";
+  EXPECT_EQ(M.tokensRemaining(), 3u);
+  EXPECT_EQ(visitedList(M.visited()), (std::vector<NonterminalId>{S, A}));
+
+  // (s2) -> (s3): consume a; the visited set empties.
+  ASSERT_FALSE(M.step().has_value());
+  EXPECT_EQ(M.tokensRemaining(), 2u);
+  EXPECT_TRUE(visitedList(M.visited()).empty());
+  EXPECT_EQ(M.stack()[2].Next, 1u) << "a processed";
+  ASSERT_EQ(M.stack()[2].Trees.size(), 1u);
+  EXPECT_EQ(M.stack()[2].Trees[0]->token().Lexeme, "a");
+
+  // (s3) -> (s4): push A -> b; visited {A}.
+  ASSERT_FALSE(M.step().has_value());
+  EXPECT_EQ(M.stack().size(), 4u);
+  EXPECT_EQ(M.stack()[3].Prod, G.productionsFor(A)[1]) << "A -> b chosen";
+  EXPECT_EQ(visitedList(M.visited()), (std::vector<NonterminalId>{A}));
+
+  // (s4) -> (s5): consume b.
+  ASSERT_FALSE(M.step().has_value());
+  EXPECT_EQ(M.tokensRemaining(), 1u);
+  EXPECT_TRUE(visitedList(M.visited()).empty());
+  EXPECT_TRUE(M.stack()[3].done());
+
+  // (s5) -> (s6): return: Node(A, [Leaf b]) lands in the caller frame.
+  ASSERT_FALSE(M.step().has_value());
+  EXPECT_EQ(M.stack().size(), 3u);
+  ASSERT_EQ(M.stack()[2].Trees.size(), 2u);
+  EXPECT_EQ(M.stack()[2].Trees[1]->toString(G), "(A b)");
+  EXPECT_EQ(M.tokensRemaining(), 1u);
+
+  // (s6): the figure shows a second return (A -> a A completes) before the
+  // final consume of d.
+  ASSERT_FALSE(M.step().has_value());
+  EXPECT_EQ(M.stack().size(), 2u);
+  ASSERT_EQ(M.stack()[1].Trees.size(), 1u);
+  EXPECT_EQ(M.stack()[1].Trees[0]->toString(G), "(A a (A b))");
+
+  // (s6) -> (s7): consume d; then return S and accept.
+  ASSERT_FALSE(M.step().has_value()); // consume d
+  EXPECT_EQ(M.tokensRemaining(), 0u);
+  ASSERT_FALSE(M.step().has_value()); // return S into the bottom frame
+  EXPECT_EQ(M.stack().size(), 1u);
+
+  std::optional<ParseResult> Final = M.step();
+  ASSERT_TRUE(Final.has_value());
+  ASSERT_EQ(Final->kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(Final->tree()->toString(G), "(S (A a (A b)) d)");
+  EXPECT_TRUE(M.uniqueFlag()) << "the derivation is unambiguous";
+}
+
+TEST(Figure2Trace, OperationCountsMatchTheFigure) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  Parser P(G, S);
+  Machine::Stats Stats;
+  ASSERT_EQ(P.parse(makeWord(G, "a b d"), &Stats).kind(),
+            ParseResult::Kind::Unique);
+  // Figure 2's trace: 3 pushes (S, A, A), 3 consumes (a, b, d), 3 returns.
+  EXPECT_EQ(Stats.Pushes, 3u);
+  EXPECT_EQ(Stats.Consumes, 3u);
+  EXPECT_EQ(Stats.Returns, 3u);
+}

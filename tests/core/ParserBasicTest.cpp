@@ -1,0 +1,185 @@
+//===- tests/core/ParserBasicTest.cpp ---------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end checks of the CoStar parser on the paper's worked examples
+/// (Figures 2 and 6) and other small grammars, covering all four result
+/// kinds of the top-level API.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+
+#include "../TestGrammars.h"
+#include "grammar/Derivation.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::test;
+
+namespace {
+
+ParseOptions checkedOptions() {
+  ParseOptions Opts;
+  Opts.CheckInvariants = true;
+  Opts.MaxSteps = 1u << 20;
+  return Opts;
+}
+
+} // namespace
+
+TEST(ParserBasic, Figure2TraceInput) {
+  // The paper's running example: parse "abd" with S -> Ac | Ad, A -> aA | b.
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  ParseResult R = parse(G, S, makeWord(G, "a b d"), checkedOptions());
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+  // Expected tree from Figure 2: (S (A a (A b)) d).
+  EXPECT_EQ(R.tree()->toString(G), "(S (A a (A b)) d)");
+  EXPECT_TRUE(checkDerivation(G, Symbol::nonterminal(S),
+                              makeWord(G, "a b d"), *R.tree()));
+}
+
+TEST(ParserBasic, Figure2AcceptsOtherAlternative) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  ParseResult R = parse(G, S, makeWord(G, "a a b c"), checkedOptions());
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(R.tree()->toString(G), "(S (A a (A a (A b))) c)");
+}
+
+TEST(ParserBasic, Figure2RejectsInvalidWord) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  // "ab" lacks the trailing c/d.
+  ParseResult R = parse(G, S, makeWord(G, "a b"), checkedOptions());
+  EXPECT_EQ(R.kind(), ParseResult::Kind::Reject);
+  // "d" alone has no viable A prefix.
+  ParseResult R2 = parse(G, S, makeWord(G, "d"), checkedOptions());
+  EXPECT_EQ(R2.kind(), ParseResult::Kind::Reject);
+}
+
+TEST(ParserBasic, Figure2RejectsTrailingInput) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  ParseResult R = parse(G, S, makeWord(G, "b c c"), checkedOptions());
+  EXPECT_EQ(R.kind(), ParseResult::Kind::Reject);
+}
+
+TEST(ParserBasic, EmptyWordRejectedWhenStartNotNullable) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  ParseResult R = parse(G, S, {}, checkedOptions());
+  EXPECT_EQ(R.kind(), ParseResult::Kind::Reject);
+}
+
+TEST(ParserBasic, EmptyWordAcceptedWhenStartNullable) {
+  Grammar G = makeGrammar("S -> a S\nS ->\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  ParseResult R = parse(G, S, {}, checkedOptions());
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(R.tree()->toString(G), "(S)");
+}
+
+TEST(ParserBasic, Figure6AmbiguousWordLabeledAmbig) {
+  // Figure 6: S -> X | Y; X -> a; Y -> a. "a" has two parse trees.
+  Grammar G = figure6Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  Word W = makeWord(G, "a");
+  ParseResult R = parse(G, S, W, checkedOptions());
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Ambig);
+  // The returned tree must still be a correct derivation (Theorem 5.6).
+  EXPECT_TRUE(checkDerivation(G, Symbol::nonterminal(S), W, *R.tree()));
+  // The machine resolves toward the earlier-declared alternative.
+  EXPECT_EQ(R.tree()->toString(G), "(S (X a))");
+}
+
+TEST(ParserBasic, DirectLeftRecursionReportsError) {
+  Grammar G = makeGrammar("S -> S a\nS -> a\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  ParseResult R = parse(G, S, makeWord(G, "a a"), checkedOptions());
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Error);
+  EXPECT_EQ(R.err().Kind, ParseErrorKind::LeftRecursive);
+  EXPECT_EQ(R.err().Nt, S);
+}
+
+TEST(ParserBasic, IndirectLeftRecursionReportsError) {
+  Grammar G = makeGrammar("S -> A a\n"
+                          "A -> B\n"
+                          "B -> S b\n"
+                          "B -> b\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  // S => A a => B a => S b a: S is (indirectly) left-recursive. Prediction
+  // at B explores the looping alternative B -> S b and detects the cycle
+  // dynamically, even on words the non-recursive alternative could parse.
+  ParseResult R = parse(G, S, makeWord(G, "b a"), checkedOptions());
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Error);
+  EXPECT_EQ(R.err().Kind, ParseErrorKind::LeftRecursive);
+  EXPECT_EQ(R.err().Nt, S);
+}
+
+TEST(ParserBasic, NullableLeftRecursionDetected) {
+  // Left recursion through a nullable prefix: S -> A S c; A -> eps | a.
+  Grammar G = makeGrammar("S -> A S c\n"
+                          "S -> b\n"
+                          "A ->\n"
+                          "A -> a\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  ParseResult R = parse(G, S, makeWord(G, "b c"), checkedOptions());
+  // Valid word via A -> eps, S -> b: but prediction must simulate through
+  // the nullable A and re-reach S without consuming.
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Error);
+  EXPECT_EQ(R.err().Kind, ParseErrorKind::LeftRecursive);
+}
+
+TEST(ParserBasic, NonLl1GrammarNeedsUnboundedLookahead) {
+  // S -> a* c | a* d desugared by hand; distinguishing the alternatives
+  // requires scanning past arbitrarily many a's (not LL(k) for any k).
+  Grammar G = makeGrammar("S -> A c\n"
+                          "S -> A d\n"
+                          "A -> a A\n"
+                          "A ->\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  for (int N = 0; N < 12; ++N) {
+    std::string Text;
+    for (int I = 0; I < N; ++I)
+      Text += "a ";
+    ParseResult Rc = parse(G, S, makeWord(G, Text + "c"), checkedOptions());
+    ParseResult Rd = parse(G, S, makeWord(G, Text + "d"), checkedOptions());
+    EXPECT_EQ(Rc.kind(), ParseResult::Kind::Unique) << "N=" << N;
+    EXPECT_EQ(Rd.kind(), ParseResult::Kind::Unique) << "N=" << N;
+  }
+}
+
+TEST(ParserBasic, LlOnlyModeAgreesWithAdaptive) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  ParseOptions LlOpts = checkedOptions();
+  LlOpts.Mode = ParseOptions::PredictionMode::LlOnly;
+  for (const char *Text : {"a b d", "a a b c", "b d", "a b", "d", ""}) {
+    ParseResult Adaptive = parse(G, S, makeWord(G, Text), checkedOptions());
+    ParseResult LlOnly = parse(G, S, makeWord(G, Text), LlOpts);
+    EXPECT_EQ(Adaptive.kind(), LlOnly.kind()) << "word: " << Text;
+    if (Adaptive.accepted()) {
+      EXPECT_TRUE(treeEquals(Adaptive.tree(), LlOnly.tree()));
+    }
+  }
+}
+
+TEST(ParserBasic, StatsCountOperations) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  Parser P(G, S);
+  Machine::Stats Stats;
+  ParseResult R = P.parse(makeWord(G, "a b d"), &Stats);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(Stats.Consumes, 3u) << "three tokens";
+  EXPECT_EQ(Stats.Pushes, 3u) << "S, A, A";
+  EXPECT_EQ(Stats.Returns, 3u);
+  EXPECT_EQ(Stats.Pred.Predictions, 3u);
+  EXPECT_GT(Stats.Steps, 9u);
+}

@@ -1,0 +1,143 @@
+//===- tests/earley/EarleyTest.cpp --------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "earley/Earley.h"
+
+#include "../RandomGrammar.h"
+#include "../TestGrammars.h"
+#include "core/Parser.h"
+#include "grammar/Derivation.h"
+#include "grammar/Sampler.h"
+#include "lang/Language.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::earley;
+using namespace costar::test;
+
+TEST(Earley, Figure2Membership) {
+  Grammar G = figure2Grammar();
+  EarleyRecognizer E(G, G.lookupNonterminal("S"));
+  EXPECT_TRUE(E.recognizes(makeWord(G, "a b d")));
+  EXPECT_TRUE(E.recognizes(makeWord(G, "b c")));
+  EXPECT_TRUE(E.recognizes(makeWord(G, "a a a b c")));
+  EXPECT_FALSE(E.recognizes(makeWord(G, "a b")));
+  EXPECT_FALSE(E.recognizes(makeWord(G, "d")));
+  EXPECT_FALSE(E.recognizes(Word{}));
+}
+
+TEST(Earley, HandlesLeftRecursionDirectly) {
+  // The whole point of a general algorithm: no left-recursion restriction.
+  Grammar G = makeGrammar("E -> E p T\n"
+                          "E -> T\n"
+                          "T -> x\n");
+  EarleyRecognizer E(G, 0);
+  EXPECT_TRUE(E.recognizes(makeWord(G, "x")));
+  EXPECT_TRUE(E.recognizes(makeWord(G, "x p x")));
+  EXPECT_TRUE(E.recognizes(makeWord(G, "x p x p x")));
+  EXPECT_FALSE(E.recognizes(makeWord(G, "p x")));
+  EXPECT_FALSE(E.recognizes(makeWord(G, "x p")));
+}
+
+TEST(Earley, NullableChains) {
+  Grammar G = makeGrammar("S -> A B d\n"
+                          "A ->\n"
+                          "A -> a\n"
+                          "B -> A A\n");
+  EarleyRecognizer E(G, 0);
+  EXPECT_TRUE(E.recognizes(makeWord(G, "d")));
+  EXPECT_TRUE(E.recognizes(makeWord(G, "a d")));
+  EXPECT_TRUE(E.recognizes(makeWord(G, "a a a d")));
+  EXPECT_FALSE(E.recognizes(makeWord(G, "a a a a d")));
+  EXPECT_FALSE(E.recognizes(makeWord(G, "a a")));
+}
+
+TEST(Earley, EmptyWordOnNullableStart) {
+  Grammar G = makeGrammar("S -> a S\nS ->\n");
+  EarleyRecognizer E(G, 0);
+  EXPECT_TRUE(E.recognizes(Word{}));
+  EXPECT_TRUE(E.recognizes(makeWord(G, "a a")));
+}
+
+TEST(Earley, AgreesWithCountingOracleOnArbitraryGrammars) {
+  // Exhaustive membership agreement, including left-recursive grammars —
+  // two independent oracles cross-checking each other.
+  std::mt19937_64 Rng(404);
+  int Grammars = 0;
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    RandomGrammarOptions Opts;
+    Opts.NumNonterminals = 3;
+    Opts.NumTerminals = 2;
+    Grammar G = randomGrammar(Rng, Opts);
+    GrammarAnalysis A(G, 0);
+    if (!A.productive(0))
+      continue;
+    ++Grammars;
+    EarleyRecognizer E(G, 0);
+    for (uint32_t Len = 0; Len <= 5; ++Len) {
+      for (uint32_t Code = 0; Code < (1u << Len); ++Code) {
+        Word W;
+        for (uint32_t I = 0; I < Len; ++I) {
+          TerminalId T = (Code >> I) & 1;
+          W.emplace_back(T, G.terminalName(T));
+        }
+        bool ByEarley = E.recognizes(W);
+        bool ByCounting = countParseTrees(G, 0, W, 1) > 0;
+        ASSERT_EQ(ByEarley, ByCounting)
+            << "oracle disagreement on grammar:\n"
+            << G.toString();
+      }
+    }
+  }
+  EXPECT_GE(Grammars, 20);
+}
+
+TEST(Earley, AgreesWithCoStarOnNonLeftRecursiveGrammars) {
+  std::mt19937_64 Rng(505);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    Grammar G = randomNonLeftRecursiveGrammar(Rng);
+    EarleyRecognizer E(G, 0);
+    GrammarAnalysis A(G, 0);
+    DerivationSampler Sampler(A, Rng());
+    for (int WordTrial = 0; WordTrial < 5; ++WordTrial) {
+      Word W = Sampler.sampleWord(0, 5);
+      if (W.size() > 30)
+        continue;
+      if (WordTrial % 2)
+        W = corruptWord(Rng, G, W);
+      ParseResult R = parse(G, 0, W);
+      ASSERT_NE(R.kind(), ParseResult::Kind::Error);
+      EXPECT_EQ(E.recognizes(W), R.accepted()) << G.toString();
+    }
+  }
+}
+
+TEST(Earley, RecognizesBenchmarkCorpusFiles) {
+  lang::Language Json = lang::makeLanguage(lang::LangId::Json);
+  EarleyRecognizer E(Json.G, Json.Start);
+  lexer::LexResult Lexed =
+      Json.lex(R"({"a": [1, 2, {"b": null}], "c": true})");
+  ASSERT_TRUE(Lexed.ok());
+  EXPECT_TRUE(E.recognizes(Lexed.Tokens));
+  lexer::LexResult Bad = Json.lex("{\"a\": }");
+  ASSERT_TRUE(Bad.ok());
+  EXPECT_FALSE(E.recognizes(Bad.Tokens));
+}
+
+TEST(Earley, ItemCountsGrowWithInput) {
+  Grammar G = figure2Grammar();
+  EarleyRecognizer E(G, G.lookupNonterminal("S"));
+  EarleyRecognizer::RunStats Small, Large;
+  std::string SmallText = "a a b c";
+  std::string LargeText;
+  for (int I = 0; I < 50; ++I)
+    LargeText += "a ";
+  LargeText += "b c";
+  ASSERT_TRUE(E.recognizes(makeWord(G, SmallText), Small));
+  ASSERT_TRUE(E.recognizes(makeWord(G, LargeText), Large));
+  EXPECT_GT(Large.Items, Small.Items);
+}

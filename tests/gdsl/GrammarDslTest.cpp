@@ -1,0 +1,150 @@
+//===- tests/gdsl/GrammarDslTest.cpp ----------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gdsl/GrammarDsl.h"
+
+#include "core/Parser.h"
+#include "grammar/Analysis.h"
+#include "grammar/LeftRecursion.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::gdsl;
+
+TEST(GrammarDsl, SimpleBnfRules) {
+  LoadedGrammar L = loadGrammar("s : A b_rule ;\n"
+                                "b_rule : B | 'lit' ;\n");
+  ASSERT_TRUE(L.ok()) << L.Error;
+  EXPECT_EQ(L.G.numNonterminals(), 2u);
+  EXPECT_EQ(L.G.numProductions(), 3u);
+  EXPECT_EQ(L.Start, L.G.lookupNonterminal("s"));
+  EXPECT_EQ(L.NamedTerminals, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(L.LiteralTerminals, (std::vector<std::string>{"lit"}));
+  EXPECT_EQ(L.SynthesizedNonterminals, 0u);
+}
+
+TEST(GrammarDsl, CommentsAndWhitespaceIgnored) {
+  LoadedGrammar L = loadGrammar("// leading comment\n"
+                                "s : A ; // trailing\n");
+  ASSERT_TRUE(L.ok()) << L.Error;
+  EXPECT_EQ(L.G.numProductions(), 1u);
+}
+
+TEST(GrammarDsl, StarDesugarsToRightRecursion) {
+  LoadedGrammar L = loadGrammar("s : A* ;\n");
+  ASSERT_TRUE(L.ok()) << L.Error;
+  // s plus one synthesized list nonterminal.
+  EXPECT_EQ(L.G.numNonterminals(), 2u);
+  EXPECT_EQ(L.SynthesizedNonterminals, 1u);
+  // Desugared repetition must not introduce left recursion.
+  GrammarAnalysis An(L.G, L.Start);
+  EXPECT_TRUE(isLeftRecursionFree(An));
+  // The language is A^n: check with the real parser.
+  TerminalId A = L.G.lookupTerminal("A");
+  for (int N = 0; N <= 4; ++N) {
+    Word W;
+    for (int I = 0; I < N; ++I)
+      W.emplace_back(A, "A");
+    EXPECT_EQ(parse(L.G, L.Start, W).kind(), ParseResult::Kind::Unique)
+        << "A^" << N;
+  }
+}
+
+TEST(GrammarDsl, PlusRequiresAtLeastOne) {
+  LoadedGrammar L = loadGrammar("s : A+ ;\n");
+  ASSERT_TRUE(L.ok()) << L.Error;
+  TerminalId A = L.G.lookupTerminal("A");
+  EXPECT_EQ(parse(L.G, L.Start, {}).kind(), ParseResult::Kind::Reject);
+  Word One{Token(A, "A")};
+  EXPECT_EQ(parse(L.G, L.Start, One).kind(), ParseResult::Kind::Unique);
+  Word Three(3, Token(A, "A"));
+  EXPECT_EQ(parse(L.G, L.Start, Three).kind(), ParseResult::Kind::Unique);
+}
+
+TEST(GrammarDsl, OptionalAndGroups) {
+  LoadedGrammar L = loadGrammar("s : ( A | B ) C? ;\n");
+  ASSERT_TRUE(L.ok()) << L.Error;
+  auto Mk = [&](std::initializer_list<const char *> Names) {
+    Word W;
+    for (const char *N : Names)
+      W.emplace_back(L.G.lookupTerminal(N), N);
+    return W;
+  };
+  EXPECT_EQ(parse(L.G, L.Start, Mk({"A"})).kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(parse(L.G, L.Start, Mk({"B", "C"})).kind(),
+            ParseResult::Kind::Unique);
+  EXPECT_EQ(parse(L.G, L.Start, Mk({"C"})).kind(), ParseResult::Kind::Reject);
+  EXPECT_EQ(parse(L.G, L.Start, Mk({"A", "B"})).kind(),
+            ParseResult::Kind::Reject);
+}
+
+TEST(GrammarDsl, NestedEbnfDesugars) {
+  // Comma-separated list: item ( ',' item )*.
+  LoadedGrammar L = loadGrammar("list : 'l' item ( 'c' item )* 'r' ;\n"
+                                "item : I ;\n");
+  ASSERT_TRUE(L.ok()) << L.Error;
+  auto Mk = [&](std::initializer_list<const char *> Names) {
+    Word W;
+    for (const char *N : Names)
+      W.emplace_back(L.G.lookupTerminal(N), N);
+    return W;
+  };
+  EXPECT_EQ(parse(L.G, L.Start, Mk({"l", "I", "r"})).kind(),
+            ParseResult::Kind::Unique);
+  EXPECT_EQ(parse(L.G, L.Start, Mk({"l", "I", "c", "I", "c", "I", "r"}))
+                .kind(),
+            ParseResult::Kind::Unique);
+  EXPECT_EQ(parse(L.G, L.Start, Mk({"l", "I", "c", "r"})).kind(),
+            ParseResult::Kind::Reject);
+}
+
+TEST(GrammarDsl, TheXmlEltRuleFromThePaper) {
+  // Section 6.1's example of ALL(*) expressive power: not LL(k) for any k.
+  LoadedGrammar L = loadGrammar(
+      "elt : '<' NAME attribute* '>' content '<' '/' NAME '>'\n"
+      "    | '<' NAME attribute* '/>' ;\n"
+      "attribute : NAME '=' STRING ;\n"
+      "content : TEXT? ;\n");
+  ASSERT_TRUE(L.ok()) << L.Error;
+  GrammarAnalysis An(L.G, L.Start);
+  EXPECT_TRUE(isLeftRecursionFree(An));
+  auto Mk = [&](std::initializer_list<const char *> Names) {
+    Word W;
+    for (const char *N : Names)
+      W.emplace_back(L.G.lookupTerminal(N), N);
+    return W;
+  };
+  // Self-closing element with two attributes: prediction must scan past
+  // both attributes before it can distinguish the alternatives.
+  Word W = Mk({"<", "NAME", "NAME", "=", "STRING", "NAME", "=", "STRING",
+               "/>"});
+  EXPECT_EQ(parse(L.G, L.Start, W).kind(), ParseResult::Kind::Unique);
+  Word W2 = Mk({"<", "NAME", "NAME", "=", "STRING", ">", "TEXT", "<", "/",
+                "NAME", ">"});
+  EXPECT_EQ(parse(L.G, L.Start, W2).kind(), ParseResult::Kind::Unique);
+}
+
+TEST(GrammarDsl, ErrorsAreReportedWithLines) {
+  EXPECT_FALSE(loadGrammar("s : A \n").ok()) << "missing semicolon";
+  EXPECT_FALSE(loadGrammar("s : undefined_rule ;\n").ok());
+  EXPECT_FALSE(loadGrammar("S : A ;\n").ok()) << "uppercase rule name";
+  EXPECT_FALSE(loadGrammar("s : A ;\ns : B ;\n").ok()) << "duplicate rule";
+  EXPECT_FALSE(loadGrammar("").ok()) << "no rules";
+  EXPECT_FALSE(loadGrammar("s : 'unterminated ;\n").ok());
+  LoadedGrammar L = loadGrammar("s : ( A ;\n");
+  EXPECT_FALSE(L.ok());
+  EXPECT_NE(L.Error.find("line 1"), std::string::npos) << L.Error;
+}
+
+TEST(GrammarDsl, Figure8StyleCounts) {
+  // Desugaring grows the production count; Figure 8 reports post-desugaring
+  // sizes. Sanity-check the bookkeeping.
+  LoadedGrammar L = loadGrammar("s : A* B+ C? ;\n");
+  ASSERT_TRUE(L.ok());
+  EXPECT_EQ(L.SynthesizedNonterminals, 3u);
+  EXPECT_EQ(L.G.numProductions(), 1u + 2u + 2u + 2u);
+}

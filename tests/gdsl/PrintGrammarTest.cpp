@@ -1,0 +1,131 @@
+//===- tests/gdsl/PrintGrammarTest.cpp ----------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gdsl/GrammarDsl.h"
+
+#include "../TestGrammars.h"
+#include "grammar/Derivation.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::gdsl;
+using namespace costar::test;
+
+namespace {
+
+/// Round-trips \p G through print + load and checks membership agreement
+/// on all words up to \p MaxLen (terminal names survive the round trip, so
+/// words can be translated by name).
+void expectRoundTrip(const Grammar &G, NonterminalId Start,
+                     uint32_t MaxLen = 4) {
+  std::string Text = printGrammar(G, Start);
+  LoadedGrammar L = loadGrammar(Text);
+  ASSERT_TRUE(L.ok()) << "printed text failed to load:\n"
+                      << Text << "\nerror: " << L.Error;
+  EXPECT_EQ(L.G.numProductions(), G.numProductions()) << Text;
+  EXPECT_EQ(L.G.numTerminals(), G.numTerminals()) << Text;
+
+  for (uint32_t Len = 0; Len <= MaxLen; ++Len) {
+    uint64_t Count = 1;
+    for (uint32_t I = 0; I < Len; ++I)
+      Count *= G.numTerminals();
+    for (uint64_t Code = 0; Code < Count; ++Code) {
+      Word W1, W2;
+      uint64_t C = Code;
+      for (uint32_t I = 0; I < Len; ++I) {
+        TerminalId T = static_cast<TerminalId>(C % G.numTerminals());
+        C /= G.numTerminals();
+        W1.emplace_back(T, G.terminalName(T));
+        TerminalId T2 = L.G.lookupTerminal(G.terminalName(T));
+        ASSERT_NE(T2, UINT32_MAX) << G.terminalName(T);
+        W2.emplace_back(T2, G.terminalName(T));
+      }
+      EXPECT_EQ(countParseTrees(G, Start, W1, 1) > 0,
+                countParseTrees(L.G, L.Start, W2, 1) > 0)
+          << "membership mismatch after round trip:\n"
+          << Text;
+    }
+  }
+}
+
+} // namespace
+
+TEST(PrintGrammar, SimpleGrammarRendersReadably) {
+  LoadedGrammar L = loadGrammar("s : A b_rule | 'lit' ;\nb_rule : B ;\n");
+  ASSERT_TRUE(L.ok());
+  std::string Text = printGrammar(L.G, L.Start);
+  EXPECT_NE(Text.find("s : A b_rule"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("| 'lit'"), std::string::npos) << Text;
+}
+
+TEST(PrintGrammar, RoundTripsDslGrammars) {
+  const char *Sources[] = {
+      "s : A s | B ;\n",
+      "s : a_rule* ;\na_rule : A | B C ;\n",
+      "list : 'l' item ( 'c' item )* 'r' ;\nitem : I ;\n",
+  };
+  for (const char *Src : Sources) {
+    LoadedGrammar L = loadGrammar(Src);
+    ASSERT_TRUE(L.ok()) << Src;
+    expectRoundTrip(L.G, L.Start);
+  }
+}
+
+TEST(PrintGrammar, SanitizesPaperStyleUppercaseNonterminals) {
+  // Figure 2's S and A are not valid DSL rule names; printing must rename
+  // them while preserving the language.
+  Grammar G = figure2Grammar();
+  expectRoundTrip(G, G.lookupNonterminal("S"));
+}
+
+TEST(PrintGrammar, QuotesAwkwardTerminals) {
+  Grammar G;
+  NonterminalId S = G.internNonterminal("s");
+  TerminalId Q = G.internTerminal("it's");
+  TerminalId B = G.internTerminal("\\");
+  G.addProduction(S, {Symbol::terminal(Q), Symbol::terminal(B)});
+  std::string Text = printGrammar(G, S);
+  LoadedGrammar L = loadGrammar(Text);
+  ASSERT_TRUE(L.ok()) << Text << L.Error;
+  EXPECT_NE(L.G.lookupTerminal("it's"), UINT32_MAX);
+  EXPECT_NE(L.G.lookupTerminal("\\"), UINT32_MAX);
+}
+
+TEST(PrintGrammar, EpsilonAlternativesPrintAndReload) {
+  LoadedGrammar L = loadGrammar("s : A s | ;\n");
+  ASSERT_TRUE(L.ok());
+  expectRoundTrip(L.G, L.Start, 3);
+}
+
+TEST(PrintGrammar, CollidingSanitizedNamesAreDisambiguated) {
+  Grammar G;
+  NonterminalId A = G.internNonterminal("S");
+  NonterminalId B = G.internNonterminal("s");
+  TerminalId a = G.internTerminal("a");
+  TerminalId b = G.internTerminal("b");
+  G.addProduction(A, {Symbol::terminal(a), Symbol::nonterminal(B)});
+  G.addProduction(B, {Symbol::terminal(b)});
+  expectRoundTrip(G, A, 3);
+}
+
+TEST(PrintGrammar, BenchmarkLanguageRoundTripsStructurally) {
+  // The desugared JSON grammar survives print -> load with identical
+  // production counts (membership sweeps over 11 terminals are too wide;
+  // structure equality plus spot words suffice).
+  LoadedGrammar Json = loadGrammar(
+      "json : value ;\n"
+      "value : obj | arr | STRING | NUMBER ;\n"
+      "obj : '{' ( pair ( ',' pair )* )? '}' ;\n"
+      "pair : STRING ':' value ;\n"
+      "arr : '[' ( value ( ',' value )* )? ']' ;\n");
+  ASSERT_TRUE(Json.ok());
+  std::string Text = printGrammar(Json.G, Json.Start);
+  LoadedGrammar Reloaded = loadGrammar(Text);
+  ASSERT_TRUE(Reloaded.ok()) << Text;
+  EXPECT_EQ(Reloaded.G.numProductions(), Json.G.numProductions());
+  EXPECT_EQ(Reloaded.G.numNonterminals(), Json.G.numNonterminals());
+}

@@ -1,0 +1,113 @@
+//===- tests/grammar/DerivationTest.cpp -------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Derivation.h"
+
+#include "../RandomGrammar.h"
+#include "../TestGrammars.h"
+#include "grammar/Sampler.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::test;
+
+TEST(Derivation, LeafMatchesItsTerminal) {
+  Grammar G = figure2Grammar();
+  TerminalId a = G.lookupTerminal("a");
+  TerminalId b = G.lookupTerminal("b");
+  TreePtr Leaf = Tree::leaf(Token(a, "a"));
+  Word W{Token(a, "a")};
+  EXPECT_TRUE(checkDerivation(G, Symbol::terminal(a), W, *Leaf));
+  EXPECT_FALSE(checkDerivation(G, Symbol::terminal(b), W, *Leaf));
+  EXPECT_FALSE(checkDerivation(G, Symbol::terminal(a), {}, *Leaf))
+      << "yield mismatch";
+}
+
+TEST(Derivation, NodeRequiresAGrammarProduction) {
+  Grammar G = figure2Grammar();
+  NonterminalId A = G.lookupNonterminal("A");
+  TerminalId a = G.lookupTerminal("a");
+  TerminalId b = G.lookupTerminal("b");
+  // (A b) is a production; (A a) is not.
+  TreePtr Good = Tree::node(A, {Tree::leaf(Token(b, "b"))});
+  TreePtr Bad = Tree::node(A, {Tree::leaf(Token(a, "a"))});
+  Word Wb{Token(b, "b")};
+  Word Wa{Token(a, "a")};
+  EXPECT_TRUE(checkDerivation(G, Symbol::nonterminal(A), Wb, *Good));
+  EXPECT_FALSE(checkDerivation(G, Symbol::nonterminal(A), Wa, *Bad));
+}
+
+TEST(Derivation, SampledTreesAlwaysCheck) {
+  std::mt19937_64 Rng(99);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Grammar G = randomNonLeftRecursiveGrammar(Rng);
+    GrammarAnalysis A(G, 0);
+    DerivationSampler Sampler(A, Rng());
+    for (int I = 0; I < 5; ++I) {
+      TreePtr T = Sampler.sampleTree(0, 6);
+      ASSERT_NE(T, nullptr);
+      Word W = T->yield();
+      EXPECT_TRUE(checkDerivation(G, Symbol::nonterminal(0), W, *T));
+      // And the counting oracle agrees the word has at least one tree.
+      if (W.size() <= 12)
+        EXPECT_GE(countParseTrees(G, 0, W, 2), 1u);
+    }
+  }
+}
+
+TEST(Derivation, CountTreesOnKnownCases) {
+  Grammar Fig6 = figure6Grammar();
+  NonterminalId S6 = Fig6.lookupNonterminal("S");
+  EXPECT_EQ(countParseTrees(Fig6, S6, makeWord(Fig6, "a"), 10), 2u);
+  EXPECT_EQ(countParseTrees(Fig6, S6, makeWord(Fig6, "a a"), 10), 0u);
+  EXPECT_EQ(countParseTrees(Fig6, S6, Word{}, 10), 0u);
+
+  Grammar Fig2 = figure2Grammar();
+  NonterminalId S2 = Fig2.lookupNonterminal("S");
+  EXPECT_EQ(countParseTrees(Fig2, S2, makeWord(Fig2, "a b d"), 10), 1u);
+  EXPECT_EQ(countParseTrees(Fig2, S2, makeWord(Fig2, "a b"), 10), 0u);
+}
+
+TEST(Derivation, CountTreesRespectsCap) {
+  // Highly ambiguous: "a"^n with S -> S? doubled alternatives. Use the
+  // dangling-else grammar at a longer word; capping keeps it cheap.
+  Grammar G = makeGrammar("S -> i S\nS -> i S e S\nS -> x\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  Word W = makeWord(G, "i i i x e x e x");
+  EXPECT_EQ(countParseTrees(G, S, W, 2), 2u) << "capped at 2";
+  EXPECT_GE(countParseTrees(G, S, W, 100), 3u) << "actually more than 2";
+}
+
+TEST(Tree, YieldAndNodeCount) {
+  Grammar G = figure2Grammar();
+  NonterminalId A = G.lookupNonterminal("A");
+  TerminalId a = G.lookupTerminal("a");
+  TerminalId b = G.lookupTerminal("b");
+  // (A a (A b))
+  TreePtr T = Tree::node(
+      A, {Tree::leaf(Token(a, "a")),
+          Tree::node(A, {Tree::leaf(Token(b, "b"))})});
+  Word W = T->yield();
+  ASSERT_EQ(W.size(), 2u);
+  EXPECT_EQ(W[0].Lexeme, "a");
+  EXPECT_EQ(W[1].Lexeme, "b");
+  EXPECT_EQ(T->nodeCount(), 4u);
+  EXPECT_EQ(T->toString(G), "(A a (A b))");
+}
+
+TEST(Tree, StructuralEquality) {
+  Grammar G = figure2Grammar();
+  NonterminalId A = G.lookupNonterminal("A");
+  TerminalId b = G.lookupTerminal("b");
+  TreePtr T1 = Tree::node(A, {Tree::leaf(Token(b, "b"))});
+  TreePtr T2 = Tree::node(A, {Tree::leaf(Token(b, "b"))});
+  TreePtr T3 = Tree::node(A, {Tree::leaf(Token(b, "B"))});
+  EXPECT_TRUE(treeEquals(T1, T2)) << "distinct allocations, same structure";
+  EXPECT_FALSE(treeEquals(T1, T3)) << "literals differ";
+  EXPECT_TRUE(treeEquals(T1, T1));
+  EXPECT_FALSE(treeEquals(T1, nullptr));
+}

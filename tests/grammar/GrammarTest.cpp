@@ -1,0 +1,91 @@
+//===- tests/grammar/GrammarTest.cpp ----------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Grammar.h"
+
+#include "../TestGrammars.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::test;
+
+TEST(Grammar, InternAssignsDenseIds) {
+  Grammar G;
+  EXPECT_EQ(G.internTerminal("a"), 0u);
+  EXPECT_EQ(G.internTerminal("b"), 1u);
+  EXPECT_EQ(G.internTerminal("a"), 0u) << "re-interning is idempotent";
+  EXPECT_EQ(G.internNonterminal("S"), 0u);
+  EXPECT_EQ(G.numTerminals(), 2u);
+  EXPECT_EQ(G.numNonterminals(), 1u);
+}
+
+TEST(Grammar, LookupMissReturnsSentinel) {
+  Grammar G;
+  EXPECT_EQ(G.lookupTerminal("nope"), UINT32_MAX);
+  EXPECT_EQ(G.lookupNonterminal("nope"), UINT32_MAX);
+}
+
+TEST(Grammar, Figure2GrammarShape) {
+  Grammar G = figure2Grammar();
+  EXPECT_EQ(G.numNonterminals(), 2u); // S, A
+  EXPECT_EQ(G.numTerminals(), 4u);    // c, d, a, b
+  EXPECT_EQ(G.numProductions(), 4u);
+  EXPECT_EQ(G.maxRhsLen(), 2u);
+  NonterminalId S = G.lookupNonterminal("S");
+  NonterminalId A = G.lookupNonterminal("A");
+  EXPECT_EQ(G.productionsFor(S).size(), 2u);
+  EXPECT_EQ(G.productionsFor(A).size(), 2u);
+}
+
+TEST(Grammar, ProductionsForPreservesDeclarationOrder) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  const auto &Prods = G.productionsFor(S);
+  ASSERT_EQ(Prods.size(), 2u);
+  // S -> A c declared before S -> A d.
+  EXPECT_EQ(G.production(Prods[0]).Rhs[1],
+            Symbol::terminal(G.lookupTerminal("c")));
+  EXPECT_EQ(G.production(Prods[1]).Rhs[1],
+            Symbol::terminal(G.lookupTerminal("d")));
+}
+
+TEST(Grammar, HasProduction) {
+  Grammar G = figure2Grammar();
+  NonterminalId A = G.lookupNonterminal("A");
+  Symbol a = Symbol::terminal(G.lookupTerminal("a"));
+  Symbol b = Symbol::terminal(G.lookupTerminal("b"));
+  Symbol An = Symbol::nonterminal(A);
+  EXPECT_TRUE(G.hasProduction(A, {a, An}));
+  EXPECT_TRUE(G.hasProduction(A, {b}));
+  EXPECT_FALSE(G.hasProduction(A, {a}));
+  EXPECT_FALSE(G.hasProduction(A, {}));
+}
+
+TEST(Grammar, EpsilonProductionHasEmptyRhs) {
+  Grammar G = makeGrammar("S -> a S\nS ->\n");
+  NonterminalId S = G.lookupNonterminal("S");
+  ASSERT_EQ(G.productionsFor(S).size(), 2u);
+  EXPECT_TRUE(G.production(G.productionsFor(S)[1]).Rhs.empty());
+  EXPECT_TRUE(G.hasProduction(S, {}));
+}
+
+TEST(Grammar, ToStringRendersProductions) {
+  Grammar G = makeGrammar("S -> a\n");
+  EXPECT_EQ(G.productionToString(0), "S -> a");
+  Grammar G2 = makeGrammar("S ->\n");
+  EXPECT_EQ(G2.productionToString(0), "S -> <eps>");
+}
+
+TEST(Symbol, KindAndIdRoundTrip) {
+  Symbol T = Symbol::terminal(123);
+  Symbol N = Symbol::nonterminal(123);
+  EXPECT_TRUE(T.isTerminal());
+  EXPECT_TRUE(N.isNonterminal());
+  EXPECT_EQ(T.terminalId(), 123u);
+  EXPECT_EQ(N.nonterminalId(), 123u);
+  EXPECT_NE(T, N) << "same id, different kind";
+}

@@ -1,0 +1,164 @@
+//===- tests/integration/DifferentialTest.cpp --------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential testing across the three independent parser
+/// implementations: the CoStar core (purely functional ALL(*)), the ATN
+/// baseline (imperative original-design ALL(*)), and — on LL(1) grammars —
+/// the table-driven LL(1) parser. All three are decision procedures for
+/// L(G) on their supported grammar classes, so they must agree on
+/// accept/reject, on the returned tree (all resolve ties toward the
+/// earliest-declared production), and on the ambiguity label.
+///
+//===----------------------------------------------------------------------===//
+
+#include "atn/AtnParser.h"
+#include "core/Parser.h"
+#include "ll1/Ll1Parser.h"
+
+#include "../RandomGrammar.h"
+#include "../TestGrammars.h"
+#include "grammar/Sampler.h"
+#include "lang/Language.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::test;
+
+TEST(Differential, CoStarVsAtnOnRandomGrammars) {
+  std::mt19937_64 Rng(20260706);
+  int Agreements = 0;
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    Grammar G = randomNonLeftRecursiveGrammar(Rng);
+    Parser CoStar(G, 0);
+    atn::AtnParser Baseline(G, 0);
+    GrammarAnalysis A(G, 0);
+    DerivationSampler Sampler(A, Rng());
+    for (int WordTrial = 0; WordTrial < 6; ++WordTrial) {
+      Word W = Sampler.sampleWord(0, 5);
+      if (W.size() > 40)
+        continue;
+      if (WordTrial % 2 == 1)
+        W = corruptWord(Rng, G, W);
+      ParseResult RC = CoStar.parse(W);
+      ParseResult RA = Baseline.parse(W);
+      ASSERT_EQ(RC.kind(), RA.kind())
+          << "disagreement on grammar:\n"
+          << G.toString() << "word length " << W.size();
+      if (RC.accepted()) {
+        EXPECT_TRUE(treeEquals(RC.tree(), RA.tree()))
+            << "tree mismatch on grammar:\n"
+            << G.toString() << "costar: " << RC.tree()->toString(G)
+            << "\natn:    " << RA.tree()->toString(G);
+      }
+      ++Agreements;
+    }
+  }
+  EXPECT_GT(Agreements, 200);
+}
+
+TEST(Differential, ThreeWayAgreementOnLl1Grammars) {
+  std::mt19937_64 Rng(99);
+  int Checked = 0;
+  for (int Trial = 0; Trial < 200 && Checked < 25; ++Trial) {
+    Grammar G = randomNonLeftRecursiveGrammar(Rng);
+    ll1::Ll1Parser Ll(G, 0);
+    if (!Ll.isLl1())
+      continue;
+    ++Checked;
+    Parser CoStar(G, 0);
+    atn::AtnParser Baseline(G, 0);
+    GrammarAnalysis A(G, 0);
+    DerivationSampler Sampler(A, Rng());
+    for (int WordTrial = 0; WordTrial < 4; ++WordTrial) {
+      Word W = Sampler.sampleWord(0, 5);
+      if (W.size() > 40)
+        continue;
+      if (WordTrial % 2 == 1)
+        W = corruptWord(Rng, G, W);
+      ParseResult RC = CoStar.parse(W);
+      ParseResult RA = Baseline.parse(W);
+      ParseResult RL = Ll.parse(W);
+      // LL(1) grammars are unambiguous, so kinds agree exactly.
+      ASSERT_EQ(RC.kind(), RL.kind()) << G.toString();
+      ASSERT_EQ(RA.kind(), RL.kind()) << G.toString();
+      if (RC.accepted()) {
+        EXPECT_TRUE(treeEquals(RC.tree(), RL.tree()));
+        EXPECT_TRUE(treeEquals(RA.tree(), RL.tree()));
+      }
+    }
+  }
+  EXPECT_GE(Checked, 10) << "too few LL(1) grammars sampled";
+}
+
+TEST(Differential, AmbiguityLabelsAgree) {
+  const char *Cases[] = {
+      "S -> X\nS -> Y\nX -> a\nY -> a\n",
+      "S -> i S\nS -> i S e S\nS -> x\n",
+      "S -> A A b\nA ->\nA -> a\n",
+      "S -> l M r\nM -> X\nM -> Y\nX -> a\nY -> a\n",
+  };
+  const char *Words[] = {"a", "i i x e x", "a b", "l a r"};
+  for (int I = 0; I < 4; ++I) {
+    Grammar G = makeGrammar(Cases[I]);
+    NonterminalId S = G.lookupNonterminal("S");
+    Word W = makeWord(G, Words[I]);
+    ParseResult RC = parse(G, S, W);
+    atn::AtnParser Baseline(G, S);
+    ParseResult RA = Baseline.parse(W);
+    ASSERT_EQ(RC.kind(), ParseResult::Kind::Ambig) << Cases[I];
+    EXPECT_EQ(RA.kind(), ParseResult::Kind::Ambig) << Cases[I];
+    EXPECT_TRUE(treeEquals(RC.tree(), RA.tree()))
+        << "both resolve to the min alternative";
+  }
+}
+
+TEST(Differential, BenchmarkCorporaAgreeAcrossEngines) {
+  std::mt19937_64 Rng(5);
+  for (lang::LangId Id : lang::allLanguages()) {
+    lang::Language L = lang::makeLanguage(Id);
+    Parser CoStar(L.G, L.Start);
+    atn::AtnParser Baseline(L.G, L.Start);
+    workload::Corpus C =
+        workload::generateCorpus(Id, 77, /*NumFiles=*/4, 50, 1500);
+    for (const std::string &Src : C.Files) {
+      lexer::LexResult Lexed = L.lex(Src);
+      ASSERT_TRUE(Lexed.ok()) << L.Name;
+      ParseResult RC = CoStar.parse(Lexed.Tokens);
+      ParseResult RA = Baseline.parse(Lexed.Tokens);
+      ASSERT_EQ(RC.kind(), ParseResult::Kind::Unique) << L.Name;
+      ASSERT_EQ(RA.kind(), ParseResult::Kind::Unique) << L.Name;
+      EXPECT_TRUE(treeEquals(RC.tree(), RA.tree())) << L.Name;
+    }
+  }
+}
+
+TEST(Differential, CacheReuseDoesNotChangeResults) {
+  // CoStar with the Section 8 cache-reuse extension must agree with the
+  // fresh-cache configuration on every input.
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  ParseOptions Reuse;
+  Reuse.ReuseCache = true;
+  Parser Fresh(G, S);
+  Parser Warm(G, S, Reuse);
+  std::mt19937_64 Rng(3);
+  GrammarAnalysis A(G, S);
+  DerivationSampler Sampler(A, 8);
+  for (int I = 0; I < 40; ++I) {
+    Word W = Sampler.sampleWord(S, 6);
+    if (I % 2)
+      W = corruptWord(Rng, G, W);
+    ParseResult RF = Fresh.parse(W);
+    ParseResult RW = Warm.parse(W);
+    ASSERT_EQ(RF.kind(), RW.kind());
+    if (RF.accepted()) {
+      EXPECT_TRUE(treeEquals(RF.tree(), RW.tree()));
+    }
+  }
+}

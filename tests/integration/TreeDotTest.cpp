@@ -1,0 +1,96 @@
+//===- tests/integration/TreeDotTest.cpp ---------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The self-referential pipeline test: a parse tree exported as Graphviz
+/// DOT must itself lex and parse under the DOT benchmark language — the
+/// exporter, the DOT lexer, and the DOT grammar all vouching for each
+/// other.
+///
+//===----------------------------------------------------------------------===//
+
+#include "grammar/TreeDot.h"
+
+#include "../TestGrammars.h"
+#include "core/Parser.h"
+#include "lang/Language.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::test;
+
+TEST(TreeDot, ExportsFigure2Tree) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  ParseResult R = parse(G, S, makeWord(G, "a b d"));
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+  std::string Dot = treeToDot(G, *R.tree(), "fig2");
+  EXPECT_NE(Dot.find("digraph fig2"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"S\""), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"A\""), std::string::npos);
+  EXPECT_NE(Dot.find("n0 -> n1"), std::string::npos);
+  // 7 tree nodes (3 leaves + 4 internal... S, A, A + leaves a, b, d = 6
+  // edges for 7 nodes).
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '>'),
+            static_cast<long>(R.tree()->nodeCount() - 1));
+}
+
+TEST(TreeDot, ExportedTreesParseAsDot) {
+  // Round trip through the benchmark DOT language.
+  lang::Language DotLang = lang::makeLanguage(lang::LangId::Dot);
+  Parser DotParser(DotLang.G, DotLang.Start);
+
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  for (const char *Text : {"b c", "a b d", "a a a b c"}) {
+    ParseResult R = parse(G, S, makeWord(G, Text));
+    ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+    std::string Dot = treeToDot(G, *R.tree());
+    lexer::LexResult Lexed = DotLang.lex(Dot);
+    ASSERT_TRUE(Lexed.ok()) << Dot << "\n" << Lexed.Error;
+    ParseResult Parsed = DotParser.parse(Lexed.Tokens);
+    EXPECT_EQ(Parsed.kind(), ParseResult::Kind::Unique)
+        << Dot
+        << (Parsed.kind() == ParseResult::Kind::Reject
+                ? Parsed.rejectReason()
+                : "");
+  }
+}
+
+TEST(TreeDot, EscapesAwkwardLexemes) {
+  Grammar G;
+  NonterminalId S = G.internNonterminal("S");
+  TerminalId Str = G.internTerminal("STRING");
+  G.addProduction(S, {Symbol::terminal(Str)});
+  Word W{Token(Str, "say \"hi\"\\n")};
+  ParseResult R = parse(G, S, W);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+  std::string Dot = treeToDot(G, *R.tree());
+  EXPECT_NE(Dot.find("\\\"hi\\\""), std::string::npos) << Dot;
+
+  lang::Language DotLang = lang::makeLanguage(lang::LangId::Dot);
+  lexer::LexResult Lexed = DotLang.lex(Dot);
+  ASSERT_TRUE(Lexed.ok()) << Dot << "\n" << Lexed.Error;
+  EXPECT_EQ(parse(DotLang.G, DotLang.Start, Lexed.Tokens).kind(),
+            ParseResult::Kind::Unique);
+}
+
+TEST(TreeDot, BenchmarkTreeExportsAreWellFormed) {
+  // A JSON parse tree, exported and re-parsed as DOT.
+  lang::Language Json = lang::makeLanguage(lang::LangId::Json);
+  lexer::LexResult Lexed = Json.lex(R"({"k": [1, true, null]})");
+  ASSERT_TRUE(Lexed.ok());
+  ParseResult R = parse(Json.G, Json.Start, Lexed.Tokens);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+  std::string Dot = treeToDot(Json.G, *R.tree(), "json_tree");
+
+  lang::Language DotLang = lang::makeLanguage(lang::LangId::Dot);
+  lexer::LexResult DotLexed = DotLang.lex(Dot);
+  ASSERT_TRUE(DotLexed.ok()) << DotLexed.Error;
+  EXPECT_EQ(parse(DotLang.G, DotLang.Start, DotLexed.Tokens).kind(),
+            ParseResult::Kind::Unique);
+}

@@ -1,0 +1,113 @@
+//===- tests/lexer/IndenterEdgeTest.cpp ---------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Indenter.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::lexer;
+
+namespace {
+
+struct IndenterFixture {
+  Grammar G;
+  LexerSpec Spec;
+  std::unique_ptr<Scanner> Inner;
+  std::unique_ptr<IndentingScanner> S;
+
+  IndenterFixture() {
+    Spec.token("NAME", "[a-z]+")
+        .skip("COMMENT", "#[^\\n]*")
+        .skip("WS", "[ \\t]+");
+    Inner = std::make_unique<Scanner>(Spec, G);
+    S = std::make_unique<IndentingScanner>(*Inner, G);
+  }
+
+  std::vector<std::string> names(const std::string &Src) {
+    LexResult R = S->scan(Src);
+    EXPECT_TRUE(R.ok()) << R.Error;
+    std::vector<std::string> Out;
+    for (const Token &T : R.Tokens)
+      Out.push_back(G.terminalName(T.Term));
+    return Out;
+  }
+};
+
+} // namespace
+
+TEST(IndenterEdge, EmptyInputProducesNothing) {
+  IndenterFixture F;
+  EXPECT_TRUE(F.names("").empty());
+  EXPECT_TRUE(F.names("\n\n\n").empty());
+  EXPECT_TRUE(F.names("   \n\t\n # only a comment\n").empty());
+}
+
+TEST(IndenterEdge, MissingFinalNewlineStillClosesTheLine) {
+  IndenterFixture F;
+  EXPECT_EQ(F.names("a"),
+            (std::vector<std::string>{"NAME", "NEWLINE"}));
+  EXPECT_EQ(F.names("a\n  b"),
+            (std::vector<std::string>{"NAME", "NEWLINE", "INDENT", "NAME",
+                                      "NEWLINE", "DEDENT"}));
+}
+
+TEST(IndenterEdge, TabsCountByTabStops) {
+  IndenterFixture F;
+  // One tab (column 8) vs. eight spaces must be the same indent level.
+  EXPECT_EQ(F.names("a\n\tb\n        c\n"),
+            (std::vector<std::string>{"NAME", "NEWLINE", "INDENT", "NAME",
+                                      "NEWLINE", "NAME", "NEWLINE",
+                                      "DEDENT"}));
+}
+
+TEST(IndenterEdge, SpacesThenTabRoundsUpToNextStop) {
+  IndenterFixture F;
+  // "   \t" is column 8, same as a lone tab.
+  EXPECT_EQ(F.names("a\n   \tb\n\tc\n"),
+            (std::vector<std::string>{"NAME", "NEWLINE", "INDENT", "NAME",
+                                      "NEWLINE", "NAME", "NEWLINE",
+                                      "DEDENT"}));
+}
+
+TEST(IndenterEdge, CarriageReturnsAreTolerated) {
+  IndenterFixture F;
+  EXPECT_EQ(F.names("a\r\n  b\r\n"),
+            (std::vector<std::string>{"NAME", "NEWLINE", "INDENT", "NAME",
+                                      "NEWLINE", "DEDENT"}));
+}
+
+TEST(IndenterEdge, MultipleDedentsAtEndOfFile) {
+  IndenterFixture F;
+  std::vector<std::string> Names = F.names("a\n b\n  c\n   d\n");
+  int Dedents = 0;
+  for (const std::string &N : Names)
+    Dedents += N == "DEDENT";
+  EXPECT_EQ(Dedents, 3) << "the whole indent stack drains at EOF";
+}
+
+TEST(IndenterEdge, CommentOnlyLinesDoNotAffectDepthEvenWhenOutdented) {
+  IndenterFixture F;
+  EXPECT_EQ(F.names("a\n  b\n# outdented comment\n  c\n"),
+            (std::vector<std::string>{"NAME", "NEWLINE", "INDENT", "NAME",
+                                      "NEWLINE", "NAME", "NEWLINE",
+                                      "DEDENT"}));
+}
+
+TEST(IndenterEdge, DedentToUnseenColumnIsAnError) {
+  IndenterFixture F;
+  LexResult R = F.S->scan("a\n        b\n    c\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrorLine, 3u);
+}
+
+TEST(IndenterEdge, InnerLexErrorsPropagateWithPosition) {
+  IndenterFixture F;
+  LexResult R = F.S->scan("a\n  b $ c\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrorLine, 2u);
+  EXPECT_EQ(R.ErrorCol, 5u);
+}

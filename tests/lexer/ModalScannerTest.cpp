@@ -1,0 +1,93 @@
+//===- tests/lexer/ModalScannerTest.cpp ---------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/ModalScanner.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::lexer;
+
+namespace {
+
+std::vector<std::string> terminalNames(const Grammar &G, const Word &W) {
+  std::vector<std::string> Out;
+  for (const Token &T : W)
+    Out.push_back(G.terminalName(T.Term));
+  return Out;
+}
+
+/// A two-mode toy: outside quotes, words; inside quotes, raw text.
+ModalLexerSpec quotedSpec() {
+  ModalLexerSpec Spec;
+  int32_t Outside = Spec.addMode("OUTSIDE");
+  int32_t Inside = Spec.addMode("INSIDE");
+  Spec.token(Outside, "WORD", "[a-z]+")
+      .literal(Outside, "\"", Inside)
+      .skip(Outside, "WS", "[ \\n]+");
+  Spec.token(Inside, "RAW", "[^\"]+").literal(Inside, "\"", Outside);
+  return Spec;
+}
+
+} // namespace
+
+TEST(ModalScanner, SwitchesModesOnDesignatedRules) {
+  Grammar G;
+  ModalScanner S(quotedSpec(), G);
+  ASSERT_TRUE(S.ok()) << S.buildError();
+  LexResult R = S.scan("hello \"raw stuff 123!\" world");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(terminalNames(G, R.Tokens),
+            (std::vector<std::string>{"WORD", "\"", "RAW", "\"", "WORD"}));
+  EXPECT_EQ(R.Tokens[2].Lexeme, "raw stuff 123!")
+      << "inside mode swallows what outside mode would reject";
+}
+
+TEST(ModalScanner, SameTextLexesDifferentlyPerMode) {
+  // "123!" is an error in OUTSIDE mode but RAW text in INSIDE mode.
+  Grammar G;
+  ModalScanner S(quotedSpec(), G);
+  ASSERT_TRUE(S.ok());
+  EXPECT_FALSE(S.scan("123!").ok());
+  EXPECT_TRUE(S.scan("\"123!\"").ok());
+}
+
+TEST(ModalScanner, ErrorsReportTheActiveMode) {
+  Grammar G;
+  ModalScanner S(quotedSpec(), G);
+  ASSERT_TRUE(S.ok());
+  LexResult R = S.scan("hello !");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("mode 0"), std::string::npos) << R.Error;
+}
+
+TEST(ModalScanner, PositionsSpanModes) {
+  Grammar G;
+  ModalScanner S(quotedSpec(), G);
+  ASSERT_TRUE(S.ok());
+  LexResult R = S.scan("ab\n\"x\"");
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Tokens.size(), 4u);
+  EXPECT_EQ(R.Tokens[1].Line, 2u) << "opening quote on line 2";
+  EXPECT_EQ(R.Tokens[2].Col, 2u) << "raw text after the quote";
+}
+
+TEST(ModalScanner, RejectsEmptyModeList) {
+  Grammar G;
+  ModalLexerSpec Empty;
+  ModalScanner S(Empty, G);
+  EXPECT_FALSE(S.ok());
+}
+
+TEST(ModalScanner, BadPatternNamesItsMode) {
+  Grammar G;
+  ModalLexerSpec Spec;
+  int32_t M = Spec.addMode("ONLY");
+  Spec.token(M, "BAD", "(unclosed");
+  ModalScanner S(Spec, G);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.buildError().find("ONLY"), std::string::npos);
+}

@@ -1,0 +1,152 @@
+//===- tests/lexer/RegexTest.cpp --------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Regex.h"
+
+#include "lexer/Dfa.h"
+#include "lexer/Nfa.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar::lexer;
+
+namespace {
+
+/// Compiles \p Pattern to a DFA and decides whether it matches all of
+/// \p Input.
+bool matches(const std::string &Pattern, const std::string &Input) {
+  RegexParseResult R = parseRegex(Pattern);
+  EXPECT_TRUE(R.ok()) << Pattern << ": " << R.Error;
+  if (!R.ok())
+    return false;
+  Nfa N;
+  N.addRule(*R.Re, 0);
+  Dfa D = Dfa::fromNfa(N).minimized();
+  int32_t State = static_cast<int32_t>(D.start());
+  for (char C : Input) {
+    State = D.next(static_cast<uint32_t>(State),
+                   static_cast<unsigned char>(C));
+    if (State == Dfa::DeadState)
+      return false;
+  }
+  return D.acceptRule(static_cast<uint32_t>(State)) == 0;
+}
+
+} // namespace
+
+TEST(Regex, LiteralAndConcat) {
+  EXPECT_TRUE(matches("abc", "abc"));
+  EXPECT_FALSE(matches("abc", "ab"));
+  EXPECT_FALSE(matches("abc", "abcd"));
+  EXPECT_FALSE(matches("abc", ""));
+}
+
+TEST(Regex, Alternation) {
+  EXPECT_TRUE(matches("cat|dog", "cat"));
+  EXPECT_TRUE(matches("cat|dog", "dog"));
+  EXPECT_FALSE(matches("cat|dog", "cow"));
+  EXPECT_TRUE(matches("a|b|c", "b"));
+}
+
+TEST(Regex, RepetitionOperators) {
+  EXPECT_TRUE(matches("a*", ""));
+  EXPECT_TRUE(matches("a*", "aaaa"));
+  EXPECT_FALSE(matches("a+", ""));
+  EXPECT_TRUE(matches("a+", "a"));
+  EXPECT_TRUE(matches("a?b", "b"));
+  EXPECT_TRUE(matches("a?b", "ab"));
+  EXPECT_FALSE(matches("a?b", "aab"));
+}
+
+TEST(Regex, GroupingChangesScope) {
+  EXPECT_TRUE(matches("(ab)+", "abab"));
+  EXPECT_FALSE(matches("(ab)+", "aba"));
+  EXPECT_TRUE(matches("a(b|c)d", "acd"));
+}
+
+TEST(Regex, CharacterClasses) {
+  EXPECT_TRUE(matches("[abc]+", "cab"));
+  EXPECT_FALSE(matches("[abc]+", "abd"));
+  EXPECT_TRUE(matches("[a-z]+", "hello"));
+  EXPECT_FALSE(matches("[a-z]+", "Hello"));
+  EXPECT_TRUE(matches("[a-zA-Z_][a-zA-Z0-9_]*", "_ident9"));
+  EXPECT_TRUE(matches("[^0-9]+", "abc!"));
+  EXPECT_FALSE(matches("[^0-9]+", "ab3"));
+  EXPECT_TRUE(matches("[-+]?[0-9]+", "-42")) << "literal '-' at class edge";
+}
+
+TEST(Regex, EscapesAndShorthands) {
+  EXPECT_TRUE(matches("\\d+", "123"));
+  EXPECT_FALSE(matches("\\d+", "12a"));
+  EXPECT_TRUE(matches("\\w+", "ab_9"));
+  EXPECT_TRUE(matches("\\s+", " \t\n"));
+  EXPECT_TRUE(matches("a\\.b", "a.b"));
+  EXPECT_FALSE(matches("a\\.b", "axb"));
+  EXPECT_TRUE(matches("\\x41+", "AAA")) << "hex escape";
+  EXPECT_TRUE(matches("\\\\", "\\")) << "escaped backslash";
+}
+
+TEST(Regex, DotMatchesAnythingButNewline) {
+  EXPECT_TRUE(matches(".", "x"));
+  EXPECT_TRUE(matches(".+", "a!@"));
+  EXPECT_FALSE(matches(".", "\n"));
+}
+
+TEST(Regex, JsonNumberPattern) {
+  const char *Num = "-?(0|[1-9][0-9]*)(\\.[0-9]+)?([eE][-+]?[0-9]+)?";
+  EXPECT_TRUE(matches(Num, "0"));
+  EXPECT_TRUE(matches(Num, "-12.5e+3"));
+  EXPECT_TRUE(matches(Num, "101"));
+  EXPECT_FALSE(matches(Num, "01"));
+  EXPECT_FALSE(matches(Num, "1."));
+  EXPECT_FALSE(matches(Num, "--1"));
+}
+
+TEST(Regex, StringLiteralPattern) {
+  const char *Str = "\"([^\"\\\\\\n]|\\\\.)*\"";
+  EXPECT_TRUE(matches(Str, "\"hello\""));
+  EXPECT_TRUE(matches(Str, "\"a\\\"b\"")) << "escaped quote inside";
+  EXPECT_TRUE(matches(Str, "\"\""));
+  EXPECT_FALSE(matches(Str, "\"unterminated"));
+}
+
+TEST(Regex, ParseErrors) {
+  EXPECT_FALSE(parseRegex("(ab").ok());
+  EXPECT_FALSE(parseRegex("[abc").ok());
+  EXPECT_FALSE(parseRegex("a)").ok());
+  EXPECT_FALSE(parseRegex("*a").ok());
+  EXPECT_FALSE(parseRegex("[z-a]").ok());
+  EXPECT_FALSE(parseRegex("\\x4").ok());
+}
+
+TEST(Dfa, MinimizationPreservesLanguageAndShrinks) {
+  RegexParseResult R = parseRegex("(a|b)*abb");
+  ASSERT_TRUE(R.ok());
+  Nfa N;
+  N.addRule(*R.Re, 0);
+  Dfa Full = Dfa::fromNfa(N);
+  Dfa Min = Full.minimized();
+  EXPECT_LE(Min.numStates(), Full.numStates());
+  auto Run = [](const Dfa &D, const std::string &S) {
+    int32_t State = static_cast<int32_t>(D.start());
+    for (char C : S) {
+      State = D.next(static_cast<uint32_t>(State),
+                     static_cast<unsigned char>(C));
+      if (State == Dfa::DeadState)
+        return false;
+    }
+    return D.acceptRule(static_cast<uint32_t>(State)) == 0;
+  };
+  // Exhaustive agreement on all strings over {a,b} up to length 6.
+  for (int Len = 0; Len <= 6; ++Len) {
+    for (int Code = 0; Code < (1 << Len); ++Code) {
+      std::string S;
+      for (int I = 0; I < Len; ++I)
+        S.push_back((Code >> I) & 1 ? 'b' : 'a');
+      EXPECT_EQ(Run(Full, S), Run(Min, S)) << S;
+    }
+  }
+}

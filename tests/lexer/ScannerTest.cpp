@@ -1,0 +1,224 @@
+//===- tests/lexer/ScannerTest.cpp ------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Scanner.h"
+
+#include "lexer/Indenter.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::lexer;
+
+namespace {
+
+std::vector<std::string> lexemes(const Word &W) {
+  std::vector<std::string> Out;
+  for (const Token &T : W)
+    Out.push_back(T.Lexeme);
+  return Out;
+}
+
+std::vector<std::string> terminalNames(const Grammar &G, const Word &W) {
+  std::vector<std::string> Out;
+  for (const Token &T : W)
+    Out.push_back(G.terminalName(T.Term));
+  return Out;
+}
+
+} // namespace
+
+TEST(Scanner, BasicTokensAndSkip) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("NUMBER", "[0-9]+")
+      .token("NAME", "[a-z]+")
+      .literal("+")
+      .skip("WS", "[ \\t]+");
+  Scanner S(Spec, G);
+  ASSERT_TRUE(S.ok()) << S.buildError();
+  LexResult R = S.scan("abc + 12 3");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(lexemes(R.Tokens),
+            (std::vector<std::string>{"abc", "+", "12", "3"}));
+  EXPECT_EQ(terminalNames(G, R.Tokens),
+            (std::vector<std::string>{"NAME", "+", "NUMBER", "NUMBER"}));
+}
+
+TEST(Scanner, MaximalMunch) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.literal("=").literal("==").token("NAME", "[a-z]+");
+  Scanner S(Spec, G);
+  ASSERT_TRUE(S.ok());
+  LexResult R = S.scan("a==b=c");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(lexemes(R.Tokens),
+            (std::vector<std::string>{"a", "==", "b", "=", "c"}));
+  EXPECT_EQ(G.terminalName(R.Tokens[1].Term), "==")
+      << "longest match wins over declaration order";
+}
+
+TEST(Scanner, KeywordsBeatIdentifiersAtEqualLength) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.literal("if").token("NAME", "[a-z]+").skip("WS", " +");
+  Scanner S(Spec, G);
+  ASSERT_TRUE(S.ok());
+  LexResult R = S.scan("if iffy");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(terminalNames(G, R.Tokens),
+            (std::vector<std::string>{"if", "NAME"}));
+  EXPECT_EQ(R.Tokens[1].Lexeme, "iffy")
+      << "maximal munch still prefers the longer identifier";
+}
+
+TEST(Scanner, PositionsTrackLinesAndColumns) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("NAME", "[a-z]+").skip("WS", "[ \\n]+");
+  Scanner S(Spec, G);
+  ASSERT_TRUE(S.ok());
+  LexResult R = S.scan("ab\n  cd");
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Tokens.size(), 2u);
+  EXPECT_EQ(R.Tokens[0].Line, 1u);
+  EXPECT_EQ(R.Tokens[0].Col, 1u);
+  EXPECT_EQ(R.Tokens[1].Line, 2u);
+  EXPECT_EQ(R.Tokens[1].Col, 3u);
+}
+
+TEST(Scanner, ReportsUnexpectedCharacter) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("NAME", "[a-z]+").skip("WS", " +");
+  Scanner S(Spec, G);
+  ASSERT_TRUE(S.ok());
+  LexResult R = S.scan("abc $def");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrorLine, 1u);
+  EXPECT_EQ(R.ErrorCol, 5u);
+}
+
+TEST(Scanner, RejectsNullableRuleAtBuildTime) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("BAD", "a*");
+  Scanner S(Spec, G);
+  EXPECT_FALSE(S.ok());
+}
+
+TEST(Scanner, CommentSkipping) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("NAME", "[a-z]+")
+      .skip("COMMENT", "//[^\\n]*")
+      .skip("WS", "[ \\n]+");
+  Scanner S(Spec, G);
+  ASSERT_TRUE(S.ok()) << S.buildError();
+  LexResult R = S.scan("ab // comment here\ncd");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(lexemes(R.Tokens), (std::vector<std::string>{"ab", "cd"}));
+}
+
+TEST(Indenter, EmitsNewlineIndentDedent) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("NAME", "[a-z]+").literal(":").skip("WS", "[ \\t]+");
+  Scanner Inner(Spec, G);
+  ASSERT_TRUE(Inner.ok());
+  IndentingScanner S(Inner, G);
+  LexResult R = S.scan("def:\n"
+                       "  body\n"
+                       "  body\n"
+                       "tail\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(terminalNames(G, R.Tokens),
+            (std::vector<std::string>{"NAME", ":", "NEWLINE", "INDENT",
+                                      "NAME", "NEWLINE", "NAME", "NEWLINE",
+                                      "DEDENT", "NAME", "NEWLINE"}));
+}
+
+TEST(Indenter, NestedBlocksDedentInOrder) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("NAME", "[a-z]+").skip("WS", "[ \\t]+");
+  Scanner Inner(Spec, G);
+  ASSERT_TRUE(Inner.ok());
+  IndentingScanner S(Inner, G);
+  LexResult R = S.scan("a\n  b\n    c\nd\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(terminalNames(G, R.Tokens),
+            (std::vector<std::string>{
+                "NAME", "NEWLINE", "INDENT", "NAME", "NEWLINE", "INDENT",
+                "NAME", "NEWLINE", "DEDENT", "DEDENT", "NAME", "NEWLINE"}));
+}
+
+TEST(Indenter, BlankAndCommentLinesAreInvisible) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("NAME", "[a-z]+")
+      .skip("COMMENT", "#[^\\n]*")
+      .skip("WS", "[ \\t]+");
+  Scanner Inner(Spec, G);
+  ASSERT_TRUE(Inner.ok());
+  IndentingScanner S(Inner, G);
+  LexResult R = S.scan("a\n"
+                       "\n"
+                       "   # just a comment\n"
+                       "  b\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(terminalNames(G, R.Tokens),
+            (std::vector<std::string>{"NAME", "NEWLINE", "INDENT", "NAME",
+                                      "NEWLINE", "DEDENT"}));
+}
+
+TEST(Indenter, ImplicitJoiningInsideBrackets) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("NAME", "[a-z]+")
+      .literal("(")
+      .literal(")")
+      .literal(",")
+      .skip("WS", "[ \\t]+");
+  Scanner Inner(Spec, G);
+  ASSERT_TRUE(Inner.ok());
+  IndentingScanner S(Inner, G);
+  LexResult R = S.scan("f(a,\n"
+                       "      b)\n"
+                       "g\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(terminalNames(G, R.Tokens),
+            (std::vector<std::string>{"NAME", "(", "NAME", ",", "NAME", ")",
+                                      "NEWLINE", "NAME", "NEWLINE"}))
+      << "no INDENT inside brackets, single NEWLINE for the logical line";
+}
+
+TEST(Indenter, InconsistentDedentIsAnError) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("NAME", "[a-z]+").skip("WS", "[ \\t]+");
+  Scanner Inner(Spec, G);
+  ASSERT_TRUE(Inner.ok());
+  IndentingScanner S(Inner, G);
+  LexResult R = S.scan("a\n    b\n  c\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrorLine, 3u);
+}
+
+TEST(Indenter, BackslashContinuation) {
+  Grammar G;
+  LexerSpec Spec;
+  Spec.token("NAME", "[a-z]+").skip("WS", "[ \\t]+");
+  Scanner Inner(Spec, G);
+  ASSERT_TRUE(Inner.ok());
+  IndentingScanner S(Inner, G);
+  LexResult R = S.scan("a \\\n  b\nc\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(terminalNames(G, R.Tokens),
+            (std::vector<std::string>{"NAME", "NAME", "NEWLINE", "NAME",
+                                      "NEWLINE"}));
+}

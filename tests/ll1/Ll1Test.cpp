@@ -1,0 +1,103 @@
+//===- tests/ll1/Ll1Test.cpp ------------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ll1/Ll1Parser.h"
+
+#include "../TestGrammars.h"
+#include "core/Parser.h"
+#include "lang/Language.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::ll1;
+using namespace costar::test;
+
+TEST(Ll1, ClassicLl1GrammarBuildsCleanTable) {
+  // S -> a S | b: disjoint FIRST sets.
+  Grammar G = makeGrammar("S -> a S\nS -> b\n");
+  Ll1Parser P(G, 0);
+  ASSERT_TRUE(P.isLl1());
+  EXPECT_EQ(P.parse(makeWord(G, "a a b")).kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(P.parse(makeWord(G, "a a")).kind(), ParseResult::Kind::Reject);
+  EXPECT_EQ(P.parse(makeWord(G, "b a")).kind(), ParseResult::Kind::Reject);
+}
+
+TEST(Ll1, NullableAlternativeUsesFollow) {
+  Grammar G = makeGrammar("S -> A b\nA -> a\nA ->\n");
+  Ll1Parser P(G, 0);
+  ASSERT_TRUE(P.isLl1());
+  EXPECT_EQ(P.parse(makeWord(G, "b")).kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(P.parse(makeWord(G, "a b")).kind(), ParseResult::Kind::Unique);
+}
+
+TEST(Ll1, EndOfInputLookahead) {
+  Grammar G = makeGrammar("S -> a A\nA -> b\nA ->\n");
+  Ll1Parser P(G, 0);
+  ASSERT_TRUE(P.isLl1());
+  EXPECT_EQ(P.parse(makeWord(G, "a")).kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(P.parse(makeWord(G, "a b")).kind(), ParseResult::Kind::Unique);
+}
+
+TEST(Ll1, Figure2GrammarIsNotLl1) {
+  // Both S alternatives begin with A: FIRST/FIRST conflict.
+  Grammar G = figure2Grammar();
+  Ll1Parser P(G, G.lookupNonterminal("S"));
+  EXPECT_FALSE(P.isLl1());
+  EXPECT_FALSE(P.conflicts().empty());
+  EXPECT_NE(P.conflicts()[0].find("conflict"), std::string::npos);
+}
+
+TEST(Ll1, AgreesWithCoStarOnLl1Grammar) {
+  Grammar G = makeGrammar("S -> a S b\nS -> c\n");
+  Ll1Parser Ll(G, 0);
+  ASSERT_TRUE(Ll.isLl1());
+  for (const char *Text : {"c", "a c b", "a a c b b", "a c", "c b", ""}) {
+    Word W = makeWord(G, Text);
+    ParseResult RL = Ll.parse(W);
+    ParseResult RC = parse(G, 0, W);
+    EXPECT_EQ(RL.kind(), RC.kind()) << Text;
+    if (RL.accepted() && RC.accepted()) {
+      EXPECT_TRUE(treeEquals(RL.tree(), RC.tree())) << Text;
+    }
+  }
+}
+
+TEST(Ll1, ExpressivenessGapOnBenchmarkGrammars) {
+  // The paper's motivation for ALL(*): JSON fits LL(1); the XML grammar
+  // (elt rule) and the Python grammar do not.
+  lang::Language Json = lang::makeLanguage(lang::LangId::Json);
+  Ll1Parser JsonLl(Json.G, Json.Start);
+  EXPECT_TRUE(JsonLl.isLl1())
+      << (JsonLl.conflicts().empty() ? "" : JsonLl.conflicts()[0]);
+
+  lang::Language Xml = lang::makeLanguage(lang::LangId::Xml);
+  Ll1Parser XmlLl(Xml.G, Xml.Start);
+  EXPECT_FALSE(XmlLl.isLl1()) << "the elt rule needs unbounded lookahead";
+
+  lang::Language Py = lang::makeLanguage(lang::LangId::Python);
+  Ll1Parser PyLl(Py.G, Py.Start);
+  EXPECT_FALSE(PyLl.isLl1());
+}
+
+TEST(Ll1, ParsesJsonCorpusLikeCoStar) {
+  lang::Language Json = lang::makeLanguage(lang::LangId::Json);
+  Ll1Parser Ll(Json.G, Json.Start);
+  ASSERT_TRUE(Ll.isLl1());
+  Parser CoStar(Json.G, Json.Start);
+  const char *Docs[] = {
+      "{}", "[1, 2, 3]", R"({"a": [true, null], "b": {"c": -1e3}})",
+      "[[[[1]]]]", "{\"k\": \"v\"}"};
+  for (const char *Doc : Docs) {
+    lexer::LexResult Lexed = Json.lex(Doc);
+    ASSERT_TRUE(Lexed.ok());
+    ParseResult RL = Ll.parse(Lexed.Tokens);
+    ParseResult RC = CoStar.parse(Lexed.Tokens);
+    ASSERT_EQ(RL.kind(), ParseResult::Kind::Unique) << Doc;
+    ASSERT_EQ(RC.kind(), ParseResult::Kind::Unique) << Doc;
+    EXPECT_TRUE(treeEquals(RL.tree(), RC.tree())) << Doc;
+  }
+}

@@ -1,0 +1,105 @@
+//===- tests/stats/StatsTest.cpp --------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace costar::stats;
+
+TEST(Stats, RegressionRecoversExactLine) {
+  std::vector<double> X, Y;
+  for (int I = 0; I < 50; ++I) {
+    X.push_back(I);
+    Y.push_back(3.5 * I + 2.0);
+  }
+  Regression R = linearRegression(X, Y);
+  EXPECT_NEAR(R.Slope, 3.5, 1e-9);
+  EXPECT_NEAR(R.Intercept, 2.0, 1e-9);
+  EXPECT_NEAR(R.R2, 1.0, 1e-9);
+}
+
+TEST(Stats, RegressionOnNoisyLine) {
+  std::mt19937_64 Rng(5);
+  std::normal_distribution<double> Noise(0, 0.5);
+  std::vector<double> X, Y;
+  for (int I = 0; I < 500; ++I) {
+    X.push_back(I * 0.1);
+    Y.push_back(2.0 * X.back() + 1.0 + Noise(Rng));
+  }
+  Regression R = linearRegression(X, Y);
+  EXPECT_NEAR(R.Slope, 2.0, 0.05);
+  EXPECT_NEAR(R.Intercept, 1.0, 0.2);
+  EXPECT_GT(R.R2, 0.99);
+}
+
+TEST(Stats, LowessTracksLinearData) {
+  std::vector<double> X, Y;
+  for (int I = 0; I < 100; ++I) {
+    X.push_back(I);
+    Y.push_back(4.0 * I + 10.0);
+  }
+  std::vector<double> Fit = lowess(X, Y, 0.1);
+  Regression R = linearRegression(X, Y);
+  // On exactly linear data LOWESS coincides with the regression line (the
+  // Figure 9 criterion).
+  EXPECT_LT(maxRelativeDeviation(X, Fit, R), 1e-6);
+}
+
+TEST(Stats, LowessFollowsCurvatureUnlikeRegression) {
+  // Quadratic data: the unconstrained smoother bends with the data and
+  // diverges from the straight line, which is exactly how Figure 9 would
+  // expose superlinear parse times.
+  std::vector<double> X, Y;
+  for (int I = 1; I <= 100; ++I) {
+    X.push_back(I);
+    Y.push_back(0.01 * I * I);
+  }
+  std::vector<double> Fit = lowess(X, Y, 0.2);
+  Regression R = linearRegression(X, Y);
+  EXPECT_GT(maxRelativeDeviation(X, Fit, R), 0.3)
+      << "LOWESS must reveal the nonlinearity";
+  // And the smoother stays close to the true curve.
+  for (size_t I = 10; I < X.size() - 10; ++I)
+    EXPECT_NEAR(Fit[I], Y[I], 0.15 * Y[I] + 0.5);
+}
+
+TEST(Stats, LowessHandlesDuplicateXValues) {
+  std::vector<double> X{1, 1, 1, 2, 2, 3, 3, 3};
+  std::vector<double> Y{1, 1.1, 0.9, 2, 2.1, 3, 2.9, 3.1};
+  std::vector<double> Fit = lowess(X, Y, 0.5);
+  ASSERT_EQ(Fit.size(), X.size());
+  for (double V : Fit)
+    EXPECT_TRUE(std::isfinite(V));
+}
+
+TEST(Stats, TimersReturnPlausibleDurations) {
+  volatile uint64_t Sink = 0;
+  double T = timeMedian(
+      [&] {
+        for (int I = 0; I < 100000; ++I)
+          Sink = Sink + I;
+      },
+      3);
+  EXPECT_GT(T, 0.0);
+  EXPECT_LT(T, 1.0);
+}
+
+TEST(Stats, TableFormatsColumns) {
+  Table T({5, 8});
+  T.row({"a", "bb"}).sep().row({"ccc", "dddd"});
+  std::string S = T.str();
+  EXPECT_NE(S.find("    a        bb\n"), std::string::npos) << S;
+  EXPECT_NE(S.find("---"), std::string::npos);
+}
+
+TEST(Stats, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+}

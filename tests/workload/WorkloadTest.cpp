@@ -1,0 +1,85 @@
+//===- tests/workload/WorkloadTest.cpp --------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crucial property of the synthetic corpora: every generated file must
+/// lex cleanly and parse to a Unique tree under its language's grammar —
+/// the same observation the paper reports for its real corpora ("the tool
+/// returns a parse tree labeled as Unique for all files in the benchmark
+/// data sets", Section 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generators.h"
+
+#include "core/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::lang;
+using namespace costar::workload;
+
+namespace {
+
+void checkCorpus(LangId Id, uint64_t Seed) {
+  Language L = makeLanguage(Id);
+  Parser P(L.G, L.Start);
+  Corpus C = generateCorpus(Id, Seed, /*NumFiles=*/8, /*MinTokens=*/20,
+                            /*MaxTokens=*/2000);
+  ASSERT_EQ(C.Files.size(), 8u);
+  uint64_t PrevTokens = 0;
+  for (size_t I = 0; I < C.Files.size(); ++I) {
+    lexer::LexResult Lexed = L.lex(C.Files[I]);
+    ASSERT_TRUE(Lexed.ok())
+        << L.Name << " file " << I << ": " << Lexed.Error << " at line "
+        << Lexed.ErrorLine << "\n"
+        << C.Files[I].substr(0, 400);
+    ParseResult R = P.parse(Lexed.Tokens);
+    ASSERT_EQ(R.kind(), ParseResult::Kind::Unique)
+        << L.Name << " file " << I << "\n"
+        << C.Files[I].substr(0, 400)
+        << (R.kind() == ParseResult::Kind::Reject ? "\nreject: " +
+                                                        R.rejectReason()
+                                                  : "");
+    // Sizes must grow across the sweep (geometric spacing).
+    if (I == C.Files.size() - 1) {
+      EXPECT_GT(Lexed.Tokens.size(), PrevTokens);
+    }
+    if (I == 0) {
+      PrevTokens = Lexed.Tokens.size();
+    }
+  }
+  EXPECT_GT(C.TotalBytes, 1000u);
+}
+
+} // namespace
+
+TEST(Workload, JsonCorpusParsesUnique) { checkCorpus(LangId::Json, 1); }
+TEST(Workload, XmlCorpusParsesUnique) { checkCorpus(LangId::Xml, 2); }
+TEST(Workload, DotCorpusParsesUnique) { checkCorpus(LangId::Dot, 3); }
+TEST(Workload, PythonCorpusParsesUnique) { checkCorpus(LangId::Python, 4); }
+
+TEST(Workload, GenerationIsDeterministicPerSeed) {
+  std::mt19937_64 RngA(7), RngB(7), RngC(8);
+  std::string A = generateSource(LangId::Json, RngA, 200);
+  std::string B = generateSource(LangId::Json, RngB, 200);
+  std::string C = generateSource(LangId::Json, RngC, 200);
+  EXPECT_EQ(A, B) << "same seed, same file";
+  EXPECT_NE(A, C) << "different seed, different file";
+}
+
+TEST(Workload, TokenTargetsScaleRoughly) {
+  Language L = makeLanguage(LangId::Json);
+  std::mt19937_64 Rng(42);
+  std::string Small = generateSource(LangId::Json, Rng, 50);
+  std::string Large = generateSource(LangId::Json, Rng, 5000);
+  size_t SmallTokens = L.lex(Small).Tokens.size();
+  size_t LargeTokens = L.lex(Large).Tokens.size();
+  EXPECT_GT(LargeTokens, SmallTokens * 10)
+      << "a 100x target should give at least 10x tokens";
+  EXPECT_GT(SmallTokens, 10u);
+}
