@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_warmup.cpp" "bench-objs/CMakeFiles/bench_fig11_warmup.dir/bench_fig11_warmup.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_fig11_warmup.dir/bench_fig11_warmup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/costar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/atn/CMakeFiles/costar_atn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ll1/CMakeFiles/costar_ll1.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/costar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/costar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/costar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdsl/CMakeFiles/costar_gdsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/costar_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/costar_grammar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

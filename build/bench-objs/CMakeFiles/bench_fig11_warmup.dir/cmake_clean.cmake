@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_warmup"
+  "../bench/bench_fig11_warmup.pdb"
+  "CMakeFiles/bench_fig11_warmup.dir/bench_fig11_warmup.cpp.o"
+  "CMakeFiles/bench_fig11_warmup.dir/bench_fig11_warmup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

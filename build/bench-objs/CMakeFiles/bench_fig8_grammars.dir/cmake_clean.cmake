@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_grammars"
+  "../bench/bench_fig8_grammars.pdb"
+  "CMakeFiles/bench_fig8_grammars.dir/bench_fig8_grammars.cpp.o"
+  "CMakeFiles/bench_fig8_grammars.dir/bench_fig8_grammars.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_grammars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_linearity"
+  "../bench/bench_fig9_linearity.pdb"
+  "CMakeFiles/bench_fig9_linearity.dir/bench_fig9_linearity.cpp.o"
+  "CMakeFiles/bench_fig9_linearity.dir/bench_fig9_linearity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_profile_comparisons"
+  "../bench/bench_profile_comparisons.pdb"
+  "CMakeFiles/bench_profile_comparisons.dir/bench_profile_comparisons.cpp.o"
+  "CMakeFiles/bench_profile_comparisons.dir/bench_profile_comparisons.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_comparisons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_related_general"
+  "../bench/bench_related_general.pdb"
+  "CMakeFiles/bench_related_general.dir/bench_related_general.cpp.o"
+  "CMakeFiles/bench_related_general.dir/bench_related_general.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

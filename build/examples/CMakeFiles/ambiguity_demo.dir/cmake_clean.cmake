@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambiguity_demo.dir/ambiguity_demo.cpp.o"
+  "CMakeFiles/ambiguity_demo.dir/ambiguity_demo.cpp.o.d"
+  "ambiguity_demo"
+  "ambiguity_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambiguity_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calc.dir/calc.cpp.o"
+  "CMakeFiles/calc.dir/calc.cpp.o.d"
+  "calc"
+  "calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

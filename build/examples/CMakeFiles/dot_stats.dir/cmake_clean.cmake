@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_stats.dir/dot_stats.cpp.o"
+  "CMakeFiles/dot_stats.dir/dot_stats.cpp.o.d"
+  "dot_stats"
+  "dot_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

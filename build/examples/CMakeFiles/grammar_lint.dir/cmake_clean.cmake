@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_lint.dir/grammar_lint.cpp.o"
+  "CMakeFiles/grammar_lint.dir/grammar_lint.cpp.o.d"
+  "grammar_lint"
+  "grammar_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

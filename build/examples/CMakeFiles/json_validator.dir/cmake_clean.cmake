@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_validator.dir/json_validator.cpp.o"
+  "CMakeFiles/json_validator.dir/json_validator.cpp.o.d"
+  "json_validator"
+  "json_validator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_validator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

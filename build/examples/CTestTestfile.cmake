@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_json_validator "/root/repo/build/examples/json_validator")
+set_tests_properties(example_json_validator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dot_stats "/root/repo/build/examples/dot_stats")
+set_tests_properties(example_dot_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ambiguity_demo "/root/repo/build/examples/ambiguity_demo")
+set_tests_properties(example_ambiguity_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_calc "/root/repo/build/examples/calc" "1 + 2 * (3 - 4) / 2")
+set_tests_properties(example_calc PROPERTIES  PASS_REGULAR_EXPRESSION "= 0" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_grammar_lint "/root/repo/build/examples/grammar_lint")
+set_tests_properties(example_grammar_lint PROPERTIES  PASS_REGULAR_EXPRESSION "4 finding" WILL_FAIL "FALSE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

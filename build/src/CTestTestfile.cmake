@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("adt")
+subdirs("grammar")
+subdirs("gdsl")
+subdirs("lexer")
+subdirs("core")
+subdirs("atn")
+subdirs("ll1")
+subdirs("workload")
+subdirs("stats")
+subdirs("lang")
+subdirs("xform")
+subdirs("earley")

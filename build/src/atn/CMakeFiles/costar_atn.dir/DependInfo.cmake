@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atn/Atn.cpp" "src/atn/CMakeFiles/costar_atn.dir/Atn.cpp.o" "gcc" "src/atn/CMakeFiles/costar_atn.dir/Atn.cpp.o.d"
+  "/root/repo/src/atn/AtnParser.cpp" "src/atn/CMakeFiles/costar_atn.dir/AtnParser.cpp.o" "gcc" "src/atn/CMakeFiles/costar_atn.dir/AtnParser.cpp.o.d"
+  "/root/repo/src/atn/AtnSimulator.cpp" "src/atn/CMakeFiles/costar_atn.dir/AtnSimulator.cpp.o" "gcc" "src/atn/CMakeFiles/costar_atn.dir/AtnSimulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/costar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/costar_grammar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_atn.dir/Atn.cpp.o"
+  "CMakeFiles/costar_atn.dir/Atn.cpp.o.d"
+  "CMakeFiles/costar_atn.dir/AtnParser.cpp.o"
+  "CMakeFiles/costar_atn.dir/AtnParser.cpp.o.d"
+  "CMakeFiles/costar_atn.dir/AtnSimulator.cpp.o"
+  "CMakeFiles/costar_atn.dir/AtnSimulator.cpp.o.d"
+  "libcostar_atn.a"
+  "libcostar_atn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_atn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

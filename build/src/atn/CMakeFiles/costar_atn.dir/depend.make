@@ -1,0 +1,2 @@
+# Empty dependencies file for costar_atn.
+# This may be replaced when dependencies are built.

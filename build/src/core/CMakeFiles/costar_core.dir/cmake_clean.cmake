@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_core.dir/Machine.cpp.o"
+  "CMakeFiles/costar_core.dir/Machine.cpp.o.d"
+  "CMakeFiles/costar_core.dir/Measure.cpp.o"
+  "CMakeFiles/costar_core.dir/Measure.cpp.o.d"
+  "CMakeFiles/costar_core.dir/Prediction.cpp.o"
+  "CMakeFiles/costar_core.dir/Prediction.cpp.o.d"
+  "libcostar_core.a"
+  "libcostar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_earley.dir/Earley.cpp.o"
+  "CMakeFiles/costar_earley.dir/Earley.cpp.o.d"
+  "libcostar_earley.a"
+  "libcostar_earley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_earley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_gdsl.dir/GrammarDsl.cpp.o"
+  "CMakeFiles/costar_gdsl.dir/GrammarDsl.cpp.o.d"
+  "libcostar_gdsl.a"
+  "libcostar_gdsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_gdsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grammar/Analysis.cpp" "src/grammar/CMakeFiles/costar_grammar.dir/Analysis.cpp.o" "gcc" "src/grammar/CMakeFiles/costar_grammar.dir/Analysis.cpp.o.d"
+  "/root/repo/src/grammar/Derivation.cpp" "src/grammar/CMakeFiles/costar_grammar.dir/Derivation.cpp.o" "gcc" "src/grammar/CMakeFiles/costar_grammar.dir/Derivation.cpp.o.d"
+  "/root/repo/src/grammar/Grammar.cpp" "src/grammar/CMakeFiles/costar_grammar.dir/Grammar.cpp.o" "gcc" "src/grammar/CMakeFiles/costar_grammar.dir/Grammar.cpp.o.d"
+  "/root/repo/src/grammar/LeftRecursion.cpp" "src/grammar/CMakeFiles/costar_grammar.dir/LeftRecursion.cpp.o" "gcc" "src/grammar/CMakeFiles/costar_grammar.dir/LeftRecursion.cpp.o.d"
+  "/root/repo/src/grammar/Sampler.cpp" "src/grammar/CMakeFiles/costar_grammar.dir/Sampler.cpp.o" "gcc" "src/grammar/CMakeFiles/costar_grammar.dir/Sampler.cpp.o.d"
+  "/root/repo/src/grammar/Tree.cpp" "src/grammar/CMakeFiles/costar_grammar.dir/Tree.cpp.o" "gcc" "src/grammar/CMakeFiles/costar_grammar.dir/Tree.cpp.o.d"
+  "/root/repo/src/grammar/TreeDot.cpp" "src/grammar/CMakeFiles/costar_grammar.dir/TreeDot.cpp.o" "gcc" "src/grammar/CMakeFiles/costar_grammar.dir/TreeDot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_grammar.dir/Analysis.cpp.o"
+  "CMakeFiles/costar_grammar.dir/Analysis.cpp.o.d"
+  "CMakeFiles/costar_grammar.dir/Derivation.cpp.o"
+  "CMakeFiles/costar_grammar.dir/Derivation.cpp.o.d"
+  "CMakeFiles/costar_grammar.dir/Grammar.cpp.o"
+  "CMakeFiles/costar_grammar.dir/Grammar.cpp.o.d"
+  "CMakeFiles/costar_grammar.dir/LeftRecursion.cpp.o"
+  "CMakeFiles/costar_grammar.dir/LeftRecursion.cpp.o.d"
+  "CMakeFiles/costar_grammar.dir/Sampler.cpp.o"
+  "CMakeFiles/costar_grammar.dir/Sampler.cpp.o.d"
+  "CMakeFiles/costar_grammar.dir/Tree.cpp.o"
+  "CMakeFiles/costar_grammar.dir/Tree.cpp.o.d"
+  "CMakeFiles/costar_grammar.dir/TreeDot.cpp.o"
+  "CMakeFiles/costar_grammar.dir/TreeDot.cpp.o.d"
+  "libcostar_grammar.a"
+  "libcostar_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_lang.dir/Language.cpp.o"
+  "CMakeFiles/costar_lang.dir/Language.cpp.o.d"
+  "libcostar_lang.a"
+  "libcostar_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

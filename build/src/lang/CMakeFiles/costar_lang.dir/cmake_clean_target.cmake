@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcostar_lang.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lexer/Dfa.cpp" "src/lexer/CMakeFiles/costar_lexer.dir/Dfa.cpp.o" "gcc" "src/lexer/CMakeFiles/costar_lexer.dir/Dfa.cpp.o.d"
+  "/root/repo/src/lexer/Indenter.cpp" "src/lexer/CMakeFiles/costar_lexer.dir/Indenter.cpp.o" "gcc" "src/lexer/CMakeFiles/costar_lexer.dir/Indenter.cpp.o.d"
+  "/root/repo/src/lexer/ModalScanner.cpp" "src/lexer/CMakeFiles/costar_lexer.dir/ModalScanner.cpp.o" "gcc" "src/lexer/CMakeFiles/costar_lexer.dir/ModalScanner.cpp.o.d"
+  "/root/repo/src/lexer/Nfa.cpp" "src/lexer/CMakeFiles/costar_lexer.dir/Nfa.cpp.o" "gcc" "src/lexer/CMakeFiles/costar_lexer.dir/Nfa.cpp.o.d"
+  "/root/repo/src/lexer/Regex.cpp" "src/lexer/CMakeFiles/costar_lexer.dir/Regex.cpp.o" "gcc" "src/lexer/CMakeFiles/costar_lexer.dir/Regex.cpp.o.d"
+  "/root/repo/src/lexer/Scanner.cpp" "src/lexer/CMakeFiles/costar_lexer.dir/Scanner.cpp.o" "gcc" "src/lexer/CMakeFiles/costar_lexer.dir/Scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grammar/CMakeFiles/costar_grammar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

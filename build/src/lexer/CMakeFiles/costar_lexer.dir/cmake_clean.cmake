@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_lexer.dir/Dfa.cpp.o"
+  "CMakeFiles/costar_lexer.dir/Dfa.cpp.o.d"
+  "CMakeFiles/costar_lexer.dir/Indenter.cpp.o"
+  "CMakeFiles/costar_lexer.dir/Indenter.cpp.o.d"
+  "CMakeFiles/costar_lexer.dir/ModalScanner.cpp.o"
+  "CMakeFiles/costar_lexer.dir/ModalScanner.cpp.o.d"
+  "CMakeFiles/costar_lexer.dir/Nfa.cpp.o"
+  "CMakeFiles/costar_lexer.dir/Nfa.cpp.o.d"
+  "CMakeFiles/costar_lexer.dir/Regex.cpp.o"
+  "CMakeFiles/costar_lexer.dir/Regex.cpp.o.d"
+  "CMakeFiles/costar_lexer.dir/Scanner.cpp.o"
+  "CMakeFiles/costar_lexer.dir/Scanner.cpp.o.d"
+  "libcostar_lexer.a"
+  "libcostar_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

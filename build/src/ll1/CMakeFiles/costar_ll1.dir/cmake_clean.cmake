@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_ll1.dir/Ll1Parser.cpp.o"
+  "CMakeFiles/costar_ll1.dir/Ll1Parser.cpp.o.d"
+  "libcostar_ll1.a"
+  "libcostar_ll1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_ll1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

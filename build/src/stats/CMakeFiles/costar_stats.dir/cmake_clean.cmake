@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_stats.dir/Stats.cpp.o"
+  "CMakeFiles/costar_stats.dir/Stats.cpp.o.d"
+  "libcostar_stats.a"
+  "libcostar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

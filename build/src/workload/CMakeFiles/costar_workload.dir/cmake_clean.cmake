@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_workload.dir/Generators.cpp.o"
+  "CMakeFiles/costar_workload.dir/Generators.cpp.o.d"
+  "libcostar_workload.a"
+  "libcostar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costar_xform.dir/Transforms.cpp.o"
+  "CMakeFiles/costar_xform.dir/Transforms.cpp.o.d"
+  "libcostar_xform.a"
+  "libcostar_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costar_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adt/BigNatTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/BigNatTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/BigNatTest.cpp.o.d"
+  "/root/repo/tests/adt/InstrumentTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/InstrumentTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/InstrumentTest.cpp.o.d"
+  "/root/repo/tests/adt/PersistentMapTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/PersistentMapTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/PersistentMapTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/costar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/costar_grammar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

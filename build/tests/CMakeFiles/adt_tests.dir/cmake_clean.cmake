@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adt_tests.dir/adt/BigNatTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/BigNatTest.cpp.o.d"
+  "CMakeFiles/adt_tests.dir/adt/InstrumentTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/InstrumentTest.cpp.o.d"
+  "CMakeFiles/adt_tests.dir/adt/PersistentMapTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/PersistentMapTest.cpp.o.d"
+  "adt_tests"
+  "adt_tests.pdb"
+  "adt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/atn/AtnSimulatorTest.cpp" "tests/CMakeFiles/atn_tests.dir/atn/AtnSimulatorTest.cpp.o" "gcc" "tests/CMakeFiles/atn_tests.dir/atn/AtnSimulatorTest.cpp.o.d"
+  "/root/repo/tests/atn/AtnTest.cpp" "tests/CMakeFiles/atn_tests.dir/atn/AtnTest.cpp.o" "gcc" "tests/CMakeFiles/atn_tests.dir/atn/AtnTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/costar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/costar_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/atn/CMakeFiles/costar_atn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

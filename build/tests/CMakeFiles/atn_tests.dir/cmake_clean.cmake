@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atn_tests.dir/atn/AtnSimulatorTest.cpp.o"
+  "CMakeFiles/atn_tests.dir/atn/AtnSimulatorTest.cpp.o.d"
+  "CMakeFiles/atn_tests.dir/atn/AtnTest.cpp.o"
+  "CMakeFiles/atn_tests.dir/atn/AtnTest.cpp.o.d"
+  "atn_tests"
+  "atn_tests.pdb"
+  "atn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

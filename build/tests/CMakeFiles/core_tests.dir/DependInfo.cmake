@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ActionsTest.cpp" "tests/CMakeFiles/core_tests.dir/core/ActionsTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ActionsTest.cpp.o.d"
+  "/root/repo/tests/core/CorrectnessTest.cpp" "tests/CMakeFiles/core_tests.dir/core/CorrectnessTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/CorrectnessTest.cpp.o.d"
+  "/root/repo/tests/core/Figure2TraceTest.cpp" "tests/CMakeFiles/core_tests.dir/core/Figure2TraceTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/Figure2TraceTest.cpp.o.d"
+  "/root/repo/tests/core/InvariantsTest.cpp" "tests/CMakeFiles/core_tests.dir/core/InvariantsTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/InvariantsTest.cpp.o.d"
+  "/root/repo/tests/core/LeftRecursionDynamicTest.cpp" "tests/CMakeFiles/core_tests.dir/core/LeftRecursionDynamicTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/LeftRecursionDynamicTest.cpp.o.d"
+  "/root/repo/tests/core/MeasureTest.cpp" "tests/CMakeFiles/core_tests.dir/core/MeasureTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/MeasureTest.cpp.o.d"
+  "/root/repo/tests/core/ParserBasicTest.cpp" "tests/CMakeFiles/core_tests.dir/core/ParserBasicTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ParserBasicTest.cpp.o.d"
+  "/root/repo/tests/core/PredictionTest.cpp" "tests/CMakeFiles/core_tests.dir/core/PredictionTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/PredictionTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/costar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/costar_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdsl/CMakeFiles/costar_gdsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/costar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/costar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/costar_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

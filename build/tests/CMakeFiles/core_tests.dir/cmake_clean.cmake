@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/ActionsTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ActionsTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/CorrectnessTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/CorrectnessTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/Figure2TraceTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/Figure2TraceTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/InvariantsTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/InvariantsTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/LeftRecursionDynamicTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/LeftRecursionDynamicTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/MeasureTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/MeasureTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ParserBasicTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ParserBasicTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/PredictionTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/PredictionTest.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

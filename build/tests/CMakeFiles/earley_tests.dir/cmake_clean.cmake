@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earley_tests.dir/earley/EarleyTest.cpp.o"
+  "CMakeFiles/earley_tests.dir/earley/EarleyTest.cpp.o.d"
+  "earley_tests"
+  "earley_tests.pdb"
+  "earley_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earley_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdsl_tests.dir/gdsl/GrammarDslTest.cpp.o"
+  "CMakeFiles/gdsl_tests.dir/gdsl/GrammarDslTest.cpp.o.d"
+  "CMakeFiles/gdsl_tests.dir/gdsl/PrintGrammarTest.cpp.o"
+  "CMakeFiles/gdsl_tests.dir/gdsl/PrintGrammarTest.cpp.o.d"
+  "gdsl_tests"
+  "gdsl_tests.pdb"
+  "gdsl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdsl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

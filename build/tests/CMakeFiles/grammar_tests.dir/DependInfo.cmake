@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grammar/AnalysisTest.cpp" "tests/CMakeFiles/grammar_tests.dir/grammar/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/grammar_tests.dir/grammar/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/grammar/DerivationTest.cpp" "tests/CMakeFiles/grammar_tests.dir/grammar/DerivationTest.cpp.o" "gcc" "tests/CMakeFiles/grammar_tests.dir/grammar/DerivationTest.cpp.o.d"
+  "/root/repo/tests/grammar/GrammarTest.cpp" "tests/CMakeFiles/grammar_tests.dir/grammar/GrammarTest.cpp.o" "gcc" "tests/CMakeFiles/grammar_tests.dir/grammar/GrammarTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/costar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/costar_grammar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_tests.dir/grammar/AnalysisTest.cpp.o"
+  "CMakeFiles/grammar_tests.dir/grammar/AnalysisTest.cpp.o.d"
+  "CMakeFiles/grammar_tests.dir/grammar/DerivationTest.cpp.o"
+  "CMakeFiles/grammar_tests.dir/grammar/DerivationTest.cpp.o.d"
+  "CMakeFiles/grammar_tests.dir/grammar/GrammarTest.cpp.o"
+  "CMakeFiles/grammar_tests.dir/grammar/GrammarTest.cpp.o.d"
+  "grammar_tests"
+  "grammar_tests.pdb"
+  "grammar_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

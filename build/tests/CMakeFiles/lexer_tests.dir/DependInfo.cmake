@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lexer/IndenterEdgeTest.cpp" "tests/CMakeFiles/lexer_tests.dir/lexer/IndenterEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/lexer_tests.dir/lexer/IndenterEdgeTest.cpp.o.d"
+  "/root/repo/tests/lexer/ModalScannerTest.cpp" "tests/CMakeFiles/lexer_tests.dir/lexer/ModalScannerTest.cpp.o" "gcc" "tests/CMakeFiles/lexer_tests.dir/lexer/ModalScannerTest.cpp.o.d"
+  "/root/repo/tests/lexer/RegexTest.cpp" "tests/CMakeFiles/lexer_tests.dir/lexer/RegexTest.cpp.o" "gcc" "tests/CMakeFiles/lexer_tests.dir/lexer/RegexTest.cpp.o.d"
+  "/root/repo/tests/lexer/ScannerTest.cpp" "tests/CMakeFiles/lexer_tests.dir/lexer/ScannerTest.cpp.o" "gcc" "tests/CMakeFiles/lexer_tests.dir/lexer/ScannerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/costar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/costar_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/costar_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

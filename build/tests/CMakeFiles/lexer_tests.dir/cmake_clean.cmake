@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexer_tests.dir/lexer/IndenterEdgeTest.cpp.o"
+  "CMakeFiles/lexer_tests.dir/lexer/IndenterEdgeTest.cpp.o.d"
+  "CMakeFiles/lexer_tests.dir/lexer/ModalScannerTest.cpp.o"
+  "CMakeFiles/lexer_tests.dir/lexer/ModalScannerTest.cpp.o.d"
+  "CMakeFiles/lexer_tests.dir/lexer/RegexTest.cpp.o"
+  "CMakeFiles/lexer_tests.dir/lexer/RegexTest.cpp.o.d"
+  "CMakeFiles/lexer_tests.dir/lexer/ScannerTest.cpp.o"
+  "CMakeFiles/lexer_tests.dir/lexer/ScannerTest.cpp.o.d"
+  "lexer_tests"
+  "lexer_tests.pdb"
+  "lexer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

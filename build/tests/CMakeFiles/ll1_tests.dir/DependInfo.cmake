@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ll1/Ll1Test.cpp" "tests/CMakeFiles/ll1_tests.dir/ll1/Ll1Test.cpp.o" "gcc" "tests/CMakeFiles/ll1_tests.dir/ll1/Ll1Test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/costar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/costar_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/ll1/CMakeFiles/costar_ll1.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/costar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdsl/CMakeFiles/costar_gdsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/costar_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll1_tests.dir/ll1/Ll1Test.cpp.o"
+  "CMakeFiles/ll1_tests.dir/ll1/Ll1Test.cpp.o.d"
+  "ll1_tests"
+  "ll1_tests.pdb"
+  "ll1_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll1_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xform_tests.dir/xform/TransformsTest.cpp.o"
+  "CMakeFiles/xform_tests.dir/xform/TransformsTest.cpp.o.d"
+  "xform_tests"
+  "xform_tests.pdb"
+  "xform_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xform_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

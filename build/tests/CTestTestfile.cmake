@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/adt_tests[1]_include.cmake")
+include("/root/repo/build/tests/grammar_tests[1]_include.cmake")
+include("/root/repo/build/tests/lexer_tests[1]_include.cmake")
+include("/root/repo/build/tests/gdsl_tests[1]_include.cmake")
+include("/root/repo/build/tests/lang_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/atn_tests[1]_include.cmake")
+include("/root/repo/build/tests/ll1_tests[1]_include.cmake")
+include("/root/repo/build/tests/earley_tests[1]_include.cmake")
+include("/root/repo/build/tests/xform_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
