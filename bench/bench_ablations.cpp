@@ -16,6 +16,11 @@
 ///      buys on many-small-files workloads.
 ///  (c) SLL failover frequency per benchmark — how often the
 ///      overapproximation actually sends prediction back to LL mode.
+///  (d) SLL-cache backend: the FMapAVL-style AvlPaperFaithful substrate
+///      (Section 6.1's comparison-dominated profile) vs. the Hashed
+///      backend (hash-consed stacks + open-addressing indexes). Both
+///      produce bit-identical results; see bench_cache_backends for the
+///      full sweep and the machine-readable record.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -117,6 +122,40 @@ int main() {
     std::printf("\n(The paper trusts SLL except on detected ambiguity; low "
                 "failover rates on unambiguous\ngrammars are what make the "
                 "two-stage strategy profitable.)\n");
+  }
+
+  std::printf("\n=== Ablation (d): AvlPaperFaithful vs. Hashed cache "
+              "backend ===\n\n");
+  {
+    stats::Table T({8, 12, 12, 10});
+    T.row({"bench", "avl ms", "hashed ms", "speedup"});
+    T.sep();
+    for (lang::LangId Id : lang::allLanguages()) {
+      BenchCorpus C = makeCorpus(Id, 12, 100,
+                                 Id == lang::LangId::Python ? 1200 : 4000);
+      ParseOptions AvlOpts;
+      AvlOpts.Backend = CacheBackend::AvlPaperFaithful;
+      ParseOptions HashOpts;
+      HashOpts.Backend = CacheBackend::Hashed;
+      Parser Avl(C.L.G, C.L.Start, AvlOpts);
+      Parser Hashed(C.L.G, C.L.Start, HashOpts);
+      double AvlSec = stats::timeMedian(
+          [&] {
+            for (const Word &W : C.TokenStreams)
+              (void)Avl.parse(W);
+          },
+          3);
+      double HashSec = stats::timeMedian(
+          [&] {
+            for (const Word &W : C.TokenStreams)
+              (void)Hashed.parse(W);
+          },
+          3);
+      T.row({C.L.Name, stats::fmt(AvlSec * 1e3, 1),
+             stats::fmt(HashSec * 1e3, 1),
+             stats::fmt(AvlSec / HashSec, 2) + "x"});
+    }
+    std::fputs(T.str().c_str(), stdout);
   }
   return 0;
 }

@@ -39,7 +39,12 @@ int main() {
   double JsonTotal = 0, PythonTotal = 0;
   for (lang::LangId Id : lang::allLanguages()) {
     BenchCorpus C = makeTimingCorpus(Id, /*NumFiles=*/4);
-    Parser P(C.L.G, C.L.Start);
+    // Pin the AvlPaperFaithful backend: this harness reproduces the
+    // FMapAVL comparison profile of the Coq extraction; the Hashed
+    // backend exists precisely to remove it (see bench_cache_backends).
+    ParseOptions Opts;
+    Opts.Backend = CacheBackend::AvlPaperFaithful;
+    Parser P(C.L.G, C.L.Start, Opts);
 
     adt::ComparisonCounters::reset();
     uint64_t Tokens = 0;

@@ -1,0 +1,216 @@
+//===- adt/HashIndex.h - Open-addressing hash indexes ----------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat open-addressing hash indexes for the SLL DFA cache's Hashed
+/// backend. The paper's profile (Section 6.1) shows ordered-map key
+/// comparisons dominating CoStar's runtime on large grammars; these
+/// structures replace the O(log n) comparison chains of the FMapAVL-style
+/// substrate with O(1) expected probes:
+///
+///  - HashIndex:  uint64 key -> uint32 value (DFA transitions and start
+///    states).
+///  - SpanIndex:  a span-of-uint32 key interner (canonical DFA-state keys),
+///    storing each key's words exactly once in a shared arena.
+///
+/// Both use power-of-two capacities, linear probing, and a splitmix64
+/// bit-mixer so that the sequential ids the cache produces spread evenly.
+/// Probes are counted in ComparisonCounters::hashProbe() so the Section 6.1
+/// profile harness can report both cost families side by side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ADT_HASHINDEX_H
+#define COSTAR_ADT_HASHINDEX_H
+
+#include "adt/Instrument.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace costar {
+namespace adt {
+
+/// Fibonacci/splitmix-style 64-bit finalizer: a cheap bijection whose
+/// output bits all depend on all input bits.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+/// Incremental hash of a uint32 sequence built on mix64 (order-sensitive).
+inline uint64_t hashSpan(std::span<const uint32_t> Words) {
+  uint64_t H = 0x243F6A8885A308D3ull; // pi, for want of a nothing-up-my-sleeve
+  for (uint32_t W : Words)
+    H = mix64(H ^ W);
+  return H;
+}
+
+/// An open-addressing map from uint64 keys to uint32 values. Values must
+/// not equal EmptyValue (the slot sentinel); the DFA cache stores dense
+/// state ids, which never reach it.
+class HashIndex {
+public:
+  static constexpr uint32_t EmptyValue = UINT32_MAX;
+
+private:
+  struct Slot {
+    uint64_t Key = 0;
+    uint32_t Value = EmptyValue;
+  };
+  std::vector<Slot> Slots;
+  uint64_t Count = 0;
+
+  size_t probeStart(uint64_t Key) const {
+    return static_cast<size_t>(mix64(Key)) & (Slots.size() - 1);
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.empty() ? 16 : Old.size() * 2, Slot{});
+    for (const Slot &S : Old) {
+      if (S.Value == EmptyValue)
+        continue;
+      size_t I = probeStart(S.Key);
+      while (Slots[I].Value != EmptyValue)
+        I = (I + 1) & (Slots.size() - 1);
+      Slots[I] = S;
+    }
+  }
+
+public:
+  uint64_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// \returns a pointer to the value bound to \p Key, or nullptr.
+  const uint32_t *find(uint64_t Key) const {
+    if (Slots.empty())
+      return nullptr;
+    size_t I = probeStart(Key);
+    for (;;) {
+      ++ComparisonCounters::hashProbe();
+      const Slot &S = Slots[I];
+      if (S.Value == EmptyValue)
+        return nullptr;
+      if (S.Key == Key)
+        return &S.Value;
+      I = (I + 1) & (Slots.size() - 1);
+    }
+  }
+
+  /// Binds \p Key to \p Value. \p Key must not already be present.
+  void insert(uint64_t Key, uint32_t Value) {
+    assert(Value != EmptyValue && "value collides with the empty sentinel");
+    assert(!find(Key) && "duplicate key in HashIndex");
+    if (Slots.empty() || (Count + 1) * 10 >= Slots.size() * 7)
+      grow();
+    size_t I = probeStart(Key);
+    while (Slots[I].Value != EmptyValue) {
+      ++ComparisonCounters::hashProbe();
+      I = (I + 1) & (Slots.size() - 1);
+    }
+    Slots[I] = Slot{Key, Value};
+    ++Count;
+  }
+};
+
+/// Interns spans of uint32 words, assigning dense ids in insertion order.
+/// Each distinct key's words are stored exactly once, contiguously, in a
+/// shared arena; lookups hash the span and fall back to a memcmp only on a
+/// bucket hit, so the per-lookup cost is O(1) expected plus one O(len)
+/// verification instead of O(log n) O(len)-sized comparisons.
+class SpanIndex {
+  struct Slot {
+    uint64_t Hash = 0;
+    uint32_t Id = HashIndex::EmptyValue;
+  };
+  std::vector<Slot> Slots;
+  std::vector<uint32_t> Arena;
+  /// Per-id [offset, end) into Arena.
+  std::vector<std::pair<uint32_t, uint32_t>> Extents;
+
+  size_t probeStart(uint64_t Hash) const {
+    return static_cast<size_t>(Hash) & (Slots.size() - 1);
+  }
+
+  bool equalsKey(uint32_t Id, std::span<const uint32_t> Key) const {
+    auto [Begin, End] = Extents[Id];
+    if (End - Begin != Key.size())
+      return false;
+    return Key.empty() ||
+           std::memcmp(Arena.data() + Begin, Key.data(),
+                       Key.size() * sizeof(uint32_t)) == 0;
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.empty() ? 16 : Old.size() * 2, Slot{});
+    for (const Slot &S : Old) {
+      if (S.Id == HashIndex::EmptyValue)
+        continue;
+      size_t I = probeStart(S.Hash);
+      while (Slots[I].Id != HashIndex::EmptyValue)
+        I = (I + 1) & (Slots.size() - 1);
+      Slots[I] = S;
+    }
+  }
+
+public:
+  uint32_t size() const { return static_cast<uint32_t>(Extents.size()); }
+
+  /// \returns the id interned for \p Key (with precomputed \p Hash), or
+  /// nullopt when the key is unknown.
+  const uint32_t *find(std::span<const uint32_t> Key, uint64_t Hash) const {
+    if (Slots.empty())
+      return nullptr;
+    size_t I = probeStart(Hash);
+    for (;;) {
+      ++ComparisonCounters::hashProbe();
+      const Slot &S = Slots[I];
+      if (S.Id == HashIndex::EmptyValue)
+        return nullptr;
+      if (S.Hash == Hash && equalsKey(S.Id, Key))
+        return &Slots[I].Id;
+      I = (I + 1) & (Slots.size() - 1);
+    }
+  }
+
+  /// Interns \p Key under the next dense id; the key must not be present.
+  /// \returns the assigned id.
+  uint32_t insert(std::span<const uint32_t> Key, uint64_t Hash) {
+    assert(!find(Key, Hash) && "duplicate key in SpanIndex");
+    if (Slots.empty() || (Extents.size() + 1) * 10 >= Slots.size() * 7)
+      grow();
+    uint32_t Id = static_cast<uint32_t>(Extents.size());
+    uint32_t Begin = static_cast<uint32_t>(Arena.size());
+    Arena.insert(Arena.end(), Key.begin(), Key.end());
+    Extents.emplace_back(Begin, static_cast<uint32_t>(Arena.size()));
+    size_t I = probeStart(Hash);
+    while (Slots[I].Id != HashIndex::EmptyValue) {
+      ++ComparisonCounters::hashProbe();
+      I = (I + 1) & (Slots.size() - 1);
+    }
+    Slots[I] = Slot{Hash, Id};
+    return Id;
+  }
+
+  /// The interned words for \p Id (testing / diagnostics).
+  std::span<const uint32_t> key(uint32_t Id) const {
+    assert(Id < Extents.size() && "span id out of range");
+    auto [Begin, End] = Extents[Id];
+    return {Arena.data() + Begin, End - Begin};
+  }
+};
+
+} // namespace adt
+} // namespace costar
+
+#endif // COSTAR_ADT_HASHINDEX_H

@@ -34,10 +34,18 @@ struct ComparisonCounters {
     thread_local uint64_t Count = 0;
     return Count;
   }
+  /// Slot probes in the Hashed cache backend's open-addressing indexes
+  /// (adt/HashIndex.h) — the hash-side analogue of cacheKey(), so profile
+  /// harnesses can compare the two cost families.
+  static uint64_t &hashProbe() {
+    thread_local uint64_t Count = 0;
+    return Count;
+  }
   /// Resets all counters to zero.
   static void reset() {
     nonterminal() = 0;
     cacheKey() = 0;
+    hashProbe() = 0;
   }
 };
 

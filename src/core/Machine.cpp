@@ -14,12 +14,15 @@ Machine::Machine(const Grammar &G, const PredictionTables &Tables,
                  NonterminalId Start, const Word &Input,
                  const ParseOptions &Opts, SllCache *SharedCache)
     : G(G), Tables(Tables), StartSyms({Symbol::nonterminal(Start)}),
-      Input(Input), Cache(SharedCache ? SharedCache : &OwnedCache),
-      Opts(Opts) {
+      Input(Input), OwnedCache(Opts.Backend),
+      Cache(SharedCache ? SharedCache : &OwnedCache), Opts(Opts) {
   Stack.push_back(Frame{InvalidProductionId, &StartSyms, 0, {}});
+  CacheHitsAtStart = Cache->Hits;
+  CacheMissesAtStart = Cache->Misses;
+  CacheStatesAtStart = Cache->numStates();
 }
 
-std::optional<ParseResult> Machine::step() {
+std::optional<ParseResult> Machine::stepImpl() {
   ++MachineStats.Steps;
   assert(!Stack.empty() && "machine stack underflow");
   Frame &Top = Stack.back();

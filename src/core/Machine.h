@@ -43,6 +43,12 @@ struct ParseOptions {
   };
   PredictionMode Mode = PredictionMode::Adaptive;
 
+  /// Which index structures back the SLL DFA cache. Hashed is the fast
+  /// default; AvlPaperFaithful reproduces the FMapAVL cost profile of the
+  /// Coq extraction (Section 6.1) and serves as the ablation baseline.
+  /// Parse results are bit-identical across backends.
+  CacheBackend Backend = CacheBackend::Hashed;
+
   /// Check machine-state invariants and the Lemma 4.2 measure decrease
   /// before every step (slow; for tests and debugging).
   bool CheckInvariants = false;
@@ -68,6 +74,28 @@ public:
     uint64_t Pushes = 0;
     uint64_t Returns = 0;
     PredictionStats Pred;
+    /// SLL cache activity attributable to *this* run. With ReuseCache (or
+    /// a shared cache) the cache's own Hits/Misses accumulate across
+    /// parses; these are per-run deltas, so a warm parse shows up as
+    /// hits-without-misses rather than vanishing into the aggregate.
+    uint64_t CacheHits = 0;
+    uint64_t CacheMisses = 0;
+    /// DFA states this run added to the cache (0 on a fully warm cache).
+    uint64_t CacheStatesAdded = 0;
+
+    /// Accumulates \p Other into this (BatchParser aggregation).
+    void accumulate(const Stats &Other) {
+      Steps += Other.Steps;
+      Consumes += Other.Consumes;
+      Pushes += Other.Pushes;
+      Returns += Other.Returns;
+      Pred.Predictions += Other.Pred.Predictions;
+      Pred.SllPredictions += Other.Pred.SllPredictions;
+      Pred.Failovers += Other.Pred.Failovers;
+      CacheHits += Other.CacheHits;
+      CacheMisses += Other.CacheMisses;
+      CacheStatesAdded += Other.CacheStatesAdded;
+    }
   };
 
   /// \p SharedCache, when non-null, is used (and warmed) instead of a
@@ -81,7 +109,15 @@ public:
 
   /// Performs one machine operation. \returns a final result, or nullopt to
   /// continue (ContS in the paper's step-result grammar).
-  std::optional<ParseResult> step();
+  std::optional<ParseResult> step() {
+    std::optional<ParseResult> Result = stepImpl();
+    // Keep the per-run cache deltas current after every step, so stats()
+    // is accurate whether the caller drives step() directly or via run().
+    MachineStats.CacheHits = Cache->Hits - CacheHitsAtStart;
+    MachineStats.CacheMisses = Cache->Misses - CacheMissesAtStart;
+    MachineStats.CacheStatesAdded = Cache->numStates() - CacheStatesAtStart;
+    return Result;
+  }
 
   /// multistep: iterates step() to completion.
   ParseResult run();
@@ -110,6 +146,12 @@ private:
   SllCache *Cache;
   ParseOptions Opts;
   Stats MachineStats;
+  /// Cache counter values at construction, for the per-run deltas.
+  uint64_t CacheHitsAtStart = 0;
+  uint64_t CacheMissesAtStart = 0;
+  uint64_t CacheStatesAtStart = 0;
+
+  std::optional<ParseResult> stepImpl();
 };
 
 /// Structural invariant checker used when ParseOptions::CheckInvariants is

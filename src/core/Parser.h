@@ -43,7 +43,7 @@ class Parser {
 public:
   Parser(const Grammar &G, NonterminalId Start, ParseOptions Opts = {})
       : G(G), Start(Start), Opts(Opts), Analysis(G, Start),
-        Tables(G, Analysis) {}
+        Tables(G, Analysis), SharedCache(Opts.Backend) {}
 
   /// Parses \p Input, optionally reporting machine statistics.
   ParseResult parse(const Word &Input, Machine::Stats *StatsOut = nullptr) {
@@ -62,7 +62,7 @@ public:
   const SllCache &sharedCache() const { return SharedCache; }
 
   /// Drops any state accumulated by cache reuse.
-  void resetCache() { SharedCache = SllCache(); }
+  void resetCache() { SharedCache = SllCache(Opts.Backend); }
 };
 
 /// One-shot convenience wrapper: builds the static tables, parses, and

@@ -121,24 +121,32 @@ public:
   /// per-subparser visited sets.
   ClosureOut closure(std::vector<Subparser> Work) const {
     ClosureOut Out;
-    struct KeyHash {
-      size_t operator()(const std::vector<uint32_t> &Key) const {
-        uint64_t H = 0xCBF29CE484222325ull;
-        for (uint32_t V : Key) {
-          H ^= V;
-          H *= 0x100000001B3ull;
-        }
-        return static_cast<size_t>(H);
+    // Dedup on the hash-consed (prediction, stack) identity: the hash is
+    // O(1) to read off the stack head, and the structural equality check
+    // short-circuits on shared tails, so a dedup probe no longer
+    // serializes the whole stack.
+    struct SeenKey {
+      ProductionId Prediction;
+      SimStackPtr Stack;
+      uint64_t Hash;
+    };
+    struct SeenHash {
+      size_t operator()(const SeenKey &K) const {
+        return static_cast<size_t>(K.Hash);
       }
     };
-    std::unordered_set<std::vector<uint32_t>, KeyHash> Seen;
-    std::vector<uint32_t> KeyBuf;
+    struct SeenEq {
+      bool operator()(const SeenKey &A, const SeenKey &B) const {
+        return A.Prediction == B.Prediction &&
+               simStackEquals(A.Stack.get(), B.Stack.get());
+      }
+    };
+    std::unordered_set<SeenKey, SeenHash, SeenEq> Seen;
     while (!Work.empty()) {
       Subparser Sp = std::move(Work.back());
       Work.pop_back();
-      KeyBuf.clear();
-      serializeSubparser(Sp, KeyBuf);
-      if (!Seen.insert(KeyBuf).second)
+      if (!Seen.insert(SeenKey{Sp.Prediction, Sp.Stack, subparserHash(Sp)})
+               .second)
         continue;
 
       if (!Sp.Stack) {
@@ -321,7 +329,8 @@ PredictionResult costar::llPredict(const Grammar &G, NonterminalId X,
 
 uint32_t SllCache::intern(std::vector<Subparser> Configs) {
   // Canonicalize: sort configs by serialized identity, then flatten into a
-  // single key.
+  // single key. Both backends share this canonicalization bit for bit, so
+  // state ids and contents never depend on the backend.
   std::vector<std::pair<std::vector<uint32_t>, size_t>> Keyed;
   Keyed.reserve(Configs.size());
   for (size_t I = 0; I < Configs.size(); ++I) {
@@ -334,8 +343,19 @@ uint32_t SllCache::intern(std::vector<Subparser> Configs) {
   for (const auto &[Key, Index] : Keyed)
     FlatKey.insert(FlatKey.end(), Key.begin(), Key.end());
 
-  if (const uint32_t *Found = Intern.find(FlatKey))
+  uint64_t FlatHash = 0;
+  if (Backend == CacheBackend::Hashed) {
+    // Hash the state off the hash-consed per-config hashes (O(1) each, in
+    // canonical order) rather than re-hashing the serialized words; the
+    // interner's memcmp against FlatKey keeps equality exact.
+    FlatHash = 0x243F6A8885A308D3ull;
+    for (const auto &[Key, Index] : Keyed)
+      FlatHash = adt::mix64(FlatHash ^ subparserHash(Configs[Index]));
+    if (const uint32_t *Found = HashIntern.find(FlatKey, FlatHash))
+      return *Found;
+  } else if (const uint32_t *Found = AvlIntern.find(FlatKey)) {
     return *Found;
+  }
 
   DfaState St;
   St.Configs.reserve(Configs.size());
@@ -352,31 +372,49 @@ uint32_t SllCache::intern(std::vector<Subparser> Configs) {
 
   uint32_t Id = static_cast<uint32_t>(States.size());
   States.push_back(std::move(St));
-  Intern = Intern.insert(FlatKey, Id);
+  if (Backend == CacheBackend::Hashed) {
+    uint32_t Assigned = HashIntern.insert(FlatKey, FlatHash);
+    assert(Assigned == Id && "span interner id diverged from state id");
+    (void)Assigned;
+  } else {
+    AvlIntern = AvlIntern.insert(FlatKey, Id);
+  }
   return Id;
 }
 
 std::optional<uint32_t> SllCache::findStart(NonterminalId X) const {
-  if (const uint32_t *Found = StartStates.find(X))
+  const uint32_t *Found = Backend == CacheBackend::Hashed
+                              ? HashStartStates.find(X)
+                              : AvlStartStates.find(X);
+  if (Found)
     return *Found;
   return std::nullopt;
 }
 
 void SllCache::recordStart(NonterminalId X, uint32_t Id) {
-  StartStates = StartStates.insert(X, Id);
+  if (Backend == CacheBackend::Hashed)
+    HashStartStates.insert(X, Id);
+  else
+    AvlStartStates = AvlStartStates.insert(X, Id);
 }
 
 std::optional<uint32_t> SllCache::findTransition(uint32_t From,
                                                  TerminalId T) const {
   uint64_t Key = (static_cast<uint64_t>(From) << 32) | T;
-  if (const uint32_t *Found = Transitions.find(Key))
+  const uint32_t *Found = Backend == CacheBackend::Hashed
+                              ? HashTransitions.find(Key)
+                              : AvlTransitions.find(Key);
+  if (Found)
     return *Found;
   return std::nullopt;
 }
 
 void SllCache::recordTransition(uint32_t From, TerminalId T, uint32_t To) {
   uint64_t Key = (static_cast<uint64_t>(From) << 32) | T;
-  Transitions = Transitions.insert(Key, To);
+  if (Backend == CacheBackend::Hashed)
+    HashTransitions.insert(Key, To);
+  else
+    AvlTransitions = AvlTransitions.insert(Key, To);
 }
 
 //===----------------------------------------------------------------------===//

@@ -37,6 +37,7 @@
 #ifndef COSTAR_CORE_PREDICTION_H
 #define COSTAR_CORE_PREDICTION_H
 
+#include "adt/HashIndex.h"
 #include "core/Frame.h"
 #include "core/ParseResult.h"
 #include "grammar/Analysis.h"
@@ -75,9 +76,32 @@ using SimStackPtr = std::shared_ptr<const SimStackNode>;
 struct SimStackNode {
   SimFrame F;
   SimStackPtr Tail;
+  /// Hash-consed structural hash of the whole stack: mixing (Prod, Pos)
+  /// onto the tail's hash makes a subparser's identity hash O(1) to read
+  /// instead of O(stack depth) to serialize (Section 6.1's hot path).
+  uint64_t Hash;
+
+  static uint64_t hashOnto(uint64_t TailHash, const SimFrame &F) {
+    return adt::mix64(TailHash ^
+                      adt::mix64((static_cast<uint64_t>(F.Prod) << 32) |
+                                 F.Pos));
+  }
+
   SimStackNode(SimFrame F, SimStackPtr Tail)
-      : F(F), Tail(std::move(Tail)) {}
+      : F(F), Tail(std::move(Tail)),
+        Hash(hashOnto(this->Tail ? this->Tail->Hash : 0x5DEECE66Dull, F)) {}
 };
+
+/// Structural equality of two simulation stacks, short-circuiting on
+/// shared tails (forks produced by closure share tails by construction, so
+/// most comparisons terminate after a frame or two).
+inline bool simStackEquals(const SimStackNode *A, const SimStackNode *B) {
+  for (; A != B; A = A->Tail.get(), B = B->Tail.get()) {
+    if (!A || !B || A->F.Prod != B->F.Prod || A->F.Pos != B->F.Pos)
+      return false;
+  }
+  return true;
+}
 
 /// A subparser theta = (gamma, Psi): the prediction it carries plus its
 /// simulation stack. A null Stack means the subparser has completed an
@@ -95,6 +119,20 @@ struct Subparser {
 /// and DFA-state keys. Visited sets are excluded: they only influence
 /// left-recursion errors, not simulation moves.
 void serializeSubparser(const Subparser &Sp, std::vector<uint32_t> &Out);
+
+/// O(1) identity hash of a subparser's (prediction, stack), reading the
+/// hash-consed stack hash. Consistent with subparserEquals.
+inline uint64_t subparserHash(const Subparser &Sp) {
+  uint64_t StackHash = Sp.Stack ? Sp.Stack->Hash : 0xFEEDFACEull;
+  return adt::mix64(StackHash ^ Sp.Prediction);
+}
+
+/// Structural identity of two subparsers (visited sets excluded, matching
+/// serializeSubparser).
+inline bool subparserEquals(const Subparser &A, const Subparser &B) {
+  return A.Prediction == B.Prediction &&
+         simStackEquals(A.Stack.get(), B.Stack.get());
+}
 
 //===----------------------------------------------------------------------===//
 // Static prediction tables
@@ -142,10 +180,23 @@ struct CacheU64Less {
   }
 };
 
+/// Which data structures index the SLL DFA cache. Both backends produce
+/// bit-identical parse results (enforced by the differential tests); they
+/// differ only in lookup cost.
+enum class CacheBackend {
+  /// Persistent AVL maps, mirroring the FMapAVL-based cache of the Coq
+  /// development — the paper-profile ablation baseline, with the same
+  /// comparison-dominated cost profile as Section 6.1.
+  AvlPaperFaithful,
+  /// Open-addressing hash indexes over hash-consed subparser stacks
+  /// (adt/HashIndex.h): O(1) expected per cache operation.
+  Hashed,
+};
+
 /// The DFA cache for SLL prediction. States are canonicalized sets of SLL
-/// subparsers; transitions are keyed by (state, terminal). Internally the
-/// cache uses persistent AVL maps, mirroring the FMapAVL-based cache of the
-/// Coq development (and giving the same comparison-dominated cost profile).
+/// subparsers; transitions are keyed by (state, terminal). The index
+/// structures are chosen by CacheBackend; state ids, contents, and every
+/// observable prediction are identical across backends.
 class SllCache {
 public:
   /// How a DFA state resolves prediction if reached mid-input.
@@ -161,14 +212,25 @@ public:
   };
 
 private:
+  CacheBackend Backend = CacheBackend::Hashed;
   std::vector<DfaState> States;
-  adt::PersistentMap<std::vector<uint32_t>, uint32_t, CacheKeyLess> Intern;
-  adt::PersistentMap<uint64_t, uint32_t, CacheU64Less> Transitions;
-  adt::PersistentMap<NonterminalId, uint32_t, CompareNT> StartStates;
+  // AvlPaperFaithful indexes (empty under the Hashed backend).
+  adt::PersistentMap<std::vector<uint32_t>, uint32_t, CacheKeyLess> AvlIntern;
+  adt::PersistentMap<uint64_t, uint32_t, CacheU64Less> AvlTransitions;
+  adt::PersistentMap<NonterminalId, uint32_t, CompareNT> AvlStartStates;
+  // Hashed indexes (empty under the AvlPaperFaithful backend).
+  adt::SpanIndex HashIntern;
+  adt::HashIndex HashTransitions;
+  adt::HashIndex HashStartStates;
 
 public:
+  SllCache() = default;
+  explicit SllCache(CacheBackend Backend) : Backend(Backend) {}
+
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+
+  CacheBackend backend() const { return Backend; }
 
   /// Interns \p Configs (sorted by serialized key) as a DFA state,
   /// computing its resolution; returns the existing id when already known.
@@ -186,6 +248,10 @@ public:
   void recordTransition(uint32_t From, TerminalId T, uint32_t To);
 
   size_t numStates() const { return States.size(); }
+  uint64_t numTransitions() const {
+    return Backend == CacheBackend::Hashed ? HashTransitions.size()
+                                           : AvlTransitions.size();
+  }
 };
 
 //===----------------------------------------------------------------------===//

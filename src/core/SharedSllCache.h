@@ -1,0 +1,77 @@
+//===- core/SharedSllCache.h - Thread-safe warm-cache sharing --*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-thread sharing of a warm SLL DFA cache. Section 6.2 of the paper
+/// notes CoStar "does not currently offer a way to reuse a cache across
+/// multiple inputs"; Parser::ReuseCache lifts that within one thread, and
+/// this class lifts it across threads without putting locks on the
+/// prediction hot path.
+///
+/// The design is read-mostly snapshot + mutex-guarded publish:
+///
+///  - snapshot() hands out an immutable, shared SllCache value. A worker
+///    copies it into a thread-local cache (O(1) per persistent-map backend
+///    structure, O(states) for the hashed indexes) and parses lock-free
+///    against the copy, warming it further.
+///
+///  - publish() offers a warmed cache back. Under the mutex, the offer
+///    replaces the snapshot only if it covers strictly more of the DFA
+///    (states + transitions) than the current one, so the shared cache
+///    grows monotonically and late small offers cannot regress it.
+///
+/// Workers never merge caches; any warm cache is a correct cache (the DFA
+/// is a pure function of the grammar), so coverage only affects speed —
+/// the warm-vs-cold equivalence property tests pin down that correctness
+/// claim per backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_CORE_SHAREDSLLCACHE_H
+#define COSTAR_CORE_SHAREDSLLCACHE_H
+
+#include "core/Prediction.h"
+
+#include <memory>
+#include <mutex>
+
+namespace costar {
+
+class SharedSllCache {
+  mutable std::mutex Mu;
+  std::shared_ptr<const SllCache> Snapshot;
+
+  static uint64_t coverage(const SllCache &C) {
+    return C.numStates() + C.numTransitions();
+  }
+
+public:
+  explicit SharedSllCache(CacheBackend Backend = CacheBackend::Hashed)
+      : Snapshot(std::make_shared<const SllCache>(Backend)) {}
+
+  CacheBackend backend() const { return snapshot()->backend(); }
+
+  /// The current warm snapshot. The returned cache is immutable; copy it
+  /// to warm it further.
+  std::shared_ptr<const SllCache> snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Snapshot;
+  }
+
+  /// Offers \p Warmed as the new snapshot. \returns true if it was
+  /// adopted (strictly larger DFA coverage than the current snapshot).
+  bool publish(const SllCache &Warmed) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (coverage(Warmed) <= coverage(*Snapshot))
+      return false;
+    Snapshot = std::make_shared<const SllCache>(Warmed);
+    return true;
+  }
+};
+
+} // namespace costar
+
+#endif // COSTAR_CORE_SHAREDSLLCACHE_H

@@ -1,0 +1,90 @@
+//===- workload/BatchParser.cpp - Multi-threaded corpus parsing -------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/BatchParser.h"
+
+#include <atomic>
+#include <optional>
+#include <thread>
+
+using namespace costar;
+using namespace costar::workload;
+
+BatchResult BatchParser::parseAll(const std::vector<Word> &Corpus,
+                                  const BatchOptions &Opts) const {
+  unsigned Threads = Opts.Threads;
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  Threads = std::max(1u, std::min<unsigned>(
+                             Threads, Corpus.empty() ? 1 : Corpus.size()));
+
+  SharedSllCache Shared(Opts.Parse.Backend);
+  std::atomic<size_t> NextWord{0};
+  std::vector<std::optional<ParseResult>> Buf(Corpus.size());
+  std::vector<Machine::Stats> PerThread(Threads);
+
+  auto Worker = [&](unsigned ThreadIdx) {
+    Machine::Stats &Stats = PerThread[ThreadIdx];
+    // Thread-local warm cache, seeded from the current shared snapshot.
+    SllCache Local = *Shared.snapshot();
+    uint32_t SincePublish = 0;
+    for (;;) {
+      size_t I = NextWord.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Corpus.size())
+        break;
+      Machine M(G, Tables, Start, Corpus[I], Opts.Parse,
+                Opts.ShareCache ? &Local : nullptr);
+      Buf[I] = M.run();
+      Stats.accumulate(M.stats());
+      if (Opts.ShareCache && ++SincePublish >= Opts.PublishInterval) {
+        SincePublish = 0;
+        Shared.publish(Local);
+        // Adopt a warmer snapshot if another worker published one.
+        std::shared_ptr<const SllCache> Snap = Shared.snapshot();
+        uint64_t SnapCoverage = Snap->numStates() + Snap->numTransitions();
+        if (SnapCoverage > Local.numStates() + Local.numTransitions())
+          Local = *Snap;
+      }
+    }
+    if (Opts.ShareCache)
+      Shared.publish(Local);
+  };
+
+  if (Threads == 1) {
+    Worker(0);
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T < Threads; ++T)
+      Pool.emplace_back(Worker, T);
+    for (std::thread &Th : Pool)
+      Th.join();
+  }
+
+  BatchResult R;
+  R.Results.reserve(Corpus.size());
+  for (std::optional<ParseResult> &Res : Buf) {
+    assert(Res && "batch worker skipped a word");
+    switch (Res->kind()) {
+    case ParseResult::Kind::Unique:
+    case ParseResult::Kind::Ambig:
+      ++R.Accepted;
+      break;
+    case ParseResult::Kind::Reject:
+      ++R.Rejected;
+      break;
+    case ParseResult::Kind::Error:
+      ++R.Errors;
+      break;
+    }
+    R.Results.push_back(std::move(*Res));
+  }
+  for (const Machine::Stats &S : PerThread)
+    R.Aggregate.accumulate(S);
+  if (Opts.ShareCache)
+    R.SharedCacheStates = Shared.snapshot()->numStates();
+  return R;
+}
