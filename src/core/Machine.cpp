@@ -7,8 +7,23 @@
 #include "core/Machine.h"
 
 #include "core/Measure.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 using namespace costar;
+
+namespace {
+
+/// Hot-path emission guard: the null-pointer test here plus the one-byte
+/// enabled() test inside emit() are the only per-event costs when tracing
+/// is off or discarded (the <3% overhead budget of bench_trace_overhead).
+inline void traceEvent(obs::Tracer *T, obs::EventKind K, uint32_t A = 0,
+                       uint32_t B = 0, uint64_t Value = 0, uint64_t Pos = 0) {
+  if (T)
+    T->emit(K, A, B, Value, Pos);
+}
+
+} // namespace
 
 Machine::Machine(const Grammar &G, const PredictionTables &Tables,
                  NonterminalId Start, const Word &Input,
@@ -56,6 +71,7 @@ std::optional<ParseResult> Machine::stepImpl() {
       return ParseResult::error(ParseError::invalidState(
           "returned frame's production does not reduce the caller's open "
           "nonterminal"));
+    traceEvent(Opts.Trace, obs::EventKind::Pop, X, Popped.Prod, 0, Pos);
     Caller.Trees.push_back(Tree::node(X, std::move(Popped.Trees)));
     ++Caller.Next;
     // X is now fully processed; it is no longer "open since the last
@@ -79,6 +95,7 @@ std::optional<ParseResult> Machine::stepImpl() {
                                      " '" + Tok.Lexeme + "'",
                                  Pos);
     ++MachineStats.Consumes;
+    traceEvent(Opts.Trace, obs::EventKind::Consume, A, 0, 0, Pos);
     Top.Trees.push_back(Tree::leaf(Tok));
     ++Top.Next;
     ++Pos;
@@ -91,23 +108,34 @@ std::optional<ParseResult> Machine::stepImpl() {
   if (Visited.contains(X))
     return ParseResult::error(ParseError::leftRecursive(X));
 
+  traceEvent(Opts.Trace, obs::EventKind::PredictEnter, X, 0, Stack.size(),
+             Pos);
   PredictionResult Prediction;
   if (Opts.Mode == ParseOptions::PredictionMode::LlOnly) {
     ++MachineStats.Pred.Predictions;
     Prediction = llPredict(G, X, Stack, Visited, Input, Pos);
   } else {
     Prediction = adaptivePredict(G, Tables, *Cache, X, Stack, Visited, Input,
-                                 Pos, &MachineStats.Pred);
+                                 Pos, &MachineStats.Pred, Opts.Trace);
   }
+  traceEvent(Opts.Trace, obs::EventKind::PredictResolve, X,
+             Prediction.ResultKind == PredictionResult::Kind::Unique ||
+                     Prediction.ResultKind == PredictionResult::Kind::Ambig
+                 ? Prediction.Prod
+                 : UINT32_MAX,
+             static_cast<uint64_t>(Prediction.ResultKind), Pos);
 
   switch (Prediction.ResultKind) {
   case PredictionResult::Kind::Ambig:
     // A genuine (LL-mode) ambiguity: record it and keep parsing with the
     // chosen alternative (Section 5.3).
+    traceEvent(Opts.Trace, obs::EventKind::AmbigDetected, X, Prediction.Prod,
+               0, Pos);
     UniqueFlag = false;
     [[fallthrough]];
   case PredictionResult::Kind::Unique: {
     ++MachineStats.Pushes;
+    traceEvent(Opts.Trace, obs::EventKind::Push, X, Prediction.Prod, 0, Pos);
     const Production &P = G.production(Prediction.Prod);
     assert(P.Lhs == X && "prediction returned a right-hand side for the "
                          "wrong nonterminal");
@@ -126,6 +154,52 @@ std::optional<ParseResult> Machine::stepImpl() {
 }
 
 ParseResult Machine::run() {
+  traceEvent(Opts.Trace, obs::EventKind::ParseBegin,
+             StartSyms[0].nonterminalId(), 0, Input.size(), Pos);
+  ParseResult Result = runLoop();
+  traceEvent(Opts.Trace, obs::EventKind::ParseEnd,
+             static_cast<uint32_t>(Result.kind()), 0, MachineStats.Steps,
+             Pos);
+  if (Opts.Metrics)
+    publishMetrics(Result);
+  return Result;
+}
+
+/// Publishes this run's per-parse deltas into the metrics registry. The
+/// counter names are the stable observability schema; EXPERIMENTS.md
+/// documents them.
+void Machine::publishMetrics(const ParseResult &Result) const {
+  obs::MetricsRegistry &M = *Opts.Metrics;
+  M.add("parse.count");
+  switch (Result.kind()) {
+  case ParseResult::Kind::Unique:
+    M.add("result.unique");
+    break;
+  case ParseResult::Kind::Ambig:
+    M.add("result.ambig");
+    break;
+  case ParseResult::Kind::Reject:
+    M.add("result.reject");
+    break;
+  case ParseResult::Kind::Error:
+    M.add("result.error");
+    break;
+  }
+  M.add("machine.steps", MachineStats.Steps);
+  M.add("machine.consumes", MachineStats.Consumes);
+  M.add("machine.pushes", MachineStats.Pushes);
+  M.add("machine.returns", MachineStats.Returns);
+  M.add("predict.calls", MachineStats.Pred.Predictions);
+  M.add("predict.sll", MachineStats.Pred.SllPredictions);
+  M.add("predict.failovers", MachineStats.Pred.Failovers);
+  M.add("cache.hits", MachineStats.CacheHits);
+  M.add("cache.misses", MachineStats.CacheMisses);
+  M.add("cache.states_added", MachineStats.CacheStatesAdded);
+  M.record("parse.tokens", Input.size());
+  M.record("parse.steps", MachineStats.Steps);
+}
+
+ParseResult Machine::runLoop() {
   Measure Prev;
   bool HavePrev = false;
   for (;;) {

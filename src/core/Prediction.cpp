@@ -6,6 +6,8 @@
 
 #include "core/Prediction.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <set>
 #include <unordered_set>
@@ -424,13 +426,16 @@ void SllCache::recordTransition(uint32_t From, TerminalId T, uint32_t To) {
 PredictionResult costar::sllPredict(const Grammar &G,
                                     const PredictionTables &Tables,
                                     SllCache &Cache, NonterminalId X,
-                                    const Word &Input, size_t Pos) {
+                                    const Word &Input, size_t Pos,
+                                    obs::Tracer *Trace) {
   Simulator Sim(G, &Tables, SimMode::SLL);
 
   uint32_t Sid;
   if (std::optional<uint32_t> Start = Cache.findStart(X)) {
     ++Cache.Hits;
     Sid = *Start;
+    if (Trace)
+      Trace->emit(obs::EventKind::SllCacheHit, Sid, UINT32_MAX, 0, Pos);
   } else {
     ++Cache.Misses;
     VisitedSet InitVisited = VisitedSet().insert(X);
@@ -446,6 +451,8 @@ PredictionResult costar::sllPredict(const Grammar &G,
       return PredictionResult::error(*CR.Err);
     Sid = Cache.intern(std::move(CR.Configs));
     Cache.recordStart(X, Sid);
+    if (Trace)
+      Trace->emit(obs::EventKind::SllCacheMiss, Sid, UINT32_MAX, 0, Pos);
   }
 
   size_t I = Pos;
@@ -463,6 +470,8 @@ PredictionResult costar::sllPredict(const Grammar &G,
     if (std::optional<uint32_t> Next = Cache.findTransition(Sid, T)) {
       ++Cache.Hits;
       Sid = *Next;
+      if (Trace)
+        Trace->emit(obs::EventKind::SllCacheHit, Sid, T, 0, I);
     } else {
       ++Cache.Misses;
       ClosureOut CR = Sim.closure(Sim.move(Cache.state(Sid).Configs, T));
@@ -471,6 +480,8 @@ PredictionResult costar::sllPredict(const Grammar &G,
       uint32_t NextId = Cache.intern(std::move(CR.Configs));
       Cache.recordTransition(Sid, T, NextId);
       Sid = NextId;
+      if (Trace)
+        Trace->emit(obs::EventKind::SllCacheMiss, Sid, T, 0, I);
     }
     ++I;
   }
@@ -484,12 +495,12 @@ PredictionResult costar::adaptivePredict(
     const Grammar &G, const PredictionTables &Tables, SllCache &Cache,
     NonterminalId X, std::span<const Frame> MachineStack,
     const VisitedSet &Visited, const Word &Input, size_t Pos,
-    PredictionStats *Stats) {
+    PredictionStats *Stats, obs::Tracer *Trace) {
   if (Stats) {
     ++Stats->Predictions;
     ++Stats->SllPredictions;
   }
-  PredictionResult SllRes = sllPredict(G, Tables, Cache, X, Input, Pos);
+  PredictionResult SllRes = sllPredict(G, Tables, Cache, X, Input, Pos, Trace);
   if (SllRes.ResultKind != PredictionResult::Kind::Ambig)
     return SllRes;
   // The SLL result may be unsound (the overapproximated stacks kept a
@@ -497,5 +508,9 @@ PredictionResult costar::adaptivePredict(
   // in LL mode.
   if (Stats)
     ++Stats->Failovers;
+  if (Trace) {
+    Trace->emit(obs::EventKind::SllCacheConflict, X, SllRes.Prod, 0, Pos);
+    Trace->emit(obs::EventKind::LlFallback, X, 0, 0, Pos);
+  }
   return llPredict(G, X, MachineStack, Visited, Input, Pos);
 }

@@ -49,6 +49,10 @@
 
 namespace costar {
 
+namespace obs {
+class Tracer;
+} // namespace obs
+
 //===----------------------------------------------------------------------===//
 // Subparsers
 //===----------------------------------------------------------------------===//
@@ -276,20 +280,26 @@ PredictionResult llPredict(const Grammar &G, NonterminalId X,
 
 /// SLL prediction for decision nonterminal \p X, caching analysis steps in
 /// \p Cache. An Ambig result means "multiple right-hand sides survived under
-/// the stack overapproximation" and must trigger LL failover.
+/// the stack overapproximation" and must trigger LL failover. \p Trace,
+/// when non-null, receives an SllCacheHit/SllCacheMiss event per DFA
+/// lookup (obs/Trace.h).
 PredictionResult sllPredict(const Grammar &G, const PredictionTables &Tables,
                             SllCache &Cache, NonterminalId X,
-                            const Word &Input, size_t Pos);
+                            const Word &Input, size_t Pos,
+                            obs::Tracer *Trace = nullptr);
 
 /// The combined ALL(*) prediction routine: SLL first, failing over to LL
 /// when SLL reports ambiguity. Unique/Reject/Error SLL results are final.
+/// \p Trace, when non-null, additionally receives SllCacheConflict and
+/// LlFallback events when the failover fires.
 PredictionResult adaptivePredict(const Grammar &G,
                                  const PredictionTables &Tables,
                                  SllCache &Cache, NonterminalId X,
                                  std::span<const Frame> MachineStack,
                                  const VisitedSet &Visited, const Word &Input,
                                  size_t Pos,
-                                 PredictionStats *Stats = nullptr);
+                                 PredictionStats *Stats = nullptr,
+                                 obs::Tracer *Trace = nullptr);
 
 } // namespace costar
 

@@ -28,12 +28,21 @@
 /// the warm-vs-cold equivalence property tests pin down that correctness
 /// claim per backend.
 ///
+/// Counters vs. structure: an SllCache value carries both the DFA
+/// (structure) and its Hits/Misses activity counters. The shared snapshot
+/// is structure only — publish() zeroes the counters on the stored copy,
+/// so a worker seeding from (or adopting) a snapshot never inherits the
+/// publishing thread's activity and Machine::Stats per-parse deltas stay
+/// consistent across mid-batch publishes (the stored baseline is always
+/// the adopting thread's own counter). SharedCacheStatsTest pins this.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COSTAR_CORE_SHAREDSLLCACHE_H
 #define COSTAR_CORE_SHAREDSLLCACHE_H
 
 #include "core/Prediction.h"
+#include "obs/Trace.h"
 
 #include <memory>
 #include <mutex>
@@ -63,11 +72,28 @@ public:
 
   /// Offers \p Warmed as the new snapshot. \returns true if it was
   /// adopted (strictly larger DFA coverage than the current snapshot).
-  bool publish(const SllCache &Warmed) {
+  /// The stored snapshot keeps \p Warmed's DFA but not its Hits/Misses
+  /// counters (see the counters-vs-structure note above). \p Trace, when
+  /// non-null, receives a CachePublish event recording the outcome.
+  bool publish(const SllCache &Warmed, obs::Tracer *Trace = nullptr) {
+    bool Adopted = publishImpl(Warmed);
+    if (Trace)
+      Trace->emit(obs::EventKind::CachePublish, Adopted ? 1 : 0, 0,
+                  coverage(Warmed));
+    return Adopted;
+  }
+
+private:
+  bool publishImpl(const SllCache &Warmed) {
     std::lock_guard<std::mutex> Lock(Mu);
     if (coverage(Warmed) <= coverage(*Snapshot))
       return false;
-    Snapshot = std::make_shared<const SllCache>(Warmed);
+    auto Fresh = std::make_shared<SllCache>(Warmed);
+    // Snapshots are structure, not activity: drop the publishing thread's
+    // counters so seeders/adopters account only for their own lookups.
+    Fresh->Hits = 0;
+    Fresh->Misses = 0;
+    Snapshot = std::move(Fresh);
     return true;
   }
 };

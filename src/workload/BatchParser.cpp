@@ -6,7 +6,9 @@
 
 #include "workload/BatchParser.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <optional>
 #include <thread>
 
@@ -25,32 +27,66 @@ BatchResult BatchParser::parseAll(const std::vector<Word> &Corpus,
   std::atomic<size_t> NextWord{0};
   std::vector<std::optional<ParseResult>> Buf(Corpus.size());
   std::vector<Machine::Stats> PerThread(Threads);
+  // Per-thread observability sinks: no cross-thread writes during the
+  // parse, merged after the join.
+  std::vector<std::unique_ptr<obs::RingBufferTracer>> Tracers(Threads);
+  std::vector<obs::MetricsRegistry> Registries(
+      Opts.CollectMetrics ? Threads : 0);
+  if (Opts.CollectTrace)
+    for (unsigned T = 0; T < Threads; ++T)
+      Tracers[T] =
+          std::make_unique<obs::RingBufferTracer>(Opts.TraceCapacityPerThread);
 
   auto Worker = [&](unsigned ThreadIdx) {
     Machine::Stats &Stats = PerThread[ThreadIdx];
-    // Thread-local warm cache, seeded from the current shared snapshot.
+    obs::RingBufferTracer *Trace = Tracers[ThreadIdx].get();
+    if (Trace)
+      Trace->Thread = ThreadIdx;
+    // The caller's sinks are not thread-safe; workers use only their own.
+    ParseOptions Parse = Opts.Parse;
+    Parse.Trace = Trace;
+    Parse.Metrics = Opts.CollectMetrics ? &Registries[ThreadIdx] : nullptr;
+    // Thread-local warm cache, seeded from the current shared snapshot
+    // (whose counters are zero: snapshots carry structure, not activity).
     SllCache Local = *Shared.snapshot();
     uint32_t SincePublish = 0;
     for (;;) {
       size_t I = NextWord.fetch_add(1, std::memory_order_relaxed);
       if (I >= Corpus.size())
         break;
-      Machine M(G, Tables, Start, Corpus[I], Opts.Parse,
+      if (Trace)
+        Trace->Word = static_cast<uint32_t>(I);
+      Machine M(G, Tables, Start, Corpus[I], Parse,
                 Opts.ShareCache ? &Local : nullptr);
       Buf[I] = M.run();
       Stats.accumulate(M.stats());
       if (Opts.ShareCache && ++SincePublish >= Opts.PublishInterval) {
         SincePublish = 0;
-        Shared.publish(Local);
-        // Adopt a warmer snapshot if another worker published one.
+        if (Trace)
+          Trace->Word = UINT32_MAX; // cache exchange, not a word's parse
+        Shared.publish(Local, Trace);
+        // Adopt a warmer snapshot if another worker published one,
+        // keeping this thread's own activity counters: the adopted copy
+        // brings DFA structure only, so the counters stay a consistent,
+        // monotone record of this thread's lookups and the next Machine's
+        // per-parse deltas read a baseline this thread actually produced.
         std::shared_ptr<const SllCache> Snap = Shared.snapshot();
         uint64_t SnapCoverage = Snap->numStates() + Snap->numTransitions();
-        if (SnapCoverage > Local.numStates() + Local.numTransitions())
+        if (SnapCoverage > Local.numStates() + Local.numTransitions()) {
+          uint64_t OwnHits = Local.Hits, OwnMisses = Local.Misses;
           Local = *Snap;
+          Local.Hits = OwnHits;
+          Local.Misses = OwnMisses;
+          if (Trace)
+            Trace->emit(obs::EventKind::CacheAdopt, 0, 0, SnapCoverage);
+        }
       }
     }
-    if (Opts.ShareCache)
-      Shared.publish(Local);
+    if (Opts.ShareCache) {
+      if (Trace)
+        Trace->Word = UINT32_MAX;
+      Shared.publish(Local, Trace);
+    }
   };
 
   if (Threads == 1) {
@@ -86,5 +122,22 @@ BatchResult BatchParser::parseAll(const std::vector<Word> &Corpus,
     R.Aggregate.accumulate(S);
   if (Opts.ShareCache)
     R.SharedCacheStates = Shared.snapshot()->numStates();
+
+  if (Opts.CollectTrace) {
+    for (const auto &T : Tracers) {
+      std::vector<obs::TraceEvent> Events = T->events();
+      R.Trace.insert(R.Trace.end(), Events.begin(), Events.end());
+      R.TraceDropped += T->dropped();
+    }
+    // Canonical order: by word index (each word's events are already
+    // contiguous and in emission order, since exactly one worker parses
+    // it), with cache-exchange events (Word == UINT32_MAX) at the end.
+    std::stable_sort(R.Trace.begin(), R.Trace.end(),
+                     [](const obs::TraceEvent &X, const obs::TraceEvent &Y) {
+                       return X.Word < Y.Word;
+                     });
+  }
+  for (const obs::MetricsRegistry &Reg : Registries)
+    R.Metrics.merge(Reg);
   return R;
 }

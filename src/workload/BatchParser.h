@@ -24,6 +24,8 @@
 
 #include "core/Parser.h"
 #include "core/SharedSllCache.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <vector>
 
@@ -35,7 +37,9 @@ struct BatchOptions {
   unsigned Threads = 1;
   /// Per-parse knobs (prediction mode, cache backend, ...). The
   /// ReuseCache flag is ignored here: batch cache sharing is governed by
-  /// ShareCache below.
+  /// ShareCache below. The Trace and Metrics sinks are also ignored
+  /// (they are not thread-safe); use CollectTrace / CollectMetrics, which
+  /// give every worker its own buffer and merge at the end.
   ParseOptions Parse;
   /// Share one warm cache across all words and threads. When false every
   /// word parses against a fresh cache (the paper's per-input baseline).
@@ -43,6 +47,16 @@ struct BatchOptions {
   /// Words a worker parses between publish/adopt exchanges with the
   /// shared cache.
   uint32_t PublishInterval = 8;
+  /// Record parse events into per-thread ring buffers and merge them into
+  /// BatchResult::Trace, ordered by corpus word index (each word's events
+  /// are contiguous and stamped with the worker's thread index).
+  bool CollectTrace = false;
+  /// Per-thread ring capacity when CollectTrace is set; events beyond it
+  /// wrap (BatchResult::TraceDropped counts the loss).
+  size_t TraceCapacityPerThread = 1u << 22;
+  /// Publish per-parse metrics into per-thread registries and merge them
+  /// into BatchResult::Metrics.
+  bool CollectMetrics = false;
 };
 
 struct BatchResult {
@@ -55,6 +69,17 @@ struct BatchResult {
   size_t Errors = 0;
   /// DFA states in the final shared snapshot (0 when ShareCache is off).
   size_t SharedCacheStates = 0;
+  /// Merged event trace (CollectTrace): per-word parse events ordered by
+  /// word index, then batch cache-exchange events (Word == UINT32_MAX).
+  /// With ShareCache off, this equals the single-thread trace modulo the
+  /// Thread stamps (cache warmth, and so hit/miss events, are per-word
+  /// deterministic) — TraceDeterminismTest holds BatchParser to that.
+  std::vector<obs::TraceEvent> Trace;
+  /// Events lost to per-thread ring wrap-around (0 unless a worker
+  /// overflowed TraceCapacityPerThread).
+  uint64_t TraceDropped = 0;
+  /// Merged metrics over all workers (CollectMetrics).
+  obs::MetricsRegistry Metrics;
 };
 
 /// A reusable multi-threaded batch parser for one grammar and start

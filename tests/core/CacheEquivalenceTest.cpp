@@ -230,3 +230,91 @@ TEST(SharedCache, SnapshotPublishAdoptsOnlyWarmerCaches) {
   EXPECT_EQ(M2.stats().CacheMisses, 0u);
   EXPECT_GT(M2.stats().CacheHits, 0u);
 }
+
+TEST(SharedCacheStats, PublishedSnapshotsCarryNoActivityCounters) {
+  // Regression test: publish() must store DFA structure only. It used to
+  // copy the publishing thread's Hits/Misses into the snapshot, so a
+  // worker seeding from it inherited another thread's activity and its
+  // per-parse deltas were computed against a baseline it never produced.
+  for (CacheBackend B :
+       {CacheBackend::AvlPaperFaithful, CacheBackend::Hashed}) {
+    Grammar G = figure2Grammar();
+    NonterminalId S = G.lookupNonterminal("S");
+    GrammarAnalysis A(G, S);
+    PredictionTables Tables(G, A);
+    SharedSllCache Shared(B);
+
+    // Warm a local cache with real activity, then publish it.
+    SllCache Local = *Shared.snapshot();
+    Word W = makeWord(G, "a a b c");
+    Machine M(G, Tables, S, W, withBackend(B), &Local);
+    ASSERT_EQ(M.run().kind(), ParseResult::Kind::Unique);
+    ASSERT_GT(Local.Hits + Local.Misses, 0u);
+    ASSERT_TRUE(Shared.publish(Local));
+
+    // The snapshot has the structure but none of the activity.
+    std::shared_ptr<const SllCache> Snap = Shared.snapshot();
+    EXPECT_EQ(Snap->numStates(), Local.numStates());
+    EXPECT_EQ(Snap->Hits, 0u);
+    EXPECT_EQ(Snap->Misses, 0u);
+
+    // A machine seeded from the snapshot sees per-parse deltas equal to
+    // the seeded cache's own (post-run) counters: all activity is local.
+    SllCache Seeded = *Snap;
+    Machine M2(G, Tables, S, W, withBackend(B), &Seeded);
+    ASSERT_EQ(M2.run().kind(), ParseResult::Kind::Unique);
+    EXPECT_EQ(M2.stats().CacheHits, Seeded.Hits);
+    EXPECT_EQ(M2.stats().CacheMisses, Seeded.Misses);
+  }
+}
+
+TEST(SharedCacheStats, MidBatchPublishKeepsAggregateDeltasConsistent) {
+  // Batch-level regression companion: with mid-batch publish/adopt
+  // cycles (small PublishInterval, several threads), the aggregate
+  // per-parse cache deltas must still add up — every lookup any machine
+  // performed is counted exactly once, so hits + misses summed over all
+  // words equals the total lookups of the whole batch, independent of
+  // thread count and publish schedule.
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  GrammarAnalysis A(G, S);
+  PredictionTables Tables(G, A);
+
+  auto TotalLookups = [&](uint32_t Interval) {
+    SharedSllCache Shared(CacheBackend::Hashed);
+    // Deterministic word claim order (single "thread" loop) with the
+    // publish/adopt cadence of a real batch: this isolates the counter
+    // accounting from scheduling nondeterminism.
+    SllCache Local = *Shared.snapshot();
+    uint64_t Sum = 0;
+    uint32_t Since = 0;
+    DerivationSampler Sampler(A, 11);
+    for (int I = 0; I < 32; ++I) {
+      Word W = Sampler.sampleWord(S, 6);
+      Machine M(G, Tables, S, W, withBackend(CacheBackend::Hashed), &Local);
+      (void)M.run();
+      Sum += M.stats().CacheHits + M.stats().CacheMisses;
+      if (++Since >= Interval) {
+        Since = 0;
+        Shared.publish(Local);
+        std::shared_ptr<const SllCache> Snap = Shared.snapshot();
+        if (Snap->numStates() + Snap->numTransitions() >
+            Local.numStates() + Local.numTransitions()) {
+          uint64_t OwnHits = Local.Hits, OwnMisses = Local.Misses;
+          Local = *Snap;
+          Local.Hits = OwnHits;
+          Local.Misses = OwnMisses;
+        }
+      }
+    }
+    // All per-parse deltas sum to the thread's own counters: nothing was
+    // double-counted or lost across the publish/adopt boundary.
+    EXPECT_EQ(Sum, Local.Hits + Local.Misses);
+    return Sum;
+  };
+
+  // The per-word lookup total is also invariant to the publish cadence.
+  uint64_t Every2 = TotalLookups(2);
+  uint64_t Every8 = TotalLookups(8);
+  EXPECT_EQ(Every2, Every8);
+}

@@ -1,0 +1,199 @@
+//===- tests/obs/MetricsTest.cpp ----------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the metrics registry (histogram bucketing, merge, JSON
+/// determinism) and for the per-parse metrics the machine publishes: the
+/// registry's counters must agree with Machine::Stats, and a batch run's
+/// merged registry must agree with the batch aggregate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "core/Parser.h"
+#include "workload/BatchParser.h"
+
+#include "../TestGrammars.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::test;
+
+TEST(Histogram, BucketsByBitWidthWithZeroInBucketZero) {
+  EXPECT_EQ(obs::Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucketOf(255), 8u);
+  EXPECT_EQ(obs::Histogram::bucketOf(256), 9u);
+  EXPECT_EQ(obs::Histogram::bucketOf(UINT64_MAX), 64u);
+
+  obs::Histogram H;
+  for (uint64_t V : {0ull, 1ull, 3ull, 100ull})
+    H.record(V);
+  EXPECT_EQ(H.Count, 4u);
+  EXPECT_EQ(H.Sum, 104u);
+  EXPECT_EQ(H.Min, 0u);
+  EXPECT_EQ(H.Max, 100u);
+  EXPECT_DOUBLE_EQ(H.mean(), 26.0);
+  EXPECT_EQ(H.Buckets[0], 1u);
+  EXPECT_EQ(H.Buckets[1], 1u);
+  EXPECT_EQ(H.Buckets[2], 1u);
+  EXPECT_EQ(H.Buckets[7], 1u);
+}
+
+TEST(Histogram, MergeIsElementwiseSum) {
+  obs::Histogram A, B;
+  A.record(1);
+  A.record(10);
+  B.record(0);
+  B.record(1000);
+  A.merge(B);
+  EXPECT_EQ(A.Count, 4u);
+  EXPECT_EQ(A.Sum, 1011u);
+  EXPECT_EQ(A.Min, 0u);
+  EXPECT_EQ(A.Max, 1000u);
+  // Merging an empty histogram changes nothing (Min stays valid).
+  obs::Histogram Empty;
+  obs::Histogram C = A;
+  C.merge(Empty);
+  EXPECT_EQ(C.Count, A.Count);
+  EXPECT_EQ(C.Min, A.Min);
+}
+
+TEST(MetricsRegistry, CountersAndHistogramsRoundTrip) {
+  obs::MetricsRegistry R;
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.counter("never.touched"), 0u);
+  EXPECT_EQ(R.histogram("never.touched"), nullptr);
+
+  R.add("a.count");
+  R.add("a.count", 4);
+  R.record("a.sizes", 7);
+  EXPECT_FALSE(R.empty());
+  EXPECT_EQ(R.counter("a.count"), 5u);
+  ASSERT_NE(R.histogram("a.sizes"), nullptr);
+  EXPECT_EQ(R.histogram("a.sizes")->Count, 1u);
+
+  obs::MetricsRegistry Other;
+  Other.add("a.count", 10);
+  Other.add("b.count", 2);
+  Other.record("a.sizes", 9);
+  R.merge(Other);
+  EXPECT_EQ(R.counter("a.count"), 15u);
+  EXPECT_EQ(R.counter("b.count"), 2u);
+  EXPECT_EQ(R.histogram("a.sizes")->Count, 2u);
+  EXPECT_EQ(R.histogram("a.sizes")->Sum, 16u);
+
+  R.clear();
+  EXPECT_TRUE(R.empty());
+}
+
+TEST(MetricsRegistry, ToJsonIsDeterministicAndSorted) {
+  obs::MetricsRegistry R1, R2;
+  // Insert in opposite orders; output must be identical (sorted keys).
+  R1.add("z.last", 1);
+  R1.add("a.first", 2);
+  R1.record("m.hist", 3);
+  R2.record("m.hist", 3);
+  R2.add("a.first", 2);
+  R2.add("z.last", 1);
+  EXPECT_EQ(R1.toJson(), R2.toJson());
+  std::string J = R1.toJson();
+  EXPECT_LT(J.find("a.first"), J.find("z.last"));
+  EXPECT_NE(J.find("\"counters\""), std::string::npos);
+  EXPECT_NE(J.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(J.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MachineMetrics, PublishedCountersMatchMachineStats) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  obs::MetricsRegistry R;
+  ParseOptions Opts;
+  Opts.Metrics = &R;
+  Parser P(G, S, Opts);
+  Machine::Stats St;
+  ASSERT_EQ(P.parse(makeWord(G, "a a b c"), &St).kind(),
+            ParseResult::Kind::Unique);
+
+  EXPECT_EQ(R.counter("parse.count"), 1u);
+  EXPECT_EQ(R.counter("result.unique"), 1u);
+  EXPECT_EQ(R.counter("result.ambig"), 0u);
+  EXPECT_EQ(R.counter("machine.steps"), St.Steps);
+  EXPECT_EQ(R.counter("machine.consumes"), St.Consumes);
+  EXPECT_EQ(R.counter("machine.pushes"), St.Pushes);
+  EXPECT_EQ(R.counter("machine.returns"), St.Returns);
+  EXPECT_EQ(R.counter("predict.calls"), St.Pred.Predictions);
+  EXPECT_EQ(R.counter("predict.sll"), St.Pred.SllPredictions);
+  EXPECT_EQ(R.counter("predict.failovers"), St.Pred.Failovers);
+  EXPECT_EQ(R.counter("cache.hits"), St.CacheHits);
+  EXPECT_EQ(R.counter("cache.misses"), St.CacheMisses);
+  EXPECT_EQ(R.counter("cache.states_added"), St.CacheStatesAdded);
+  ASSERT_NE(R.histogram("parse.tokens"), nullptr);
+  EXPECT_EQ(R.histogram("parse.tokens")->Count, 1u);
+  EXPECT_EQ(R.histogram("parse.tokens")->Sum, 4u);
+  ASSERT_NE(R.histogram("parse.steps"), nullptr);
+  EXPECT_EQ(R.histogram("parse.steps")->Sum, St.Steps);
+}
+
+TEST(MachineMetrics, ResultKindCountersCoverAllOutcomes) {
+  obs::MetricsRegistry R;
+  ParseOptions Opts;
+  Opts.Metrics = &R;
+
+  Grammar G2 = figure2Grammar();
+  Parser P2(G2, G2.lookupNonterminal("S"), Opts);
+  (void)P2.parse(makeWord(G2, "a b c"));  // unique
+  (void)P2.parse(makeWord(G2, "a a b")); // reject
+
+  Grammar G6 = figure6Grammar();
+  Parser P6(G6, G6.lookupNonterminal("S"), Opts);
+  (void)P6.parse(makeWord(G6, "a")); // ambig
+
+  Grammar LR = makeGrammar("S -> S a\nS -> b\n");
+  Parser PL(LR, LR.lookupNonterminal("S"), Opts);
+  (void)PL.parse(makeWord(LR, "b")); // left-recursion error
+
+  EXPECT_EQ(R.counter("parse.count"), 4u);
+  EXPECT_EQ(R.counter("result.unique"), 1u);
+  EXPECT_EQ(R.counter("result.reject"), 1u);
+  EXPECT_EQ(R.counter("result.ambig"), 1u);
+  EXPECT_EQ(R.counter("result.error"), 1u);
+}
+
+TEST(BatchMetrics, MergedRegistryMatchesBatchAggregate) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  std::vector<Word> Corpus;
+  for (int N = 0; N < 24; ++N) {
+    std::string Text;
+    for (int I = 0; I < N % 5; ++I)
+      Text += "a ";
+    Text += (N % 3 == 0) ? "b c" : "b d";
+    Corpus.push_back(makeWord(G, Text));
+  }
+
+  workload::BatchParser BP(G, S);
+  workload::BatchOptions Opts;
+  Opts.Threads = 4;
+  Opts.CollectMetrics = true;
+  workload::BatchResult R = BP.parseAll(Corpus, Opts);
+
+  EXPECT_EQ(R.Metrics.counter("parse.count"), Corpus.size());
+  EXPECT_EQ(R.Metrics.counter("result.unique"), R.Accepted);
+  EXPECT_EQ(R.Metrics.counter("machine.steps"), R.Aggregate.Steps);
+  EXPECT_EQ(R.Metrics.counter("machine.consumes"), R.Aggregate.Consumes);
+  EXPECT_EQ(R.Metrics.counter("predict.calls"),
+            R.Aggregate.Pred.Predictions);
+  EXPECT_EQ(R.Metrics.counter("cache.hits"), R.Aggregate.CacheHits);
+  EXPECT_EQ(R.Metrics.counter("cache.misses"), R.Aggregate.CacheMisses);
+  ASSERT_NE(R.Metrics.histogram("parse.tokens"), nullptr);
+  EXPECT_EQ(R.Metrics.histogram("parse.tokens")->Count, Corpus.size());
+}

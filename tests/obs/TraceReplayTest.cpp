@@ -1,0 +1,170 @@
+//===- tests/obs/TraceReplayTest.cpp ------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-replay property: a recorded trace of any parse replays
+/// deterministically. Over random non-left-recursive grammars (and a mix
+/// of sampled / corrupted words), re-running a recorded parse against a
+/// CheckingTracer must reproduce the exact event stream, the same parse
+/// result, and the same published metrics — on both cache backends, whose
+/// traces must additionally agree with each other event-by-event (shared
+/// state canonicalization makes DFA state ids backend-independent).
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include "core/Parser.h"
+#include "grammar/Sampler.h"
+
+#include "../RandomGrammar.h"
+#include "../TestGrammars.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::test;
+
+namespace {
+
+struct Recording {
+  std::vector<obs::TraceEvent> Events;
+  ParseResult Result = ParseResult::reject("", 0);
+  std::string MetricsJson;
+};
+
+/// Parses (G, 0, W) once with a full recording of trace and metrics.
+Recording recordParse(const Grammar &G, const Word &W, CacheBackend Backend) {
+  Recording Rec;
+  obs::RingBufferTracer Trace(1u << 20);
+  obs::MetricsRegistry Metrics;
+  ParseOptions Opts;
+  Opts.Backend = Backend;
+  Opts.Trace = &Trace;
+  Opts.Metrics = &Metrics;
+  Parser P(G, 0, Opts);
+  Rec.Result = P.parse(W);
+  EXPECT_EQ(Trace.dropped(), 0u) << "recording overflowed the ring";
+  Rec.Events = Trace.events();
+  Rec.MetricsJson = Metrics.toJson();
+  return Rec;
+}
+
+} // namespace
+
+TEST(TraceReplay, RandomGrammarsReplayIdenticallyOnBothBackends) {
+  std::mt19937_64 Rng(20260806);
+  const int NumGrammars = 200;
+  int WordsChecked = 0;
+  for (int Trial = 0; Trial < NumGrammars; ++Trial) {
+    Grammar G = randomNonLeftRecursiveGrammar(Rng);
+    GrammarAnalysis A(G, 0);
+    DerivationSampler Sampler(A, Rng());
+    for (int WordTrial = 0; WordTrial < 2; ++WordTrial) {
+      Word W = Sampler.sampleWord(0, 5);
+      if (W.size() > 40)
+        continue;
+      if (WordTrial % 2 == 1)
+        W = corruptWord(Rng, G, W);
+      ++WordsChecked;
+
+      Recording PerBackend[2];
+      int BackendIdx = 0;
+      for (CacheBackend Backend :
+           {CacheBackend::AvlPaperFaithful, CacheBackend::Hashed}) {
+        Recording Rec = recordParse(G, W, Backend);
+
+        // Replay: drive a second, independent parse of the same
+        // (grammar, word, options) through the checking oracle. Any
+        // divergence in prediction, cache behavior, or stack operations
+        // fails at the first differing event.
+        obs::CheckingTracer Check(Rec.Events);
+        obs::MetricsRegistry ReplayMetrics;
+        ParseOptions Opts;
+        Opts.Backend = Backend;
+        Opts.Trace = &Check;
+        Opts.Metrics = &ReplayMetrics;
+        Parser Replay(G, 0, Opts);
+        ParseResult ReplayResult = Replay.parse(W);
+
+        ASSERT_TRUE(Check.ok())
+            << Check.report() << "\ngrammar:\n"
+            << G.toString() << "word length " << W.size();
+        ASSERT_EQ(ReplayResult.kind(), Rec.Result.kind()) << G.toString();
+        if (Rec.Result.accepted())
+          EXPECT_TRUE(treeEquals(ReplayResult.tree(), Rec.Result.tree()));
+        EXPECT_EQ(ReplayMetrics.toJson(), Rec.MetricsJson)
+            << "replay published different metrics\n"
+            << G.toString();
+
+        PerBackend[BackendIdx++] = std::move(Rec);
+      }
+
+      // Cross-backend: the AVL and hashed caches index the same DFA with
+      // shared state canonicalization, so the two traces must agree
+      // event-by-event, not just in the final result.
+      const Recording &Avl = PerBackend[0], &Hashed = PerBackend[1];
+      ASSERT_EQ(Avl.Events.size(), Hashed.Events.size())
+          << "backends emitted different event counts\n"
+          << G.toString();
+      for (size_t I = 0; I < Avl.Events.size(); ++I)
+        ASSERT_TRUE(obs::sameFact(Avl.Events[I], Hashed.Events[I]))
+            << "backends diverged at event #" << I << ": avl "
+            << obs::toJsonl(Avl.Events[I]) << ", hashed "
+            << obs::toJsonl(Hashed.Events[I]) << "\n"
+            << G.toString();
+      EXPECT_EQ(Avl.Result.kind(), Hashed.Result.kind());
+      EXPECT_EQ(Avl.MetricsJson, Hashed.MetricsJson);
+    }
+  }
+  // The >40-token guard skips few words; make sure the sweep was real.
+  EXPECT_GE(WordsChecked, 350);
+}
+
+TEST(TraceReplay, WarmCacheSessionsReplayAsAWhole) {
+  // With ReuseCache, later words parse against a cache warmed by earlier
+  // ones, so individual words are history-dependent — but a whole session
+  // replays: same words in the same order reproduce the same trace.
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  std::vector<Word> Session = {
+      makeWord(G, "a b c"), makeWord(G, "a a b d"), makeWord(G, "b c"),
+      makeWord(G, "a a a b c"), makeWord(G, "a b")};
+
+  for (CacheBackend Backend :
+       {CacheBackend::AvlPaperFaithful, CacheBackend::Hashed}) {
+    ParseOptions Opts;
+    Opts.Backend = Backend;
+    Opts.ReuseCache = true;
+
+    obs::RingBufferTracer Trace(1u << 20);
+    ParseOptions RecOpts = Opts;
+    RecOpts.Trace = &Trace;
+    Parser Recorder(G, S, RecOpts);
+    std::vector<ParseResult::Kind> Kinds;
+    for (const Word &W : Session)
+      Kinds.push_back(Recorder.parse(W).kind());
+    std::vector<obs::TraceEvent> Recorded = Trace.events();
+
+    obs::CheckingTracer Check(Recorded);
+    ParseOptions ReplayOpts = Opts;
+    ReplayOpts.Trace = &Check;
+    Parser Replayer(G, S, ReplayOpts);
+    for (size_t I = 0; I < Session.size(); ++I)
+      EXPECT_EQ(Replayer.parse(Session[I]).kind(), Kinds[I]);
+    EXPECT_TRUE(Check.ok()) << Check.report();
+
+    // Session traces are order-sensitive (warmth accumulates), so an
+    // out-of-order replay must diverge — confirming the oracle has teeth.
+    obs::CheckingTracer Stale(Recorded);
+    ParseOptions StaleOpts = Opts;
+    StaleOpts.Trace = &Stale;
+    Parser OutOfOrder(G, S, StaleOpts);
+    (void)OutOfOrder.parse(Session[3]);
+    EXPECT_FALSE(Stale.ok()) << "out-of-order replay should diverge";
+  }
+}

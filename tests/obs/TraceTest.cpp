@@ -1,0 +1,236 @@
+//===- tests/obs/TraceTest.cpp ------------------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the tracing sinks (ring buffer, JSONL, checker) and for
+/// the event streams the machine emits: structural sanity (balanced
+/// push/pop, one resolve per prediction, consume positions in input
+/// order) and the failover/ambiguity event paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "core/Parser.h"
+
+#include "../TestGrammars.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace costar;
+using namespace costar::test;
+
+namespace {
+
+/// Records a full trace of one parse of (G, S, W).
+std::vector<obs::TraceEvent> traceOf(const Grammar &G, NonterminalId S,
+                                     const Word &W, ParseOptions Opts = {}) {
+  obs::RingBufferTracer Rec(1u << 20);
+  Opts.Trace = &Rec;
+  Parser P(G, S, Opts);
+  (void)P.parse(W);
+  return Rec.events();
+}
+
+size_t countKind(const std::vector<obs::TraceEvent> &Events,
+                 obs::EventKind K) {
+  size_t N = 0;
+  for (const obs::TraceEvent &E : Events)
+    N += E.Kind == K;
+  return N;
+}
+
+} // namespace
+
+TEST(TraceSinks, RingBufferKeepsMostRecentInOrder) {
+  obs::RingBufferTracer Ring(4);
+  for (uint32_t I = 0; I < 10; ++I)
+    Ring.emit(obs::EventKind::Consume, /*A=*/I);
+  EXPECT_EQ(Ring.totalEmitted(), 10u);
+  EXPECT_EQ(Ring.size(), 4u);
+  EXPECT_EQ(Ring.dropped(), 6u);
+  std::vector<obs::TraceEvent> Events = Ring.events();
+  ASSERT_EQ(Events.size(), 4u);
+  for (uint32_t I = 0; I < 4; ++I)
+    EXPECT_EQ(Events[I].A, 6 + I) << "oldest-first order after wrap";
+  Ring.clear();
+  EXPECT_EQ(Ring.size(), 0u);
+  EXPECT_EQ(Ring.totalEmitted(), 0u);
+}
+
+TEST(TraceSinks, JsonlFormatIsStable) {
+  obs::TraceEvent E;
+  E.Kind = obs::EventKind::SllCacheHit;
+  E.Thread = 2;
+  E.Word = 7;
+  E.A = 3;
+  E.B = UINT32_MAX;
+  E.Value = 0;
+  E.Pos = 11;
+  EXPECT_EQ(obs::toJsonl(E),
+            "{\"ev\":\"sll_cache_hit\",\"t\":2,\"w\":7,\"a\":3,"
+            "\"b\":4294967295,\"v\":0,\"pos\":11}");
+}
+
+TEST(TraceSinks, JsonlTracerWritesOneLinePerEvent) {
+  std::ostringstream Out;
+  obs::JsonlTracer Sink(Out);
+  Sink.emit(obs::EventKind::ParseBegin, 0, 0, 3);
+  Sink.emit(obs::EventKind::Consume, 1, 0, 0, 0);
+  Sink.flush();
+  EXPECT_EQ(Sink.linesWritten(), 2u);
+  std::string Text = Out.str();
+  EXPECT_EQ(std::count(Text.begin(), Text.end(), '\n'), 2);
+  EXPECT_NE(Text.find("\"ev\":\"parse_begin\""), std::string::npos);
+  EXPECT_NE(Text.find("\"ev\":\"consume\""), std::string::npos);
+}
+
+TEST(TraceSinks, NullTracerDiscardsAndReportsDisabled) {
+  obs::NullTracer Null;
+  EXPECT_FALSE(Null.enabled());
+  // emit() must be safe (and a no-op) on the null sink.
+  Null.emit(obs::EventKind::Push, 1, 2, 3, 4);
+}
+
+TEST(TraceSinks, CheckingTracerAcceptsExactStreamAndFlagsDivergence) {
+  std::vector<obs::TraceEvent> Recorded;
+  obs::TraceEvent E1{obs::EventKind::Consume, 0, 0, 1, 0, 0, 0};
+  obs::TraceEvent E2{obs::EventKind::Push, 0, 0, 2, 5, 0, 1};
+  Recorded.push_back(E1);
+  Recorded.push_back(E2);
+
+  obs::CheckingTracer Ok(Recorded);
+  Ok.emit(E1.Kind, E1.A, E1.B, E1.Value, E1.Pos);
+  Ok.emit(E2.Kind, E2.A, E2.B, E2.Value, E2.Pos);
+  EXPECT_TRUE(Ok.ok()) << Ok.report();
+
+  obs::CheckingTracer Short(Recorded);
+  Short.emit(E1.Kind, E1.A, E1.B, E1.Value, E1.Pos);
+  EXPECT_FALSE(Short.ok());
+  EXPECT_NE(Short.report().find("1 of 2"), std::string::npos);
+
+  obs::CheckingTracer Diverged(Recorded);
+  Diverged.emit(E1.Kind, E1.A, E1.B, E1.Value, E1.Pos);
+  Diverged.emit(obs::EventKind::Pop, 9, 9, 9, 9);
+  EXPECT_FALSE(Diverged.ok());
+  EXPECT_NE(Diverged.report().find("diverged at event #1"),
+            std::string::npos);
+
+  // The Thread/Word stamps are sink metadata, not parse facts: a checker
+  // with different stamps still matches.
+  obs::CheckingTracer Stamped(Recorded);
+  Stamped.Thread = 3;
+  Stamped.Word = 12;
+  Stamped.emit(E1.Kind, E1.A, E1.B, E1.Value, E1.Pos);
+  Stamped.emit(E2.Kind, E2.A, E2.B, E2.Value, E2.Pos);
+  EXPECT_TRUE(Stamped.ok()) << Stamped.report();
+}
+
+TEST(TraceEvents, MachineStreamIsStructurallySound) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  Word W = makeWord(G, "a a b c");
+  std::vector<obs::TraceEvent> Events = traceOf(G, S, W);
+
+  ASSERT_GT(Events.size(), 2u);
+  EXPECT_EQ(Events.front().Kind, obs::EventKind::ParseBegin);
+  EXPECT_EQ(Events.front().Value, W.size());
+  EXPECT_EQ(Events.back().Kind, obs::EventKind::ParseEnd);
+  EXPECT_EQ(Events.back().A,
+            static_cast<uint32_t>(ParseResult::Kind::Unique));
+
+  // One consume per token, in input order.
+  EXPECT_EQ(countKind(Events, obs::EventKind::Consume), W.size());
+  uint64_t NextPos = 0;
+  for (const obs::TraceEvent &E : Events)
+    if (E.Kind == obs::EventKind::Consume)
+      EXPECT_EQ(E.Pos, NextPos++);
+
+  // Every successful prediction pushes; every push eventually pops.
+  EXPECT_EQ(countKind(Events, obs::EventKind::Push),
+            countKind(Events, obs::EventKind::Pop));
+  EXPECT_EQ(countKind(Events, obs::EventKind::PredictEnter),
+            countKind(Events, obs::EventKind::PredictResolve));
+  // Figure 2 needs no LL failover: SLL decides everything.
+  EXPECT_EQ(countKind(Events, obs::EventKind::LlFallback), 0u);
+  EXPECT_EQ(countKind(Events, obs::EventKind::AmbigDetected), 0u);
+  // A cold cache begins with misses.
+  EXPECT_GT(countKind(Events, obs::EventKind::SllCacheMiss), 0u);
+}
+
+TEST(TraceEvents, TraceMatchesMachineStats) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  Word W = makeWord(G, "a a a b d");
+  obs::RingBufferTracer Rec(1u << 20);
+  ParseOptions Opts;
+  Opts.Trace = &Rec;
+  Parser P(G, S, Opts);
+  Machine::Stats St;
+  ASSERT_EQ(P.parse(W, &St).kind(), ParseResult::Kind::Unique);
+  std::vector<obs::TraceEvent> Events = Rec.events();
+
+  EXPECT_EQ(countKind(Events, obs::EventKind::Consume), St.Consumes);
+  EXPECT_EQ(countKind(Events, obs::EventKind::Push), St.Pushes);
+  EXPECT_EQ(countKind(Events, obs::EventKind::Pop), St.Returns);
+  EXPECT_EQ(countKind(Events, obs::EventKind::PredictEnter),
+            St.Pred.Predictions);
+  EXPECT_EQ(countKind(Events, obs::EventKind::LlFallback),
+            St.Pred.Failovers);
+  EXPECT_EQ(countKind(Events, obs::EventKind::SllCacheHit), St.CacheHits);
+  EXPECT_EQ(countKind(Events, obs::EventKind::SllCacheMiss),
+            St.CacheMisses);
+}
+
+TEST(TraceEvents, FailoverAndAmbiguityEmitConflictFallbackAndAmbig) {
+  // Figure 6: "a" is genuinely ambiguous, so SLL reports a conflict, LL
+  // takes over, and LL's Ambig flips the uniqueness flag.
+  Grammar G = figure6Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  Word W = makeWord(G, "a");
+  std::vector<obs::TraceEvent> Events = traceOf(G, S, W);
+
+  EXPECT_GE(countKind(Events, obs::EventKind::SllCacheConflict), 1u);
+  EXPECT_GE(countKind(Events, obs::EventKind::LlFallback), 1u);
+  EXPECT_GE(countKind(Events, obs::EventKind::AmbigDetected), 1u);
+  EXPECT_EQ(Events.back().Kind, obs::EventKind::ParseEnd);
+  EXPECT_EQ(Events.back().A, static_cast<uint32_t>(ParseResult::Kind::Ambig));
+
+  // The conflict precedes its fallback, which precedes the resolve.
+  size_t ConflictAt = SIZE_MAX, FallbackAt = SIZE_MAX;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    if (Events[I].Kind == obs::EventKind::SllCacheConflict &&
+        ConflictAt == SIZE_MAX)
+      ConflictAt = I;
+    if (Events[I].Kind == obs::EventKind::LlFallback && FallbackAt == SIZE_MAX)
+      FallbackAt = I;
+  }
+  ASSERT_NE(ConflictAt, SIZE_MAX);
+  ASSERT_NE(FallbackAt, SIZE_MAX);
+  EXPECT_LT(ConflictAt, FallbackAt);
+}
+
+TEST(TraceEvents, RejectAndErrorParsesCloseTheStream) {
+  Grammar G = figure2Grammar();
+  NonterminalId S = G.lookupNonterminal("S");
+  // "a a b" rejects (missing the final c/d).
+  std::vector<obs::TraceEvent> Rejected =
+      traceOf(G, S, makeWord(G, "a a b"));
+  ASSERT_FALSE(Rejected.empty());
+  EXPECT_EQ(Rejected.back().Kind, obs::EventKind::ParseEnd);
+  EXPECT_EQ(Rejected.back().A,
+            static_cast<uint32_t>(ParseResult::Kind::Reject));
+
+  // Left recursion errors out and still closes with ParseEnd.
+  Grammar LR = makeGrammar("S -> S a\nS -> b\n");
+  std::vector<obs::TraceEvent> Errored =
+      traceOf(LR, LR.lookupNonterminal("S"), makeWord(LR, "b a"));
+  ASSERT_FALSE(Errored.empty());
+  EXPECT_EQ(Errored.back().Kind, obs::EventKind::ParseEnd);
+  EXPECT_EQ(Errored.back().A,
+            static_cast<uint32_t>(ParseResult::Kind::Error));
+}
