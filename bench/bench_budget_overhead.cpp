@@ -1,0 +1,157 @@
+//===- bench/bench_budget_overhead.cpp - Budget-enforcement cost --------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the cost of the robust/ resource-governance layer on the paper's
+/// most expensive per-token workload (Python, the slowest plot of
+/// Figure 9):
+///
+///   baseline   default ParseOptions: the budget is entirely unlimited,
+///              so every machine step pays exactly one branch
+///   steps      a generous step cap armed (never trips): one counter
+///              compare per step plus the alloc-counter read per poll
+///   full       every dimension armed and never tripping: step cap,
+///              wall-clock deadline, allocation cap, and a shared cancel
+///              flag polled every 64 checks
+///
+/// The budget is the governance contract: both armed configurations must
+/// stay within 3% of baseline (the process exits nonzero otherwise, and
+/// CI fails). A service cannot afford resource limits that tax the happy
+/// path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+
+#include "core/Parser.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace costar;
+using namespace costar::bench;
+
+namespace {
+
+struct Record {
+  std::string Config;
+  double Seconds = 0;
+  uint64_t Tokens = 0;
+  double OverheadPct = 0;
+
+  double tokensPerSec() const { return Seconds > 0 ? Tokens / Seconds : 0; }
+};
+
+void writeJson(const std::vector<Record> &Records, const char *Path) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot open %s for writing\n", Path);
+    return;
+  }
+  std::fprintf(F, "[\n");
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const Record &R = Records[I];
+    std::fprintf(F,
+                 "  {\"config\": \"%s\", \"seconds\": %.6f, \"tokens\": "
+                 "%llu, \"tokens_per_sec\": %.1f, \"overhead_pct\": "
+                 "%.2f}%s\n",
+                 R.Config.c_str(), R.Seconds,
+                 static_cast<unsigned long long>(R.Tokens), R.tokensPerSec(),
+                 R.OverheadPct, I + 1 < Records.size() ? "," : "");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("\nwrote %zu records to %s\n", Records.size(), Path);
+}
+
+} // namespace
+
+int main() {
+  // The Figure 9 Python workload: the largest benchmark grammar, hence the
+  // most machine steps (and budget checks) per token.
+  BenchCorpus C = makeTimingCorpus(lang::LangId::Python, 12);
+  const int Trials = 7;
+
+  std::printf("=== Budget overhead on the Python Figure 9 workload ===\n");
+  std::printf("corpus: %zu files, %llu tokens\n\n", C.TokenStreams.size(),
+              static_cast<unsigned long long>(C.TotalTokens));
+
+  // Generous caps that no corpus word approaches: the cost measured is
+  // pure enforcement, not early exits.
+  ParseOptions Baseline;
+  ParseOptions StepsOnly;
+  StepsOnly.Budget.MaxSteps = 1ull << 40;
+  std::atomic<bool> NeverCancelled{false};
+  ParseOptions Full;
+  Full.Budget.MaxSteps = 1ull << 40;
+  Full.Budget.MaxWallMicros = 3600ull * 1000 * 1000;
+  Full.Budget.MaxAllocations = 1ull << 40;
+  Full.Budget.Cancel = &NeverCancelled;
+
+  const ParseOptions *Configs[] = {&Baseline, &StepsOnly, &Full};
+  const char *Names[] = {"baseline", "steps", "full"};
+  constexpr int NumConfigs = 3;
+
+  std::vector<Parser> Parsers;
+  Parsers.reserve(NumConfigs);
+  for (const ParseOptions *Opts : Configs)
+    Parsers.emplace_back(C.L.G, C.L.Start, *Opts);
+
+  // Round-robin trials: each round times every configuration once, so
+  // slow machine drift (thermal, noisy neighbors) lands on all
+  // configurations equally instead of inflating whichever happened to be
+  // measured later. The per-configuration median is then compared.
+  std::vector<std::vector<double>> Samples(NumConfigs);
+  (void)stats::timeOnce([&] { // warm-up pass, discarded
+    for (const Word &W : C.TokenStreams)
+      (void)Parsers[0].parse(W);
+  });
+  for (int Trial = 0; Trial < Trials; ++Trial)
+    for (int CI = 0; CI < NumConfigs; ++CI)
+      Samples[CI].push_back(stats::timeOnce([&] {
+        for (const Word &W : C.TokenStreams)
+          (void)Parsers[CI].parse(W);
+      }));
+
+  std::vector<Record> Records;
+  for (int CI = 0; CI < NumConfigs; ++CI) {
+    std::sort(Samples[CI].begin(), Samples[CI].end());
+    Record R;
+    R.Config = Names[CI];
+    R.Tokens = C.TotalTokens;
+    R.Seconds = Samples[CI][Samples[CI].size() / 2];
+    Records.push_back(R);
+  }
+
+  const double Base = Records[0].Seconds;
+  auto Overhead = [&](double Sec) { return 100.0 * (Sec / Base - 1.0); };
+  for (Record &R : Records)
+    R.OverheadPct = Overhead(R.Seconds);
+  const double StepsSec = Records[1].Seconds;
+  const double FullSec = Records[2].Seconds;
+
+  stats::Table T({10, 10, 14, 12});
+  T.row({"config", "ms", "tokens/sec", "overhead"});
+  T.sep();
+  for (const Record &R : Records)
+    T.row({R.Config, stats::fmt(R.Seconds * 1e3, 1),
+           stats::fmt(R.tokensPerSec(), 0),
+           stats::fmt(R.OverheadPct, 2) + "%"});
+  std::fputs(T.str().c_str(), stdout);
+
+  writeJson(Records, "BENCH_budget_overhead.json");
+
+  const double StepsOverhead = Overhead(StepsSec);
+  const double FullOverhead = Overhead(FullSec);
+  const bool Holds = StepsOverhead < 3.0 && FullOverhead < 3.0;
+  std::printf("\nShape check (armed-budget overhead < 3%% of baseline): %s "
+              "(steps %.2f%%, full %.2f%%)\n",
+              Holds ? "HOLDS" : "VIOLATED", StepsOverhead, FullOverhead);
+  return Holds ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+//===- examples/InputFile.h - Hardened input-file reading ------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared input handling for the example binaries: a file that cannot be
+/// opened, cannot be read, is empty, or exceeds a size cap produces one
+/// diagnostic line and a nonzero exit instead of a confusing downstream
+/// parse error (or an attempt to slurp an arbitrarily large file into
+/// memory).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_EXAMPLES_INPUTFILE_H
+#define COSTAR_EXAMPLES_INPUTFILE_H
+
+#include <fstream>
+#include <string>
+
+namespace costar {
+namespace examples {
+
+/// Largest input an example will slurp (64 MiB) — far above any legitimate
+/// sample, low enough to fail fast on a mistaken path (/dev/zero, a core
+/// dump, a disk image).
+constexpr std::streamoff MaxInputBytes = 64ll << 20;
+
+/// Reads \p Path into \p Out. On failure returns false and sets \p Err to
+/// a one-line diagnostic (no trailing newline).
+inline bool readInputFile(const char *Path, std::string &Out,
+                          std::string &Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Err = std::string("cannot open ") + Path;
+    return false;
+  }
+  In.seekg(0, std::ios::end);
+  std::streamoff Size = In.tellg();
+  if (Size < 0) {
+    // Unseekable input (a pipe, /dev/stdin): stream it under the same cap.
+    In.clear();
+    Out.clear();
+    char Buf[1 << 16];
+    while (In.read(Buf, sizeof(Buf)) || In.gcount() > 0) {
+      Out.append(Buf, static_cast<size_t>(In.gcount()));
+      if (static_cast<std::streamoff>(Out.size()) > MaxInputBytes) {
+        Err = std::string(Path) + " is too large (limit " +
+              std::to_string(MaxInputBytes) + " bytes)";
+        return false;
+      }
+    }
+    if (In.bad()) {
+      Err = std::string("read error on ") + Path;
+      return false;
+    }
+    if (Out.empty()) {
+      Err = std::string(Path) + " is empty";
+      return false;
+    }
+    return true;
+  }
+  if (Size == 0) {
+    Err = std::string(Path) + " is empty";
+    return false;
+  }
+  if (Size > MaxInputBytes) {
+    Err = std::string(Path) + " is too large (" + std::to_string(Size) +
+          " bytes; limit " + std::to_string(MaxInputBytes) + ")";
+    return false;
+  }
+  In.seekg(0, std::ios::beg);
+  Out.resize(static_cast<size_t>(Size));
+  In.read(Out.data(), Size);
+  if (!In || In.gcount() != Size) {
+    Err = std::string("read error on ") + Path;
+    return false;
+  }
+  return true;
+}
+
+} // namespace examples
+} // namespace costar
+
+#endif // COSTAR_EXAMPLES_INPUTFILE_H

@@ -62,6 +62,9 @@ void tryParse(const char *Label, const gdsl::LoadedGrammar &L,
   case ParseResult::Kind::Error:
     std::printf("ERROR\n");
     break;
+  case ParseResult::Kind::BudgetExceeded:
+    std::printf("BUDGET EXCEEDED\n");
+    break;
   }
 }
 

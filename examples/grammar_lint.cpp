@@ -31,24 +31,21 @@
 #include "ll1/Ll1Parser.h"
 #include "xform/Transforms.h"
 
+#include "InputFile.h"
+
 #include <cstdio>
-#include <fstream>
 #include <set>
-#include <sstream>
 
 using namespace costar;
 
 int main(int argc, char **argv) {
   std::string Source;
   if (argc > 1) {
-    std::ifstream In(argv[1]);
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    std::string Err;
+    if (!examples::readInputFile(argv[1], Source, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 2;
     }
-    std::stringstream Buf;
-    Buf << In.rdbuf();
-    Source = Buf.str();
   } else {
     Source = R"(
 // A deliberately messy grammar: left recursion, an ambiguity, useless

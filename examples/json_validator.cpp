@@ -20,9 +20,9 @@
 #include "core/Parser.h"
 #include "lang/Language.h"
 
+#include "InputFile.h"
+
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
 using namespace costar;
 
@@ -58,14 +58,11 @@ void summarize(const Grammar &G, const Tree &T, JsonSummary &Out) {
 int main(int argc, char **argv) {
   std::string Source;
   if (argc > 1) {
-    std::ifstream In(argv[1]);
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    std::string Err;
+    if (!examples::readInputFile(argv[1], Source, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 2;
     }
-    std::stringstream Buf;
-    Buf << In.rdbuf();
-    Source = Buf.str();
   } else {
     Source = R"({
       "name": "costar-cpp",
@@ -87,7 +84,13 @@ int main(int argc, char **argv) {
   }
   std::printf("lexed %zu tokens\n", Lexed.Tokens.size());
 
-  Parser P(Json.G, Json.Start);
+  // A service-style envelope: generous enough that any real document
+  // sails through, tight enough that a pathological input cannot pin the
+  // process (robust/Budget.h).
+  ParseOptions Opts;
+  Opts.Budget.MaxSteps = 1ull << 26;
+  Opts.Budget.MaxWallMicros = 30u * 1000u * 1000u;
+  Parser P(Json.G, Json.Start, Opts);
   ParseResult R = P.parse(Lexed.Tokens);
   switch (R.kind()) {
   case ParseResult::Kind::Unique: {
@@ -119,6 +122,13 @@ int main(int argc, char **argv) {
   case ParseResult::Kind::Error:
     std::printf("internal parser error -- impossible for this grammar\n");
     return 2;
+  case ParseResult::Kind::BudgetExceeded:
+    std::printf("GAVE UP: %s budget exceeded after %llu machine steps, "
+                "%llu tokens consumed\n",
+                robust::budgetReasonName(R.budget().Reason),
+                (unsigned long long)R.budget().Steps,
+                (unsigned long long)R.budget().TokensConsumed);
+    return 3;
   }
   return 2;
 }

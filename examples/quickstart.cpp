@@ -65,6 +65,9 @@ int main() {
     std::printf("parser error (never happens for non-left-recursive "
                 "grammars)\n");
     break;
+  case ParseResult::Kind::BudgetExceeded:
+    std::printf("budget exceeded (no budget set here, so unreachable)\n");
+    break;
   }
   std::printf("machine ran %llu steps: %llu consumes, %llu pushes, "
               "%llu returns, %llu predictions\n\n",

@@ -49,6 +49,20 @@ struct ComparisonCounters {
   }
 };
 
+/// Thread-local allocation counters for the node-shaped heap traffic of the
+/// parse path (parse-tree nodes, subparser stack nodes). robust::ParseBudget
+/// reads the delta across a parse to enforce its resident-allocation cap;
+/// the counter is gross (allocations, not net-live nodes), which upper-bounds
+/// residency because the machine never frees mid-parse.
+struct AllocationCounters {
+  /// Tree and SimStackNode constructions on this thread.
+  static uint64_t &nodes() {
+    thread_local uint64_t Count = 0;
+    return Count;
+  }
+  static void reset() { nodes() = 0; }
+};
+
 /// A comparator adapter that counts invocations in the given counter slot.
 ///
 /// \tparam BaseLess the underlying strict weak ordering.

@@ -111,12 +111,13 @@ std::optional<ParseResult> Machine::stepImpl() {
   traceEvent(Opts.Trace, obs::EventKind::PredictEnter, X, 0, Stack.size(),
              Pos);
   PredictionResult Prediction;
+  robust::BudgetTracker *Bt = Budget.enabled() ? &Budget : nullptr;
   if (Opts.Mode == ParseOptions::PredictionMode::LlOnly) {
     ++MachineStats.Pred.Predictions;
-    Prediction = llPredict(G, X, Stack, Visited, Input, Pos);
+    Prediction = llPredict(G, X, Stack, Visited, Input, Pos, Bt);
   } else {
     Prediction = adaptivePredict(G, Tables, *Cache, X, Stack, Visited, Input,
-                                 Pos, &MachineStats.Pred, Opts.Trace);
+                                 Pos, &MachineStats.Pred, Opts.Trace, Bt);
   }
   traceEvent(Opts.Trace, obs::EventKind::PredictResolve, X,
              Prediction.ResultKind == PredictionResult::Kind::Unique ||
@@ -135,6 +136,7 @@ std::optional<ParseResult> Machine::stepImpl() {
     [[fallthrough]];
   case PredictionResult::Kind::Unique: {
     ++MachineStats.Pushes;
+    robust::injectPoint(robust::FaultSite::FrameAlloc);
     traceEvent(Opts.Trace, obs::EventKind::Push, X, Prediction.Prod, 0, Pos);
     const Production &P = G.production(Prediction.Prod);
     assert(P.Lhs == X && "prediction returned a right-hand side for the "
@@ -154,9 +156,25 @@ std::optional<ParseResult> Machine::stepImpl() {
 }
 
 ParseResult Machine::run() {
+  // Install the caller's fault injector (if any) for the duration of the
+  // run; nested installation is safe, so a caller that already holds a
+  // ScopedFaultInjector may also pass Opts.Faults.
+  std::optional<robust::ScopedFaultInjector> FaultScope;
+  if (Opts.Faults)
+    FaultScope.emplace(*Opts.Faults);
+  Budget.arm(Opts.Budget);
   traceEvent(Opts.Trace, obs::EventKind::ParseBegin,
              StartSyms[0].nonterminalId(), 0, Input.size(), Pos);
   ParseResult Result = runLoop();
+  if (Result.kind() == ParseResult::Kind::BudgetExceeded)
+    traceEvent(Opts.Trace, obs::EventKind::BudgetExceeded,
+               static_cast<uint32_t>(Result.budget().Reason), 0,
+               MachineStats.Steps, Pos);
+  else if (Result.kind() == ParseResult::Kind::Error &&
+           Result.err().Kind == ParseErrorKind::FaultInjected)
+    traceEvent(Opts.Trace, obs::EventKind::FaultInjected,
+               static_cast<uint32_t>(Result.err().Site), 0,
+               MachineStats.Steps, Pos);
   traceEvent(Opts.Trace, obs::EventKind::ParseEnd,
              static_cast<uint32_t>(Result.kind()), 0, MachineStats.Steps,
              Pos);
@@ -183,6 +201,14 @@ void Machine::publishMetrics(const ParseResult &Result) const {
     break;
   case ParseResult::Kind::Error:
     M.add("result.error");
+    if (Result.err().Kind == ParseErrorKind::FaultInjected)
+      M.add(std::string("fault.") +
+            robust::faultSiteName(Result.err().Site));
+    break;
+  case ParseResult::Kind::BudgetExceeded:
+    M.add("result.budget_exceeded");
+    M.add(std::string("budget.") +
+          robust::budgetReasonName(Result.budget().Reason));
     break;
   }
   M.add("machine.steps", MachineStats.Steps);
@@ -203,6 +229,11 @@ ParseResult Machine::runLoop() {
   Measure Prev;
   bool HavePrev = false;
   for (;;) {
+    // Abort-class faults raised by infrastructure during the previous step
+    // (tree/frame allocation, cache probes) unwind here, at a clean machine
+    // boundary — never mid-operation.
+    if (std::optional<robust::FaultSite> F = robust::takePendingFault())
+      return ParseResult::error(ParseError::faultInjected(*F));
     if (Opts.CheckInvariants) {
       std::string Violation = checkMachineInvariants(G, Stack, Visited);
       if (!Violation.empty())
@@ -216,12 +247,41 @@ ParseResult Machine::runLoop() {
       Prev = std::move(Cur);
       HavePrev = true;
     }
-    if (Opts.MaxSteps && MachineStats.Steps >= Opts.MaxSteps)
-      return ParseResult::error(
-          ParseError::invalidState("step budget exceeded"));
-    if (std::optional<ParseResult> Result = step())
+    if (std::optional<robust::BudgetReason> R =
+            Budget.checkSteps(MachineStats.Steps))
+      return budgetResult(*R);
+    if (std::optional<ParseResult> Result = step()) {
+      // A fault raised while building the *final* result (e.g. the last
+      // tree node) still wins: the result would embed the failed
+      // allocation.
+      if (std::optional<robust::FaultSite> F = robust::takePendingFault())
+        return ParseResult::error(ParseError::faultInjected(*F));
+      // Budgets tripped inside prediction come back as an internal error
+      // marker; convert to the structured outcome with partial progress.
+      if (Result->kind() == ParseResult::Kind::Error &&
+          Result->err().Kind == ParseErrorKind::BudgetExceeded)
+        return budgetResult(Result->err().Why);
       return *Result;
+    }
   }
+}
+
+ParseResult Machine::budgetResult(robust::BudgetReason Reason) const {
+  robust::BudgetExceededInfo Info;
+  Info.Reason = Reason;
+  Info.Steps = MachineStats.Steps;
+  Info.TokensConsumed = Pos;
+  Info.CacheHits = MachineStats.CacheHits;
+  Info.CacheMisses = MachineStats.CacheMisses;
+  // The innermost open production's LHS is the nonterminal being derived
+  // when the budget tripped.
+  for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
+    if (It->Prod != InvalidProductionId) {
+      Info.CurrentNt = G.production(It->Prod).Lhs;
+      Info.HaveCurrentNt = true;
+      break;
+    }
+  return ParseResult::budgetExceeded(Info);
 }
 
 std::string costar::checkMachineInvariants(const Grammar &G,

@@ -64,9 +64,24 @@ struct ParseOptions {
   /// off by default to match the paper's benchmark configuration.
   bool ReuseCache = false;
 
-  /// Abort with an InvalidState error after this many steps (0 = no limit).
-  /// A safety net for tests: a correct parser never needs it.
-  uint64_t MaxSteps = 0;
+  /// Per-parse resource budget (robust/Budget.h): machine-step cap,
+  /// wall-clock deadline, allocation cap, cooperative cancellation.
+  /// Exceeding any limit yields the structured
+  /// ParseResult::Kind::BudgetExceeded outcome with partial progress —
+  /// never an exception, never a torn stack. The default budget is
+  /// unlimited and costs one branch per step (bench_budget_overhead gates
+  /// armed-but-unlimited configurations below 3%).
+  robust::ParseBudget Budget;
+
+  /// Deterministic fault injection (robust/FaultInjection.h): when
+  /// non-null, Machine::run() installs this injector on the running thread
+  /// so the named infrastructure sites (cache probe/insert, frame/tree
+  /// allocation, trace write, shared-cache exchange) consult its FaultPlan.
+  /// Abort-class faults surface as ParseResult::Error with
+  /// ParseErrorKind::FaultInjected; robust::parseRobust retries those once
+  /// on the paper-faithful backend. Not thread-safe: one injector per
+  /// thread (BatchParser ignores this field and uses BatchOptions::Faults).
+  robust::FaultInjector *Faults = nullptr;
 
   /// Structured event tracer (obs/Trace.h): prediction, cache, and stack
   /// events stream to this sink during the parse. nullptr (the default)
@@ -166,6 +181,8 @@ private:
   SllCache *Cache;
   ParseOptions Opts;
   Stats MachineStats;
+  /// Enforces Opts.Budget; armed at the top of run().
+  robust::BudgetTracker Budget;
   /// Cache counter values at construction, for the per-run deltas.
   uint64_t CacheHitsAtStart = 0;
   uint64_t CacheMissesAtStart = 0;
@@ -173,6 +190,10 @@ private:
 
   std::optional<ParseResult> stepImpl();
   ParseResult runLoop();
+  /// Builds the structured BudgetExceeded outcome from the current machine
+  /// state (partial progress: steps, tokens, innermost nonterminal, cache
+  /// activity).
+  ParseResult budgetResult(robust::BudgetReason Reason) const;
   void publishMetrics(const ParseResult &Result) const;
 };
 

@@ -16,6 +16,16 @@
 /// non-left-recursive grammars, making the parser a decision procedure for
 /// language membership.
 ///
+/// The service path (src/robust/) extends the grammar with two structured
+/// outcomes the paper does not need but production traffic does:
+///
+///   - Error(FaultInjected(site)): infrastructure around the machine
+///     failed (deterministically injected in tests); the machine unwound
+///     cleanly instead of crashing.
+///   - BudgetExceeded(reason, progress): a resource budget (steps,
+///     deadline, memory, cancellation) cut the parse off, with a partial-
+///     progress snapshot attached.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COSTAR_CORE_PARSERESULT_H
@@ -23,6 +33,8 @@
 
 #include "grammar/Grammar.h"
 #include "grammar/Tree.h"
+#include "robust/Budget.h"
+#include "robust/FaultInjection.h"
 
 #include <string>
 
@@ -34,6 +46,13 @@ enum class ParseErrorKind {
   InvalidState,
   /// Dynamic left-recursion detection fired for a nonterminal.
   LeftRecursive,
+  /// An injected infrastructure fault (robust/FaultInjection.h) aborted
+  /// the parse; Site names the failing subsystem.
+  FaultInjected,
+  /// Internal marker: a resource budget tripped inside prediction. The
+  /// machine converts this into ParseResult::Kind::BudgetExceeded before
+  /// returning, so callers never observe it in a final result.
+  BudgetExceeded,
 };
 
 /// An error value e (Figure 1).
@@ -42,12 +61,30 @@ struct ParseError {
   /// The offending nonterminal, for LeftRecursive errors.
   NonterminalId Nt = 0;
   std::string Message;
+  /// The failing site, for FaultInjected errors.
+  robust::FaultSite Site = robust::FaultSite::HashedCacheProbe;
+  /// The exhausted dimension, for BudgetExceeded errors.
+  robust::BudgetReason Why = robust::BudgetReason::Steps;
 
   static ParseError invalidState(std::string Message) {
     return ParseError{ParseErrorKind::InvalidState, 0, std::move(Message)};
   }
   static ParseError leftRecursive(NonterminalId Nt) {
     return ParseError{ParseErrorKind::LeftRecursive, Nt, {}};
+  }
+  static ParseError faultInjected(robust::FaultSite Site) {
+    ParseError E;
+    E.Kind = ParseErrorKind::FaultInjected;
+    E.Site = Site;
+    E.Message = std::string("injected fault at ") +
+                robust::faultSiteName(Site);
+    return E;
+  }
+  static ParseError budgetExceeded(robust::BudgetReason Why) {
+    ParseError E;
+    E.Kind = ParseErrorKind::BudgetExceeded;
+    E.Why = Why;
+    return E;
   }
 };
 
@@ -72,10 +109,11 @@ struct PredictionResult {
   }
 };
 
-/// The top-level parse outcome (Figure 1's Parse Results R).
+/// The top-level parse outcome (Figure 1's Parse Results R, plus the
+/// service path's BudgetExceeded).
 class ParseResult {
 public:
-  enum class Kind { Unique, Ambig, Reject, Error };
+  enum class Kind { Unique, Ambig, Reject, Error, BudgetExceeded };
 
 private:
   Kind ResultKind;
@@ -83,6 +121,7 @@ private:
   std::string RejectReason;
   size_t RejectTokenIndex = 0;
   ParseError Err;
+  robust::BudgetExceededInfo Budget;
 
   ParseResult(Kind K, TreePtr Root) : ResultKind(K), Root(std::move(Root)) {}
   ParseResult(std::string Reason, size_t TokenIndex)
@@ -90,6 +129,8 @@ private:
         RejectTokenIndex(TokenIndex) {}
   explicit ParseResult(ParseError E)
       : ResultKind(Kind::Error), Err(std::move(E)) {}
+  explicit ParseResult(robust::BudgetExceededInfo Info)
+      : ResultKind(Kind::BudgetExceeded), Budget(Info) {}
 
 public:
   /// The input has exactly one parse tree; this is it.
@@ -105,9 +146,14 @@ public:
     return ParseResult(std::move(Reason), TokenIndex);
   }
   /// The machine reached an inconsistent state (never happens for
-  /// non-left-recursive grammars).
+  /// non-left-recursive grammars without injected faults).
   static ParseResult error(ParseError E) {
     return ParseResult(std::move(E));
+  }
+  /// A resource budget cut the parse off; \p Info carries the partial
+  /// progress made before the cutoff.
+  static ParseResult budgetExceeded(robust::BudgetExceededInfo Info) {
+    return ParseResult(Info);
   }
 
   Kind kind() const { return ResultKind; }
@@ -134,7 +180,30 @@ public:
     assert(ResultKind == Kind::Error && "not an Error result");
     return Err;
   }
+
+  const robust::BudgetExceededInfo &budget() const {
+    assert(ResultKind == Kind::BudgetExceeded &&
+           "not a BudgetExceeded result");
+    return Budget;
+  }
 };
+
+/// Stable display name of a result kind ("unique", "budget_exceeded", ...).
+inline const char *parseResultKindName(ParseResult::Kind K) {
+  switch (K) {
+  case ParseResult::Kind::Unique:
+    return "unique";
+  case ParseResult::Kind::Ambig:
+    return "ambig";
+  case ParseResult::Kind::Reject:
+    return "reject";
+  case ParseResult::Kind::Error:
+    return "error";
+  case ParseResult::Kind::BudgetExceeded:
+    return "budget_exceeded";
+  }
+  return "unknown";
+}
 
 } // namespace costar
 

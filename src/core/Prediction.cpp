@@ -109,10 +109,12 @@ class Simulator {
   const Grammar &G;
   const PredictionTables *Tables; // non-null iff Mode == SLL
   SimMode Mode;
+  robust::BudgetTracker *Budget; // may be null (no budget checking)
 
 public:
-  Simulator(const Grammar &G, const PredictionTables *Tables, SimMode Mode)
-      : G(G), Tables(Tables), Mode(Mode) {
+  Simulator(const Grammar &G, const PredictionTables *Tables, SimMode Mode,
+            robust::BudgetTracker *Budget = nullptr)
+      : G(G), Tables(Tables), Mode(Mode), Budget(Budget) {
     assert((Mode == SimMode::SLL) == (Tables != nullptr) &&
            "SLL simulation requires prediction tables");
   }
@@ -145,6 +147,14 @@ public:
     };
     std::unordered_set<SeenKey, SeenHash, SeenEq> Seen;
     while (!Work.empty()) {
+      // Closure rounds, not machine steps, dominate worst-case prediction
+      // work, so the budget is ticked here too.
+      if (Budget) {
+        if (std::optional<robust::BudgetReason> R = Budget->tick()) {
+          Out.Err = ParseError::budgetExceeded(*R);
+          return Out;
+        }
+      }
       Subparser Sp = std::move(Work.back());
       Work.pop_back();
       if (!Seen.insert(SeenKey{Sp.Prediction, Sp.Stack, subparserHash(Sp)})
@@ -286,7 +296,8 @@ PredictionResult resolveAtEndOfInput(const std::vector<ProductionId> &Finals) {
 PredictionResult costar::llPredict(const Grammar &G, NonterminalId X,
                                    std::span<const Frame> MachineStack,
                                    const VisitedSet &Visited,
-                                   const Word &Input, size_t Pos) {
+                                   const Word &Input, size_t Pos,
+                                   robust::BudgetTracker *Budget) {
   assert(!MachineStack.empty() && "LL prediction with an empty stack");
   assert(MachineStack.back().headSymbol() == Symbol::nonterminal(X) &&
          "decision nonterminal is not the top stack symbol");
@@ -307,12 +318,14 @@ PredictionResult costar::llPredict(const Grammar &G, NonterminalId X,
                       SimFrame{P, &G.production(P).Rhs, 0}, Base),
                   InitVisited});
 
-  Simulator Sim(G, nullptr, SimMode::LL);
+  Simulator Sim(G, nullptr, SimMode::LL, Budget);
   ClosureOut CR = Sim.closure(std::move(Init));
   size_t I = Pos;
   for (;;) {
     if (CR.Err)
       return PredictionResult::error(*CR.Err);
+    if (std::optional<robust::FaultSite> F = robust::takePendingFault())
+      return PredictionResult::error(ParseError::faultInjected(*F));
     if (CR.Configs.empty())
       return PredictionResult::reject();
     std::vector<ProductionId> Preds = distinctPredictions(CR.Configs);
@@ -347,6 +360,7 @@ uint32_t SllCache::intern(std::vector<Subparser> Configs) {
 
   uint64_t FlatHash = 0;
   if (Backend == CacheBackend::Hashed) {
+    robust::injectPoint(robust::FaultSite::HashedCacheProbe);
     // Hash the state off the hash-consed per-config hashes (O(1) each, in
     // canonical order) rather than re-hashing the serialized words; the
     // interner's memcmp against FlatKey keeps equality exact.
@@ -379,12 +393,15 @@ uint32_t SllCache::intern(std::vector<Subparser> Configs) {
     assert(Assigned == Id && "span interner id diverged from state id");
     (void)Assigned;
   } else {
+    robust::injectPoint(robust::FaultSite::AvlCacheInsert);
     AvlIntern = AvlIntern.insert(FlatKey, Id);
   }
   return Id;
 }
 
 std::optional<uint32_t> SllCache::findStart(NonterminalId X) const {
+  if (Backend == CacheBackend::Hashed)
+    robust::injectPoint(robust::FaultSite::HashedCacheProbe);
   const uint32_t *Found = Backend == CacheBackend::Hashed
                               ? HashStartStates.find(X)
                               : AvlStartStates.find(X);
@@ -394,14 +411,18 @@ std::optional<uint32_t> SllCache::findStart(NonterminalId X) const {
 }
 
 void SllCache::recordStart(NonterminalId X, uint32_t Id) {
-  if (Backend == CacheBackend::Hashed)
+  if (Backend == CacheBackend::Hashed) {
     HashStartStates.insert(X, Id);
-  else
+  } else {
+    robust::injectPoint(robust::FaultSite::AvlCacheInsert);
     AvlStartStates = AvlStartStates.insert(X, Id);
+  }
 }
 
 std::optional<uint32_t> SllCache::findTransition(uint32_t From,
                                                  TerminalId T) const {
+  if (Backend == CacheBackend::Hashed)
+    robust::injectPoint(robust::FaultSite::HashedCacheProbe);
   uint64_t Key = (static_cast<uint64_t>(From) << 32) | T;
   const uint32_t *Found = Backend == CacheBackend::Hashed
                               ? HashTransitions.find(Key)
@@ -413,10 +434,12 @@ std::optional<uint32_t> SllCache::findTransition(uint32_t From,
 
 void SllCache::recordTransition(uint32_t From, TerminalId T, uint32_t To) {
   uint64_t Key = (static_cast<uint64_t>(From) << 32) | T;
-  if (Backend == CacheBackend::Hashed)
+  if (Backend == CacheBackend::Hashed) {
     HashTransitions.insert(Key, To);
-  else
+  } else {
+    robust::injectPoint(robust::FaultSite::AvlCacheInsert);
     AvlTransitions = AvlTransitions.insert(Key, To);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -427,8 +450,9 @@ PredictionResult costar::sllPredict(const Grammar &G,
                                     const PredictionTables &Tables,
                                     SllCache &Cache, NonterminalId X,
                                     const Word &Input, size_t Pos,
-                                    obs::Tracer *Trace) {
-  Simulator Sim(G, &Tables, SimMode::SLL);
+                                    obs::Tracer *Trace,
+                                    robust::BudgetTracker *Budget) {
+  Simulator Sim(G, &Tables, SimMode::SLL, Budget);
 
   uint32_t Sid;
   if (std::optional<uint32_t> Start = Cache.findStart(X)) {
@@ -457,6 +481,15 @@ PredictionResult costar::sllPredict(const Grammar &G,
 
   size_t I = Pos;
   for (;;) {
+    // Structured failure polls: an injected cache fault unwinds here as an
+    // error result (never an exception); an armed budget is ticked once
+    // per simulated token.
+    if (std::optional<robust::FaultSite> F = robust::takePendingFault())
+      return PredictionResult::error(ParseError::faultInjected(*F));
+    if (Budget) {
+      if (std::optional<robust::BudgetReason> R = Budget->tick())
+        return PredictionResult::error(ParseError::budgetExceeded(*R));
+    }
     // Note: do not hold a reference to the state across intern() calls.
     SllCache::Resolution Res = Cache.state(Sid).Res;
     if (Res == SllCache::Resolution::Reject)
@@ -495,12 +528,14 @@ PredictionResult costar::adaptivePredict(
     const Grammar &G, const PredictionTables &Tables, SllCache &Cache,
     NonterminalId X, std::span<const Frame> MachineStack,
     const VisitedSet &Visited, const Word &Input, size_t Pos,
-    PredictionStats *Stats, obs::Tracer *Trace) {
+    PredictionStats *Stats, obs::Tracer *Trace,
+    robust::BudgetTracker *Budget) {
   if (Stats) {
     ++Stats->Predictions;
     ++Stats->SllPredictions;
   }
-  PredictionResult SllRes = sllPredict(G, Tables, Cache, X, Input, Pos, Trace);
+  PredictionResult SllRes =
+      sllPredict(G, Tables, Cache, X, Input, Pos, Trace, Budget);
   if (SllRes.ResultKind != PredictionResult::Kind::Ambig)
     return SllRes;
   // The SLL result may be unsound (the overapproximated stacks kept a
@@ -512,5 +547,5 @@ PredictionResult costar::adaptivePredict(
     Trace->emit(obs::EventKind::SllCacheConflict, X, SllRes.Prod, 0, Pos);
     Trace->emit(obs::EventKind::LlFallback, X, 0, 0, Pos);
   }
-  return llPredict(G, X, MachineStack, Visited, Input, Pos);
+  return llPredict(G, X, MachineStack, Visited, Input, Pos, Budget);
 }

@@ -93,7 +93,11 @@ struct SimStackNode {
 
   SimStackNode(SimFrame F, SimStackPtr Tail)
       : F(F), Tail(std::move(Tail)),
-        Hash(hashOnto(this->Tail ? this->Tail->Hash : 0x5DEECE66Dull, F)) {}
+        Hash(hashOnto(this->Tail ? this->Tail->Hash : 0x5DEECE66Dull, F)) {
+    // Prediction's closure forks dominate worst-case allocation; the
+    // robust::ParseBudget memory cap reads this counter's delta.
+    ++adt::AllocationCounters::nodes();
+  }
 };
 
 /// Structural equality of two simulation stacks, short-circuiting on
@@ -272,21 +276,25 @@ struct PredictionStats {
 /// LL prediction for decision nonterminal \p X. \p MachineStack is the
 /// machine's frame stack (bottom to top; the top frame's head symbol must
 /// be X), \p Visited the machine's visited set, and \p Input / \p Pos the
-/// remaining token sequence.
+/// remaining token sequence. \p Budget, when armed, is ticked per closure
+/// round and per simulated token; a tripped budget surfaces as an Error
+/// result carrying ParseErrorKind::BudgetExceeded, which the machine
+/// converts to the structured BudgetExceeded outcome.
 PredictionResult llPredict(const Grammar &G, NonterminalId X,
                            std::span<const Frame> MachineStack,
                            const VisitedSet &Visited, const Word &Input,
-                           size_t Pos);
+                           size_t Pos, robust::BudgetTracker *Budget = nullptr);
 
 /// SLL prediction for decision nonterminal \p X, caching analysis steps in
 /// \p Cache. An Ambig result means "multiple right-hand sides survived under
 /// the stack overapproximation" and must trigger LL failover. \p Trace,
 /// when non-null, receives an SllCacheHit/SllCacheMiss event per DFA
-/// lookup (obs/Trace.h).
+/// lookup (obs/Trace.h). \p Budget as for llPredict.
 PredictionResult sllPredict(const Grammar &G, const PredictionTables &Tables,
                             SllCache &Cache, NonterminalId X,
                             const Word &Input, size_t Pos,
-                            obs::Tracer *Trace = nullptr);
+                            obs::Tracer *Trace = nullptr,
+                            robust::BudgetTracker *Budget = nullptr);
 
 /// The combined ALL(*) prediction routine: SLL first, failing over to LL
 /// when SLL reports ambiguity. Unique/Reject/Error SLL results are final.
@@ -299,7 +307,8 @@ PredictionResult adaptivePredict(const Grammar &G,
                                  const VisitedSet &Visited, const Word &Input,
                                  size_t Pos,
                                  PredictionStats *Stats = nullptr,
-                                 obs::Tracer *Trace = nullptr);
+                                 obs::Tracer *Trace = nullptr,
+                                 robust::BudgetTracker *Budget = nullptr);
 
 } // namespace costar
 

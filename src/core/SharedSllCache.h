@@ -43,6 +43,7 @@
 
 #include "core/Prediction.h"
 #include "obs/Trace.h"
+#include "robust/FaultInjection.h"
 
 #include <memory>
 #include <mutex>
@@ -75,8 +76,14 @@ public:
   /// The stored snapshot keeps \p Warmed's DFA but not its Hits/Misses
   /// counters (see the counters-vs-structure note above). \p Trace, when
   /// non-null, receives a CachePublish event recording the outcome.
+  ///
+  /// Soft fault site: an injected SharedCachePublish fault drops this
+  /// single offer. Cache exchange is a performance feature, so a dropped
+  /// offer costs warmth, never correctness.
   bool publish(const SllCache &Warmed, obs::Tracer *Trace = nullptr) {
-    bool Adopted = publishImpl(Warmed);
+    bool Adopted = !robust::faultFires(robust::FaultSite::SharedCachePublish)
+                       ? publishImpl(Warmed)
+                       : false;
     if (Trace)
       Trace->emit(obs::EventKind::CachePublish, Adopted ? 1 : 0, 0,
                   coverage(Warmed));

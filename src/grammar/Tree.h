@@ -17,7 +17,9 @@
 #ifndef COSTAR_GRAMMAR_TREE_H
 #define COSTAR_GRAMMAR_TREE_H
 
+#include "adt/Instrument.h"
 #include "grammar/Token.h"
+#include "robust/FaultInjection.h"
 
 #include <memory>
 #include <string>
@@ -50,10 +52,17 @@ private:
       : TreeKind(Kind::Node), Nt(Nt), Children(std::move(Children)) {}
 
 public:
+  // Both constructors feed the thread-local allocation counter (the
+  // robust::ParseBudget memory cap reads its delta) and are an abort-class
+  // fault-injection site.
   static TreePtr leaf(Token Tok) {
+    ++adt::AllocationCounters::nodes();
+    robust::injectPoint(robust::FaultSite::TreeAlloc);
     return TreePtr(new Tree(std::move(Tok)));
   }
   static TreePtr node(NonterminalId Nt, Forest Children) {
+    ++adt::AllocationCounters::nodes();
+    robust::injectPoint(robust::FaultSite::TreeAlloc);
     return TreePtr(new Tree(Nt, std::move(Children)));
   }
 

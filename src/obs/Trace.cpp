@@ -6,6 +6,8 @@
 
 #include "obs/Trace.h"
 
+#include "robust/FaultInjection.h"
+
 #include <ostream>
 
 using namespace costar;
@@ -41,6 +43,12 @@ const char *costar::obs::eventKindName(EventKind K) {
     return "cache_publish";
   case EventKind::CacheAdopt:
     return "cache_adopt";
+  case EventKind::BudgetExceeded:
+    return "budget_exceeded";
+  case EventKind::FaultInjected:
+    return "fault_injected";
+  case EventKind::BackendDowngrade:
+    return "backend_downgrade";
   }
   return "unknown";
 }
@@ -80,7 +88,19 @@ std::vector<TraceEvent> RingBufferTracer::events() const {
 }
 
 void JsonlTracer::emitImpl(const TraceEvent &E) {
+  if (robust::faultFires(robust::FaultSite::TraceSinkWrite)) {
+    ++WriteFailures;
+    return;
+  }
   Out << toJsonl(E) << '\n';
+  if (!Out) {
+    // The stream rejected the write (full disk, closed pipe, bad
+    // streambuf). Clear the error so later events get their own chance —
+    // a transient failure should lose one line, not the rest of the run.
+    ++WriteFailures;
+    Out.clear();
+    return;
+  }
   ++Lines;
 }
 

@@ -88,6 +88,16 @@ enum class EventKind : uint8_t {
   /// A batch worker adopted a warmer shared snapshot. Value = adopted
   /// coverage (states + transitions).
   CacheAdopt,
+  /// A resource budget cut the parse off. A = robust::BudgetReason,
+  /// Value = machine steps executed before the cutoff.
+  BudgetExceeded,
+  /// An injected infrastructure fault aborted the parse cleanly.
+  /// A = robust::FaultSite, Value = machine steps executed.
+  FaultInjected,
+  /// robust::parseRobust retried a failed Hashed-backend parse on the
+  /// paper-faithful AVL backend. A = 1 if the retry succeeded in producing
+  /// a final (non-error) result, 0 otherwise.
+  BackendDowngrade,
 };
 
 /// Returns the stable serialization name of \p K (e.g. "consume").
@@ -230,14 +240,25 @@ private:
 /// deterministic (fixed key order, no timestamps): two runs of the same
 /// parse produce byte-identical text, which the trace-determinism
 /// property test asserts.
+///
+/// Write failures never throw and never affect the parse: a failed write
+/// (stream error, or an injected robust::FaultSite::TraceSinkWrite fault)
+/// drops that event and counts it, and ok() / writeFailures() let the
+/// caller check the sink's health after the run. A trace with losses is
+/// degraded observability, not a degraded parse.
 class JsonlTracer final : public Tracer {
   std::ostream &Out;
   uint64_t Lines = 0;
+  uint64_t WriteFailures = 0;
 
 public:
   explicit JsonlTracer(std::ostream &Out) : Tracer(Sink::Recording), Out(Out) {}
 
   uint64_t linesWritten() const { return Lines; }
+  /// Events lost to stream errors or injected sink faults.
+  uint64_t writeFailures() const { return WriteFailures; }
+  /// True when every emitted event reached the stream.
+  bool ok() const { return WriteFailures == 0; }
   void flush() override;
 
 private:

@@ -1,0 +1,61 @@
+//===- robust/Degradation.cpp - Graceful backend degradation ----------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "robust/Degradation.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+using namespace costar;
+using namespace costar::robust;
+
+static bool retryable(const ParseResult &R, const ParseOptions &Opts) {
+  if (Opts.Backend != CacheBackend::Hashed)
+    return false;
+  if (R.kind() != ParseResult::Kind::Error)
+    return false;
+  ParseErrorKind K = R.err().Kind;
+  return K == ParseErrorKind::InvalidState ||
+         K == ParseErrorKind::FaultInjected;
+}
+
+RobustOutcome costar::robust::parseRobust(const Grammar &G,
+                                          const PredictionTables &Tables,
+                                          NonterminalId Start,
+                                          const Word &Input,
+                                          const ParseOptions &Opts,
+                                          SllCache *SharedCache,
+                                          Machine::Stats *StatsOut) {
+  Machine First(G, Tables, Start, Input, Opts, SharedCache);
+  ParseResult FirstResult = First.run();
+  if (StatsOut)
+    StatsOut->accumulate(First.stats());
+  if (!retryable(FirstResult, Opts))
+    return RobustOutcome{std::move(FirstResult), false, false, {}};
+
+  std::string FirstError = FirstResult.err().Message;
+  ParseOptions Retry = Opts;
+  Retry.Backend = CacheBackend::AvlPaperFaithful;
+  // The retry runs on a fresh machine-local cache: whatever state the
+  // failed attempt touched (local or shared) is abandoned, not repaired.
+  Retry.ReuseCache = false;
+  Machine Second(G, Tables, Start, Input, Retry, nullptr);
+  ParseResult RetryResult = Second.run();
+  if (StatsOut)
+    StatsOut->accumulate(Second.stats());
+
+  bool Recovered = RetryResult.kind() != ParseResult::Kind::Error;
+  if (Opts.Trace)
+    Opts.Trace->emit(obs::EventKind::BackendDowngrade, Recovered ? 1 : 0, 0,
+                     First.stats().Steps + Second.stats().Steps);
+  if (Opts.Metrics) {
+    Opts.Metrics->add("robust.downgrades");
+    if (Recovered)
+      Opts.Metrics->add("robust.recoveries");
+  }
+  return RobustOutcome{std::move(RetryResult), true, Recovered,
+                       std::move(FirstError)};
+}

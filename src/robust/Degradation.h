@@ -1,0 +1,68 @@
+//===- robust/Degradation.h - Graceful backend degradation -----*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graceful degradation for the parsing service path. The Hashed cache
+/// backend is the fast default; the AvlPaperFaithful backend reproduces the
+/// Coq extraction's FMapAVL structures and is the simpler, more conservative
+/// implementation. Both produce bit-identical parse results (the
+/// cache-equivalence property tests), which makes the AVL backend a genuine
+/// fallback: when a Hashed-backend parse aborts on an infrastructure fault
+/// or an internal invariant violation, retrying once on AvlPaperFaithful
+/// with a fresh cache yields the same tree the Hashed parse would have
+/// produced — a recorded downgrade instead of a failed request.
+///
+/// What retries: Error{InvalidState} and Error{FaultInjected} under the
+/// Hashed backend. What does not: LeftRecursive (a grammar property — the
+/// retry would hit it again), Reject (a correct answer), BudgetExceeded
+/// (the budget applies to the request, not the backend), and anything
+/// already running on AvlPaperFaithful (nowhere left to degrade to).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ROBUST_DEGRADATION_H
+#define COSTAR_ROBUST_DEGRADATION_H
+
+#include "core/Machine.h"
+
+#include <string>
+
+namespace costar {
+namespace robust {
+
+/// The outcome of a degradation-aware parse: the final result plus a
+/// record of whether (and how) the fallback path was taken.
+struct RobustOutcome {
+  ParseResult Result;
+  /// The Hashed attempt failed and the parse was retried on
+  /// AvlPaperFaithful.
+  bool Downgraded = false;
+  /// The downgraded retry reached a final non-Error result.
+  bool Recovered = false;
+  /// Description of the first attempt's error when Downgraded.
+  std::string FirstError;
+};
+
+/// Parses \p Input with \p Opts; if the parse fails with a retryable error
+/// under the Hashed backend, retries once on AvlPaperFaithful with a fresh
+/// cache. Records the downgrade as an obs::EventKind::BackendDowngrade
+/// trace event and "robust.downgrades" / "robust.recoveries" metrics
+/// counters on the sinks in \p Opts.
+///
+/// \p SharedCache, when non-null, backs the first attempt only (the retry
+/// deliberately abandons possibly-poisoned shared state). \p StatsOut,
+/// when non-null, receives the machine statistics summed over both
+/// attempts — the work actually spent on the request.
+RobustOutcome parseRobust(const Grammar &G, const PredictionTables &Tables,
+                          NonterminalId Start, const Word &Input,
+                          const ParseOptions &Opts,
+                          SllCache *SharedCache = nullptr,
+                          Machine::Stats *StatsOut = nullptr);
+
+} // namespace robust
+} // namespace costar
+
+#endif // COSTAR_ROBUST_DEGRADATION_H

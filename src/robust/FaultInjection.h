@@ -1,0 +1,241 @@
+//===- robust/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-driven, deterministic fault injection for the parsing service path.
+/// The paper proves the machine cannot crash on any input; this layer lets
+/// tests prove the same for the *infrastructure around* the machine (caches,
+/// allocation, trace sinks, cross-thread cache exchange) by forcing each
+/// named failure site at the k-th occurrence and asserting that the parser
+/// degrades into a structured result instead of crashing.
+///
+/// Two failure classes, matching how real faults behave:
+///
+///  - Abort-class sites (cache probes/inserts, frame/tree allocation) raise
+///    a *pending* fault. The machine and the prediction loops poll the
+///    pending slot at their loop heads and convert it into a structured
+///    ParseResult::Error{FaultInjected} — never an exception, never a torn
+///    stack. robust::parseRobust then retries once on the paper-faithful
+///    AVL backend (Degradation.h).
+///
+///  - Soft sites (trace-sink write, shared-cache publish/adopt) fail the
+///    single operation in place: the write is dropped (and surfaced via the
+///    sink's status), the publish/adopt is skipped. The parse continues and
+///    its result is unaffected — cache exchange and tracing are
+///    performance/observability features, not correctness dependencies.
+///
+/// Injection is controlled by a FaultPlan (site + 1-based trigger
+/// occurrence + fire budget) and carried by a thread-local FaultInjector
+/// installed with ScopedFaultInjector (Machine::run() installs
+/// ParseOptions::Faults automatically). With no injector installed every
+/// site costs one thread-local load and a predicted branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ROBUST_FAULTINJECTION_H
+#define COSTAR_ROBUST_FAULTINJECTION_H
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace costar {
+namespace robust {
+
+/// Named failure sites on the parsing service path.
+enum class FaultSite : uint8_t {
+  /// A lookup probe in the Hashed cache backend's open-addressing indexes
+  /// (SllCache find/intern under CacheBackend::Hashed). Abort-class.
+  HashedCacheProbe,
+  /// An insert into the AvlPaperFaithful backend's persistent AVL maps
+  /// (SllCache record/intern under CacheBackend::AvlPaperFaithful).
+  /// Abort-class.
+  AvlCacheInsert,
+  /// A machine stack-frame push (Machine's push operation). Abort-class.
+  FrameAlloc,
+  /// A parse-tree node construction (Tree::leaf / Tree::node).
+  /// Abort-class.
+  TreeAlloc,
+  /// A trace-sink write (JsonlTracer). Soft: the event is lost and the
+  /// sink's status records it; the parse is unaffected.
+  TraceSinkWrite,
+  /// A SharedSllCache::publish offer. Soft: the offer is dropped.
+  SharedCachePublish,
+  /// A batch worker's adoption of a warmer shared snapshot. Soft: the
+  /// adoption is skipped.
+  SharedCacheAdopt,
+};
+
+constexpr size_t NumFaultSites = 7;
+
+inline const char *faultSiteName(FaultSite S) {
+  switch (S) {
+  case FaultSite::HashedCacheProbe:
+    return "hashed_cache_probe";
+  case FaultSite::AvlCacheInsert:
+    return "avl_cache_insert";
+  case FaultSite::FrameAlloc:
+    return "frame_alloc";
+  case FaultSite::TreeAlloc:
+    return "tree_alloc";
+  case FaultSite::TraceSinkWrite:
+    return "trace_sink_write";
+  case FaultSite::SharedCachePublish:
+    return "shared_cache_publish";
+  case FaultSite::SharedCacheAdopt:
+    return "shared_cache_adopt";
+  }
+  return "unknown";
+}
+
+/// All sites, for sweep tests.
+inline std::array<FaultSite, NumFaultSites> allFaultSites() {
+  return {FaultSite::HashedCacheProbe,   FaultSite::AvlCacheInsert,
+          FaultSite::FrameAlloc,         FaultSite::TreeAlloc,
+          FaultSite::TraceSinkWrite,     FaultSite::SharedCachePublish,
+          FaultSite::SharedCacheAdopt};
+}
+
+/// A deterministic fault schedule: each arm fires its site at the
+/// TriggerAt-th occurrence (1-based), then at every subsequent occurrence
+/// until MaxFires is spent. MaxFires defaults to 1 so a degraded retry
+/// (Degradation.h) runs clean — modelling a transient fault; raise it to
+/// model a persistent one.
+struct FaultPlan {
+  struct Arm {
+    FaultSite Site = FaultSite::HashedCacheProbe;
+    /// Fire on the k-th occurrence of Site (1-based). 0 never fires.
+    uint64_t TriggerAt = 0;
+    /// How many occurrences fire, starting at TriggerAt.
+    uint32_t MaxFires = 1;
+  };
+  std::vector<Arm> Arms;
+
+  /// A single-arm plan: fire \p Site at its \p K-th occurrence.
+  static FaultPlan at(FaultSite Site, uint64_t K, uint32_t MaxFires = 1) {
+    FaultPlan P;
+    P.Arms.push_back(Arm{Site, K, MaxFires});
+    return P;
+  }
+
+  /// A deterministic pseudo-random single-arm plan (splitmix64 over
+  /// \p Seed): uniform site, trigger occurrence in [1, 16]. Equal seeds
+  /// give equal plans on every platform.
+  static FaultPlan random(uint64_t Seed) {
+    auto Next = [&Seed]() {
+      Seed += 0x9E3779B97F4A7C15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+      return Z ^ (Z >> 31);
+    };
+    FaultSite Site = static_cast<FaultSite>(Next() % NumFaultSites);
+    uint64_t K = 1 + Next() % 16;
+    return at(Site, K);
+  }
+};
+
+/// Executes a FaultPlan: counts site occurrences and reports which fire.
+/// One injector serves one logical parse attempt (or one batch worker); it
+/// is not thread-safe and is installed per thread via ScopedFaultInjector.
+class FaultInjector {
+  FaultPlan Plan;
+  std::array<uint64_t, NumFaultSites> Occurrences{};
+  std::array<uint64_t, NumFaultSites> Fires{};
+  std::optional<FaultSite> Pending;
+
+  static size_t index(FaultSite S) { return static_cast<size_t>(S); }
+
+public:
+  explicit FaultInjector(FaultPlan Plan) : Plan(std::move(Plan)) {}
+
+  /// Records one occurrence of \p S. \returns true when the plan says this
+  /// occurrence fails.
+  bool hit(FaultSite S) {
+    uint64_t N = ++Occurrences[index(S)];
+    bool Fired = false;
+    for (const FaultPlan::Arm &A : Plan.Arms)
+      if (A.Site == S && A.TriggerAt != 0 && N >= A.TriggerAt &&
+          N < A.TriggerAt + A.MaxFires)
+        Fired = true;
+    if (Fired)
+      ++Fires[index(S)];
+    return Fired;
+  }
+
+  /// Marks an abort-class fault as pending; the machine / prediction loops
+  /// convert it into a structured error at their next poll.
+  void raise(FaultSite S) { Pending = S; }
+
+  /// Takes (and clears) the pending abort-class fault, if any.
+  std::optional<FaultSite> takePending() {
+    std::optional<FaultSite> P = Pending;
+    Pending.reset();
+    return P;
+  }
+
+  uint64_t occurrences(FaultSite S) const { return Occurrences[index(S)]; }
+  uint64_t fires(FaultSite S) const { return Fires[index(S)]; }
+  uint64_t totalFires() const {
+    uint64_t N = 0;
+    for (uint64_t F : Fires)
+      N += F;
+    return N;
+  }
+  const FaultPlan &plan() const { return Plan; }
+};
+
+namespace detail {
+/// The injector active on this thread, or nullptr (the fast path).
+inline thread_local FaultInjector *ActiveInjector = nullptr;
+} // namespace detail
+
+inline FaultInjector *activeInjector() { return detail::ActiveInjector; }
+
+/// RAII installation of \p I as this thread's injector. Nests (the previous
+/// injector is restored), so Machine::run() can re-install the injector a
+/// caller already installed.
+class ScopedFaultInjector {
+  FaultInjector *Prev;
+
+public:
+  explicit ScopedFaultInjector(FaultInjector &I)
+      : Prev(detail::ActiveInjector) {
+    detail::ActiveInjector = &I;
+  }
+  ~ScopedFaultInjector() { detail::ActiveInjector = Prev; }
+  ScopedFaultInjector(const ScopedFaultInjector &) = delete;
+  ScopedFaultInjector &operator=(const ScopedFaultInjector &) = delete;
+};
+
+/// Abort-class site: records an occurrence and, when it fires, raises the
+/// pending fault for the machine / prediction polls to convert.
+inline void injectPoint(FaultSite S) {
+  if (FaultInjector *I = detail::ActiveInjector)
+    if (I->hit(S))
+      I->raise(S);
+}
+
+/// Soft site: records an occurrence and tells the caller whether this
+/// single operation fails (drop the write, skip the publish/adopt).
+inline bool faultFires(FaultSite S) {
+  FaultInjector *I = detail::ActiveInjector;
+  return I && I->hit(S);
+}
+
+/// The pending abort-class fault on this thread's injector, consumed.
+inline std::optional<FaultSite> takePendingFault() {
+  if (FaultInjector *I = detail::ActiveInjector)
+    return I->takePending();
+  return std::nullopt;
+}
+
+} // namespace robust
+} // namespace costar
+
+#endif // COSTAR_ROBUST_FAULTINJECTION_H

@@ -37,15 +37,27 @@ BatchResult BatchParser::parseAll(const std::vector<Word> &Corpus,
       Tracers[T] =
           std::make_unique<obs::RingBufferTracer>(Opts.TraceCapacityPerThread);
 
+  std::vector<uint64_t> Downgrades(Threads, 0);
+
   auto Worker = [&](unsigned ThreadIdx) {
     Machine::Stats &Stats = PerThread[ThreadIdx];
     obs::RingBufferTracer *Trace = Tracers[ThreadIdx].get();
     if (Trace)
       Trace->Thread = ThreadIdx;
+    // Deterministic fault injection: one injector per worker, installed
+    // for the worker's whole lifetime so it also covers the publish/adopt
+    // exchange sites between words.
+    std::optional<robust::FaultInjector> Injector;
+    std::optional<robust::ScopedFaultInjector> FaultScope;
+    if (Opts.Faults) {
+      Injector.emplace(*Opts.Faults);
+      FaultScope.emplace(*Injector);
+    }
     // The caller's sinks are not thread-safe; workers use only their own.
     ParseOptions Parse = Opts.Parse;
     Parse.Trace = Trace;
     Parse.Metrics = Opts.CollectMetrics ? &Registries[ThreadIdx] : nullptr;
+    Parse.Faults = nullptr; // the worker-scope injector governs
     // Thread-local warm cache, seeded from the current shared snapshot
     // (whose counters are zero: snapshots carry structure, not activity).
     SllCache Local = *Shared.snapshot();
@@ -56,10 +68,19 @@ BatchResult BatchParser::parseAll(const std::vector<Word> &Corpus,
         break;
       if (Trace)
         Trace->Word = static_cast<uint32_t>(I);
-      Machine M(G, Tables, Start, Corpus[I], Parse,
-                Opts.ShareCache ? &Local : nullptr);
-      Buf[I] = M.run();
-      Stats.accumulate(M.stats());
+      if (Opts.DegradeOnError) {
+        robust::RobustOutcome Out = robust::parseRobust(
+            G, Tables, Start, Corpus[I], Parse,
+            Opts.ShareCache ? &Local : nullptr, &Stats);
+        if (Out.Downgraded)
+          ++Downgrades[ThreadIdx];
+        Buf[I] = std::move(Out.Result);
+      } else {
+        Machine M(G, Tables, Start, Corpus[I], Parse,
+                  Opts.ShareCache ? &Local : nullptr);
+        Buf[I] = M.run();
+        Stats.accumulate(M.stats());
+      }
       if (Opts.ShareCache && ++SincePublish >= Opts.PublishInterval) {
         SincePublish = 0;
         if (Trace)
@@ -70,9 +91,12 @@ BatchResult BatchParser::parseAll(const std::vector<Word> &Corpus,
         // brings DFA structure only, so the counters stay a consistent,
         // monotone record of this thread's lookups and the next Machine's
         // per-parse deltas read a baseline this thread actually produced.
+        // Soft fault site: an injected SharedCacheAdopt fault skips this
+        // one adoption; the worker keeps its own (correct) cache.
         std::shared_ptr<const SllCache> Snap = Shared.snapshot();
         uint64_t SnapCoverage = Snap->numStates() + Snap->numTransitions();
-        if (SnapCoverage > Local.numStates() + Local.numTransitions()) {
+        if (SnapCoverage > Local.numStates() + Local.numTransitions() &&
+            !robust::faultFires(robust::FaultSite::SharedCacheAdopt)) {
           uint64_t OwnHits = Local.Hits, OwnMisses = Local.Misses;
           Local = *Snap;
           Local.Hits = OwnHits;
@@ -102,7 +126,8 @@ BatchResult BatchParser::parseAll(const std::vector<Word> &Corpus,
 
   BatchResult R;
   R.Results.reserve(Corpus.size());
-  for (std::optional<ParseResult> &Res : Buf) {
+  for (size_t I = 0; I < Buf.size(); ++I) {
+    std::optional<ParseResult> &Res = Buf[I];
     assert(Res && "batch worker skipped a word");
     switch (Res->kind()) {
     case ParseResult::Kind::Unique:
@@ -115,11 +140,18 @@ BatchResult BatchParser::parseAll(const std::vector<Word> &Corpus,
     case ParseResult::Kind::Error:
       ++R.Errors;
       break;
+    case ParseResult::Kind::BudgetExceeded:
+      ++R.BudgetExceeded;
+      R.Quarantined.push_back(
+          BatchResult::QuarantineEntry{I, Res->budget().Reason});
+      break;
     }
     R.Results.push_back(std::move(*Res));
   }
   for (const Machine::Stats &S : PerThread)
     R.Aggregate.accumulate(S);
+  for (uint64_t D : Downgrades)
+    R.Downgraded += D;
   if (Opts.ShareCache)
     R.SharedCacheStates = Shared.snapshot()->numStates();
 
@@ -140,4 +172,15 @@ BatchResult BatchParser::parseAll(const std::vector<Word> &Corpus,
   for (const obs::MetricsRegistry &Reg : Registries)
     R.Metrics.merge(Reg);
   return R;
+}
+
+std::string BatchResult::summary() const {
+  std::string S;
+  S += "accepted=" + std::to_string(Accepted);
+  S += " rejected=" + std::to_string(Rejected);
+  S += " errors=" + std::to_string(Errors);
+  S += " budget_exceeded=" + std::to_string(BudgetExceeded);
+  S += " downgraded=" + std::to_string(Downgraded);
+  S += " quarantined=" + std::to_string(Quarantined.size());
+  return S;
 }

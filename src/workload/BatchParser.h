@@ -26,7 +26,10 @@
 #include "core/SharedSllCache.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "robust/Degradation.h"
+#include "robust/FaultInjection.h"
 
+#include <string>
 #include <vector>
 
 namespace costar {
@@ -57,9 +60,28 @@ struct BatchOptions {
   /// Publish per-parse metrics into per-thread registries and merge them
   /// into BatchResult::Metrics.
   bool CollectMetrics = false;
+  /// Route every word through robust::parseRobust: a Hashed-backend word
+  /// that fails with a retryable error is retried once on the
+  /// paper-faithful AVL backend and recorded as a downgrade instead of an
+  /// error. Words that neither fault nor trip a budget are unaffected
+  /// (their results stay bit-identical to a plain batch).
+  bool DegradeOnError = true;
+  /// Deterministic fault plan, instantiated as one robust::FaultInjector
+  /// per worker thread and installed for the worker's whole lifetime (so
+  /// it also covers the publish/adopt cache-exchange sites between
+  /// words). ParseOptions::Faults inside Parse is ignored here.
+  const robust::FaultPlan *Faults = nullptr;
 };
 
 struct BatchResult {
+  /// A word whose parse a resource budget cut off, set aside for the
+  /// caller to retry with a bigger budget, bill, or drop — the rest of
+  /// the batch is unaffected.
+  struct QuarantineEntry {
+    size_t WordIndex = 0;
+    robust::BudgetReason Reason = robust::BudgetReason::Steps;
+  };
+
   /// One result per input word, in corpus order.
   std::vector<ParseResult> Results;
   /// Machine statistics summed over all words.
@@ -67,6 +89,12 @@ struct BatchResult {
   size_t Accepted = 0;
   size_t Rejected = 0;
   size_t Errors = 0;
+  /// Words cut off by their per-word budget (also listed in Quarantined).
+  size_t BudgetExceeded = 0;
+  /// Words that recovered (or finally failed) via the AVL downgrade path.
+  size_t Downgraded = 0;
+  /// Budget-exceeded words, in corpus order.
+  std::vector<QuarantineEntry> Quarantined;
   /// DFA states in the final shared snapshot (0 when ShareCache is off).
   size_t SharedCacheStates = 0;
   /// Merged event trace (CollectTrace): per-word parse events ordered by
@@ -80,6 +108,9 @@ struct BatchResult {
   uint64_t TraceDropped = 0;
   /// Merged metrics over all workers (CollectMetrics).
   obs::MetricsRegistry Metrics;
+
+  /// One-line outcome summary ("accepted=37 rejected=2 ..."), for logs.
+  std::string summary() const;
 };
 
 /// A reusable multi-threaded batch parser for one grammar and start

@@ -52,6 +52,11 @@ void expectIdentical(const ParseResult &A, const ParseResult &B,
     EXPECT_EQ(A.err().Kind, B.err().Kind) << G.toString();
     EXPECT_EQ(A.err().Nt, B.err().Nt) << G.toString();
     break;
+  case ParseResult::Kind::BudgetExceeded:
+    EXPECT_EQ(static_cast<int>(A.budget().Reason),
+              static_cast<int>(B.budget().Reason))
+        << G.toString();
+    break;
   }
 }
 

@@ -64,6 +64,7 @@ void checkResultAgainstOracles(const Grammar &G, NonterminalId S,
     EXPECT_EQ(Trees, 0u) << "rejected a word with a parse tree";
     break;
   case ParseResult::Kind::Error:
+  case ParseResult::Kind::BudgetExceeded:
     break; // unreachable; asserted above
   }
 }
@@ -74,7 +75,7 @@ TEST(Correctness, SweepRandomGrammarsValidAndCorruptedWords) {
   std::mt19937_64 Rng(424242);
   ParseOptions Opts;
   Opts.CheckInvariants = true;
-  Opts.MaxSteps = 1u << 22;
+  Opts.Budget.MaxSteps = 1u << 22;
   int Parses = 0;
   for (int Trial = 0; Trial < 80; ++Trial) {
     Grammar G = randomNonLeftRecursiveGrammar(Rng);
@@ -119,7 +120,7 @@ TEST(Correctness, DecisionProcedureAgreesWithOracleOnShortWords) {
   GOpts.NumTerminals = 2;
   ParseOptions Opts;
   Opts.CheckInvariants = true;
-  Opts.MaxSteps = 1u << 20;
+  Opts.Budget.MaxSteps = 1u << 20;
   for (int Trial = 0; Trial < 25; ++Trial) {
     Grammar G = randomNonLeftRecursiveGrammar(Rng, GOpts);
     for (uint32_t Len = 0; Len <= 4; ++Len) {
@@ -165,7 +166,7 @@ TEST(Correctness, AmbiguousGrammarZoo) {
   };
   ParseOptions Opts;
   Opts.CheckInvariants = true;
-  Opts.MaxSteps = 1u << 20;
+  Opts.Budget.MaxSteps = 1u << 20;
   for (const Case &C : Cases) {
     Grammar G = makeGrammar(C.GrammarText);
     NonterminalId S = G.lookupNonterminal("S");

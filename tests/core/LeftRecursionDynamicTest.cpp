@@ -31,7 +31,7 @@ using namespace costar::test;
 TEST(LeftRecursionDynamic, ReportedNonterminalsAreStaticallyLeftRecursive) {
   std::mt19937_64 Rng(313);
   ParseOptions Opts;
-  Opts.MaxSteps = 1u << 20;
+  Opts.Budget.MaxSteps = 1u << 20;
   int ErrorsSeen = 0;
   for (int Trial = 0; Trial < 300; ++Trial) {
     // Unfiltered random grammars: many are left-recursive.

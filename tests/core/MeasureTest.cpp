@@ -102,7 +102,7 @@ uint64_t traceAndCheckMeasure(const Grammar &G, NonterminalId Start,
   GrammarAnalysis A(G, Start);
   PredictionTables Tables(G, A);
   ParseOptions Opts;
-  Opts.MaxSteps = 1u << 22;
+  Opts.Budget.MaxSteps = 1u << 22;
   Machine M(G, Tables, Start, W, Opts);
 
   Measure Prev = computeMeasure(G, M.stack(), M.visited(), W.size());

@@ -26,7 +26,7 @@ namespace {
 ParseOptions checkedOptions() {
   ParseOptions Opts;
   Opts.CheckInvariants = true;
-  Opts.MaxSteps = 1u << 20;
+  Opts.Budget.MaxSteps = 1u << 20;
   return Opts;
 }
 

@@ -1,0 +1,134 @@
+//===- tests/fuzz/fuzz_smoke.cpp - Deterministic lex+parse fuzz smoke --------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A time-boxed, fully deterministic fuzz smoke over the end-to-end
+/// pipeline: seeded pseudo-random byte streams are fed through the JSON
+/// and DOT lexers and, when they lex, parsed under a resource budget.
+/// Every outcome (accept, reject, lex error, budget exceeded) is legal;
+/// the only failures are crashes, sanitizer reports, or a hung parse —
+/// which is exactly what the CI job (ASan/UBSan, 60 s) checks for.
+///
+/// The current input is written to an artifact file before each
+/// iteration, so a crash leaves the offending bytes on disk for CI to
+/// upload; the file is removed on a clean exit.
+///
+/// Environment:
+///   COSTAR_FUZZ_SECONDS   time budget (default 2)
+///   COSTAR_FUZZ_SEED      base seed (default 20260806)
+///   COSTAR_FUZZ_ARTIFACT  artifact path (default fuzz_artifact.bin)
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+#include "lang/Language.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace costar;
+
+namespace {
+
+uint64_t splitmix64(uint64_t &State) {
+  State += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+/// Random bytes biased toward the structural characters of the target
+/// languages, so a useful fraction of inputs survives the lexer instead
+/// of dying at the first byte.
+std::string randomInput(uint64_t &Rng) {
+  static const char Structural[] = "{}[]():;,=\"' \n\t0123456789"
+                                   "abcdefghijklmnopqrstuvwxyz"
+                                   "->truefalsenull._";
+  size_t Len = splitmix64(Rng) % 2048;
+  std::string S;
+  S.reserve(Len);
+  for (size_t I = 0; I < Len; ++I) {
+    uint64_t R = splitmix64(Rng);
+    if (R % 10 < 8)
+      S += Structural[(R >> 8) % (sizeof(Structural) - 1)];
+    else
+      S += static_cast<char>((R >> 8) & 0xFF);
+  }
+  return S;
+}
+
+bool writeArtifact(const char *Path, const std::string &Bytes,
+                   uint64_t Seed) {
+  std::FILE *F = std::fopen(Path, "wb");
+  if (!F)
+    return false;
+  std::fprintf(F, "seed=%llu\n", static_cast<unsigned long long>(Seed));
+  std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+int main() {
+  const char *SecondsEnv = std::getenv("COSTAR_FUZZ_SECONDS");
+  const char *SeedEnv = std::getenv("COSTAR_FUZZ_SEED");
+  const char *ArtifactEnv = std::getenv("COSTAR_FUZZ_ARTIFACT");
+  double Seconds = SecondsEnv ? std::atof(SecondsEnv) : 2.0;
+  uint64_t BaseSeed =
+      SeedEnv ? std::strtoull(SeedEnv, nullptr, 10) : 20260806ull;
+  const char *Artifact = ArtifactEnv ? ArtifactEnv : "fuzz_artifact.bin";
+
+  // Per-input envelope: generous for a fuzz case, tight enough that a
+  // pathological input cannot eat the whole time box.
+  ParseOptions Budgeted;
+  Budgeted.Budget.MaxSteps = 1u << 22;
+  Budgeted.Budget.MaxWallMicros = 2u * 1000u * 1000u;
+
+  lang::Language Json = lang::makeLanguage(lang::LangId::Json);
+  lang::Language Dot = lang::makeLanguage(lang::LangId::Dot);
+  Parser JsonP(Json.G, Json.Start, Budgeted);
+  Parser DotP(Dot.G, Dot.Start, Budgeted);
+
+  auto End = std::chrono::steady_clock::now() +
+             std::chrono::duration<double>(Seconds);
+  uint64_t Rng = BaseSeed;
+  uint64_t Iterations = 0, Lexed = 0, Parsed = 0, Budgeted_ = 0;
+
+  while (std::chrono::steady_clock::now() < End) {
+    ++Iterations;
+    std::string Input = randomInput(Rng);
+    if (!writeArtifact(Artifact, Input, BaseSeed)) {
+      std::fprintf(stderr, "cannot write artifact %s\n", Artifact);
+      return 2;
+    }
+    for (int Lang = 0; Lang < 2; ++Lang) {
+      const lang::Language &L = Lang == 0 ? Json : Dot;
+      Parser &P = Lang == 0 ? JsonP : DotP;
+      lexer::LexResult Lex = L.lex(Input);
+      if (!Lex.ok())
+        continue;
+      ++Lexed;
+      ParseResult R = P.parse(Lex.Tokens);
+      if (R.kind() == ParseResult::Kind::BudgetExceeded)
+        ++Budgeted_;
+      else
+        ++Parsed;
+    }
+  }
+
+  std::remove(Artifact);
+  std::printf("fuzz smoke: %llu inputs, %llu lexed, %llu parsed, "
+              "%llu budget-exceeded, 0 crashes\n",
+              static_cast<unsigned long long>(Iterations),
+              static_cast<unsigned long long>(Lexed),
+              static_cast<unsigned long long>(Parsed),
+              static_cast<unsigned long long>(Budgeted_));
+  return 0;
+}

@@ -232,6 +232,9 @@ TEST_P(BackendDifferential, SweepsAllGrammarClasses) {
         EXPECT_EQ(RS.err().Kind, ParseErrorKind::LeftRecursive)
             << G.toString();
         break;
+      case ParseResult::Kind::BudgetExceeded:
+        FAIL() << "budget exceeded without a budget set: " << G.toString();
+        break;
       }
     }
   }

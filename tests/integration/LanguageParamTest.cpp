@@ -62,7 +62,7 @@ TEST_P(LanguageCorpus, LexesCleanly) {
 TEST_P(LanguageCorpus, ParsesUniqueWithCheckedInvariants) {
   ParseOptions Opts;
   Opts.CheckInvariants = true;
-  Opts.MaxSteps = 1u << 24;
+  Opts.Budget.MaxSteps = 1u << 24;
   Parser P(L.G, L.Start, Opts);
   for (const std::string &Src : C.Files) {
     lexer::LexResult Lexed = L.lex(Src);
@@ -96,7 +96,7 @@ TEST_P(LanguageCorpus, CorruptedStreamsNeverError) {
   // MaxSteps guards).
   std::mt19937_64 Rng(GetParam().Seed * 31 + 7);
   ParseOptions Opts;
-  Opts.MaxSteps = 1u << 24;
+  Opts.Budget.MaxSteps = 1u << 24;
   Parser P(L.G, L.Start, Opts);
   for (const std::string &Src : C.Files) {
     lexer::LexResult Lexed = L.lex(Src);
@@ -167,7 +167,7 @@ TEST_P(RandomGrammarSweep, RoundTripAndOracleAgreement) {
   std::mt19937_64 Rng(GetParam());
   ParseOptions Opts;
   Opts.CheckInvariants = true;
-  Opts.MaxSteps = 1u << 20;
+  Opts.Budget.MaxSteps = 1u << 20;
   for (int Trial = 0; Trial < 12; ++Trial) {
     Grammar G = costar::test::randomNonLeftRecursiveGrammar(Rng);
     GrammarAnalysis A(G, 0);

@@ -32,7 +32,7 @@ void expectUniqueParse(const Language &L, const std::string &Src) {
   ASSERT_TRUE(Lexed.ok()) << L.Name << " lex error: " << Lexed.Error
                           << " at line " << Lexed.ErrorLine;
   ParseOptions Opts;
-  Opts.MaxSteps = 1u << 24;
+  Opts.Budget.MaxSteps = 1u << 24;
   ParseResult R = parse(L.G, L.Start, Lexed.Tokens, Opts);
   ASSERT_EQ(R.kind(), ParseResult::Kind::Unique)
       << L.Name << " on:\n"

@@ -1,0 +1,93 @@
+//===- tests/obs/JsonlStatusTest.cpp - JSONL sink failure status -------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regression test for the JsonlTracer sink-status contract: write failures
+// (stream errors or injected TraceSinkWrite faults) never throw and never
+// perturb the emitting parse — they drop the event, count it, and surface
+// through ok() / writeFailures() so the caller can tell a complete trace
+// from a lossy one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+#include "robust/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <streambuf>
+
+using namespace costar;
+using namespace costar::obs;
+
+namespace {
+
+/// A streambuf that rejects every byte, like a closed pipe or a full disk.
+class BrokenStreambuf final : public std::streambuf {
+  int overflow(int) override { return traits_type::eof(); }
+  std::streamsize xsputn(const char *, std::streamsize) override { return 0; }
+};
+
+void emitN(Tracer &T, int N) {
+  for (int I = 0; I < N; ++I)
+    T.emit(EventKind::Consume, static_cast<uint32_t>(I), 0, 0,
+           static_cast<uint64_t>(I));
+}
+
+} // namespace
+
+TEST(JsonlStatus, HealthyStreamReportsOk) {
+  std::ostringstream Sink;
+  JsonlTracer T(Sink);
+  emitN(T, 5);
+  T.flush();
+  EXPECT_TRUE(T.ok());
+  EXPECT_EQ(T.writeFailures(), 0u);
+  EXPECT_EQ(T.linesWritten(), 5u);
+}
+
+TEST(JsonlStatus, BrokenStreamCountsEveryFailureWithoutThrowing) {
+  BrokenStreambuf Broken;
+  std::ostream Out(&Broken);
+  JsonlTracer T(Out);
+  emitN(T, 7);
+  EXPECT_FALSE(T.ok());
+  EXPECT_EQ(T.writeFailures(), 7u);
+  EXPECT_EQ(T.linesWritten(), 0u);
+}
+
+TEST(JsonlStatus, InjectedSinkFaultDropsExactlyOneEvent) {
+  robust::FaultInjector Injector(
+      robust::FaultPlan::at(robust::FaultSite::TraceSinkWrite, 3));
+  robust::ScopedFaultInjector Scope(Injector);
+
+  std::ostringstream Sink;
+  JsonlTracer T(Sink);
+  emitN(T, 6);
+  EXPECT_FALSE(T.ok());
+  EXPECT_EQ(T.writeFailures(), 1u);
+  EXPECT_EQ(T.linesWritten(), 5u);
+
+  // Exactly the 3rd event is missing from the stream.
+  std::string Text = Sink.str();
+  EXPECT_EQ(Text.find("\"a\":2,"), std::string::npos);
+  EXPECT_NE(Text.find("\"a\":1,"), std::string::npos);
+  EXPECT_NE(Text.find("\"a\":3,"), std::string::npos);
+}
+
+TEST(JsonlStatus, TransientStreamErrorLosesOneLineNotTheRun) {
+  // A stringstream forced into a fail state rejects one write; the sink
+  // clears the state so the next event lands.
+  std::ostringstream Sink;
+  JsonlTracer T(Sink);
+  emitN(T, 2);
+  Sink.setstate(std::ios::badbit);
+  emitN(T, 1); // dropped: the stream is broken for this event
+  emitN(T, 2); // recovered
+  EXPECT_EQ(T.writeFailures(), 1u);
+  EXPECT_EQ(T.linesWritten(), 4u);
+  EXPECT_FALSE(T.ok());
+}

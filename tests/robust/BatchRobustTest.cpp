@@ -1,0 +1,182 @@
+//===- tests/robust/BatchRobustTest.cpp - Batch governance under faults ------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Threaded (sanitizer-heavy) coverage of the batch service path: per-word
+// budgets quarantine pathological words without touching their neighbors'
+// results, injected faults on worker threads are absorbed by the
+// downgrade path or dropped at soft cache-exchange sites, and the batch
+// outcome summary reports it all.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/BatchParser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace costar;
+using namespace costar::workload;
+
+namespace {
+
+/// S -> 'a' S | 'b'
+Grammar chainGrammar() {
+  Grammar G;
+  NonterminalId S = G.internNonterminal("S");
+  TerminalId A = G.internTerminal("a");
+  TerminalId B = G.internTerminal("b");
+  G.addProduction(S, {Symbol::terminal(A), Symbol::nonterminal(S)});
+  G.addProduction(S, {Symbol::terminal(B)});
+  return G;
+}
+
+Word chainWord(size_t NumA) {
+  Word W;
+  for (size_t I = 0; I < NumA; ++I)
+    W.emplace_back(0, "a");
+  W.emplace_back(1, "b");
+  return W;
+}
+
+/// Short words at every index except the given long ones.
+std::vector<Word> mixedCorpus(const std::set<size_t> &LongAt, size_t N) {
+  std::vector<Word> Corpus;
+  for (size_t I = 0; I < N; ++I)
+    Corpus.push_back(chainWord(LongAt.count(I) ? 400 : 3 + I % 5));
+  return Corpus;
+}
+
+} // namespace
+
+TEST(BatchRobust, PerWordBudgetQuarantinesOnlyPathologicalWords) {
+  Grammar G = chainGrammar();
+  BatchParser P(G, 0);
+  std::set<size_t> LongAt = {3, 11, 24};
+  std::vector<Word> Corpus = mixedCorpus(LongAt, 32);
+
+  BatchOptions Unbudgeted;
+  Unbudgeted.Threads = 4;
+  BatchResult Baseline = P.parseAll(Corpus, Unbudgeted);
+  ASSERT_EQ(Baseline.Accepted, Corpus.size());
+
+  BatchOptions Budgeted;
+  Budgeted.Threads = 4;
+  // Short words run ~10-25 machine steps; the 400-'a' words need ~1200.
+  Budgeted.Parse.Budget.MaxSteps = 100;
+  BatchResult R = P.parseAll(Corpus, Budgeted);
+
+  // Exactly the pathological words are quarantined, with their reason.
+  EXPECT_EQ(R.BudgetExceeded, LongAt.size());
+  ASSERT_EQ(R.Quarantined.size(), LongAt.size());
+  std::set<size_t> QuarantinedAt;
+  for (const BatchResult::QuarantineEntry &Q : R.Quarantined) {
+    QuarantinedAt.insert(Q.WordIndex);
+    EXPECT_EQ(Q.Reason, robust::BudgetReason::Steps);
+  }
+  EXPECT_EQ(QuarantinedAt, LongAt);
+
+  // Every other word's result is bit-identical to the unbudgeted batch.
+  ASSERT_EQ(R.Results.size(), Corpus.size());
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    if (LongAt.count(I)) {
+      ASSERT_EQ(R.Results[I].kind(), ParseResult::Kind::BudgetExceeded);
+      EXPECT_GT(R.Results[I].budget().TokensConsumed, 0u);
+      continue;
+    }
+    ASSERT_EQ(R.Results[I].kind(), ParseResult::Kind::Unique) << I;
+    EXPECT_TRUE(
+        treeEquals(Baseline.Results[I].tree(), R.Results[I].tree()));
+  }
+
+  EXPECT_EQ(R.Accepted, Corpus.size() - LongAt.size());
+  std::string Summary = R.summary();
+  EXPECT_NE(Summary.find("budget_exceeded=3"), std::string::npos);
+  EXPECT_NE(Summary.find("quarantined=3"), std::string::npos);
+}
+
+TEST(BatchRobust, TransientWorkerFaultsPreserveResultEquality) {
+  Grammar G = chainGrammar();
+  BatchParser P(G, 0);
+  std::vector<Word> Corpus = mixedCorpus({}, 48);
+
+  BatchResult Baseline = P.parseAll(Corpus, {});
+  ASSERT_EQ(Baseline.Accepted, Corpus.size());
+
+  robust::FaultPlan Plan =
+      robust::FaultPlan::at(robust::FaultSite::HashedCacheProbe, 2);
+  BatchOptions Opts;
+  Opts.Threads = 4;
+  Opts.Faults = &Plan;
+  BatchResult R = P.parseAll(Corpus, Opts);
+
+  // Each worker's one transient fault was absorbed by a downgrade; every
+  // word's result still matches the unfaulted batch.
+  EXPECT_EQ(R.Accepted, Corpus.size());
+  EXPECT_EQ(R.Errors, 0u);
+  EXPECT_GE(R.Downgraded, 1u);
+  EXPECT_LE(R.Downgraded, 4u);
+  for (size_t I = 0; I < Corpus.size(); ++I)
+    EXPECT_TRUE(
+        treeEquals(Baseline.Results[I].tree(), R.Results[I].tree()))
+        << I;
+}
+
+TEST(BatchRobust, SoftCacheExchangeFaultsAreHarmless) {
+  Grammar G = chainGrammar();
+  BatchParser P(G, 0);
+  std::vector<Word> Corpus = mixedCorpus({}, 40);
+
+  BatchResult Baseline = P.parseAll(Corpus, {});
+
+  // Persistently fail every publish and adopt: workers keep their own
+  // correct caches; only warmth is lost.
+  robust::FaultPlan Plan;
+  Plan.Arms.push_back({robust::FaultSite::SharedCachePublish, 1, UINT32_MAX});
+  Plan.Arms.push_back({robust::FaultSite::SharedCacheAdopt, 1, UINT32_MAX});
+  BatchOptions Opts;
+  Opts.Threads = 4;
+  Opts.PublishInterval = 2;
+  Opts.Faults = &Plan;
+  BatchResult R = P.parseAll(Corpus, Opts);
+
+  EXPECT_EQ(R.Accepted, Corpus.size());
+  EXPECT_EQ(R.Errors, 0u);
+  EXPECT_EQ(R.Downgraded, 0u);
+  for (size_t I = 0; I < Corpus.size(); ++I)
+    EXPECT_TRUE(
+        treeEquals(Baseline.Results[I].tree(), R.Results[I].tree()))
+        << I;
+  // Nothing was ever published: the shared snapshot stayed cold.
+  EXPECT_EQ(R.SharedCacheStates, 0u);
+}
+
+TEST(BatchRobust, PersistentFaultWithoutDegradationSurfacesErrors) {
+  Grammar G = chainGrammar();
+  BatchParser P(G, 0);
+  std::vector<Word> Corpus = mixedCorpus({}, 12);
+
+  robust::FaultPlan Plan =
+      robust::FaultPlan::at(robust::FaultSite::TreeAlloc, 1, UINT32_MAX);
+  BatchOptions Opts;
+  Opts.Threads = 2;
+  Opts.DegradeOnError = false;
+  Opts.Faults = &Plan;
+  BatchResult R = P.parseAll(Corpus, Opts);
+
+  // Every word fails its first tree allocation: structured errors, a
+  // complete batch, no crash.
+  ASSERT_EQ(R.Results.size(), Corpus.size());
+  EXPECT_EQ(R.Errors, Corpus.size());
+  EXPECT_EQ(R.Downgraded, 0u);
+  for (const ParseResult &Res : R.Results) {
+    ASSERT_EQ(Res.kind(), ParseResult::Kind::Error);
+    EXPECT_EQ(Res.err().Kind, ParseErrorKind::FaultInjected);
+    EXPECT_EQ(Res.err().Site, robust::FaultSite::TreeAlloc);
+  }
+  std::string Summary = R.summary();
+  EXPECT_NE(Summary.find("errors=12"), std::string::npos);
+}

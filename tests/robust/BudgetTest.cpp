@@ -1,0 +1,225 @@
+//===- tests/robust/BudgetTest.cpp - Resource-budget semantics ---------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the ParseBudget contract of robust/Budget.h: every exhausted
+// dimension yields a structured BudgetExceeded outcome with partial
+// progress (never an exception, never a torn stack), zero-valued limits
+// are real instantly-exhausted budgets, and generous budgets leave results
+// bit-identical to unbudgeted parses. Also covers the machine edge inputs
+// (empty word, single-token accept/reject) across both cache backends,
+// with and without a zero-step budget.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace costar;
+
+namespace {
+
+/// S -> 'a' S | 'b'   (words: a^n b)
+struct ChainGrammar {
+  Grammar G;
+  NonterminalId S;
+  TerminalId A, B;
+
+  ChainGrammar() {
+    S = G.internNonterminal("S");
+    A = G.internTerminal("a");
+    B = G.internTerminal("b");
+    G.addProduction(S, {Symbol::terminal(A), Symbol::nonterminal(S)});
+    G.addProduction(S, {Symbol::terminal(B)});
+  }
+
+  Word word(size_t NumA) const {
+    Word W;
+    for (size_t I = 0; I < NumA; ++I)
+      W.emplace_back(A, "a");
+    W.emplace_back(B, "b");
+    return W;
+  }
+};
+
+const CacheBackend Backends[] = {CacheBackend::Hashed,
+                                 CacheBackend::AvlPaperFaithful};
+
+ParseOptions withBackend(CacheBackend B) {
+  ParseOptions Opts;
+  Opts.Backend = B;
+  return Opts;
+}
+
+} // namespace
+
+TEST(Budget, ZeroStepBudgetIsInstantlyExhausted) {
+  ChainGrammar C;
+  for (CacheBackend B : Backends) {
+    ParseOptions Opts = withBackend(B);
+    Opts.Budget.MaxSteps = 0;
+    // Every input — including the machine edge cases empty word and
+    // single token — must come back BudgetExceeded before the first step.
+    for (const Word &W : {Word{}, C.word(0), C.word(5)}) {
+      ParseResult R = parse(C.G, C.S, W, Opts);
+      ASSERT_EQ(R.kind(), ParseResult::Kind::BudgetExceeded);
+      EXPECT_EQ(R.budget().Reason, robust::BudgetReason::Steps);
+      EXPECT_EQ(R.budget().Steps, 0u);
+      EXPECT_EQ(R.budget().TokensConsumed, 0u);
+    }
+  }
+}
+
+TEST(Budget, EdgeInputsWithoutBudgetBothBackends) {
+  ChainGrammar C;
+  for (CacheBackend B : Backends) {
+    ParseOptions Opts = withBackend(B);
+    // Empty word: not in L(S) — a clean Reject at token 0, not an error.
+    ParseResult Empty = parse(C.G, C.S, {}, Opts);
+    ASSERT_EQ(Empty.kind(), ParseResult::Kind::Reject);
+    EXPECT_EQ(Empty.rejectTokenIndex(), 0u);
+    // Single-token accept.
+    ParseResult One = parse(C.G, C.S, C.word(0), Opts);
+    ASSERT_EQ(One.kind(), ParseResult::Kind::Unique);
+    // Single-token reject ('a' with no terminator).
+    Word JustA;
+    JustA.emplace_back(C.A, "a");
+    ParseResult Rej = parse(C.G, C.S, JustA, Opts);
+    ASSERT_EQ(Rej.kind(), ParseResult::Kind::Reject);
+  }
+}
+
+TEST(Budget, StepBudgetReportsPartialProgress) {
+  ChainGrammar C;
+  for (CacheBackend B : Backends) {
+    ParseOptions Opts = withBackend(B);
+    Opts.Budget.MaxSteps = 10;
+    ParseResult R = parse(C.G, C.S, C.word(50), Opts);
+    ASSERT_EQ(R.kind(), ParseResult::Kind::BudgetExceeded);
+    EXPECT_EQ(R.budget().Reason, robust::BudgetReason::Steps);
+    EXPECT_EQ(R.budget().Steps, 10u);
+    // Real progress was made and is reported.
+    EXPECT_GT(R.budget().TokensConsumed, 0u);
+    EXPECT_LT(R.budget().TokensConsumed, 51u);
+    // Mid-derivation the innermost open production is an S production.
+    ASSERT_TRUE(R.budget().HaveCurrentNt);
+    EXPECT_EQ(R.budget().CurrentNt, C.S);
+  }
+}
+
+TEST(Budget, PresetCancelFlagStopsBeforeFirstStep) {
+  ChainGrammar C;
+  std::atomic<bool> Cancel{true};
+  ParseOptions Opts;
+  Opts.Budget.Cancel = &Cancel;
+  ParseResult R = parse(C.G, C.S, C.word(5), Opts);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::BudgetExceeded);
+  EXPECT_EQ(R.budget().Reason, robust::BudgetReason::Cancelled);
+  EXPECT_EQ(R.budget().Steps, 0u);
+}
+
+TEST(Budget, UnsetCancelFlagHasNoEffect) {
+  ChainGrammar C;
+  std::atomic<bool> Cancel{false};
+  ParseOptions Opts;
+  Opts.Budget.Cancel = &Cancel;
+  ParseResult R = parse(C.G, C.S, C.word(5), Opts);
+  EXPECT_EQ(R.kind(), ParseResult::Kind::Unique);
+}
+
+TEST(Budget, ZeroDeadlineExpiresOnLongInput) {
+  ChainGrammar C;
+  ParseOptions Opts;
+  Opts.Budget.MaxWallMicros = 0;
+  ParseResult R = parse(C.G, C.S, C.word(5000), Opts);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::BudgetExceeded);
+  EXPECT_EQ(R.budget().Reason, robust::BudgetReason::Deadline);
+}
+
+TEST(Budget, ZeroAllocationBudgetTripsOnFirstNode) {
+  ChainGrammar C;
+  for (CacheBackend B : Backends) {
+    ParseOptions Opts = withBackend(B);
+    Opts.Budget.MaxAllocations = 0;
+    ParseResult R = parse(C.G, C.S, C.word(20), Opts);
+    ASSERT_EQ(R.kind(), ParseResult::Kind::BudgetExceeded);
+    EXPECT_EQ(R.budget().Reason, robust::BudgetReason::Memory);
+  }
+}
+
+TEST(Budget, DeterministicDimensionsWinOverPolledOnes) {
+  ChainGrammar C;
+  std::atomic<bool> Cancel{true};
+  ParseOptions Opts;
+  Opts.Budget.MaxSteps = 0;
+  Opts.Budget.Cancel = &Cancel;
+  Opts.Budget.MaxWallMicros = 0;
+  ParseResult R = parse(C.G, C.S, C.word(5), Opts);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::BudgetExceeded);
+  EXPECT_EQ(R.budget().Reason, robust::BudgetReason::Steps);
+}
+
+TEST(Budget, GenerousBudgetLeavesResultIdentical) {
+  ChainGrammar C;
+  Word W = C.word(30);
+  ParseResult Plain = parse(C.G, C.S, W, {});
+  ASSERT_EQ(Plain.kind(), ParseResult::Kind::Unique);
+  for (CacheBackend B : Backends) {
+    ParseOptions Opts = withBackend(B);
+    Opts.Budget.MaxSteps = 1u << 20;
+    Opts.Budget.MaxWallMicros = 60u * 1000u * 1000u;
+    Opts.Budget.MaxAllocations = 1u << 24;
+    ParseResult R = parse(C.G, C.S, W, Opts);
+    ASSERT_EQ(R.kind(), ParseResult::Kind::Unique);
+    EXPECT_TRUE(treeEquals(Plain.tree(), R.tree()));
+  }
+}
+
+TEST(Budget, BudgetExceededIsTracedAndCounted) {
+  ChainGrammar C;
+  obs::RingBufferTracer Trace(1u << 12);
+  obs::MetricsRegistry Metrics;
+  ParseOptions Opts;
+  Opts.Budget.MaxSteps = 4;
+  Opts.Trace = &Trace;
+  Opts.Metrics = &Metrics;
+  ParseResult R = parse(C.G, C.S, C.word(50), Opts);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::BudgetExceeded);
+
+  // Exactly one BudgetExceeded event, before ParseEnd, carrying the reason
+  // and the step count.
+  std::vector<obs::TraceEvent> Events = Trace.events();
+  size_t BudgetIdx = Events.size(), EndIdx = Events.size();
+  for (size_t I = 0; I < Events.size(); ++I) {
+    if (Events[I].Kind == obs::EventKind::BudgetExceeded)
+      BudgetIdx = I;
+    if (Events[I].Kind == obs::EventKind::ParseEnd)
+      EndIdx = I;
+  }
+  ASSERT_LT(BudgetIdx, Events.size());
+  ASSERT_LT(BudgetIdx, EndIdx);
+  EXPECT_EQ(Events[BudgetIdx].A,
+            static_cast<uint32_t>(robust::BudgetReason::Steps));
+  EXPECT_EQ(Events[BudgetIdx].Value, 4u);
+
+  EXPECT_EQ(Metrics.counter("result.budget_exceeded"), 1u);
+  EXPECT_EQ(Metrics.counter("budget.steps"), 1u);
+  EXPECT_EQ(Metrics.counter("result.error"), 0u);
+}
+
+TEST(Budget, CheckInvariantsComposesWithBudgets) {
+  ChainGrammar C;
+  ParseOptions Opts;
+  Opts.CheckInvariants = true;
+  Opts.Budget.MaxSteps = 7;
+  ParseResult R = parse(C.G, C.S, C.word(50), Opts);
+  ASSERT_EQ(R.kind(), ParseResult::Kind::BudgetExceeded);
+  EXPECT_EQ(R.budget().Steps, 7u);
+}

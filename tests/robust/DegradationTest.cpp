@@ -1,0 +1,178 @@
+//===- tests/robust/DegradationTest.cpp - Backend downgrade path -------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins robust::parseRobust: a transient fault under the Hashed backend is
+// absorbed by one retry on the paper-faithful AVL backend, the downgrade
+// is recorded (trace event + metrics counters + FirstError), and the
+// recovered result is bit-identical to an unfaulted parse. Persistent
+// faults and AVL-backend faults surface as structured errors — degraded,
+// but never torn, never thrown.
+//
+//===----------------------------------------------------------------------===//
+
+#include "robust/Degradation.h"
+
+#include "core/Parser.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+
+namespace {
+
+/// S -> 'a' S | 'b'
+struct ChainGrammar {
+  Grammar G = makeGrammar();
+  NonterminalId S = 0;
+  TerminalId A = 0, B = 1;
+  GrammarAnalysis Analysis{G, S};
+  PredictionTables Tables{G, Analysis};
+
+  static Grammar makeGrammar() {
+    Grammar G;
+    NonterminalId S = G.internNonterminal("S");
+    TerminalId A = G.internTerminal("a");
+    TerminalId B = G.internTerminal("b");
+    G.addProduction(S, {Symbol::terminal(A), Symbol::nonterminal(S)});
+    G.addProduction(S, {Symbol::terminal(B)});
+    return G;
+  }
+
+  Word word(size_t NumA) const {
+    Word W;
+    for (size_t I = 0; I < NumA; ++I)
+      W.emplace_back(A, "a");
+    W.emplace_back(B, "b");
+    return W;
+  }
+};
+
+} // namespace
+
+TEST(Degradation, TransientHashedFaultRecoversOnAvl) {
+  ChainGrammar C;
+  Word W = C.word(12);
+
+  ParseResult Oracle = parse(C.G, C.S, W, {});
+  ASSERT_EQ(Oracle.kind(), ParseResult::Kind::Unique);
+
+  robust::FaultInjector Injector(
+      robust::FaultPlan::at(robust::FaultSite::HashedCacheProbe, 1));
+  obs::RingBufferTracer Trace(1u << 12);
+  obs::MetricsRegistry Metrics;
+  ParseOptions Opts;
+  Opts.Backend = CacheBackend::Hashed;
+  Opts.Faults = &Injector;
+  Opts.Trace = &Trace;
+  Opts.Metrics = &Metrics;
+
+  robust::RobustOutcome Out =
+      robust::parseRobust(C.G, C.Tables, C.S, W, Opts);
+  EXPECT_TRUE(Out.Downgraded);
+  EXPECT_TRUE(Out.Recovered);
+  EXPECT_NE(Out.FirstError.find("hashed_cache_probe"), std::string::npos);
+  ASSERT_EQ(Out.Result.kind(), ParseResult::Kind::Unique);
+  EXPECT_TRUE(treeEquals(Oracle.tree(), Out.Result.tree()));
+
+  // The downgrade is observable: one BackendDowngrade trace event flagged
+  // as recovered, and the metrics counters.
+  size_t Downgrades = 0;
+  for (const obs::TraceEvent &E : Trace.events())
+    if (E.Kind == obs::EventKind::BackendDowngrade) {
+      ++Downgrades;
+      EXPECT_EQ(E.A, 1u);
+    }
+  EXPECT_EQ(Downgrades, 1u);
+  EXPECT_EQ(Metrics.counter("robust.downgrades"), 1u);
+  EXPECT_EQ(Metrics.counter("robust.recoveries"), 1u);
+  // The fault fired exactly once (transient): the retry ran clean.
+  EXPECT_EQ(Injector.totalFires(), 1u);
+}
+
+TEST(Degradation, RejectedWordStillRetriesAndMatchesOracle) {
+  ChainGrammar C;
+  Word W = C.word(4);
+  W.pop_back(); // drop the terminator: not in L(S)
+
+  ParseResult Oracle = parse(C.G, C.S, W, {});
+  ASSERT_EQ(Oracle.kind(), ParseResult::Kind::Reject);
+
+  robust::FaultInjector Injector(
+      robust::FaultPlan::at(robust::FaultSite::TreeAlloc, 2));
+  ParseOptions Opts;
+  Opts.Faults = &Injector;
+  robust::RobustOutcome Out =
+      robust::parseRobust(C.G, C.Tables, C.S, W, Opts);
+  EXPECT_TRUE(Out.Downgraded);
+  EXPECT_TRUE(Out.Recovered); // a Reject is a final answer, not an error
+  ASSERT_EQ(Out.Result.kind(), ParseResult::Kind::Reject);
+  EXPECT_EQ(Out.Result.rejectReason(), Oracle.rejectReason());
+  EXPECT_EQ(Out.Result.rejectTokenIndex(), Oracle.rejectTokenIndex());
+}
+
+TEST(Degradation, AvlBackendFaultIsStructuredNotRetried) {
+  ChainGrammar C;
+  robust::FaultInjector Injector(
+      robust::FaultPlan::at(robust::FaultSite::AvlCacheInsert, 1));
+  ParseOptions Opts;
+  Opts.Backend = CacheBackend::AvlPaperFaithful;
+  Opts.Faults = &Injector;
+  robust::RobustOutcome Out =
+      robust::parseRobust(C.G, C.Tables, C.S, C.word(8), Opts);
+  EXPECT_FALSE(Out.Downgraded);
+  EXPECT_FALSE(Out.Recovered);
+  ASSERT_EQ(Out.Result.kind(), ParseResult::Kind::Error);
+  EXPECT_EQ(Out.Result.err().Kind, ParseErrorKind::FaultInjected);
+  EXPECT_EQ(Out.Result.err().Site, robust::FaultSite::AvlCacheInsert);
+}
+
+TEST(Degradation, PersistentFaultFailsBothAttemptsStructurally) {
+  ChainGrammar C;
+  // TreeAlloc occurs on both backends; a persistent arm fails the Hashed
+  // attempt AND the AVL retry.
+  robust::FaultInjector Injector(
+      robust::FaultPlan::at(robust::FaultSite::TreeAlloc, 1, UINT32_MAX));
+  obs::MetricsRegistry Metrics;
+  ParseOptions Opts;
+  Opts.Faults = &Injector;
+  Opts.Metrics = &Metrics;
+  robust::RobustOutcome Out =
+      robust::parseRobust(C.G, C.Tables, C.S, C.word(8), Opts);
+  EXPECT_TRUE(Out.Downgraded);
+  EXPECT_FALSE(Out.Recovered);
+  ASSERT_EQ(Out.Result.kind(), ParseResult::Kind::Error);
+  EXPECT_EQ(Out.Result.err().Kind, ParseErrorKind::FaultInjected);
+  EXPECT_EQ(Metrics.counter("robust.downgrades"), 1u);
+  EXPECT_EQ(Metrics.counter("robust.recoveries"), 0u);
+}
+
+TEST(Degradation, BudgetExceededIsNotRetried) {
+  ChainGrammar C;
+  ParseOptions Opts;
+  Opts.Budget.MaxSteps = 3;
+  robust::RobustOutcome Out =
+      robust::parseRobust(C.G, C.Tables, C.S, C.word(50), Opts);
+  // The budget bounds the request, not the backend: no downgrade.
+  EXPECT_FALSE(Out.Downgraded);
+  ASSERT_EQ(Out.Result.kind(), ParseResult::Kind::BudgetExceeded);
+}
+
+TEST(Degradation, CleanParseTakesNoFallbackPath) {
+  ChainGrammar C;
+  obs::MetricsRegistry Metrics;
+  ParseOptions Opts;
+  Opts.Metrics = &Metrics;
+  Machine::Stats Stats;
+  robust::RobustOutcome Out = robust::parseRobust(
+      C.G, C.Tables, C.S, C.word(10), Opts, nullptr, &Stats);
+  EXPECT_FALSE(Out.Downgraded);
+  EXPECT_TRUE(Out.FirstError.empty());
+  EXPECT_EQ(Out.Result.kind(), ParseResult::Kind::Unique);
+  EXPECT_EQ(Metrics.counter("robust.downgrades"), 0u);
+  EXPECT_GT(Stats.Steps, 0u);
+}

@@ -1,0 +1,140 @@
+//===- tests/robust/FaultSweepTest.cpp - Random fault-injection sweep --------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The robustness acceptance sweep: over hundreds of random
+// non-left-recursive grammars, inject each abort-class and trace fault
+// site at a random occurrence, on both cache backends, with invariant
+// checking on. Every parse must end in exactly one of:
+//
+//   - a result bit-identical to the unfaulted oracle (the fault never
+//     fired, fired at a soft site, or fired transiently and the AVL
+//     downgrade recovered — in which case the downgrade is recorded); or
+//   - a structured Error{FaultInjected} naming the injected site.
+//
+// No third outcome: no crash, no torn stack (CheckInvariants would
+// surface one as InvalidState), no exception.
+//
+//===----------------------------------------------------------------------===//
+
+#include "robust/Degradation.h"
+
+#include "core/Parser.h"
+#include "grammar/Sampler.h"
+#include "obs/Trace.h"
+#include "../RandomGrammar.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace costar;
+
+namespace {
+
+/// Bit-identical result comparison (kind + tree / reject diagnostics /
+/// error payload).
+bool sameResult(const ParseResult &X, const ParseResult &Y) {
+  if (X.kind() != Y.kind())
+    return false;
+  switch (X.kind()) {
+  case ParseResult::Kind::Unique:
+  case ParseResult::Kind::Ambig:
+    return treeEquals(X.tree(), Y.tree());
+  case ParseResult::Kind::Reject:
+    return X.rejectTokenIndex() == Y.rejectTokenIndex() &&
+           X.rejectReason() == Y.rejectReason();
+  case ParseResult::Kind::Error:
+    return X.err().Kind == Y.err().Kind;
+  case ParseResult::Kind::BudgetExceeded:
+    return X.budget().Reason == Y.budget().Reason;
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(FaultSweep, EverySiteEveryBackendStructuredOrIdentical) {
+  const robust::FaultSite Sites[] = {
+      robust::FaultSite::HashedCacheProbe,
+      robust::FaultSite::AvlCacheInsert,
+      robust::FaultSite::FrameAlloc,
+      robust::FaultSite::TreeAlloc,
+      robust::FaultSite::TraceSinkWrite,
+  };
+  const CacheBackend Backends[] = {CacheBackend::Hashed,
+                                   CacheBackend::AvlPaperFaithful};
+  constexpr int NumGrammars = 210;
+
+  std::mt19937_64 Rng(20260806);
+  uint64_t Injected = 0, Identical = 0, Structured = 0, Downgrades = 0;
+
+  for (int GI = 0; GI < NumGrammars; ++GI) {
+    Grammar G = test::randomNonLeftRecursiveGrammar(Rng);
+    GrammarAnalysis Analysis(G, 0);
+    PredictionTables Tables(G, Analysis);
+    DerivationSampler Sampler(Analysis, Rng());
+
+    // One in-language and one corrupted word per grammar.
+    Word Good = Sampler.sampleWord(0, 6);
+    Word Bad = test::corruptWord(Rng, G, Good);
+
+    for (const Word *W : {&Good, &Bad}) {
+      for (CacheBackend Backend : Backends) {
+        ParseOptions Base;
+        Base.Backend = Backend;
+        Base.CheckInvariants = true;
+        ParseResult Oracle = parse(G, 0, *W, Base);
+        ASSERT_NE(Oracle.kind(), ParseResult::Kind::Error)
+            << "oracle errored: " << G.toString();
+
+        for (robust::FaultSite Site : Sites) {
+          robust::FaultInjector Injector(
+              robust::FaultPlan::at(Site, 1 + Rng() % 8));
+          std::ostringstream Sink;
+          obs::JsonlTracer Trace(Sink);
+          ParseOptions Opts = Base;
+          Opts.Faults = &Injector;
+          Opts.Trace = &Trace;
+
+          robust::RobustOutcome Out =
+              robust::parseRobust(G, Tables, 0, *W, Opts);
+          ++Injected;
+          Downgrades += Out.Downgraded;
+
+          if (sameResult(Oracle, Out.Result)) {
+            ++Identical;
+            // A recorded downgrade must still deliver the oracle's exact
+            // result — that is this branch; nothing more to check.
+          } else {
+            ++Structured;
+            // Only a structured fault error may diverge from the oracle.
+            ASSERT_EQ(Out.Result.kind(), ParseResult::Kind::Error)
+                << faultSiteName(Site) << " on " << G.toString();
+            ASSERT_EQ(Out.Result.err().Kind, ParseErrorKind::FaultInjected)
+                << faultSiteName(Site) << " on " << G.toString();
+            EXPECT_EQ(Out.Result.err().Site, Site);
+            // The Hashed backend never surfaces a transient fault: the
+            // AVL retry absorbs it. A surviving error means the fault
+            // fired on the AVL attempt itself.
+            EXPECT_NE(Backend, CacheBackend::Hashed)
+                << faultSiteName(Site) << " on " << G.toString();
+          }
+          // Soft sites never alter the result, only the sink status.
+          if (Site == robust::FaultSite::TraceSinkWrite) {
+            EXPECT_TRUE(sameResult(Oracle, Out.Result));
+          }
+        }
+      }
+    }
+  }
+
+  // The sweep must actually exercise both regimes.
+  EXPECT_GT(Identical, 0u);
+  EXPECT_GT(Structured, 0u);
+  EXPECT_GT(Downgrades, 0u);
+  ASSERT_EQ(Injected, uint64_t(NumGrammars) * 2 * 2 * 5);
+}
