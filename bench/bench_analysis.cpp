@@ -1,0 +1,172 @@
+//===- bench/bench_analysis.cpp - Static analysis engine cost ------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Times the whole-grammar static analysis battery (src/analysis) on the
+/// four benchmark-language grammars and on synthetic grammars of growing
+/// size, answering the practical question behind the analyze-grammars CI
+/// gate: is running the full battery on every grammar cheap enough to put
+/// in front of every build? (It is — microseconds per grammar.)
+///
+/// Writes BENCH_analysis.json. COSTAR_BENCH_SCALE scales the trial count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Engine.h"
+#include "analysis/Render.h"
+#include "gdsl/GrammarDsl.h"
+#include "lang/Language.h"
+#include "stats/Stats.h"
+
+#include "BenchUtil.h"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace costar;
+
+namespace {
+
+struct Record {
+  std::string Name;
+  uint32_t Nonterminals = 0;
+  uint32_t Productions = 0;
+  uint32_t Diags = 0;
+  double AnalyzeUs = 0; // mean per analyze() call
+  double RenderUs = 0;  // mean per full three-renderer pass
+};
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Record measure(const std::string &Name, const Grammar &G,
+               NonterminalId Start, const SourceMap *Spans, int Trials) {
+  Record R;
+  R.Name = Name;
+  R.Nonterminals = G.numNonterminals();
+  R.Productions = G.numProductions();
+
+  // Warm-up and diagnostics count.
+  analysis::AnalysisReport Report = analysis::analyze(G, Start, Spans);
+  R.Diags = static_cast<uint32_t>(Report.Diags.size());
+
+  double T0 = nowSeconds();
+  for (int I = 0; I < Trials; ++I) {
+    analysis::AnalysisReport Rep = analysis::analyze(G, Start, Spans);
+    if (Rep.Metrics.Productions != G.numProductions())
+      std::abort(); // keep the optimizer honest
+  }
+  double T1 = nowSeconds();
+  R.AnalyzeUs = (T1 - T0) / Trials * 1e6;
+
+  double T2 = nowSeconds();
+  for (int I = 0; I < Trials; ++I) {
+    std::string Out = analysis::renderText(Name, G, Report);
+    Out += analysis::renderJsonl(Name, G, Report);
+    Out += analysis::renderSarif(Name, G, Report);
+    if (Out.empty())
+      std::abort();
+  }
+  double T3 = nowSeconds();
+  R.RenderUs = (T3 - T2) / Trials * 1e6;
+  return R;
+}
+
+/// A synthetic layered grammar with \p Layers nonterminals, each with a
+/// few alternatives over the next layer — sized like a scaled-up
+/// programming-language grammar, clean of findings.
+Grammar layeredGrammar(uint32_t Layers, uint32_t AltsPerNt,
+                       NonterminalId &StartOut) {
+  Grammar G;
+  for (uint32_t I = 0; I < Layers; ++I)
+    G.internNonterminal("n" + std::to_string(I));
+  for (uint32_t I = 0; I < Layers; ++I)
+    G.internTerminal("t" + std::to_string(I));
+  std::mt19937_64 Rng(Layers * 7919 + AltsPerNt);
+  for (uint32_t I = 0; I < Layers; ++I) {
+    for (uint32_t A = 0; A < AltsPerNt; ++A) {
+      std::vector<Symbol> Rhs;
+      Rhs.push_back(Symbol::terminal(static_cast<TerminalId>(
+          (I * AltsPerNt + A) % Layers)));
+      if (I + 1 < Layers && Rng() % 2 == 0)
+        Rhs.push_back(Symbol::nonterminal(
+            static_cast<NonterminalId>(I + 1 + Rng() % (Layers - I - 1))));
+      G.addProduction(I, std::move(Rhs));
+    }
+  }
+  StartOut = 0;
+  return G;
+}
+
+void writeJson(const std::vector<Record> &Records, const char *Path) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot open %s for writing\n", Path);
+    return;
+  }
+  std::fprintf(F, "[\n");
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const Record &R = Records[I];
+    std::fprintf(F,
+                 "  {\"grammar\": \"%s\", \"nonterminals\": %u, "
+                 "\"productions\": %u, \"diags\": %u, \"analyze_us\": "
+                 "%.2f, \"render_us\": %.2f}%s\n",
+                 R.Name.c_str(), R.Nonterminals, R.Productions, R.Diags,
+                 R.AnalyzeUs, R.RenderUs,
+                 I + 1 < Records.size() ? "," : "");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("\nwrote %zu records to %s\n", Records.size(), Path);
+}
+
+} // namespace
+
+int main() {
+  int Trials = std::max(10, static_cast<int>(200 * bench::benchScale()));
+  std::vector<Record> Records;
+
+  // The four benchmark-language grammars, loaded with source spans just
+  // like costar-analyze does.
+  for (lang::LangId Id : lang::allLanguages()) {
+    gdsl::LoadedGrammar L = gdsl::loadGrammar(lang::grammarText(Id));
+    if (!L.ok()) {
+      std::fprintf(stderr, "internal error: %s grammar failed to load\n",
+                   lang::langName(Id));
+      return 1;
+    }
+    Records.push_back(
+        measure(lang::langName(Id), L.G, L.Start, &L.Spans, Trials));
+  }
+
+  // Synthetic scaling sweep: does analysis cost stay near-linear in
+  // grammar size?
+  for (uint32_t Layers : {50u, 200u, 800u}) {
+    NonterminalId Start = 0;
+    Grammar G = layeredGrammar(Layers, 4, Start);
+    Records.push_back(measure("layered_" + std::to_string(Layers), G,
+                              Start, nullptr, std::max(2, Trials / 10)));
+  }
+
+  stats::Table T({14, 8, 8, 8, 14, 14});
+  T.row({"grammar", "nts", "prods", "diags", "analyze (us)",
+         "render (us)"});
+  T.sep();
+  for (const Record &R : Records)
+    T.row({R.Name, std::to_string(R.Nonterminals),
+           std::to_string(R.Productions), std::to_string(R.Diags),
+           stats::fmt(R.AnalyzeUs, 1), stats::fmt(R.RenderUs, 1)});
+  std::fputs(T.str().c_str(), stdout);
+
+  writeJson(Records, "BENCH_analysis.json");
+  return 0;
+}

@@ -5,30 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A grammar linter built from this repository's analyses — the tooling
-/// side of the paper's grammar-debugging story. Given a grammar in the DSL
-/// (a file path, or a built-in demo), it reports:
+/// A grammar linter built on the static analysis engine (src/analysis) —
+/// the tooling side of the paper's grammar-debugging story. Given a
+/// grammar in the DSL (a file path, or a built-in demo), it renders the
+/// full static report (left recursion with direct/indirect/hidden
+/// classification, useless symbols, derivation cycles, LL(1) conflict
+/// prediction, metrics — each finding with a stable rule code and
+/// file:line:col position), then adds two dynamic extras the static
+/// engine cannot provide:
 ///
-///   - useless symbols (nonproductive / unreachable nonterminals);
-///   - left-recursive nonterminals (the static decision procedure of
-///     Section 8's future work), and whether Paull's rewrite can fix them
-///     (offering the rewritten grammar when it can);
-///   - whether the grammar fits LL(1), with the conflicting table entries
-///     (if it does, a verified-LL(1)-style parser suffices; if not, you
-///     need ALL(*));
-///   - ambiguities found by probing: words sampled from the grammar are
-///     parsed with CoStar, and Ambig results are reported with the
-///     offending word.
+///   - when left recursion is found and Paull's rewrite applies, the
+///     rewritten equivalent grammar is printed;
+///   - ambiguity probing: words sampled from the grammar are parsed with
+///     CoStar, and Ambig results are reported with the offending word.
 ///
 /// Run:  ./grammar_lint [file.g]
 ///
+/// Exit: 0 when no error-severity findings and no ambiguous word was
+/// found, 1 otherwise, 2 on unreadable input or grammar syntax errors.
+///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Engine.h"
+#include "analysis/Render.h"
 #include "core/Parser.h"
 #include "gdsl/GrammarDsl.h"
-#include "grammar/LeftRecursion.h"
 #include "grammar/Sampler.h"
-#include "ll1/Ll1Parser.h"
 #include "xform/Transforms.h"
 
 #include "InputFile.h"
@@ -40,96 +42,52 @@ using namespace costar;
 
 int main(int argc, char **argv) {
   std::string Source;
+  std::string File = "<demo>";
   if (argc > 1) {
     std::string Err;
     if (!examples::readInputFile(argv[1], Source, Err)) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 2;
     }
+    File = argv[1];
   } else {
-    Source = R"(
-// A deliberately messy grammar: left recursion, an ambiguity, useless
-// symbols, and a non-LL(1) decision.
-stmt   : 'if' COND 'then' stmt
-       | 'if' COND 'then' stmt 'else' stmt
-       | expr ;
-expr   : expr '+' NUM | NUM ;
-dead   : dead 'x' ;
-orphan : NUM ;
-)";
+    Source = analysis::messyDemoGrammarText();
     std::printf("(no file given; linting a built-in demo grammar)\n");
   }
 
   gdsl::LoadedGrammar L = gdsl::loadGrammar(Source);
   if (!L.ok()) {
-    std::printf("syntax error: %s\n", L.Error.c_str());
-    return 1;
+    std::fprintf(stderr, "error: %s\n", L.errorAt(File).c_str());
+    return 2;
   }
   const Grammar &G = L.G;
-  std::printf("\nloaded %u nonterminals, %u terminals, %u productions "
-              "(start: %s)\n",
+  std::printf("loaded %u nonterminals, %u terminals, %u productions "
+              "(start: %s)\n\n",
               G.numNonterminals(), G.numTerminals(), G.numProductions(),
               G.nonterminalName(L.Start).c_str());
 
-  int Findings = 0;
+  // --- The full static report.
+  analysis::AnalysisReport R = analysis::analyze(G, L.Start, &L.Spans);
+  std::fputs(analysis::renderText(File, G, R).c_str(), stdout);
 
-  // --- Useless symbols.
-  GrammarAnalysis A(G, L.Start);
-  for (NonterminalId X = 0; X < G.numNonterminals(); ++X)
-    if (!A.productive(X)) {
-      std::printf("warning: '%s' derives no terminal string\n",
-                  G.nonterminalName(X).c_str());
-      ++Findings;
-    }
-  {
-    xform::TransformResult Reduced = xform::removeUselessSymbols(G, L.Start);
-    if (Reduced.ok() &&
-        Reduced.G.numNonterminals() < G.numNonterminals()) {
-      // Report reachable-but-dropped symbols not already flagged.
-      for (NonterminalId X = 0; X < G.numNonterminals(); ++X)
-        if (A.productive(X) &&
-            Reduced.G.lookupNonterminal(G.nonterminalName(X)) ==
-                UINT32_MAX) {
-          std::printf("warning: '%s' is unreachable from the start rule\n",
-                      G.nonterminalName(X).c_str());
-          ++Findings;
-        }
-    }
-  }
+  bool Bad = R.hasErrors();
 
-  // --- Left recursion.
-  std::vector<NonterminalId> Lr = leftRecursiveNonterminals(A);
-  if (!Lr.empty()) {
-    std::printf("error: left-recursive nonterminals:");
-    for (NonterminalId X : Lr)
-      std::printf(" %s", G.nonterminalName(X).c_str());
-    std::printf("\n");
-    Findings += static_cast<int>(Lr.size());
+  // --- Dynamic extra #1: offer Paull's rewrite for left recursion.
+  if (!R.LeftRecursive.empty()) {
     xform::TransformResult Fixed = xform::eliminateLeftRecursion(G, L.Start);
     if (Fixed.ok()) {
-      std::printf("note: Paull's rewrite removes the recursion; "
+      std::printf("\nnote: Paull's rewrite removes the recursion; "
                   "equivalent grammar:\n%s",
                   gdsl::printGrammar(Fixed.G, Fixed.Start).c_str());
     } else {
-      std::printf("note: automatic rewrite unavailable: %s\n",
+      std::printf("\nnote: automatic rewrite unavailable: %s\n",
                   Fixed.Error.c_str());
     }
   }
 
-  // --- LL(1) fit.
-  {
-    ll1::Ll1Parser Ll(G, L.Start);
-    if (Ll.isLl1()) {
-      std::printf("note: grammar is LL(1); one-token lookahead suffices\n");
-    } else {
-      std::printf("note: grammar is not LL(1) (%zu conflicts); ALL(*) "
-                  "prediction required. First conflict:\n  %s\n",
-                  Ll.conflicts().size(), Ll.conflicts()[0].c_str());
-    }
-  }
-
-  // --- Ambiguity probing (only meaningful without left recursion).
-  if (Lr.empty() && A.productive(L.Start)) {
+  // --- Dynamic extra #2: ambiguity probing (needs a parseable grammar).
+  GrammarAnalysis A(G, L.Start);
+  if (R.LeftRecursive.empty() && A.productive(L.Start)) {
     Parser P(G, L.Start);
     DerivationSampler Sampler(A, 20260706);
     std::set<std::string> Reported;
@@ -137,24 +95,23 @@ orphan : NUM ;
       Word W = Sampler.sampleWord(L.Start, 6);
       if (W.size() > 24)
         continue;
-      ParseResult R = P.parse(W);
-      if (R.kind() != ParseResult::Kind::Ambig)
+      ParseResult Res = P.parse(W);
+      if (Res.kind() != ParseResult::Kind::Ambig)
         continue;
       std::string Text;
       for (const Token &T : W)
         Text += G.terminalName(T.Term) + " ";
       if (Reported.insert(Text).second) {
         std::printf("error: ambiguous input found: %s\n", Text.c_str());
-        ++Findings;
+        Bad = true;
       }
     }
     if (Reported.empty())
       std::printf("note: no ambiguity found in 200 sampled words\n");
-  } else if (!Lr.empty()) {
+  } else if (!R.LeftRecursive.empty()) {
     std::printf("note: skipping ambiguity probe (fix left recursion "
                 "first)\n");
   }
 
-  std::printf("\n%d finding(s)\n", Findings);
-  return Findings == 0 ? 0 : 1;
+  return Bad ? 1 : 0;
 }

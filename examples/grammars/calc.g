@@ -1,0 +1,13 @@
+// Arithmetic expressions, written right-recursively so the grammar is
+// clean under costar-analyze (no left recursion, no LL(1) conflicts at
+// the expression spine).
+expr   : term expr_t ;
+expr_t : '+' term expr_t
+       | '-' term expr_t
+       | ;
+term   : factor term_t ;
+term_t : '*' factor term_t
+       | '/' factor term_t
+       | ;
+factor : NUM
+       | '(' expr ')' ;

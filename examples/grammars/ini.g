@@ -1,0 +1,5 @@
+// INI-style configuration files: sections of key=value pairs. LL(1)-clean
+// by construction — costar-analyze reports the LL001 verdict on it.
+file    : section* ;
+section : '[' NAME ']' entry* ;
+entry   : NAME '=' VALUE ;

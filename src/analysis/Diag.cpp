@@ -1,0 +1,73 @@
+//===- analysis/Diag.cpp - Rule registry ----------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diag.h"
+
+#include <cassert>
+
+using namespace costar;
+using namespace costar::analysis;
+
+const char *costar::analysis::severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Indexed by RuleCode; ruleIndex in SARIF output relies on this order.
+const RuleInfo Rules[] = {
+    {RuleCode::LR001, "LR001", Severity::Error,
+     "direct left recursion: a rule's alternative starts with the rule "
+     "itself, violating the parser's non-left-recursion precondition"},
+    {RuleCode::LR002, "LR002", Severity::Error,
+     "indirect left recursion: a cycle of left-corner references returns "
+     "to the rule through other rules"},
+    {RuleCode::LR003, "LR003", Severity::Error,
+     "hidden left recursion: a left-corner cycle passes through a "
+     "nullable prefix, invisible to textual inspection"},
+    {RuleCode::AMB001, "AMB001", Severity::Warning,
+     "derivation cycle: the rule derives itself in a nullable context, so "
+     "any word it derives has infinitely many parse trees"},
+    {RuleCode::AMB002, "AMB002", Severity::Warning,
+     "FIRST/FIRST conflict: two alternatives can begin with the same "
+     "lookahead terminal, so one-token prediction cannot separate them"},
+    {RuleCode::AMB003, "AMB003", Severity::Warning,
+     "FIRST/FOLLOW conflict: a nullable alternative overlaps the rule's "
+     "FOLLOW set, so one-token prediction cannot decide whether to expand "
+     "or finish"},
+    {RuleCode::USE001, "USE001", Severity::Warning,
+     "nonproductive rule: derives no terminal string and can never "
+     "complete a parse"},
+    {RuleCode::USE002, "USE002", Severity::Warning,
+     "unreachable rule: no derivation from the start symbol reaches it"},
+    {RuleCode::USE003, "USE003", Severity::Warning,
+     "duplicate production: an identical right-hand side appears twice "
+     "under one rule; prediction always resolves to the first copy"},
+    {RuleCode::LL001, "LL001", Severity::Note,
+     "LL(1)-clean verdict: no prediction conflicts exist, so SLL "
+     "prediction never falls back to full LL"},
+    {RuleCode::MET001, "MET001", Severity::Note,
+     "grammar complexity metrics"},
+};
+
+} // namespace
+
+std::span<const RuleInfo> costar::analysis::allRules() { return Rules; }
+
+const RuleInfo &costar::analysis::ruleInfo(RuleCode Code) {
+  size_t Index = static_cast<size_t>(Code);
+  assert(Index < std::size(Rules) && Rules[Index].Code == Code &&
+         "rule registry out of sync with RuleCode");
+  return Rules[Index];
+}

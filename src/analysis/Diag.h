@@ -1,0 +1,142 @@
+//===- analysis/Diag.h - Structured grammar diagnostics --------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic types for the static grammar-analysis engine: a registry of
+/// rules with stable codes (the codes are an external contract — CI
+/// configurations and SARIF baselines key on them, so codes are never
+/// renumbered), severities, and the Diagnostic/AnalysisReport structures
+/// every renderer (text, JSONL, SARIF) consumes.
+///
+/// The rule set covers the grammar preconditions and performance
+/// predictions of the CoStar paper: the LR* rules decide the
+/// non-left-recursion assumption of every correctness theorem (the static
+/// procedure Section 8 leaves as future work), and the AMB002/AMB003
+/// conflict rules statically predict whether the SLL prediction cache can
+/// ever be forced into a full-LL fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ANALYSIS_DIAG_H
+#define COSTAR_ANALYSIS_DIAG_H
+
+#include "grammar/Grammar.h"
+#include "grammar/SourceMap.h"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace costar {
+namespace analysis {
+
+enum class Severity : uint8_t { Error, Warning, Note };
+
+/// Stable serialization name ("error", "warning", "note").
+const char *severityName(Severity S);
+
+/// Every analysis rule, with a stable external code. Append-only: codes
+/// are a compatibility contract with CI gates and SARIF baselines.
+enum class RuleCode : uint8_t {
+  LR001,  ///< Direct left recursion (X -> X ...).
+  LR002,  ///< Indirect left recursion (cycle through other nonterminals).
+  LR003,  ///< Hidden left recursion (cycle through a nullable prefix).
+  AMB001, ///< Derivation cycle X =>+ X: infinitely many trees per word.
+  AMB002, ///< FIRST/FIRST conflict (two alternatives share a lookahead).
+  AMB003, ///< FIRST/FOLLOW conflict (nullable alternative overlaps FOLLOW).
+  USE001, ///< Nonproductive nonterminal (derives no terminal string).
+  USE002, ///< Unreachable nonterminal.
+  USE003, ///< Duplicate production (identical right-hand sides).
+  LL001,  ///< Verdict: LL(1)-clean, SLL never needs full-LL fallback.
+  MET001, ///< Grammar complexity metrics.
+};
+
+/// Registry metadata for one rule.
+struct RuleInfo {
+  RuleCode Code;
+  /// Stable textual id ("LR001").
+  const char *Id;
+  Severity DefaultSeverity;
+  /// One-line description for the registry listing and SARIF rules array.
+  const char *Summary;
+};
+
+/// All rules, in RuleCode order (the SARIF rules array uses this order, so
+/// ruleIndex == static_cast<size_t>(Code)).
+std::span<const RuleInfo> allRules();
+
+const RuleInfo &ruleInfo(RuleCode Code);
+
+/// One finding. Plain data; renderers resolve names/spans into output.
+struct Diagnostic {
+  RuleCode Code = RuleCode::MET001;
+  Severity Sev = Severity::Note;
+  /// Subject nonterminal (UINT32_MAX when the finding is grammar-wide).
+  NonterminalId Nt = UINT32_MAX;
+  /// Subject production (InvalidProductionId when none).
+  ProductionId Prod = InvalidProductionId;
+  /// Source position (invalid when the grammar has no SourceMap).
+  SourceSpan Span;
+  /// Human-readable finding text (no file/line prefix; renderers add it).
+  std::string Message;
+  /// Optional fix-it hint.
+  std::string Hint;
+};
+
+/// Whole-grammar complexity metrics (the MET001 payload).
+struct GrammarMetrics {
+  uint32_t Nonterminals = 0;
+  uint32_t Terminals = 0;
+  uint32_t Productions = 0;
+  uint32_t MaxRhsLen = 0;
+  /// Mean right-hand-side length, scaled by 100 (kept integral so JSONL
+  /// output is byte-deterministic across platforms).
+  uint32_t AvgRhsLenX100 = 0;
+  uint32_t NullableNonterminals = 0;
+  uint32_t EpsilonProductions = 0;
+  /// Productions X -> Y with a single nonterminal on the right.
+  uint32_t UnitProductions = 0;
+};
+
+/// The result of running every static pass over one grammar.
+struct AnalysisReport {
+  std::vector<Diagnostic> Diags;
+  GrammarMetrics Metrics;
+
+  // Machine-checkable verdicts, cross-validated against dynamic behavior
+  // by the static-vs-dynamic differential tests.
+  /// The static left-recursion verdict: true iff LeftRecursive is empty.
+  bool LeftRecursionFree = true;
+  /// True iff no FIRST/FIRST or FIRST/FOLLOW conflict exists: statically
+  /// predicts Machine::Stats::Pred.Failovers == 0 on every word.
+  bool Ll1Clean = true;
+  /// Left-recursive nonterminals, ascending (matches
+  /// leftRecursiveNonterminals on the same grammar).
+  std::vector<NonterminalId> LeftRecursive;
+  /// Nonterminals deriving no terminal string, ascending.
+  std::vector<NonterminalId> Nonproductive;
+  /// Nonterminals unreachable from the start symbol, ascending.
+  std::vector<NonterminalId> Unreachable;
+
+  size_t count(Severity S) const {
+    size_t N = 0;
+    for (const Diagnostic &D : Diags)
+      if (D.Sev == S)
+        ++N;
+    return N;
+  }
+  bool hasErrors() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Sev == Severity::Error)
+        return true;
+    return false;
+  }
+};
+
+} // namespace analysis
+} // namespace costar
+
+#endif // COSTAR_ANALYSIS_DIAG_H

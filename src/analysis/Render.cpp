@@ -1,0 +1,240 @@
+//===- analysis/Render.cpp - Diagnostic renderers -------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Render.h"
+
+using namespace costar;
+using namespace costar::analysis;
+
+std::string costar::analysis::escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+std::string countNoun(size_t N, const char *Noun) {
+  return std::to_string(N) + " " + Noun + (N == 1 ? "" : "s");
+}
+
+} // namespace
+
+std::string costar::analysis::renderText(const std::string &File,
+                                         const Grammar &G,
+                                         const AnalysisReport &R) {
+  (void)G;
+  std::string Out;
+  for (const Diagnostic &D : R.Diags) {
+    Out += File;
+    if (D.Span.valid()) {
+      Out += ':';
+      Out += std::to_string(D.Span.Line);
+      Out += ':';
+      Out += std::to_string(D.Span.Col);
+    }
+    Out += ": ";
+    Out += severityName(D.Sev);
+    Out += ": ";
+    Out += D.Message;
+    Out += " [";
+    Out += ruleInfo(D.Code).Id;
+    Out += "]\n";
+    if (!D.Hint.empty()) {
+      Out += "  hint: ";
+      Out += D.Hint;
+      Out += '\n';
+    }
+  }
+  Out += File;
+  Out += ": ";
+  Out += countNoun(R.count(Severity::Error), "error");
+  Out += ", ";
+  Out += countNoun(R.count(Severity::Warning), "warning");
+  Out += ", ";
+  Out += countNoun(R.count(Severity::Note), "note");
+  Out += '\n';
+  return Out;
+}
+
+std::string costar::analysis::renderJsonl(const std::string &File,
+                                          const Grammar &G,
+                                          const AnalysisReport &R) {
+  std::string Out;
+  for (const Diagnostic &D : R.Diags) {
+    Out += "{\"ev\":\"diag\",\"file\":\"";
+    Out += escapeJson(File);
+    Out += "\",\"code\":\"";
+    Out += ruleInfo(D.Code).Id;
+    Out += "\",\"sev\":\"";
+    Out += severityName(D.Sev);
+    Out += "\",\"symbol\":\"";
+    Out += D.Nt == UINT32_MAX ? "" : escapeJson(G.nonterminalName(D.Nt));
+    Out += "\",\"line\":";
+    Out += std::to_string(D.Span.Line);
+    Out += ",\"col\":";
+    Out += std::to_string(D.Span.Col);
+    Out += ",\"msg\":\"";
+    Out += escapeJson(D.Message);
+    Out += "\",\"hint\":\"";
+    Out += escapeJson(D.Hint);
+    Out += "\"}\n";
+  }
+  const GrammarMetrics &M = R.Metrics;
+  Out += "{\"ev\":\"analysis_summary\",\"file\":\"";
+  Out += escapeJson(File);
+  Out += "\",\"errors\":";
+  Out += std::to_string(R.count(Severity::Error));
+  Out += ",\"warnings\":";
+  Out += std::to_string(R.count(Severity::Warning));
+  Out += ",\"notes\":";
+  Out += std::to_string(R.count(Severity::Note));
+  Out += ",\"lr_free\":";
+  Out += R.LeftRecursionFree ? "true" : "false";
+  Out += ",\"ll1_clean\":";
+  Out += R.Ll1Clean ? "true" : "false";
+  Out += ",\"nonterminals\":";
+  Out += std::to_string(M.Nonterminals);
+  Out += ",\"terminals\":";
+  Out += std::to_string(M.Terminals);
+  Out += ",\"productions\":";
+  Out += std::to_string(M.Productions);
+  Out += ",\"max_rhs\":";
+  Out += std::to_string(M.MaxRhsLen);
+  Out += ",\"avg_rhs_x100\":";
+  Out += std::to_string(M.AvgRhsLenX100);
+  Out += ",\"nullable\":";
+  Out += std::to_string(M.NullableNonterminals);
+  Out += ",\"epsilon_prods\":";
+  Out += std::to_string(M.EpsilonProductions);
+  Out += ",\"unit_prods\":";
+  Out += std::to_string(M.UnitProductions);
+  Out += "}\n";
+  return Out;
+}
+
+namespace {
+
+const char *sarifLevel(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  return "none";
+}
+
+} // namespace
+
+std::string
+costar::analysis::renderSarif(std::span<const AnalyzedFile> Files) {
+  std::string Out;
+  Out += "{\n";
+  Out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  Out += "  \"version\": \"2.1.0\",\n";
+  Out += "  \"runs\": [\n";
+  Out += "    {\n";
+  Out += "      \"tool\": {\n";
+  Out += "        \"driver\": {\n";
+  Out += "          \"name\": \"costar-analyze\",\n";
+  Out += "          \"informationUri\": "
+         "\"https://github.com/costar-cpp/costar\",\n";
+  Out += "          \"rules\": [\n";
+  std::span<const RuleInfo> Rules = allRules();
+  for (size_t I = 0; I < Rules.size(); ++I) {
+    Out += "            {\"id\": \"";
+    Out += Rules[I].Id;
+    Out += "\", \"shortDescription\": {\"text\": \"";
+    Out += escapeJson(Rules[I].Summary);
+    Out += "\"}, \"defaultConfiguration\": {\"level\": \"";
+    Out += sarifLevel(Rules[I].DefaultSeverity);
+    Out += "\"}}";
+    Out += I + 1 < Rules.size() ? ",\n" : "\n";
+  }
+  Out += "          ]\n";
+  Out += "        }\n";
+  Out += "      },\n";
+  Out += "      \"results\": [\n";
+  bool FirstResult = true;
+  for (const AnalyzedFile &F : Files) {
+    for (const Diagnostic &D : F.Report->Diags) {
+      if (!FirstResult)
+        Out += ",\n";
+      FirstResult = false;
+      Out += "        {\"ruleId\": \"";
+      Out += ruleInfo(D.Code).Id;
+      Out += "\", \"ruleIndex\": ";
+      Out += std::to_string(static_cast<size_t>(D.Code));
+      Out += ", \"level\": \"";
+      Out += sarifLevel(D.Sev);
+      Out += "\", \"message\": {\"text\": \"";
+      Out += escapeJson(D.Message);
+      if (!D.Hint.empty()) {
+        Out += " (hint: ";
+        Out += escapeJson(D.Hint);
+        Out += ")";
+      }
+      Out += "\"}";
+      if (D.Span.valid()) {
+        Out += ", \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \"";
+        Out += escapeJson(F.File);
+        Out += "\"}, \"region\": {\"startLine\": ";
+        Out += std::to_string(D.Span.Line);
+        Out += ", \"startColumn\": ";
+        Out += std::to_string(D.Span.Col);
+        Out += "}}}]";
+      }
+      Out += "}";
+    }
+  }
+  if (!FirstResult)
+    Out += "\n";
+  Out += "      ]\n";
+  Out += "    }\n";
+  Out += "  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string costar::analysis::renderSarif(const std::string &File,
+                                          const Grammar &G,
+                                          const AnalysisReport &R) {
+  AnalyzedFile F{File, &G, &R};
+  return renderSarif(std::span<const AnalyzedFile>(&F, 1));
+}

@@ -1,0 +1,64 @@
+//===- analysis/Render.h - Diagnostic renderers ----------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AnalysisReport in three formats:
+///
+///   - text: compiler-style `<file>:<line>:<col>: <severity>: <message>
+///     [CODE]` lines with indented fix-it hints and a one-line summary;
+///   - JSONL: one `{"ev":"diag",...}` object per finding plus a final
+///     `{"ev":"analysis_summary",...}` line, fixed key order, no
+///     timestamps — byte-deterministic across runs (same conventions as
+///     the obs/ trace layer);
+///   - SARIF 2.1.0: a single document whose rules array is the full
+///     registry in RuleCode order (ruleIndex == static_cast of the code)
+///     and whose results carry physical locations when spans are known.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ANALYSIS_RENDER_H
+#define COSTAR_ANALYSIS_RENDER_H
+
+#include "analysis/Diag.h"
+
+#include <span>
+#include <string>
+
+namespace costar {
+namespace analysis {
+
+/// One analyzed grammar file, for the multi-file SARIF document.
+struct AnalyzedFile {
+  /// Artifact URI for SARIF / file prefix for text ("<demo>" etc. for
+  /// non-file inputs).
+  std::string File;
+  const Grammar *G = nullptr;
+  const AnalysisReport *Report = nullptr;
+};
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string escapeJson(const std::string &S);
+
+/// Compiler-style text report: findings, hints, and a summary line.
+std::string renderText(const std::string &File, const Grammar &G,
+                       const AnalysisReport &R);
+
+/// Deterministic JSONL: "diag" events then one "analysis_summary".
+std::string renderJsonl(const std::string &File, const Grammar &G,
+                        const AnalysisReport &R);
+
+/// SARIF 2.1.0 document covering one or more analyzed files in one run.
+std::string renderSarif(std::span<const AnalyzedFile> Files);
+
+/// Single-file SARIF convenience wrapper.
+std::string renderSarif(const std::string &File, const Grammar &G,
+                        const AnalysisReport &R);
+
+} // namespace analysis
+} // namespace costar
+
+#endif // COSTAR_ANALYSIS_RENDER_H

@@ -39,12 +39,17 @@ struct DslTok {
   DslTokKind Kind;
   std::string Text;
   uint32_t Line;
+  uint32_t Col;
 };
 
 class DslLexer {
   const std::string &Src;
   size_t Pos = 0;
   uint32_t Line = 1;
+  /// Offset of the first character of the current line (for columns).
+  size_t LineStart = 0;
+
+  uint32_t col() const { return static_cast<uint32_t>(Pos - LineStart + 1); }
 
 public:
   explicit DslLexer(const std::string &Src) : Src(Src) {}
@@ -55,8 +60,10 @@ public:
       while (Pos < Src.size() &&
              (Src[Pos] == ' ' || Src[Pos] == '\t' || Src[Pos] == '\r' ||
               Src[Pos] == '\n')) {
-        if (Src[Pos] == '\n')
+        if (Src[Pos] == '\n') {
           ++Line;
+          LineStart = Pos + 1;
+        }
         ++Pos;
       }
       if (Pos + 1 < Src.size() && Src[Pos] == '/' && Src[Pos + 1] == '/') {
@@ -67,35 +74,36 @@ public:
       break;
     }
     if (Pos >= Src.size())
-      return {DslTokKind::End, "", Line};
+      return {DslTokKind::End, "", Line, col()};
     char C = Src[Pos];
+    uint32_t TokCol = col();
     switch (C) {
     case ':':
       ++Pos;
-      return {DslTokKind::Colon, ":", Line};
+      return {DslTokKind::Colon, ":", Line, TokCol};
     case ';':
       ++Pos;
-      return {DslTokKind::Semi, ";", Line};
+      return {DslTokKind::Semi, ";", Line, TokCol};
     case '|':
       ++Pos;
-      return {DslTokKind::Pipe, "|", Line};
+      return {DslTokKind::Pipe, "|", Line, TokCol};
     case '(':
       ++Pos;
-      return {DslTokKind::LParen, "(", Line};
+      return {DslTokKind::LParen, "(", Line, TokCol};
     case ')':
       ++Pos;
-      return {DslTokKind::RParen, ")", Line};
+      return {DslTokKind::RParen, ")", Line, TokCol};
     case '*':
       ++Pos;
-      return {DslTokKind::Star, "*", Line};
+      return {DslTokKind::Star, "*", Line, TokCol};
     case '+':
       ++Pos;
-      return {DslTokKind::Plus, "+", Line};
+      return {DslTokKind::Plus, "+", Line, TokCol};
     case '?':
       ++Pos;
-      return {DslTokKind::Quest, "?", Line};
+      return {DslTokKind::Quest, "?", Line, TokCol};
     case '\'': {
-      size_t Start = ++Pos;
+      ++Pos;
       std::string Text;
       while (Pos < Src.size() && Src[Pos] != '\'') {
         if (Src[Pos] == '\\' && Pos + 1 < Src.size())
@@ -104,12 +112,11 @@ public:
         ++Pos;
       }
       if (Pos >= Src.size())
-        return {DslTokKind::Bad, "unterminated literal", Line};
+        return {DslTokKind::Bad, "unterminated literal", Line, TokCol};
       ++Pos; // closing quote
       if (Text.empty())
-        return {DslTokKind::Bad, "empty literal", Line};
-      (void)Start;
-      return {DslTokKind::Literal, Text, Line};
+        return {DslTokKind::Bad, "empty literal", Line, TokCol};
+      return {DslTokKind::Literal, Text, Line, TokCol};
     }
     default:
       if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
@@ -118,12 +125,12 @@ public:
                (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
                 Src[Pos] == '_'))
           ++Pos;
-        return {DslTokKind::Ident, Src.substr(Start, Pos - Start), Line};
+        return {DslTokKind::Ident, Src.substr(Start, Pos - Start), Line,
+                TokCol};
       }
       ++Pos;
-      return {DslTokKind::Bad, std::string("unexpected character '") + C +
-                                   "'",
-              Line};
+      return {DslTokKind::Bad,
+              std::string("unexpected character '") + C + "'", Line, TokCol};
     }
   }
 };
@@ -133,21 +140,31 @@ public:
 //===----------------------------------------------------------------------===//
 
 struct Element;
+struct Alternative;
 using ElementPtr = std::unique_ptr<Element>;
 using Sequence = std::vector<ElementPtr>;
-using Alternatives = std::vector<Sequence>;
+using Alternatives = std::vector<Alternative>;
 
 struct Element {
   enum class Kind { Ident, Literal, Group, Star, Plus, Opt } K;
   std::string Name;  // Ident / Literal
   Alternatives Alts; // Group
   ElementPtr Child;  // Star / Plus / Opt
+  /// Position of the element's first token in the DSL text.
+  SourceSpan Span;
+};
+
+/// One `|`-separated alternative and the position where it starts (its
+/// first token; for an empty alternative, the delimiter that follows it).
+struct Alternative {
+  Sequence Seq;
+  SourceSpan Span;
 };
 
 struct EbnfRule {
   std::string Name;
   Alternatives Alts;
-  uint32_t Line;
+  SourceSpan Span;
 };
 
 /// Recursive-descent parser for the DSL (this bootstrap parser is
@@ -156,18 +173,24 @@ class DslParser {
   DslLexer Lexer;
   DslTok Tok;
   std::string Error;
+  SourceSpan ErrorSpan;
 
   void advance() { Tok = Lexer.next(); }
 
+  SourceSpan tokSpan() const { return SourceSpan{Tok.Line, Tok.Col}; }
+
   void fail(const std::string &Msg) {
-    if (Error.empty())
-      Error = "line " + std::to_string(Tok.Line) + ": " + Msg;
+    if (Error.empty()) {
+      Error = Msg;
+      ErrorSpan = tokSpan();
+    }
   }
 
   /// element := primary ('*' | '+' | '?')?
   /// primary := Ident | Literal | '(' alternatives ')'
   ElementPtr parseElement() {
     auto E = std::make_unique<Element>();
+    E->Span = tokSpan();
     switch (Tok.Kind) {
     case DslTokKind::Ident:
       E->K = Element::Kind::Ident;
@@ -200,6 +223,7 @@ class DslParser {
       Wrapper->K = Tok.Kind == DslTokKind::Star  ? Element::Kind::Star
                    : Tok.Kind == DslTokKind::Plus ? Element::Kind::Plus
                                                   : Element::Kind::Opt;
+      Wrapper->Span = E->Span;
       Wrapper->Child = std::move(E);
       E = std::move(Wrapper);
       advance();
@@ -221,10 +245,12 @@ class DslParser {
 
   Alternatives parseAlternatives() {
     Alternatives Alts;
-    Alts.push_back(parseSequence());
+    SourceSpan First = tokSpan();
+    Alts.push_back(Alternative{parseSequence(), First});
     while (Tok.Kind == DslTokKind::Pipe) {
       advance();
-      Alts.push_back(parseSequence());
+      SourceSpan Next = tokSpan();
+      Alts.push_back(Alternative{parseSequence(), Next});
     }
     return Alts;
   }
@@ -245,7 +271,7 @@ public:
       }
       EbnfRule Rule;
       Rule.Name = Tok.Text;
-      Rule.Line = Tok.Line;
+      Rule.Span = tokSpan();
       advance();
       if (Tok.Kind != DslTokKind::Colon) {
         fail("expected ':' after rule name");
@@ -264,6 +290,7 @@ public:
   }
 
   const std::string &error() const { return Error; }
+  SourceSpan errorSpan() const { return ErrorSpan; }
 };
 
 //===----------------------------------------------------------------------===//
@@ -275,7 +302,10 @@ bool isTokenName(const std::string &Name) {
 }
 
 /// Lowers the EBNF AST into BNF productions, synthesizing fresh
-/// nonterminals for groups and repetition.
+/// nonterminals for groups and repetition. Every production and
+/// synthesized nonterminal is recorded in the SourceMap: fresh
+/// nonterminals carry the span of the element they desugar and the
+/// user-written rule they originate from.
 class Desugarer {
   LoadedGrammar &Out;
   std::set<std::string> RuleNames;
@@ -283,14 +313,32 @@ class Desugarer {
   std::set<std::string> SeenTokens;
   uint32_t FreshCounter = 0;
 
-  NonterminalId freshNonterminal(const std::string &Base, const char *Tag) {
+  void fail(std::string Msg, SourceSpan At) {
+    if (Out.Error.empty()) {
+      Out.Error = std::move(Msg);
+      Out.ErrorLine = At.Line;
+      Out.ErrorCol = At.Col;
+    }
+  }
+
+  NonterminalId freshNonterminal(const std::string &Base, const char *Tag,
+                                 SourceSpan Span, NonterminalId Origin) {
     ++Out.SynthesizedNonterminals;
     std::string Name =
         Base + "__" + Tag + std::to_string(FreshCounter++);
-    return Out.G.internNonterminal(Name);
+    NonterminalId N = Out.G.internNonterminal(Name);
+    Out.Spans.setNonterminal(N, Span, Origin, /*Synthesized=*/true);
+    return N;
   }
 
-  Symbol lowerElement(const Element &E, const std::string &RuleName) {
+  void addProduction(NonterminalId Lhs, std::vector<Symbol> Rhs,
+                     SourceSpan Span) {
+    ProductionId Id = Out.G.addProduction(Lhs, std::move(Rhs));
+    Out.Spans.setProduction(Id, Span);
+  }
+
+  Symbol lowerElement(const Element &E, const std::string &RuleName,
+                      NonterminalId RuleNt) {
     switch (E.K) {
     case Element::Kind::Ident:
       if (RuleNames.count(E.Name))
@@ -300,40 +348,41 @@ class Desugarer {
           Out.NamedTerminals.push_back(E.Name);
         return Symbol::terminal(Out.G.internTerminal(E.Name));
       }
-      Out.Error = "rule '" + RuleName + "' references undefined rule '" +
-                  E.Name + "'";
+      fail("rule '" + RuleName + "' references undefined rule '" + E.Name +
+               "'",
+           E.Span);
       return Symbol::terminal(0);
     case Element::Kind::Literal:
       if (SeenLiterals.insert(E.Name).second)
         Out.LiteralTerminals.push_back(E.Name);
       return Symbol::terminal(Out.G.internTerminal(E.Name));
     case Element::Kind::Group: {
-      NonterminalId N = freshNonterminal(RuleName, "grp");
-      lowerAlternatives(N, E.Alts, RuleName);
+      NonterminalId N = freshNonterminal(RuleName, "grp", E.Span, RuleNt);
+      lowerAlternatives(N, E.Alts, RuleName, RuleNt);
       return Symbol::nonterminal(N);
     }
     case Element::Kind::Star: {
       // N -> eps | child N  (right recursion; see file comment).
-      Symbol Child = lowerElement(*E.Child, RuleName);
-      NonterminalId N = freshNonterminal(RuleName, "star");
-      Out.G.addProduction(N, {});
-      Out.G.addProduction(N, {Child, Symbol::nonterminal(N)});
+      Symbol Child = lowerElement(*E.Child, RuleName, RuleNt);
+      NonterminalId N = freshNonterminal(RuleName, "star", E.Span, RuleNt);
+      addProduction(N, {}, E.Span);
+      addProduction(N, {Child, Symbol::nonterminal(N)}, E.Span);
       return Symbol::nonterminal(N);
     }
     case Element::Kind::Plus: {
       // N -> child N | child.
-      Symbol Child = lowerElement(*E.Child, RuleName);
-      NonterminalId N = freshNonterminal(RuleName, "plus");
-      Out.G.addProduction(N, {Child, Symbol::nonterminal(N)});
-      Out.G.addProduction(N, {Child});
+      Symbol Child = lowerElement(*E.Child, RuleName, RuleNt);
+      NonterminalId N = freshNonterminal(RuleName, "plus", E.Span, RuleNt);
+      addProduction(N, {Child, Symbol::nonterminal(N)}, E.Span);
+      addProduction(N, {Child}, E.Span);
       return Symbol::nonterminal(N);
     }
     case Element::Kind::Opt: {
       // N -> eps | child.
-      Symbol Child = lowerElement(*E.Child, RuleName);
-      NonterminalId N = freshNonterminal(RuleName, "opt");
-      Out.G.addProduction(N, {});
-      Out.G.addProduction(N, {Child});
+      Symbol Child = lowerElement(*E.Child, RuleName, RuleNt);
+      NonterminalId N = freshNonterminal(RuleName, "opt", E.Span, RuleNt);
+      addProduction(N, {}, E.Span);
+      addProduction(N, {Child}, E.Span);
       return Symbol::nonterminal(N);
     }
     }
@@ -346,37 +395,38 @@ public:
   void declareRules(const std::vector<EbnfRule> &Rules) {
     for (const EbnfRule &R : Rules) {
       if (isTokenName(R.Name)) {
-        Out.Error = "line " + std::to_string(R.Line) +
-                    ": rule name '" + R.Name +
-                    "' must start with a lowercase letter (UPPERCASE names "
-                    "are token types)";
+        fail("rule name '" + R.Name +
+                 "' must start with a lowercase letter (UPPERCASE names "
+                 "are token types)",
+             R.Span);
         return;
       }
       if (!RuleNames.insert(R.Name).second) {
-        Out.Error = "line " + std::to_string(R.Line) + ": duplicate rule '" +
-                    R.Name + "'";
+        fail("duplicate rule '" + R.Name + "'", R.Span);
         return;
       }
-      Out.G.internNonterminal(R.Name);
+      NonterminalId N = Out.G.internNonterminal(R.Name);
+      Out.Spans.setNonterminal(N, R.Span, N, /*Synthesized=*/false);
     }
   }
 
   void lowerAlternatives(NonterminalId Lhs, const Alternatives &Alts,
-                         const std::string &RuleName) {
-    for (const Sequence &Seq : Alts) {
+                         const std::string &RuleName, NonterminalId RuleNt) {
+    for (const Alternative &Alt : Alts) {
       std::vector<Symbol> Rhs;
-      for (const ElementPtr &E : Seq) {
-        Rhs.push_back(lowerElement(*E, RuleName));
+      for (const ElementPtr &E : Alt.Seq) {
+        Rhs.push_back(lowerElement(*E, RuleName, RuleNt));
         if (!Out.ok())
           return;
       }
-      Out.G.addProduction(Lhs, std::move(Rhs));
+      addProduction(Lhs, std::move(Rhs), Alt.Span);
     }
   }
 
   void lowerRules(const std::vector<EbnfRule> &Rules) {
     for (const EbnfRule &R : Rules) {
-      lowerAlternatives(Out.G.lookupNonterminal(R.Name), R.Alts, R.Name);
+      NonterminalId N = Out.G.lookupNonterminal(R.Name);
+      lowerAlternatives(N, R.Alts, R.Name, N);
       if (!Out.ok())
         return;
     }
@@ -391,6 +441,8 @@ LoadedGrammar costar::gdsl::loadGrammar(const std::string &Text) {
   std::vector<EbnfRule> Rules = Parser.parseRules();
   if (!Parser.error().empty()) {
     Out.Error = Parser.error();
+    Out.ErrorLine = Parser.errorSpan().Line;
+    Out.ErrorCol = Parser.errorSpan().Col;
     return Out;
   }
   if (Rules.empty()) {

@@ -30,6 +30,7 @@
 #define COSTAR_GDSL_GRAMMARDSL_H
 
 #include "grammar/Grammar.h"
+#include "grammar/SourceMap.h"
 
 #include <string>
 #include <vector>
@@ -51,10 +52,30 @@ struct LoadedGrammar {
   /// Nonterminals synthesized by EBNF desugaring (for diagnostics and the
   /// Figure 8 production counts, which the paper reports post-desugaring).
   uint32_t SynthesizedNonterminals = 0;
+  /// Source locations: every rule, alternative, and synthesized
+  /// nonterminal maps back to a line/col in the DSL text (analysis/
+  /// diagnostics point at these).
+  SourceMap Spans;
 
   /// Empty iff the load succeeded.
   std::string Error;
+  /// Position of the load error (1-based; 0 when the error has no
+  /// location, e.g. "grammar contains no rules").
+  uint32_t ErrorLine = 0;
+  uint32_t ErrorCol = 0;
   bool ok() const { return Error.empty(); }
+
+  /// Renders the error as "<file>:<line>:<col>: <message>" (omitting the
+  /// position when it is unknown) for CLI-style reporting.
+  std::string errorAt(const std::string &File) const {
+    std::string Out = File;
+    if (ErrorLine != 0) {
+      Out += ':' + std::to_string(ErrorLine);
+      Out += ':' + std::to_string(ErrorCol);
+    }
+    Out += ": " + Error;
+    return Out;
+  }
 };
 
 /// Parses and desugars grammar DSL \p Text. On error, the returned

@@ -1,0 +1,107 @@
+//===- grammar/SourceMap.h - Grammar source locations ----------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations for grammar symbols and productions. The grammar DSL
+/// loader (gdsl/) records where every rule and alternative was written,
+/// and threads those spans through EBNF desugaring so that nonterminals
+/// synthesized for `*` / `+` / `?` / groups map back to the element of the
+/// original rule they came from. The static-analysis engine (analysis/)
+/// consumes the map to point every diagnostic at a `file:line:col`.
+///
+/// A SourceMap is optional everywhere it appears: grammars built
+/// programmatically have no source text, and all consumers degrade to
+/// span-less diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_GRAMMAR_SOURCEMAP_H
+#define COSTAR_GRAMMAR_SOURCEMAP_H
+
+#include "grammar/Grammar.h"
+
+#include <string>
+#include <vector>
+
+namespace costar {
+
+/// A 1-based line/column position in grammar source text. Line 0 means
+/// "unknown" (the symbol has no source location).
+struct SourceSpan {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool valid() const { return Line != 0; }
+  bool operator==(const SourceSpan &O) const {
+    return Line == O.Line && Col == O.Col;
+  }
+};
+
+/// Source locations for one loaded grammar: the defining span of every
+/// nonterminal, the span of every production (its alternative in the DSL),
+/// and, for nonterminals synthesized by EBNF desugaring, the user-written
+/// nonterminal they originate from.
+class SourceMap {
+  std::string FileName;
+  std::vector<SourceSpan> NtDef;
+  std::vector<SourceSpan> ProdDef;
+  /// For synthesized nonterminals, the originating user-level nonterminal;
+  /// for user-written nonterminals, the nonterminal itself.
+  std::vector<NonterminalId> NtOrigin;
+  std::vector<bool> NtSynthesized;
+
+  template <typename T>
+  static void ensure(std::vector<T> &V, size_t Index) {
+    if (Index >= V.size())
+      V.resize(Index + 1);
+  }
+
+public:
+  /// Display name of the source ("grammar.g", "<demo>", "<builtin:JSON>").
+  const std::string &file() const { return FileName; }
+  void setFile(std::string Name) { FileName = std::move(Name); }
+
+  void setNonterminal(NonterminalId X, SourceSpan Span, NonterminalId Origin,
+                      bool Synthesized) {
+    ensure(NtDef, X);
+    ensure(NtOrigin, X);
+    ensure(NtSynthesized, X);
+    NtDef[X] = Span;
+    NtOrigin[X] = Origin;
+    NtSynthesized[X] = Synthesized;
+  }
+
+  void setProduction(ProductionId P, SourceSpan Span) {
+    ensure(ProdDef, P);
+    ProdDef[P] = Span;
+  }
+
+  /// Defining span of nonterminal \p X (the rule header, or the element
+  /// that synthesized it); invalid if unknown.
+  SourceSpan nonterminal(NonterminalId X) const {
+    return X < NtDef.size() ? NtDef[X] : SourceSpan{};
+  }
+
+  /// Span of production \p P (the start of its alternative); invalid if
+  /// unknown.
+  SourceSpan production(ProductionId P) const {
+    return P < ProdDef.size() ? ProdDef[P] : SourceSpan{};
+  }
+
+  /// The user-written nonterminal \p X originates from (itself unless
+  /// synthesized by desugaring).
+  NonterminalId origin(NonterminalId X) const {
+    return X < NtOrigin.size() ? NtOrigin[X] : X;
+  }
+
+  bool synthesized(NonterminalId X) const {
+    return X < NtSynthesized.size() && NtSynthesized[X];
+  }
+};
+
+} // namespace costar
+
+#endif // COSTAR_GRAMMAR_SOURCEMAP_H

@@ -276,3 +276,17 @@ const char *costar::lang::langName(LangId Id) {
   }
   return "?";
 }
+
+const char *costar::lang::grammarText(LangId Id) {
+  switch (Id) {
+  case LangId::Json:
+    return JsonGrammarText;
+  case LangId::Xml:
+    return XmlGrammarText;
+  case LangId::Dot:
+    return DotGrammarText;
+  case LangId::Python:
+    return PythonGrammarText;
+  }
+  return "";
+}

@@ -69,6 +69,10 @@ std::vector<LangId> allLanguages();
 /// Display name without building the language.
 const char *langName(LangId Id);
 
+/// The grammar-DSL source text of a benchmark language, for tools (like
+/// costar-analyze) that want to re-load it with source spans attached.
+const char *grammarText(LangId Id);
+
 } // namespace lang
 } // namespace costar
 

@@ -1,0 +1,209 @@
+//===- tests/analysis/RenderTest.cpp --------------------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renderer tests: the text renderer's exact output on the demo grammar
+/// (a golden test — the demo doubles as the README example, so its
+/// rendering is a contract), JSONL byte-determinism, JSON escaping, and
+/// SARIF 2.1.0 structural validity. The SARIF check is dogfooded: the
+/// document is parsed with this repository's own CoStar JSON parser
+/// (lang::makeLanguage) before the structural assertions run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Engine.h"
+#include "analysis/Render.h"
+
+#include "core/Parser.h"
+#include "gdsl/GrammarDsl.h"
+#include "lang/Language.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar;
+using namespace costar::analysis;
+
+namespace {
+
+struct Analyzed {
+  gdsl::LoadedGrammar L;
+  AnalysisReport R;
+};
+
+Analyzed analyzeText(const char *Text) {
+  Analyzed Out;
+  Out.L = gdsl::loadGrammar(Text);
+  EXPECT_TRUE(Out.L.ok()) << Out.L.Error;
+  Out.R = analyze(Out.L.G, Out.L.Start, &Out.L.Spans);
+  return Out;
+}
+
+} // namespace
+
+TEST(RenderText, DemoGrammarGoldenOutput) {
+  Analyzed A = analyzeText(messyDemoGrammarText());
+  const char *Expected =
+      "<demo>:6:1: error: 'expr' is directly left-recursive: left-corner "
+      "cycle expr -> expr [LR001]\n"
+      "  hint: rewrite as right recursion, or apply "
+      "xform::eliminateLeftRecursion (Paull's rewrite)\n"
+      "<demo>:7:1: error: 'dead' is directly left-recursive: left-corner "
+      "cycle dead -> dead [LR001]\n"
+      "  hint: rewrite as right recursion, or apply "
+      "xform::eliminateLeftRecursion (Paull's rewrite)\n"
+      "<demo>:7:1: warning: 'dead' derives no terminal string [USE001]\n"
+      "  hint: add a base-case alternative or delete the rule\n"
+      "<demo>:7:1: warning: 'dead' is unreachable from 'stmt' [USE002]\n"
+      "  hint: reference the rule from a reachable one or delete it\n"
+      "<demo>:8:1: warning: 'orphan' is unreachable from 'stmt' "
+      "[USE002]\n"
+      "  hint: reference the rule from a reachable one or delete it\n"
+      "<demo>:4:10: warning: FIRST/FIRST conflict in 'stmt' on 'if': "
+      "stmt -> if COND then stmt  vs  stmt -> if COND then stmt else "
+      "stmt [AMB002]\n"
+      "  hint: left-factor the shared prefix (xform::leftFactor) or rely "
+      "on ALL(*) multi-token prediction\n"
+      "<demo>:6:25: warning: FIRST/FIRST conflict in 'expr' on 'NUM': "
+      "expr -> expr + NUM  vs  expr -> NUM [AMB002]\n"
+      "  hint: left-factor the shared prefix (xform::leftFactor) or rely "
+      "on ALL(*) multi-token prediction\n"
+      "<demo>: note: metrics: 4 nonterminals, 7 terminals, 7 productions, "
+      "max RHS 6, avg RHS 2.57, 0 nullable, 0 epsilon, 1 unit [MET001]\n"
+      "<demo>: 2 errors, 5 warnings, 1 note\n";
+  EXPECT_EQ(renderText("<demo>", A.L.G, A.R), Expected);
+}
+
+TEST(RenderText, SingularPluralsInSummary) {
+  Analyzed A = analyzeText("s : s 'x' | 'y' ;\n");
+  std::string Out = renderText("g.g", A.L.G, A.R);
+  EXPECT_NE(Out.find("g.g: 1 error, "), std::string::npos) << Out;
+}
+
+TEST(RenderJsonl, ByteDeterministicAcrossRuns) {
+  // Two independent loads + analyses + renders must agree byte-for-byte
+  // (the obs/ JSONL conventions: fixed key order, no timestamps).
+  Analyzed A = analyzeText(messyDemoGrammarText());
+  Analyzed B = analyzeText(messyDemoGrammarText());
+  std::string OutA = renderJsonl("<demo>", A.L.G, A.R);
+  std::string OutB = renderJsonl("<demo>", B.L.G, B.R);
+  EXPECT_EQ(OutA, OutB);
+  EXPECT_FALSE(OutA.empty());
+
+  // Every line is a JSON object; the last is the summary.
+  ASSERT_EQ(OutA.back(), '\n');
+  size_t Lines = 0;
+  size_t Pos = 0;
+  std::string LastLine;
+  while (Pos < OutA.size()) {
+    size_t End = OutA.find('\n', Pos);
+    std::string Line = OutA.substr(Pos, End - Pos);
+    EXPECT_EQ(Line.front(), '{');
+    EXPECT_EQ(Line.back(), '}');
+    LastLine = Line;
+    ++Lines;
+    Pos = End + 1;
+  }
+  EXPECT_EQ(Lines, A.R.Diags.size() + 1);
+  EXPECT_EQ(LastLine.rfind("{\"ev\":\"analysis_summary\"", 0), 0u);
+  EXPECT_NE(LastLine.find("\"errors\":2"), std::string::npos);
+  EXPECT_NE(LastLine.find("\"lr_free\":false"), std::string::npos);
+  EXPECT_NE(LastLine.find("\"ll1_clean\":false"), std::string::npos);
+}
+
+TEST(RenderJsonl, EscapesSpecialCharacters) {
+  EXPECT_EQ(escapeJson("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(escapeJson(std::string("x\x01y")), "x\\u0001y");
+  EXPECT_EQ(escapeJson("plain"), "plain");
+}
+
+namespace {
+
+/// Parses \p Json with the repository's own CoStar JSON language parser
+/// and requires a unique derivation.
+void expectParsesAsJson(const std::string &Json) {
+  lang::Language L = lang::makeLanguage(lang::LangId::Json);
+  lexer::LexResult Lexed = L.lex(Json);
+  ASSERT_TRUE(Lexed.ok()) << Lexed.Error;
+  Parser P(L.G, L.Start);
+  ParseResult R = P.parse(Lexed.Tokens);
+  EXPECT_EQ(R.kind(), ParseResult::Kind::Unique);
+}
+
+} // namespace
+
+TEST(RenderSarif, ValidatesAgainstSarif210Structure) {
+  Analyzed A = analyzeText(messyDemoGrammarText());
+  std::string Sarif = renderSarif("<demo>", A.L.G, A.R);
+
+  // Dogfood: the SARIF document is well-formed JSON per our own parser.
+  expectParsesAsJson(Sarif);
+
+  // Required SARIF 2.1.0 top-level properties.
+  EXPECT_NE(Sarif.find("\"$schema\": "
+                       "\"https://json.schemastore.org/sarif-2.1.0.json\""),
+            std::string::npos);
+  EXPECT_NE(Sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(Sarif.find("\"runs\": ["), std::string::npos);
+  EXPECT_NE(Sarif.find("\"tool\": {"), std::string::npos);
+  EXPECT_NE(Sarif.find("\"driver\": {"), std::string::npos);
+  EXPECT_NE(Sarif.find("\"name\": \"costar-analyze\""), std::string::npos);
+  EXPECT_NE(Sarif.find("\"results\": ["), std::string::npos);
+
+  // The rules array lists the whole registry, in RuleCode order, so
+  // every result's ruleIndex equals the numeric value of its code.
+  size_t Cursor = 0;
+  for (const RuleInfo &Info : allRules()) {
+    size_t At = Sarif.find("{\"id\": \"" + std::string(Info.Id) + "\"",
+                           Cursor);
+    ASSERT_NE(At, std::string::npos) << Info.Id;
+    EXPECT_GT(At, Cursor) << "rules out of order at " << Info.Id;
+    Cursor = At;
+  }
+
+  // Every diagnostic appears as a result with location data when its
+  // span is known.
+  for (const Diagnostic &D : A.R.Diags) {
+    std::string Needle = std::string("\"ruleId\": \"") +
+                         ruleInfo(D.Code).Id + "\"";
+    EXPECT_NE(Sarif.find(Needle), std::string::npos) << Needle;
+  }
+  EXPECT_NE(Sarif.find("\"physicalLocation\""), std::string::npos);
+  EXPECT_NE(Sarif.find("\"startLine\": 6"), std::string::npos);
+  EXPECT_NE(Sarif.find("\"uri\": \"<demo>\""), std::string::npos);
+  EXPECT_NE(Sarif.find("\"level\": \"error\""), std::string::npos);
+}
+
+TEST(RenderSarif, MultiFileRunAggregatesResults) {
+  Analyzed A = analyzeText("s : s 'x' | 'y' ;\n");
+  Analyzed B = analyzeText("s : 'x' ;\n");
+  std::vector<AnalyzedFile> Files{
+      AnalyzedFile{"a.g", &A.L.G, &A.R},
+      AnalyzedFile{"b.g", &B.L.G, &B.R},
+  };
+  std::string Sarif = renderSarif(Files);
+  expectParsesAsJson(Sarif);
+  EXPECT_NE(Sarif.find("\"uri\": \"a.g\""), std::string::npos);
+  // b.g is clean: its notes carry no location only when spanless; the
+  // LL001 note has a span, so b.g's uri appears too.
+  EXPECT_NE(Sarif.find("\"uri\": \"b.g\""), std::string::npos);
+  // Exactly one runs[] entry even with two files.
+  EXPECT_EQ(Sarif.find("\"tool\""), Sarif.rfind("\"tool\""));
+}
+
+TEST(RenderSarif, EmptyReportStillValidates) {
+  // A clean grammar analyzed with notes suppressed yields zero results;
+  // the document must still be valid SARIF (empty results array).
+  gdsl::LoadedGrammar L = gdsl::loadGrammar("s : 'x' ;\n");
+  ASSERT_TRUE(L.ok());
+  AnalysisOptions Opts;
+  Opts.EmitMetrics = false;
+  Opts.EmitVerdicts = false;
+  AnalysisReport R = analyze(L.G, L.Start, &L.Spans, Opts);
+  ASSERT_TRUE(R.Diags.empty());
+  std::string Sarif = renderSarif("clean.g", L.G, R);
+  expectParsesAsJson(Sarif);
+  EXPECT_NE(Sarif.find("\"results\": ["), std::string::npos);
+}

@@ -128,7 +128,7 @@ TEST(GrammarDsl, TheXmlEltRuleFromThePaper) {
   EXPECT_EQ(parse(L.G, L.Start, W2).kind(), ParseResult::Kind::Unique);
 }
 
-TEST(GrammarDsl, ErrorsAreReportedWithLines) {
+TEST(GrammarDsl, ErrorsAreReportedWithLinesAndColumns) {
   EXPECT_FALSE(loadGrammar("s : A \n").ok()) << "missing semicolon";
   EXPECT_FALSE(loadGrammar("s : undefined_rule ;\n").ok());
   EXPECT_FALSE(loadGrammar("S : A ;\n").ok()) << "uppercase rule name";
@@ -137,7 +137,59 @@ TEST(GrammarDsl, ErrorsAreReportedWithLines) {
   EXPECT_FALSE(loadGrammar("s : 'unterminated ;\n").ok());
   LoadedGrammar L = loadGrammar("s : ( A ;\n");
   EXPECT_FALSE(L.ok());
-  EXPECT_NE(L.Error.find("line 1"), std::string::npos) << L.Error;
+  EXPECT_EQ(L.ErrorLine, 1u);
+  EXPECT_EQ(L.ErrorCol, 9u) << "error should point at ';' where ')' was "
+                               "expected";
+  EXPECT_EQ(L.errorAt("g.g"), "g.g:1:9: " + L.Error);
+
+  // The duplicate-rule error points at the second definition.
+  LoadedGrammar Dup = loadGrammar("s : A ;\ns : B ;\n");
+  EXPECT_EQ(Dup.ErrorLine, 2u);
+  EXPECT_EQ(Dup.ErrorCol, 1u);
+
+  // An undefined-rule reference points at the referencing element.
+  LoadedGrammar Undef = loadGrammar("s : A undefined_rule ;\n");
+  EXPECT_FALSE(Undef.ok());
+  EXPECT_EQ(Undef.ErrorLine, 1u);
+  EXPECT_EQ(Undef.ErrorCol, 7u);
+
+  // A grammar with no location-specific error reports position 0.
+  LoadedGrammar Empty = loadGrammar("");
+  EXPECT_EQ(Empty.ErrorLine, 0u);
+  EXPECT_EQ(Empty.errorAt("g.g"), "g.g: " + Empty.Error);
+}
+
+TEST(GrammarDsl, SourceSpansSurviveDesugaring) {
+  // Rule headers, alternatives, and synthesized nonterminals all carry
+  // line/col spans, and synthesized nonterminals map back to their
+  // originating rule.
+  LoadedGrammar L = loadGrammar("s : A b ;\n"
+                                "b : B\n"
+                                "  | ( C D )* ;\n");
+  ASSERT_TRUE(L.ok()) << L.Error;
+  NonterminalId S = L.G.lookupNonterminal("s");
+  NonterminalId B = L.G.lookupNonterminal("b");
+  EXPECT_EQ(L.Spans.nonterminal(S), (SourceSpan{1, 1}));
+  EXPECT_EQ(L.Spans.nonterminal(B), (SourceSpan{2, 1}));
+  EXPECT_FALSE(L.Spans.synthesized(S));
+  EXPECT_EQ(L.Spans.origin(S), S);
+
+  // s's single production starts at its first element.
+  EXPECT_EQ(L.Spans.production(L.G.productionsFor(S)[0]), (SourceSpan{1, 5}));
+  // b's alternatives: "B" on line 2, "( C D )*" on line 3.
+  EXPECT_EQ(L.Spans.production(L.G.productionsFor(B)[0]), (SourceSpan{2, 5}));
+  EXPECT_EQ(L.Spans.production(L.G.productionsFor(B)[1]), (SourceSpan{3, 5}));
+
+  // The star and group nonterminals synthesized for "( C D )*" point at
+  // the group element on line 3 and originate from rule b.
+  EXPECT_EQ(L.SynthesizedNonterminals, 2u);
+  for (NonterminalId X = 0; X < L.G.numNonterminals(); ++X) {
+    if (!L.Spans.synthesized(X))
+      continue;
+    EXPECT_EQ(L.Spans.nonterminal(X), (SourceSpan{3, 5}))
+        << L.G.nonterminalName(X);
+    EXPECT_EQ(L.Spans.origin(X), B) << L.G.nonterminalName(X);
+  }
 }
 
 TEST(GrammarDsl, Figure8StyleCounts) {
