@@ -7,9 +7,12 @@
 /// \file
 /// Shared plumbing for the figure/table reproduction harnesses: corpus
 /// construction (language + generated files + pre-lexed token streams,
-/// mirroring the paper's pre-tokenized benchmark methodology), and scale
+/// mirroring the paper's pre-tokenized benchmark methodology), scale
 /// control via the COSTAR_BENCH_SCALE environment variable (default 1.0;
-/// smaller values shrink corpora for quick runs).
+/// smaller values shrink corpora for quick runs), the uniform
+/// {name, metric, value, unit} record schema every bench emits, and the
+/// common CLI (--json-out / --warmup / --reps) with warmup + repetition
+/// timing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +23,7 @@
 #include "stats/Stats.h"
 #include "workload/Generators.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -90,6 +94,116 @@ inline BenchCorpus makeTimingCorpus(lang::LangId Id, uint32_t NumFiles) {
     return makeCorpus(Id, NumFiles, 500, 25000);
   }
   return makeCorpus(Id, NumFiles, 200, 50000);
+}
+
+/// One machine-readable measurement in the schema shared by every bench:
+/// a hierarchical name ("warm/json/arena"), the metric it reports
+/// ("tokens_per_sec"), the value, and its unit ("tok/s"). Keeping the
+/// schema uniform lets scripts/check_bench_regression.py (and any future
+/// tracking) consume every BENCH_*.json without per-bench parsers.
+struct BenchRecord {
+  std::string Name;
+  std::string Metric;
+  double Value = 0;
+  std::string Unit;
+};
+
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+/// Writes \p Records as a JSON array of uniform-schema objects. Returns
+/// false (after a diagnostic) if the file cannot be opened.
+inline bool writeBenchJson(const std::vector<BenchRecord> &Records,
+                           const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot open %s for writing\n", Path.c_str());
+    return false;
+  }
+  std::fprintf(F, "[\n");
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    std::fprintf(F,
+                 "  {\"name\": \"%s\", \"metric\": \"%s\", \"value\": %.6f, "
+                 "\"unit\": \"%s\"}%s\n",
+                 jsonEscape(R.Name).c_str(), jsonEscape(R.Metric).c_str(),
+                 R.Value, jsonEscape(R.Unit).c_str(),
+                 I + 1 < Records.size() ? "," : "");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("\nwrote %zu records to %s\n", Records.size(), Path.c_str());
+  return true;
+}
+
+/// The CLI every bench shares. Unknown flags abort with a usage message so
+/// typos fail loudly in CI instead of silently running defaults.
+struct BenchOptions {
+  std::string JsonOut; ///< --json-out PATH (default set per bench)
+  int Warmup = 1;      ///< --warmup N: untimed passes before measuring
+  int Reps = 5;        ///< --reps N: timed repetitions (median reported)
+};
+
+inline BenchOptions parseBenchArgs(int Argc, char **Argv,
+                                   const char *DefaultJsonOut,
+                                   int DefaultReps = 5) {
+  BenchOptions Opts;
+  Opts.JsonOut = DefaultJsonOut;
+  Opts.Reps = DefaultReps;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: %s requires an argument\n", Argv[0],
+                     Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--json-out") {
+      Opts.JsonOut = Next();
+    } else if (Arg == "--warmup") {
+      Opts.Warmup = std::atoi(Next());
+    } else if (Arg == "--reps") {
+      Opts.Reps = std::max(1, std::atoi(Next()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json-out PATH] [--warmup N] [--reps N]\n",
+                   Argv[0]);
+      std::exit(2);
+    }
+  }
+  return Opts;
+}
+
+/// Warmup + repetition timing: runs \p Body untimed Warmup times, then
+/// reports the median of Reps timed runs.
+template <typename Fn>
+double measureSeconds(Fn &&Body, const BenchOptions &Opts) {
+  for (int I = 0; I < Opts.Warmup; ++I)
+    Body();
+  return stats::timeMedian(Body, Opts.Reps);
 }
 
 } // namespace bench

@@ -107,31 +107,11 @@ Grammar layeredGrammar(uint32_t Layers, uint32_t AltsPerNt,
   return G;
 }
 
-void writeJson(const std::vector<Record> &Records, const char *Path) {
-  std::FILE *F = std::fopen(Path, "w");
-  if (!F) {
-    std::fprintf(stderr, "cannot open %s for writing\n", Path);
-    return;
-  }
-  std::fprintf(F, "[\n");
-  for (size_t I = 0; I < Records.size(); ++I) {
-    const Record &R = Records[I];
-    std::fprintf(F,
-                 "  {\"grammar\": \"%s\", \"nonterminals\": %u, "
-                 "\"productions\": %u, \"diags\": %u, \"analyze_us\": "
-                 "%.2f, \"render_us\": %.2f}%s\n",
-                 R.Name.c_str(), R.Nonterminals, R.Productions, R.Diags,
-                 R.AnalyzeUs, R.RenderUs,
-                 I + 1 < Records.size() ? "," : "");
-  }
-  std::fprintf(F, "]\n");
-  std::fclose(F);
-  std::printf("\nwrote %zu records to %s\n", Records.size(), Path);
-}
-
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchOptions Bench =
+      bench::parseBenchArgs(Argc, Argv, "BENCH_analysis.json");
   int Trials = std::max(10, static_cast<int>(200 * bench::benchScale()));
   std::vector<Record> Records;
 
@@ -167,6 +147,13 @@ int main() {
            stats::fmt(R.AnalyzeUs, 1), stats::fmt(R.RenderUs, 1)});
   std::fputs(T.str().c_str(), stdout);
 
-  writeJson(Records, "BENCH_analysis.json");
+  std::vector<bench::BenchRecord> Out;
+  for (const Record &R : Records) {
+    Out.push_back({R.Name, "analyze_us", R.AnalyzeUs, "us"});
+    Out.push_back({R.Name, "render_us", R.RenderUs, "us"});
+    Out.push_back({R.Name, "productions", double(R.Productions), "prods"});
+    Out.push_back({R.Name, "diags", double(R.Diags), "diags"});
+  }
+  bench::writeBenchJson(Out, Bench.JsonOut);
   return 0;
 }

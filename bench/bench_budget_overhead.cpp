@@ -48,35 +48,15 @@ struct Record {
   double tokensPerSec() const { return Seconds > 0 ? Tokens / Seconds : 0; }
 };
 
-void writeJson(const std::vector<Record> &Records, const char *Path) {
-  std::FILE *F = std::fopen(Path, "w");
-  if (!F) {
-    std::fprintf(stderr, "cannot open %s for writing\n", Path);
-    return;
-  }
-  std::fprintf(F, "[\n");
-  for (size_t I = 0; I < Records.size(); ++I) {
-    const Record &R = Records[I];
-    std::fprintf(F,
-                 "  {\"config\": \"%s\", \"seconds\": %.6f, \"tokens\": "
-                 "%llu, \"tokens_per_sec\": %.1f, \"overhead_pct\": "
-                 "%.2f}%s\n",
-                 R.Config.c_str(), R.Seconds,
-                 static_cast<unsigned long long>(R.Tokens), R.tokensPerSec(),
-                 R.OverheadPct, I + 1 < Records.size() ? "," : "");
-  }
-  std::fprintf(F, "]\n");
-  std::fclose(F);
-  std::printf("\nwrote %zu records to %s\n", Records.size(), Path);
-}
-
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench = parseBenchArgs(Argc, Argv, "BENCH_budget_overhead.json",
+                                      /*DefaultReps=*/7);
   // The Figure 9 Python workload: the largest benchmark grammar, hence the
   // most machine steps (and budget checks) per token.
   BenchCorpus C = makeTimingCorpus(lang::LangId::Python, 12);
-  const int Trials = 7;
+  const int Trials = Bench.Reps;
 
   std::printf("=== Budget overhead on the Python Figure 9 workload ===\n");
   std::printf("corpus: %zu files, %llu tokens\n\n", C.TokenStreams.size(),
@@ -108,10 +88,11 @@ int main() {
   // configurations equally instead of inflating whichever happened to be
   // measured later. The per-configuration median is then compared.
   std::vector<std::vector<double>> Samples(NumConfigs);
-  (void)stats::timeOnce([&] { // warm-up pass, discarded
-    for (const Word &W : C.TokenStreams)
-      (void)Parsers[0].parse(W);
-  });
+  for (int I = 0; I < Bench.Warmup; ++I)
+    (void)stats::timeOnce([&] { // warm-up pass, discarded
+      for (const Word &W : C.TokenStreams)
+        (void)Parsers[0].parse(W);
+    });
   for (int Trial = 0; Trial < Trials; ++Trial)
     for (int CI = 0; CI < NumConfigs; ++CI)
       Samples[CI].push_back(stats::timeOnce([&] {
@@ -145,7 +126,13 @@ int main() {
            stats::fmt(R.OverheadPct, 2) + "%"});
   std::fputs(T.str().c_str(), stdout);
 
-  writeJson(Records, "BENCH_budget_overhead.json");
+  std::vector<BenchRecord> Out;
+  for (const Record &R : Records) {
+    Out.push_back({R.Config, "tokens_per_sec", R.tokensPerSec(), "tok/s"});
+    Out.push_back({R.Config, "seconds", R.Seconds, "s"});
+    Out.push_back({R.Config, "overhead_pct", R.OverheadPct, "%"});
+  }
+  writeBenchJson(Out, Bench.JsonOut);
 
   const double StepsOverhead = Overhead(StepsSec);
   const double FullOverhead = Overhead(FullSec);

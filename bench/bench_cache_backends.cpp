@@ -12,8 +12,9 @@
 /// passes, plus BatchParser thread scaling with a shared warm cache.
 ///
 /// Besides the human-readable tables, results are written to
-/// BENCH_cache_backends.json (backend x grammar x tokens/sec, hit rate) so
-/// the performance trajectory is machine-trackable across PRs.
+/// BENCH_cache_backends.json in the uniform BenchRecord schema
+/// ({name, metric, value, unit}; bench/BenchUtil.h) so the performance
+/// trajectory is machine-trackable across PRs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,9 +56,11 @@ const char *backendName(CacheBackend B) {
 
 /// One timed pass over the corpus with per-backend options; stats are
 /// taken from an untimed rerun of the same configuration (identical work:
-/// parses are deterministic).
+/// parses are deterministic). The BenchOptions warmup pass doubles as the
+/// cache-population pass for the warm regime.
 Record measurePass(const char *Workload, const BenchCorpus &C,
-                   CacheBackend Backend, bool Reuse) {
+                   CacheBackend Backend, bool Reuse,
+                   const BenchOptions &Bench) {
   Record R;
   R.Workload = Workload;
   R.Lang = C.L.Name;
@@ -68,17 +71,12 @@ Record measurePass(const char *Workload, const BenchCorpus &C,
   Opts.Backend = Backend;
   Opts.ReuseCache = Reuse;
   Parser P(C.L.G, C.L.Start, Opts);
-  if (Reuse) {
-    // Warm pass: populate the cache once before timing.
-    for (const Word &W : C.TokenStreams)
-      (void)P.parse(W);
-  }
-  R.Seconds = stats::timeMedian(
+  R.Seconds = measureSeconds(
       [&] {
         for (const Word &W : C.TokenStreams)
           (void)P.parse(W);
       },
-      5);
+      Bench);
   for (const Word &W : C.TokenStreams) {
     Machine::Stats St;
     (void)P.parse(W, &St);
@@ -104,7 +102,8 @@ Record measurePass(const char *Workload, const BenchCorpus &C,
 /// O(log n) pointer chain of key comparisons while the Hashed backend
 /// issues one or two independent probes. Tokens here counts lookups;
 /// hits/misses are present/absent keys in the schedule.
-Record measureCacheOps(const BenchCorpus &C, CacheBackend Backend) {
+Record measureCacheOps(const BenchCorpus &C, CacheBackend Backend,
+                       const BenchOptions &Bench) {
   Record R;
   R.Workload = "cacheops";
   R.Lang = C.L.Name;
@@ -123,7 +122,7 @@ Record measureCacheOps(const BenchCorpus &C, CacheBackend Backend) {
   const uint32_t NumTerms = std::max(1u, C.L.G.numTerminals());
   const uint64_t Ops = 4000000;
   uint64_t Hits = 0;
-  R.Seconds = stats::timeMedian(
+  R.Seconds = measureSeconds(
       [&] {
         uint64_t X = 0x9E3779B97F4A7C15ull, H = 0;
         for (uint64_t I = 0; I < Ops; ++I) {
@@ -135,7 +134,7 @@ Record measureCacheOps(const BenchCorpus &C, CacheBackend Backend) {
         }
         Hits = H;
       },
-      5);
+      Bench);
   R.Tokens = Ops;
   R.CacheHits = Hits;
   R.CacheMisses = Ops - Hits;
@@ -143,7 +142,8 @@ Record measureCacheOps(const BenchCorpus &C, CacheBackend Backend) {
   return R;
 }
 
-Record measureBatch(const BenchCorpus &C, unsigned Threads) {
+Record measureBatch(const BenchCorpus &C, unsigned Threads,
+                    const BenchOptions &Bench) {
   Record R;
   R.Workload = "batch";
   R.Lang = C.L.Name;
@@ -155,8 +155,12 @@ Record measureBatch(const BenchCorpus &C, unsigned Threads) {
   workload::BatchOptions Opts;
   Opts.Threads = Threads;
   Opts.PublishInterval = 4;
-  R.Seconds = stats::timeMedian(
-      [&] { (void)P.parseAll(C.TokenStreams, Opts); }, 3);
+  // Whole-batch repetitions are expensive; cap them below the parse-pass
+  // repetition count.
+  BenchOptions BatchBench = Bench;
+  BatchBench.Reps = std::min(Bench.Reps, 3);
+  R.Seconds = measureSeconds(
+      [&] { (void)P.parseAll(C.TokenStreams, Opts); }, BatchBench);
   workload::BatchResult BR = P.parseAll(C.TokenStreams, Opts);
   R.CacheHits = BR.Aggregate.CacheHits;
   R.CacheMisses = BR.Aggregate.CacheMisses;
@@ -164,38 +168,24 @@ Record measureBatch(const BenchCorpus &C, unsigned Threads) {
   return R;
 }
 
-void writeJson(const std::vector<Record> &Records, const char *Path) {
-  std::FILE *F = std::fopen(Path, "w");
-  if (!F) {
-    std::fprintf(stderr, "cannot open %s for writing\n", Path);
-    return;
-  }
-  std::fprintf(F, "[\n");
-  for (size_t I = 0; I < Records.size(); ++I) {
-    const Record &R = Records[I];
-    std::fprintf(
-        F,
-        "  {\"workload\": \"%s\", \"lang\": \"%s\", \"backend\": \"%s\", "
-        "\"threads\": %u, \"seconds\": %.6f, \"tokens\": %llu, "
-        "\"tokens_per_sec\": %.1f, \"cache_hits\": %llu, "
-        "\"cache_misses\": %llu, \"hit_rate\": %.4f, \"dfa_states\": "
-        "%llu}%s\n",
-        R.Workload.c_str(), R.Lang.c_str(), R.Backend.c_str(), R.Threads,
-        R.Seconds, static_cast<unsigned long long>(R.Tokens),
-        R.tokensPerSec(), static_cast<unsigned long long>(R.CacheHits),
-        static_cast<unsigned long long>(R.CacheMisses), R.hitRate(),
-        static_cast<unsigned long long>(R.States),
-        I + 1 < Records.size() ? "," : "");
-  }
-  std::fprintf(F, "]\n");
-  std::fclose(F);
-  std::printf("\nwrote %zu records to %s\n", Records.size(), Path);
+/// Flattens a measurement into the uniform BenchRecord schema. Batch rows
+/// carry their thread count in the name ("batch/json/t4").
+void emit(std::vector<BenchRecord> &Out, const Record &R) {
+  std::string Base = R.Workload + "/" + R.Lang + "/" + R.Backend;
+  if (R.Workload == "batch")
+    Base = R.Workload + "/" + R.Lang + "/t" + std::to_string(R.Threads);
+  Out.push_back({Base, "tokens_per_sec", R.tokensPerSec(), "tok/s"});
+  Out.push_back({Base, "seconds", R.Seconds, "s"});
+  Out.push_back({Base, "hit_rate", R.hitRate(), "ratio"});
+  Out.push_back({Base, "dfa_states", double(R.States), "states"});
 }
 
 } // namespace
 
-int main() {
-  std::vector<Record> Records;
+int main(int Argc, char **Argv) {
+  BenchOptions Bench =
+      parseBenchArgs(Argc, Argv, "BENCH_cache_backends.json");
+  std::vector<BenchRecord> Records;
 
   std::printf("=== Cache backends: AvlPaperFaithful vs Hashed ===\n\n");
   // Many-small-files corpora: the cache-construction-heavy regime where
@@ -212,20 +202,19 @@ int main() {
     double OpsAvl = 0, OpsHash = 0;
     for (CacheBackend B :
          {CacheBackend::AvlPaperFaithful, CacheBackend::Hashed}) {
-      Record Cold = measurePass("cold", C, B, /*Reuse=*/false);
-      Record Warm = measurePass("warm", C, B, /*Reuse=*/true);
-      Record Pred = measureCacheOps(C, B);
+      Record Cold = measurePass("cold", C, B, /*Reuse=*/false, Bench);
+      Record Warm = measurePass("warm", C, B, /*Reuse=*/true, Bench);
+      Record Pred = measureCacheOps(C, B, Bench);
       (B == CacheBackend::Hashed ? ColdHash : ColdAvl) = Cold.Seconds;
       (B == CacheBackend::Hashed ? WarmHash : WarmAvl) = Warm.Seconds;
       (B == CacheBackend::Hashed ? OpsHash : OpsAvl) = Pred.Seconds;
-      for (const Record *R : {&Cold, &Warm, &Pred})
+      for (const Record *R : {&Cold, &Warm, &Pred}) {
         T.row({R->Workload, R->Backend, stats::fmt(R->Seconds * 1e3, 1),
                stats::fmt(R->tokensPerSec(), 0),
                stats::fmt(100 * R->hitRate(), 1) + "%",
                std::to_string(R->States)});
-      Records.push_back(std::move(Cold));
-      Records.push_back(std::move(Warm));
-      Records.push_back(std::move(Pred));
+        emit(Records, *R);
+      }
     }
     std::printf("--- %s (|P| = %u) ---\n", C.L.Name.c_str(),
                 C.L.G.numProductions());
@@ -255,19 +244,21 @@ int main() {
       BenchCorpus C = makeCorpus(Id, 32, 100,
                                  Id == lang::LangId::Python ? 1200 : 4000);
       for (unsigned Threads : {1u, 2u, 4u}) {
-        Record R = measureBatch(C, Threads);
+        Record R = measureBatch(C, Threads, Bench);
         T.row({C.L.Name, std::to_string(Threads),
                stats::fmt(R.Seconds * 1e3, 1),
                stats::fmt(R.tokensPerSec(), 0),
                stats::fmt(100 * R.hitRate(), 1) + "%",
                std::to_string(R.States)});
-        Records.push_back(std::move(R));
+        emit(Records, R);
       }
     }
     std::fputs(T.str().c_str(), stdout);
   }
 
-  writeJson(Records, "BENCH_cache_backends.json");
+  Records.push_back({"large-grammar/" + BestWorkload, "hashed_best_speedup",
+                     BestLargeGrammarSpeedup, "x"});
+  writeBenchJson(Records, Bench.JsonOut);
 
   std::printf("\nShape check (Hashed backend >= 2x prediction-cache "
               "throughput on a large grammar): %s (best %.2fx on %s)\n",

@@ -57,49 +57,29 @@ struct Record {
   double tokensPerSec() const { return Seconds > 0 ? Tokens / Seconds : 0; }
 };
 
-/// Median-of-trials timing of one full corpus pass with the given parse
-/// options (fresh caches per parse: the paper's benchmark configuration,
-/// and the configuration with the most emission sites exercised).
-double timePass(const BenchCorpus &C, const ParseOptions &Opts, int Trials) {
+/// Warmed, median-of-repetitions timing of one full corpus pass with the
+/// given parse options (fresh caches per parse: the paper's benchmark
+/// configuration, and the configuration with the most emission sites
+/// exercised).
+double timePass(const BenchCorpus &C, const ParseOptions &Opts,
+                const BenchOptions &Bench) {
   Parser P(C.L.G, C.L.Start, Opts);
-  return stats::timeMedian(
+  return measureSeconds(
       [&] {
         for (const Word &W : C.TokenStreams)
           (void)P.parse(W);
       },
-      Trials);
-}
-
-void writeJson(const std::vector<Record> &Records, const char *Path) {
-  std::FILE *F = std::fopen(Path, "w");
-  if (!F) {
-    std::fprintf(stderr, "cannot open %s for writing\n", Path);
-    return;
-  }
-  std::fprintf(F, "[\n");
-  for (size_t I = 0; I < Records.size(); ++I) {
-    const Record &R = Records[I];
-    std::fprintf(F,
-                 "  {\"config\": \"%s\", \"seconds\": %.6f, \"tokens\": "
-                 "%llu, \"tokens_per_sec\": %.1f, \"events\": %llu, "
-                 "\"overhead_pct\": %.2f}%s\n",
-                 R.Config.c_str(), R.Seconds,
-                 static_cast<unsigned long long>(R.Tokens), R.tokensPerSec(),
-                 static_cast<unsigned long long>(R.Events), R.OverheadPct,
-                 I + 1 < Records.size() ? "," : "");
-  }
-  std::fprintf(F, "]\n");
-  std::fclose(F);
-  std::printf("\nwrote %zu records to %s\n", Records.size(), Path);
+      Bench);
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench = parseBenchArgs(Argc, Argv, "BENCH_trace_overhead.json",
+                                      /*DefaultReps=*/7);
   // The Figure 9 Python workload: the largest benchmark grammar, hence the
   // highest event rate per token (prediction, cache, and stack events).
   BenchCorpus C = makeTimingCorpus(lang::LangId::Python, 12);
-  const int Trials = 7;
 
   std::printf("=== Trace overhead on the Python Figure 9 workload ===\n");
   std::printf("corpus: %zu files, %llu tokens\n\n", C.TokenStreams.size(),
@@ -124,7 +104,7 @@ int main() {
     R.Config = Config;
     R.Tokens = C.TotalTokens;
     R.Events = Events;
-    R.Seconds = timePass(C, Opts, Trials);
+    R.Seconds = timePass(C, Opts, Bench);
     Records.push_back(R);
     return R.Seconds;
   };
@@ -182,7 +162,16 @@ int main() {
   (void)RingSec;
   (void)JsonlSec;
 
-  writeJson(Records, "BENCH_trace_overhead.json");
+  std::vector<BenchRecord> Out;
+  for (const Record &R : Records) {
+    Out.push_back({R.Config, "tokens_per_sec", R.tokensPerSec(), "tok/s"});
+    Out.push_back({R.Config, "seconds", R.Seconds, "s"});
+    Out.push_back({R.Config, "overhead_pct", R.OverheadPct, "%"});
+    if (R.Events)
+      Out.push_back({R.Config, "events_per_token",
+                     double(R.Events) / double(R.Tokens), "events/tok"});
+  }
+  writeBenchJson(Out, Bench.JsonOut);
 
   const double NullOverhead = Overhead(NullSec);
   std::printf("\nShape check (null-sink overhead < 3%% of baseline): %s "

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fail CI when the arena allocation backend regresses against the
+committed BENCH_alloc.json baseline.
+
+Both files use the uniform BenchRecord schema written by
+bench/BenchUtil.h: a JSON array of {"name", "metric", "value", "unit"}.
+
+CI runners and the machine that produced the committed baseline differ
+in absolute speed, so raw tokens/sec is not comparable across files.
+What *is* comparable is the arena backend's tokens/sec normalized by the
+sharedptr backend's tokens/sec measured in the same run (machine speed
+cancels out) — exactly the warm/small-suite arena_speedup and
+arena_epoch_speedup records the bench already emits. A >10% drop in
+either ratio means arena tokens/sec fell relative to the paper-faithful
+baseline: a real allocation-layer regression, not runner noise.
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+GATED_METRICS = [
+    ("warm/small-suite", "arena_speedup"),
+    ("warm/small-suite", "arena_epoch_speedup"),
+]
+
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    out = {}
+    for rec in data:
+        out[(rec["name"], rec["metric"])] = float(rec["value"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional drop before failing "
+                         "(default 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    cur = load_records(args.current)
+
+    failed = False
+    for name, metric in GATED_METRICS:
+        key = (name, metric)
+        if key not in base:
+            print(f"SKIP  {name} {metric}: not in baseline "
+                  f"({args.baseline})")
+            continue
+        if key not in cur:
+            print(f"FAIL  {name} {metric}: missing from current run")
+            failed = True
+            continue
+        b, c = base[key], cur[key]
+        drop = (b - c) / b if b > 0 else 0.0
+        status = "FAIL" if drop > args.tolerance else "ok"
+        failed |= drop > args.tolerance
+        print(f"{status:<4}  {name} {metric}: baseline {b:.3f}x, "
+              f"current {c:.3f}x ({-100 * drop:+.1f}%)")
+
+    if failed:
+        print(f"\narena backend regressed more than "
+              f"{100 * args.tolerance:.0f}% vs {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print("\nno arena regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+//===- adt/ArenaPtr.h - Arena-aware shared handles -------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the epoch Arena and the codebase's shared_ptr-shaped handle
+/// types (TreePtr, SimStackPtr, persistent-map nodes), so switching
+/// allocation backends changes no type signatures:
+///
+///  - AllocBackend selects the substrate per parse (ParseOptions::Alloc),
+///    mirroring how CacheBackend dual-backs the SLL cache.
+///  - activeArena()/ScopedArena install a thread-local arena for the
+///    duration of one Machine::run(), the same pattern as
+///    robust::ScopedFaultInjector.
+///  - arenaRef() wraps an arena-owned object in a *non-owning* aliased
+///    shared_ptr (null control block): copies are two plain words with no
+///    atomic refcount traffic, and destruction is a no-op — the epoch owns
+///    the object.
+///  - EpochAllocator routes STL container buffers (Forest) into the active
+///    arena; deallocation consults the global live-arena registry, so a
+///    buffer allocated in an epoch is reclaimed by the epoch no matter
+///    when — or on which thread — its container is destroyed.
+///  - EpochNodePolicy does the same for PersistentMap/PersistentSet nodes
+///    (the machine's visited sets), which churn on every push/return.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ADT_ARENAPTR_H
+#define COSTAR_ADT_ARENAPTR_H
+
+#include "adt/Arena.h"
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace costar {
+namespace adt {
+
+/// Which substrate allocates parse-path nodes (trees, sim stacks, frame
+/// forests, visited-set nodes). Both backends produce bit-identical parse
+/// results (enforced by AllocEquivalenceTest); they differ only in
+/// allocation cost and in when memory is reclaimed.
+enum class AllocBackend {
+  /// One heap allocation + shared_ptr refcounting per node — the faithful
+  /// stand-in for the extracted OCaml implementation's GC sharing, and the
+  /// ablation baseline for bench_alloc.
+  SharedPtrPaperFaithful,
+  /// Parse-scoped epoch arena (adt/Arena.h): nodes are bump-allocated and
+  /// reclaimed wholesale when the next parse begins. The default.
+  Arena,
+};
+
+inline const char *allocBackendName(AllocBackend B) {
+  switch (B) {
+  case AllocBackend::SharedPtrPaperFaithful:
+    return "sharedptr";
+  case AllocBackend::Arena:
+    return "arena";
+  }
+  return "unknown";
+}
+
+/// The arena installed on this thread (null when parse-path allocations
+/// should fall back to the heap).
+inline Arena *&activeArenaSlot() {
+  thread_local Arena *Active = nullptr;
+  return Active;
+}
+
+inline Arena *activeArena() { return activeArenaSlot(); }
+
+/// RAII installation of an arena as the thread's active allocation target
+/// (Machine::run() holds one for the duration of the parse). Installing
+/// nullptr *suppresses* an outer arena — Tree::detach() uses this so the
+/// escaping copy is heap-owned even while an epoch is active.
+class ScopedArena {
+  Arena *Prev;
+
+public:
+  explicit ScopedArena(Arena *A) : Prev(activeArenaSlot()) {
+    activeArenaSlot() = A;
+  }
+  ~ScopedArena() { activeArenaSlot() = Prev; }
+  ScopedArena(const ScopedArena &) = delete;
+  ScopedArena &operator=(const ScopedArena &) = delete;
+};
+
+/// Estimated per-node bookkeeping overhead of the shared_ptr substrate
+/// (control block), used so AllocationCounters::bytes() stays comparable
+/// across backends. An estimate by necessity: the exact figure is a
+/// library implementation detail.
+constexpr uint64_t SharedCtrlBlockBytes = 16;
+
+/// Wraps an arena-owned object in a non-owning shared handle: the aliasing
+/// constructor with an empty owner yields a shared_ptr with no control
+/// block, so copies cost two word moves and destruction is free. The
+/// pointee's lifetime is the arena epoch's.
+template <typename T>
+std::shared_ptr<const T> arenaRef(const T *Obj) {
+  return std::shared_ptr<const T>(std::shared_ptr<const T>(), Obj);
+}
+
+/// A stateless STL allocator that bump-allocates from the thread's active
+/// arena when one is installed and from the heap otherwise. Deallocation
+/// routes by ownership, not by install state: arena-backed buffers are
+/// no-ops (the epoch reclaims them), heap buffers are deleted — correct
+/// even when the container dies long after the ScopedArena was popped.
+template <typename T> struct EpochAllocator {
+  using value_type = T;
+
+  EpochAllocator() = default;
+  template <typename U> EpochAllocator(const EpochAllocator<U> &) {}
+
+  T *allocate(size_t N) {
+    size_t Bytes = N * sizeof(T);
+    if (Arena *A = activeArena())
+      return static_cast<T *>(A->allocRaw(Bytes, alignof(T)));
+    AllocationCounters::bytes() += Bytes;
+    return static_cast<T *>(::operator new(Bytes));
+  }
+
+  void deallocate(T *P, size_t) {
+    // Fast path: during a parse, almost every buffer belongs to the
+    // installed arena — one owns() probe instead of a registry walk.
+    if (Arena *A = activeArena()) {
+      if (A->owns(P))
+        return;
+    }
+    if (Arena::ownedByLiveArena(P))
+      return;
+    ::operator delete(P);
+  }
+
+  friend bool operator==(const EpochAllocator &, const EpochAllocator &) {
+    return true;
+  }
+  friend bool operator!=(const EpochAllocator &, const EpochAllocator &) {
+    return false;
+  }
+};
+
+/// PersistentMap node policy that allocates path-copy nodes from the
+/// active arena (as non-owning handles) when one is installed. Only safe
+/// for maps that never outlive the epoch — the machine's and subparsers'
+/// visited sets qualify (cached DFA configs carry *empty* visited sets,
+/// asserted at intern time); the SLL cache's own AVL indexes must keep the
+/// default heap policy because caches outlive parses.
+struct EpochNodePolicy {
+  template <typename NodeT, typename... ArgTs>
+  static std::shared_ptr<const NodeT> make(ArgTs &&...Args) {
+    // Arena nodes skip finalizer registration (createUnmanaged): a set
+    // built inside an epoch only ever links to nodes of the same epoch,
+    // so every child handle is a no-op-destructor arenaRef and the node's
+    // destructor has nothing to do. This holds for the visited sets
+    // because they start empty each parse and cached DFA configs carry
+    // empty visited sets (asserted at intern).
+    if (Arena *A = activeArena())
+      return arenaRef(A->createUnmanaged<NodeT>(std::forward<ArgTs>(Args)...));
+    return std::make_shared<const NodeT>(std::forward<ArgTs>(Args)...);
+  }
+};
+
+} // namespace adt
+} // namespace costar
+
+#endif // COSTAR_ADT_ARENAPTR_H

@@ -55,12 +55,30 @@ struct ComparisonCounters {
 /// the counter is gross (allocations, not net-live nodes), which upper-bounds
 /// residency because the machine never frees mid-parse.
 struct AllocationCounters {
-  /// Tree and SimStackNode constructions on this thread.
+  /// Tree and SimStackNode constructions on this thread. Counted at the
+  /// creation helpers (Tree::leaf/node, makeSimStack), *not* in the node
+  /// constructors, so epoch-escaping deep copies (Tree::detach, cached
+  /// config detachment) stay invisible and the count is identical across
+  /// allocation backends.
   static uint64_t &nodes() {
     thread_local uint64_t Count = 0;
     return Count;
   }
-  static void reset() { nodes() = 0; }
+  /// Parse-path bytes drawn from the allocation substrate on this thread:
+  /// every byte bump-allocated from an arena (adt/Arena.h), plus node and
+  /// buffer bytes (with an estimated control-block overhead) on the
+  /// shared_ptr backend. The two backends count honestly different
+  /// things — arena totals include slab-resident buffers, shared totals
+  /// estimate heap blocks — so cross-backend byte comparisons are
+  /// substrate comparisons, not identities.
+  static uint64_t &bytes() {
+    thread_local uint64_t Count = 0;
+    return Count;
+  }
+  static void reset() {
+    nodes() = 0;
+    bytes() = 0;
+  }
 };
 
 /// A comparator adapter that counts invocations in the given counter slot.

@@ -31,11 +31,24 @@
 namespace costar {
 namespace adt {
 
+/// The default node-allocation policy: every path-copy node is an owning
+/// make_shared heap allocation. adt/ArenaPtr.h provides EpochNodePolicy,
+/// which draws nodes from the thread's active epoch arena instead — only
+/// safe for maps that never outlive the arena epoch (the parse machine's
+/// visited sets; NOT the SLL cache indexes, which persist across parses).
+struct HeapNodePolicy {
+  template <typename NodeT, typename... ArgTs>
+  static std::shared_ptr<const NodeT> make(ArgTs &&...Args) {
+    return std::make_shared<const NodeT>(std::forward<ArgTs>(Args)...);
+  }
+};
+
 /// A persistent ordered map from \p K to \p V.
 ///
 /// Copying a PersistentMap is O(1) (it copies a node pointer); all mutating
 /// operations return a new map and leave the receiver untouched.
-template <typename K, typename V, typename Compare = std::less<K>>
+template <typename K, typename V, typename Compare = std::less<K>,
+          typename NodeAlloc = HeapNodePolicy>
 class PersistentMap {
   struct Node {
     K Key;
@@ -65,8 +78,8 @@ class PersistentMap {
   }
 
   static NodePtr makeNode(K Key, V Value, NodePtr Left, NodePtr Right) {
-    return std::make_shared<const Node>(std::move(Key), std::move(Value),
-                                        std::move(Left), std::move(Right));
+    return NodeAlloc::template make<Node>(std::move(Key), std::move(Value),
+                                          std::move(Left), std::move(Right));
   }
 
   /// Rebuilds a node from children that differ in height by at most two,
@@ -224,9 +237,11 @@ private:
 };
 
 /// A persistent ordered set, implemented as a PersistentMap to unit.
-template <typename K, typename Compare = std::less<K>> class PersistentSet {
+template <typename K, typename Compare = std::less<K>,
+          typename NodeAlloc = HeapNodePolicy>
+class PersistentSet {
   struct Unit {};
-  PersistentMap<K, Unit, Compare> Map;
+  PersistentMap<K, Unit, Compare, NodeAlloc> Map;
 
 public:
   uint64_t size() const { return Map.size(); }

@@ -20,6 +20,7 @@
 #ifndef COSTAR_CORE_FRAME_H
 #define COSTAR_CORE_FRAME_H
 
+#include "adt/ArenaPtr.h"
 #include "adt/PersistentMap.h"
 #include "grammar/Grammar.h"
 #include "grammar/Tree.h"
@@ -30,8 +31,13 @@ namespace costar {
 
 /// The set of nonterminals opened but not yet closed since the machine last
 /// consumed a token (Section 4.1). A persistent AVL set with a counting
-/// comparator, mirroring the MSetAVL sets of the Coq extraction.
-using VisitedSet = adt::PersistentSet<NonterminalId, CompareNT>;
+/// comparator, mirroring the MSetAVL sets of the Coq extraction. Path-copy
+/// nodes come from the parse epoch's arena when one is active
+/// (adt::EpochNodePolicy): visited sets churn on every push/return and
+/// never outlive the parse — cached DFA configs carry empty sets, asserted
+/// at SllCache::intern.
+using VisitedSet =
+    adt::PersistentSet<NonterminalId, CompareNT, adt::EpochNodePolicy>;
 
 /// One fused prefix/suffix stack frame.
 struct Frame {

@@ -31,6 +31,8 @@ Machine::Machine(const Grammar &G, const PredictionTables &Tables,
     : G(G), Tables(Tables), StartSyms({Symbol::nonterminal(Start)}),
       Input(Input), OwnedCache(Opts.Backend),
       Cache(SharedCache ? SharedCache : &OwnedCache), Opts(Opts) {
+  if (this->Opts.Alloc == adt::AllocBackend::Arena && !this->Opts.AllocArena)
+    OwnedArena = std::make_shared<adt::Arena>();
   Stack.push_back(Frame{InvalidProductionId, &StartSyms, 0, {}});
   CacheHitsAtStart = Cache->Hits;
   CacheMissesAtStart = Cache->Misses;
@@ -162,10 +164,52 @@ ParseResult Machine::run() {
   std::optional<robust::ScopedFaultInjector> FaultScope;
   if (Opts.Faults)
     FaultScope.emplace(*Opts.Faults);
+  // Open the allocation epoch: rewind the arena (reclaiming the previous
+  // parse's nodes wholesale — the epoch spans from one run start to the
+  // next, so post-run stack()/stats() introspection stays valid) and
+  // install it as the thread's active arena for every allocation the run
+  // performs. Manual step() drivers never install an arena and therefore
+  // get owning heap allocations regardless of Opts.Alloc.
+  adt::Arena *Epoch = nullptr;
+  if (Opts.Alloc == adt::AllocBackend::Arena) {
+    // A previous epoch that escaped into a handed-off result must never be
+    // reset; swap in a fresh arena and let the result keep the old one.
+    if (!Opts.AllocArena && OwnedArena.use_count() > 1)
+      OwnedArena = std::make_shared<adt::Arena>();
+    Epoch = Opts.AllocArena ? Opts.AllocArena : OwnedArena.get();
+    Epoch->reset();
+  }
+  std::optional<adt::ScopedArena> ArenaScope;
+  if (Epoch)
+    ArenaScope.emplace(Epoch);
+  uint64_t NodesBase = adt::AllocationCounters::nodes();
+  uint64_t BytesBase = adt::AllocationCounters::bytes();
   Budget.arm(Opts.Budget);
   traceEvent(Opts.Trace, obs::EventKind::ParseBegin,
              StartSyms[0].nonterminalId(), 0, Input.size(), Pos);
   ParseResult Result = runLoop();
+  // Snapshot the allocation deltas before detaching: detachment is a
+  // lifetime operation, not parse work, and must not skew the stats.
+  MachineStats.AllocNodes = adt::AllocationCounters::nodes() - NodesBase;
+  MachineStats.AllocBytes = adt::AllocationCounters::bytes() - BytesBase;
+  // Accepted results must outlive the epoch. Default: deep-copy out
+  // (Tree::detach). With DetachResults off: zero-copy handoff — the
+  // result's handle co-owns the machine-private arena (the next run swaps
+  // in a fresh one). When the arena is caller-supplied the machine cannot
+  // transfer ownership; the owner re-wraps (Parser::parse) or the result
+  // stays borrowed until the owner's next reset (documented for manual
+  // Machine drivers).
+  if (Epoch && Result.accepted()) {
+    TreePtr Escaped;
+    if (Opts.DetachResults)
+      Escaped = Result.tree()->detach();
+    else if (!Opts.AllocArena)
+      Escaped = TreePtr(OwnedArena, Result.tree().get());
+    if (Escaped)
+      Result = Result.kind() == ParseResult::Kind::Unique
+                   ? ParseResult::unique(std::move(Escaped))
+                   : ParseResult::ambig(std::move(Escaped));
+  }
   if (Result.kind() == ParseResult::Kind::BudgetExceeded)
     traceEvent(Opts.Trace, obs::EventKind::BudgetExceeded,
                static_cast<uint32_t>(Result.budget().Reason), 0,
@@ -221,6 +265,8 @@ void Machine::publishMetrics(const ParseResult &Result) const {
   M.add("cache.hits", MachineStats.CacheHits);
   M.add("cache.misses", MachineStats.CacheMisses);
   M.add("cache.states_added", MachineStats.CacheStatesAdded);
+  M.add("alloc.nodes", MachineStats.AllocNodes);
+  M.add("alloc.bytes", MachineStats.AllocBytes);
   M.record("parse.tokens", Input.size());
   M.record("parse.steps", MachineStats.Steps);
 }

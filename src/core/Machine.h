@@ -24,10 +24,12 @@
 #ifndef COSTAR_CORE_MACHINE_H
 #define COSTAR_CORE_MACHINE_H
 
+#include "adt/Arena.h"
 #include "core/Frame.h"
 #include "core/ParseResult.h"
 #include "core/Prediction.h"
 
+#include <memory>
 #include <optional>
 
 namespace costar {
@@ -63,6 +65,36 @@ struct ParseOptions {
   /// multiple inputs" (Section 6.2); this implements that extension and is
   /// off by default to match the paper's benchmark configuration.
   bool ReuseCache = false;
+
+  /// Which allocation substrate backs the parse's hot allocation sites
+  /// (tree nodes, prediction sim-stacks, visited-set nodes, frame
+  /// forests). Arena (the default) draws them from a parse-scoped epoch
+  /// arena that is rewound wholesale at the start of the next run;
+  /// SharedPtrPaperFaithful makes every node an owning heap allocation,
+  /// standing in for the extracted OCaml implementation's GC (the ablation
+  /// baseline). Results are bit-identical across backends
+  /// (AllocEquivalenceTest); only throughput and bytes-per-token differ.
+  adt::AllocBackend Alloc = adt::AllocBackend::Arena;
+
+  /// The arena to use when Alloc == Arena. When null the machine creates a
+  /// private one; Parser installs its own persistent arena here so epochs
+  /// reuse warmed slabs across parse() calls. Arenas are single-threaded:
+  /// never share one across concurrently running parses (BatchParser
+  /// overrides this field with a per-worker arena).
+  adt::Arena *AllocArena = nullptr;
+
+  /// How accepted results escape the arena epoch (no effect on the
+  /// SharedPtrPaperFaithful backend, whose results own their nodes by
+  /// construction). true (the default): the result is deep-copied out via
+  /// Tree::detach() — compact, but the copy costs roughly as much as the
+  /// parse on warm small-grammar inputs. false: zero-copy epoch handoff —
+  /// the returned TreePtr co-owns the parse's arena, the owner swaps in a
+  /// fresh arena for the next parse, and the whole epoch (including
+  /// transient sim-stack and frame allocations) stays resident until the
+  /// caller drops the result. Safe to hold across parses and threads
+  /// either way; call Tree::detach() explicitly on a handed-off result to
+  /// trim it to tree-only storage.
+  bool DetachResults = true;
 
   /// Per-parse resource budget (robust/Budget.h): machine-step cap,
   /// wall-clock deadline, allocation cap, cooperative cancellation.
@@ -117,6 +149,17 @@ public:
     uint64_t CacheMisses = 0;
     /// DFA states this run added to the cache (0 on a fully warm cache).
     uint64_t CacheStatesAdded = 0;
+    /// Nodes (trees, sim-stack frames) allocated by this run, identical
+    /// across allocation backends (counted at the creation helpers, so
+    /// epoch-detach copies are invisible).
+    uint64_t AllocNodes = 0;
+    /// Bytes allocated by this run on the parse's allocation substrate.
+    /// Deterministic within a backend, but backend-*dependent*: the arena
+    /// counts every bump-allocated byte (including visited-set path copies
+    /// and forest buffers), the shared_ptr baseline estimates node +
+    /// control-block bytes. Cross-backend byte comparisons are substrate
+    /// comparisons, not parse comparisons.
+    uint64_t AllocBytes = 0;
 
     /// Accumulates \p Other into this (BatchParser aggregation).
     void accumulate(const Stats &Other) {
@@ -130,6 +173,8 @@ public:
       CacheHits += Other.CacheHits;
       CacheMisses += Other.CacheMisses;
       CacheStatesAdded += Other.CacheStatesAdded;
+      AllocNodes += Other.AllocNodes;
+      AllocBytes += Other.AllocBytes;
     }
   };
 
@@ -169,6 +214,14 @@ public:
 private:
   const Grammar &G;
   const PredictionTables &Tables;
+  /// The machine-private epoch arena, created when Opts.Alloc == Arena and
+  /// no external arena was supplied. Declared before Stack: frames hold
+  /// arena-backed forest buffers, so the arena (and its registry entry,
+  /// which routes their deallocation) must outlive them. Shared ownership:
+  /// with DetachResults == false an accepted result co-owns the epoch, and
+  /// the next run() swaps in a fresh arena instead of resetting one that
+  /// escaped.
+  std::shared_ptr<adt::Arena> OwnedArena;
   /// Storage for the bottom frame's symbol sequence (just the start
   /// symbol); must outlive the stack.
   std::vector<Symbol> StartSyms;

@@ -39,19 +39,52 @@ class Parser {
   GrammarAnalysis Analysis;
   PredictionTables Tables;
   SllCache SharedCache;
+  /// The parser's persistent epoch arena (when Opts.Alloc == Arena and the
+  /// caller did not supply one): every parse() rewinds and reuses its
+  /// slabs, so repeated parsing reaches a zero-malloc steady state.
+  /// Declared after Opts so the ctor can point Opts.AllocArena at it; the
+  /// arena must not be mutated from multiple threads (BatchParser gives
+  /// each worker its own parser-independent arena instead). Shared
+  /// ownership: with Opts.DetachResults == false an accepted result
+  /// co-owns its epoch, and the next parse() swaps in a fresh arena while
+  /// that result is still alive (and reuses the warmed one otherwise).
+  std::shared_ptr<adt::Arena> ParseArena;
 
 public:
   Parser(const Grammar &G, NonterminalId Start, ParseOptions Opts = {})
       : G(G), Start(Start), Opts(Opts), Analysis(G, Start),
-        Tables(G, Analysis), SharedCache(Opts.Backend) {}
+        Tables(G, Analysis), SharedCache(Opts.Backend) {
+    if (this->Opts.Alloc == adt::AllocBackend::Arena &&
+        !this->Opts.AllocArena) {
+      ParseArena = std::make_shared<adt::Arena>();
+      this->Opts.AllocArena = ParseArena.get();
+    }
+  }
 
   /// Parses \p Input, optionally reporting machine statistics.
   ParseResult parse(const Word &Input, Machine::Stats *StatsOut = nullptr) {
+    if (ParseArena && ParseArena.use_count() > 1) {
+      // The previous epoch escaped into a result that is still alive:
+      // hand it over for good and start the next epoch in a fresh arena.
+      ParseArena = std::make_shared<adt::Arena>();
+      Opts.AllocArena = ParseArena.get();
+    }
     Machine M(G, Tables, Start, Input, Opts,
               Opts.ReuseCache ? &SharedCache : nullptr);
     ParseResult Result = M.run();
     if (StatsOut)
       *StatsOut = M.stats();
+    // Zero-copy escape (Opts.DetachResults == false): re-wrap the borrowed
+    // result so it co-owns this parse's epoch. The epoch — tree, forest
+    // buffers, and transient parse allocations alike — now lives exactly
+    // as long as the longest-held handle into it.
+    if (ParseArena && !Opts.DetachResults && Result.accepted() &&
+        ParseArena->owns(Result.tree().get())) {
+      TreePtr Owned(ParseArena, Result.tree().get());
+      Result = Result.kind() == ParseResult::Kind::Unique
+                   ? ParseResult::unique(std::move(Owned))
+                   : ParseResult::ambig(std::move(Owned));
+    }
     return Result;
   }
 
@@ -63,6 +96,12 @@ public:
 
   /// Drops any state accumulated by cache reuse.
   void resetCache() { SharedCache = SllCache(Opts.Backend); }
+
+  /// The current epoch arena (null on the SharedPtrPaperFaithful backend
+  /// or when the caller supplied its own). Exposed for tests and
+  /// diagnostics: epoch handoff swaps in a fresh arena whenever a
+  /// previous parse's result is still alive.
+  const adt::Arena *epochArena() const { return ParseArena.get(); }
 };
 
 /// One-shot convenience wrapper: builds the static tables, parses, and

@@ -9,7 +9,9 @@
 #include "obs/Trace.h"
 
 #include <algorithm>
+#include <deque>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace costar;
@@ -104,12 +106,39 @@ struct ClosureOut {
   std::optional<ParseError> Err;
 };
 
-/// Shared subparser simulation engine for both prediction modes.
+/// Shared subparser simulation engine for both prediction modes. The
+/// worklist and the dedup set are members so their buffers (and the dedup
+/// set's bucket array) are reused across every closure round of one
+/// prediction call instead of being reallocated per simulated token.
 class Simulator {
   const Grammar &G;
   const PredictionTables *Tables; // non-null iff Mode == SLL
   SimMode Mode;
   robust::BudgetTracker *Budget; // may be null (no budget checking)
+
+  // Dedup on the hash-consed (prediction, stack) identity: the hash is
+  // O(1) to read off the stack head, and the structural equality check
+  // short-circuits on shared tails, so a dedup probe no longer
+  // serializes the whole stack.
+  struct SeenKey {
+    ProductionId Prediction;
+    SimStackPtr Stack;
+    uint64_t Hash;
+  };
+  struct SeenHash {
+    size_t operator()(const SeenKey &K) const {
+      return static_cast<size_t>(K.Hash);
+    }
+  };
+  struct SeenEq {
+    bool operator()(const SeenKey &A, const SeenKey &B) const {
+      return A.Prediction == B.Prediction &&
+             simStackEquals(A.Stack.get(), B.Stack.get());
+    }
+  };
+
+  std::vector<Subparser> Work;
+  std::unordered_set<SeenKey, SeenHash, SeenEq> Seen;
 
 public:
   Simulator(const Grammar &G, const PredictionTables *Tables, SimMode Mode,
@@ -119,33 +148,42 @@ public:
            "SLL simulation requires prediction tables");
   }
 
-  /// Advances every subparser in \p Work until it is stable (head symbol is
+  /// Clears the worklist and exposes it for initial seeding; follow with
+  /// closure().
+  std::vector<Subparser> &seed() {
+    Work.clear();
+    return Work;
+  }
+
+  /// Consumes terminal \p T, seeding the worklist for the next closure():
+  /// stable subparsers whose head matches advance (resetting their visited
+  /// sets); all others, including finals, die.
+  void moveInto(const std::vector<Subparser> &Configs, TerminalId T) {
+    Work.clear();
+    for (const Subparser &Sp : Configs) {
+      if (!Sp.Stack)
+        continue;
+      const SimFrame &Top = Sp.Stack->F;
+      Symbol Head = Top.headSymbol();
+      assert(Head.isTerminal() && "move on a non-stable subparser");
+      if (Head.terminalId() != T)
+        continue;
+      SimFrame Advanced = Top;
+      Advanced.Pos += 1;
+      Work.push_back(Subparser{Sp.Prediction,
+                               makeSimStack(Advanced, Sp.Stack->Tail),
+                               VisitedSet()});
+    }
+  }
+
+  /// Advances every seeded subparser until it is stable (head symbol is
   /// a terminal) or final (stack empty), forking at nonterminals and
   /// performing returns at exhausted frames. Detects left recursion via the
-  /// per-subparser visited sets.
-  ClosureOut closure(std::vector<Subparser> Work) const {
+  /// per-subparser visited sets. Drains the worklist seeded by seed() or
+  /// moveInto().
+  ClosureOut closure() {
     ClosureOut Out;
-    // Dedup on the hash-consed (prediction, stack) identity: the hash is
-    // O(1) to read off the stack head, and the structural equality check
-    // short-circuits on shared tails, so a dedup probe no longer
-    // serializes the whole stack.
-    struct SeenKey {
-      ProductionId Prediction;
-      SimStackPtr Stack;
-      uint64_t Hash;
-    };
-    struct SeenHash {
-      size_t operator()(const SeenKey &K) const {
-        return static_cast<size_t>(K.Hash);
-      }
-    };
-    struct SeenEq {
-      bool operator()(const SeenKey &A, const SeenKey &B) const {
-        return A.Prediction == B.Prediction &&
-               simStackEquals(A.Stack.get(), B.Stack.get());
-      }
-    };
-    std::unordered_set<SeenKey, SeenHash, SeenEq> Seen;
+    Seen.clear();
     while (!Work.empty()) {
       // Closure rounds, not machine steps, dominate worst-case prediction
       // work, so the budget is ticked here too.
@@ -188,10 +226,10 @@ public:
           assert(!Caller.done() && Caller.headSymbol().isNonterminal() &&
                  "caller frame has no open nonterminal");
           Caller.Pos += 1;
-          Work.push_back(Subparser{
-              Sp.Prediction,
-              std::make_shared<SimStackNode>(Caller, Sp.Stack->Tail->Tail),
-              std::move(PoppedVisited)});
+          Work.push_back(
+              Subparser{Sp.Prediction,
+                        makeSimStack(Caller, Sp.Stack->Tail->Tail),
+                        std::move(PoppedVisited)});
           continue;
         }
         // Empty-stack return: simulate a return to the statically computed
@@ -201,10 +239,9 @@ public:
         if (Tables->canFinish(Lhs))
           Work.push_back(Subparser{Sp.Prediction, nullptr, PoppedVisited});
         for (const SimFrame &Target : Tables->returnTargets(Lhs))
-          Work.push_back(
-              Subparser{Sp.Prediction,
-                        std::make_shared<SimStackNode>(Target, nullptr),
-                        PoppedVisited});
+          Work.push_back(Subparser{Sp.Prediction,
+                                   makeSimStack(Target, nullptr),
+                                   PoppedVisited});
         continue;
       }
 
@@ -223,32 +260,9 @@ public:
       for (ProductionId P : G.productionsFor(Y))
         Work.push_back(
             Subparser{Sp.Prediction,
-                      std::make_shared<SimStackNode>(
-                          SimFrame{P, &G.production(P).Rhs, 0}, Sp.Stack),
+                      makeSimStack(SimFrame{P, &G.production(P).Rhs, 0},
+                                   Sp.Stack),
                       PushedVisited});
-    }
-    return Out;
-  }
-
-  /// Consumes terminal \p T: stable subparsers whose head matches advance
-  /// (resetting their visited sets); all others, including finals, die.
-  std::vector<Subparser> move(const std::vector<Subparser> &Configs,
-                              TerminalId T) const {
-    std::vector<Subparser> Out;
-    for (const Subparser &Sp : Configs) {
-      if (!Sp.Stack)
-        continue;
-      const SimFrame &Top = Sp.Stack->F;
-      Symbol Head = Top.headSymbol();
-      assert(Head.isTerminal() && "move on a non-stable subparser");
-      if (Head.terminalId() != T)
-        continue;
-      SimFrame Advanced = Top;
-      Advanced.Pos += 1;
-      Out.push_back(Subparser{
-          Sp.Prediction,
-          std::make_shared<SimStackNode>(Advanced, Sp.Stack->Tail),
-          VisitedSet()});
     }
     return Out;
   }
@@ -306,20 +320,18 @@ PredictionResult costar::llPredict(const Grammar &G, NonterminalId X,
   // nonterminal stays open in the top frame.
   SimStackPtr Base;
   for (const Frame &F : MachineStack)
-    Base = std::make_shared<SimStackNode>(
-        SimFrame{F.Prod, F.Syms, static_cast<uint32_t>(F.Next)}, Base);
-
-  VisitedSet InitVisited = Visited.insert(X);
-  std::vector<Subparser> Init;
-  for (ProductionId P : G.productionsFor(X))
-    Init.push_back(
-        Subparser{P,
-                  std::make_shared<SimStackNode>(
-                      SimFrame{P, &G.production(P).Rhs, 0}, Base),
-                  InitVisited});
+    Base = makeSimStack(SimFrame{F.Prod, F.Syms, static_cast<uint32_t>(F.Next)},
+                        Base);
 
   Simulator Sim(G, nullptr, SimMode::LL, Budget);
-  ClosureOut CR = Sim.closure(std::move(Init));
+  VisitedSet InitVisited = Visited.insert(X);
+  std::vector<Subparser> &Init = Sim.seed();
+  for (ProductionId P : G.productionsFor(X))
+    Init.push_back(
+        Subparser{P, makeSimStack(SimFrame{P, &G.production(P).Rhs, 0}, Base),
+                  InitVisited});
+
+  ClosureOut CR = Sim.closure();
   size_t I = Pos;
   for (;;) {
     if (CR.Err)
@@ -333,7 +345,8 @@ PredictionResult costar::llPredict(const Grammar &G, NonterminalId X,
       return PredictionResult::unique(Preds[0]);
     if (I == Input.size())
       return resolveAtEndOfInput(distinctFinalPredictions(CR.Configs));
-    CR = Sim.closure(Sim.move(CR.Configs, Input[I].Term));
+    Sim.moveInto(CR.Configs, Input[I].Term);
+    CR = Sim.closure();
     ++I;
   }
 }
@@ -341,6 +354,52 @@ PredictionResult costar::llPredict(const Grammar &G, NonterminalId X,
 //===----------------------------------------------------------------------===//
 // SLL cache
 //===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deep-copies an epoch-arena sim stack into owning heap nodes so cached
+/// DFA configs survive the parse that built them. The memo preserves the
+/// tail sharing closure produced (configs of one state routinely share
+/// stack suffixes); it is a flat vector scanned newest-first because the
+/// sharing point is almost always the most recently detached suffix.
+/// Nodes the active arena does not own anchor the recursion: they live in
+/// earlier states of this same cache (detached by a previous intern, or
+/// borrowed from one by makeSimStack), and caches are exchanged wholesale
+/// (publish/adopt replaces, never merges per-state), so an anchor can
+/// never outlive the state that owns it. Deliberately bypasses
+/// makeSimStack: detaching is a lifetime operation, so it bumps no
+/// allocation counters and hits no fault-injection site — cached-state
+/// contents and stats stay identical across allocation backends.
+SimStackPtr detachSimStack(
+    const SimStackPtr &S, adt::Arena *A,
+    const std::shared_ptr<std::deque<SimStackNode>> &Block,
+    std::vector<std::pair<const SimStackNode *, SimStackPtr>> &Memo) {
+  if (!S || !A->owns(S.get()))
+    return S;
+  for (auto It = Memo.rbegin(); It != Memo.rend(); ++It)
+    if (It->first == S.get())
+      return It->second;
+  SimStackPtr Tail = detachSimStack(S->Tail, A, Block, Memo);
+  // All detached nodes of one state share a single heap block (a deque, so
+  // addresses are push-stable) behind one control block; handles alias
+  // into it. One allocation per block chunk instead of per node.
+  //
+  // A tail that was itself arena-owned has just been detached into this
+  // same block — store it as a *non-owning* alias: an owning handle held
+  // inside the block it owns would be a shared_ptr cycle (the block could
+  // never die). The block stays alive through the owning top-of-stack
+  // handles the interned configs hold; tails from earlier blocks (already
+  // heap-detached) keep their owning handles, which is acyclic because
+  // references only ever point at older blocks.
+  if (S->Tail && A->owns(S->Tail.get()))
+    Tail = adt::arenaRef(Tail.get());
+  Block->push_back(SimStackNode(S->F, std::move(Tail)));
+  SimStackPtr Owned(Block, &Block->back());
+  Memo.emplace_back(S.get(), Owned);
+  return Owned;
+}
+
+} // namespace
 
 uint32_t SllCache::intern(std::vector<Subparser> Configs) {
   // Canonicalize: sort configs by serialized identity, then flatten into a
@@ -377,6 +436,17 @@ uint32_t SllCache::intern(std::vector<Subparser> Configs) {
   St.Configs.reserve(Configs.size());
   for (const auto &[Key, Index] : Keyed)
     St.Configs.push_back(std::move(Configs[Index]));
+  // The cache outlives the parse epoch: re-anchor any arena-allocated sim
+  // stacks on the heap before the state is stored.
+  if (adt::Arena *A = adt::activeArena()) {
+    auto Block = std::make_shared<std::deque<SimStackNode>>();
+    std::vector<std::pair<const SimStackNode *, SimStackPtr>> Memo;
+    for (Subparser &Sp : St.Configs) {
+      assert(Sp.Visited.empty() &&
+             "cached configs must carry empty visited sets");
+      Sp.Stack = detachSimStack(Sp.Stack, A, Block, Memo);
+    }
+  }
   std::vector<ProductionId> Preds = distinctPredictions(St.Configs);
   if (Preds.empty())
     St.Res = Resolution::Reject;
@@ -463,14 +533,13 @@ PredictionResult costar::sllPredict(const Grammar &G,
   } else {
     ++Cache.Misses;
     VisitedSet InitVisited = VisitedSet().insert(X);
-    std::vector<Subparser> Init;
+    std::vector<Subparser> &Init = Sim.seed();
     for (ProductionId P : G.productionsFor(X))
       Init.push_back(
           Subparser{P,
-                    std::make_shared<SimStackNode>(
-                        SimFrame{P, &G.production(P).Rhs, 0}, nullptr),
+                    makeSimStack(SimFrame{P, &G.production(P).Rhs, 0}, nullptr),
                     InitVisited});
-    ClosureOut CR = Sim.closure(std::move(Init));
+    ClosureOut CR = Sim.closure();
     if (CR.Err)
       return PredictionResult::error(*CR.Err);
     Sid = Cache.intern(std::move(CR.Configs));
@@ -507,7 +576,8 @@ PredictionResult costar::sllPredict(const Grammar &G,
         Trace->emit(obs::EventKind::SllCacheHit, Sid, T, 0, I);
     } else {
       ++Cache.Misses;
-      ClosureOut CR = Sim.closure(Sim.move(Cache.state(Sid).Configs, T));
+      Sim.moveInto(Cache.state(Sid).Configs, T);
+      ClosureOut CR = Sim.closure();
       if (CR.Err)
         return PredictionResult::error(*CR.Err);
       uint32_t NextId = Cache.intern(std::move(CR.Configs));

@@ -93,12 +93,31 @@ struct SimStackNode {
 
   SimStackNode(SimFrame F, SimStackPtr Tail)
       : F(F), Tail(std::move(Tail)),
-        Hash(hashOnto(this->Tail ? this->Tail->Hash : 0x5DEECE66Dull, F)) {
-    // Prediction's closure forks dominate worst-case allocation; the
-    // robust::ParseBudget memory cap reads this counter's delta.
-    ++adt::AllocationCounters::nodes();
-  }
+        Hash(hashOnto(this->Tail ? this->Tail->Hash : 0x5DEECE66Dull, F)) {}
 };
+
+/// Creates a sim-stack node on the parse's allocation substrate: the active
+/// arena (as a non-owning handle) when one is installed, an owning
+/// make_shared otherwise. Prediction's closure forks dominate worst-case
+/// allocation, so this is one of the three ported hot sites; the counters
+/// live here rather than in the constructor so epoch-escaping deep copies
+/// (SllCache's config detachment) stay invisible to budgets and stats and
+/// the node count is identical across allocation backends.
+inline SimStackPtr makeSimStack(SimFrame F, SimStackPtr Tail) {
+  ++adt::AllocationCounters::nodes();
+  if (adt::Arena *A = adt::activeArena()) {
+    // The tail is either another arena node (non-owning arenaRef already)
+    // or a cache-owned heap node (cached configs are detached to the heap
+    // at intern, and every cache outlives the epochs that read it) — so
+    // the arena node *borrows* its tail instead of refcounting it, and no
+    // finalizer is needed: the node's destructor would be a no-op.
+    return adt::arenaRef(A->createUnmanaged<SimStackNode>(
+        F, SimStackPtr(SimStackPtr(), Tail.get())));
+  }
+  adt::AllocationCounters::bytes() +=
+      sizeof(SimStackNode) + adt::SharedCtrlBlockBytes;
+  return std::make_shared<const SimStackNode>(F, std::move(Tail));
+}
 
 /// Structural equality of two simulation stacks, short-circuiting on
 /// shared tails (forks produced by closure share tails by construction, so
@@ -217,11 +236,83 @@ public:
     ProductionId UniquePred = InvalidProductionId;
     /// Distinct predictions of final (empty-stack) configs, ascending.
     std::vector<ProductionId> FinalPreds;
+
+    DfaState() = default;
+    DfaState(DfaState &&) = default;
+    DfaState &operator=(DfaState &&) = default;
+    // Deep copies are counted: the snapshot/publish regression test pins
+    // that copying a cache value no longer re-copies unchanged states.
+    DfaState(const DfaState &Other)
+        : Configs(Other.Configs), Res(Other.Res),
+          UniquePred(Other.UniquePred), FinalPreds(Other.FinalPreds) {
+      ++copies();
+    }
+    DfaState &operator=(const DfaState &Other) {
+      if (this != &Other) {
+        Configs = Other.Configs;
+        Res = Other.Res;
+        UniquePred = Other.UniquePred;
+        FinalPreds = Other.FinalPreds;
+        ++copies();
+      }
+      return *this;
+    }
+
+    /// Thread-local count of deep DfaState copies (tests only).
+    static uint64_t &copies() {
+      thread_local uint64_t Count = 0;
+      return Count;
+    }
+  };
+
+  /// Append-only DFA state storage with O(1) structural sharing: states
+  /// live in fixed-size chunks held by shared_ptr, so copying the table
+  /// (SharedSllCache snapshot/publish/adopt) copies chunk *pointers*, not
+  /// states. push_back clones only a partially-filled last chunk that is
+  /// still shared with a snapshot (copy-on-write; at most ChunkSize - 1
+  /// DfaState copies per divergence, independent of cache size). Chunks
+  /// are immutable once full, so cross-thread sharing is safe; the
+  /// use_count() == 1 check is the standard sole-owner COW test.
+  class DfaStateTable {
+    static constexpr size_t ChunkShift = 6;
+    static constexpr size_t ChunkCap = size_t(1) << ChunkShift;
+    struct Chunk {
+      std::vector<DfaState> Items;
+    };
+    std::vector<std::shared_ptr<Chunk>> Chunks;
+    size_t Count = 0;
+
+  public:
+    size_t size() const { return Count; }
+
+    const DfaState &operator[](size_t I) const {
+      assert(I < Count && "DFA state id out of range");
+      return Chunks[I >> ChunkShift]->Items[I & (ChunkCap - 1)];
+    }
+
+    void push_back(DfaState St) {
+      if (Count & (ChunkCap - 1)) {
+        std::shared_ptr<Chunk> &Last = Chunks.back();
+        if (Last.use_count() != 1) {
+          auto Fresh = std::make_shared<Chunk>();
+          Fresh->Items.reserve(ChunkCap);
+          Fresh->Items = Last->Items;
+          Last = std::move(Fresh);
+        }
+        Last->Items.push_back(std::move(St));
+      } else {
+        auto Fresh = std::make_shared<Chunk>();
+        Fresh->Items.reserve(ChunkCap);
+        Fresh->Items.push_back(std::move(St));
+        Chunks.push_back(std::move(Fresh));
+      }
+      ++Count;
+    }
   };
 
 private:
   CacheBackend Backend = CacheBackend::Hashed;
-  std::vector<DfaState> States;
+  DfaStateTable States;
   // AvlPaperFaithful indexes (empty under the Hashed backend).
   adt::PersistentMap<std::vector<uint32_t>, uint32_t, CacheKeyLess> AvlIntern;
   adt::PersistentMap<uint64_t, uint32_t, CacheU64Less> AvlTransitions;

@@ -14,14 +14,21 @@
 /// The design is read-mostly snapshot + mutex-guarded publish:
 ///
 ///  - snapshot() hands out an immutable, shared SllCache value. A worker
-///    copies it into a thread-local cache (O(1) per persistent-map backend
-///    structure, O(states) for the hashed indexes) and parses lock-free
-///    against the copy, warming it further.
+///    copies it into a thread-local cache and parses lock-free against the
+///    copy, warming it further. DFA states live in SllCache::DfaStateTable,
+///    a chunked copy-on-write container: copying a cache copies chunk
+///    *pointers*, never the states themselves (at most one partially-filled
+///    chunk is cloned later, when the copy first diverges), so neither
+///    seeding, publishing, nor adopting re-copies unchanged DFA states.
+///    The index structures are O(1) for the persistent-map backend and a
+///    flat-array copy for the hashed one.
 ///
 ///  - publish() offers a warmed cache back. Under the mutex, the offer
 ///    replaces the snapshot only if it covers strictly more of the DFA
 ///    (states + transitions) than the current one, so the shared cache
-///    grows monotonically and late small offers cannot regress it.
+///    grows monotonically, late small offers cannot regress it, and a
+///    no-op offer costs one coverage comparison — it does not scale with
+///    cache size.
 ///
 /// Workers never merge caches; any warm cache is a correct cache (the DFA
 /// is a pure function of the grammar), so coverage only affects speed —

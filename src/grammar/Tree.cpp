@@ -10,6 +10,39 @@
 
 using namespace costar;
 
+const Tree *
+Tree::detachImpl(const Tree &T,
+                 const std::shared_ptr<std::vector<Tree>> &Block) {
+  // Post-order: children are emplaced (and their block slots fixed) before
+  // the parent's forest references them. The block was reserved to the
+  // exact node count, so element addresses are stable. Child handles are
+  // non-owning (arenaRef): a handle stored *inside* the block that owned
+  // the block would form a shared_ptr cycle and leak the whole copy.
+  if (T.isLeaf()) {
+    Block->push_back(Tree(T.Tok));
+    return &Block->back();
+  }
+  Forest Kids;
+  Kids.reserve(T.Children.size());
+  for (const TreePtr &Child : T.Children)
+    Kids.push_back(adt::arenaRef(detachImpl(*Child, Block)));
+  Block->push_back(Tree(T.Nt, std::move(Kids)));
+  return &Block->back();
+}
+
+TreePtr Tree::detach() const {
+  // Suppress any active arena so the copy's nodes and forest buffers are
+  // heap-owned and the result survives the epoch. The copy's nodes all
+  // live in one exact-sized heap block behind one control block, with the
+  // child handles aliased into it: escaping a tree costs one allocation
+  // plus one refcount bump per node instead of one allocation *and*
+  // control block per node.
+  adt::ScopedArena Suppress(nullptr);
+  auto Block = std::make_shared<std::vector<Tree>>();
+  Block->reserve(nodeCount());
+  return TreePtr(Block, detachImpl(*this, Block));
+}
+
 void Tree::appendYield(Word &Out) const {
   if (isLeaf()) {
     Out.push_back(Tok);
@@ -17,15 +50,6 @@ void Tree::appendYield(Word &Out) const {
   }
   for (const TreePtr &Child : Children)
     Child->appendYield(Out);
-}
-
-size_t Tree::nodeCount() const {
-  if (isLeaf())
-    return 1;
-  size_t Count = 1;
-  for (const TreePtr &Child : Children)
-    Count += Child->nodeCount();
-  return Count;
 }
 
 bool Tree::equals(const Tree &A, const Tree &B) {

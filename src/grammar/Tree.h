@@ -6,17 +6,22 @@
 ///
 /// \file
 /// Immutable parse trees (Figure 1 of the paper: v ::= Leaf(t) | Node(X, f)).
-/// Trees are shared via shared_ptr<const Tree>: partial derivations built on
-/// the machine's prefix stack become subtrees of the final result without
-/// copying, which stands in for the garbage-collected sharing the extracted
-/// OCaml implementation enjoys (and removes the manual-memory-management
-/// friction of building ALL(*) parse forests in C++ by hand).
+/// Trees are shared via shared_ptr<const Tree> handles: partial derivations
+/// built on the machine's prefix stack become subtrees of the final result
+/// without copying, which stands in for the garbage-collected sharing the
+/// extracted OCaml implementation enjoys. The handle type hides two
+/// substrates (adt/ArenaPtr.h): under AllocBackend::Arena (the default)
+/// nodes live in the parse epoch's arena behind *non-owning* aliased
+/// handles — two-word copies, no refcount traffic — and results escape the
+/// epoch via Tree::detach(); under SharedPtrPaperFaithful every node is an
+/// owning heap allocation, the GC-faithful ablation baseline.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef COSTAR_GRAMMAR_TREE_H
 #define COSTAR_GRAMMAR_TREE_H
 
+#include "adt/ArenaPtr.h"
 #include "adt/Instrument.h"
 #include "grammar/Token.h"
 #include "robust/FaultInjection.h"
@@ -32,8 +37,11 @@ class Tree;
 
 /// Shared immutable parse tree handle.
 using TreePtr = std::shared_ptr<const Tree>;
-/// A forest: the children of a Node, in left-to-right order.
-using Forest = std::vector<TreePtr>;
+/// A forest: the children of a Node, in left-to-right order. The buffer is
+/// epoch-allocated: it comes from the active arena during a parse and from
+/// the heap otherwise (adt::EpochAllocator routes deallocation by
+/// ownership, so either way the container is safe to destroy at any time).
+using Forest = std::vector<TreePtr, adt::EpochAllocator<TreePtr>>;
 
 /// An immutable parse tree node: a Leaf holding one token, or a Node holding
 /// a nonterminal and the subtrees for one of its right-hand sides.
@@ -45,26 +53,74 @@ private:
   Kind TreeKind;
   Token Tok;            // valid when TreeKind == Leaf
   NonterminalId Nt = 0; // valid when TreeKind == Node
-  Forest Children;      // valid when TreeKind == Node
+  /// Total nodes in this subtree (this node included), computed bottom-up
+  /// at construction so nodeCount() — and Tree::detach()'s exact block
+  /// reservation — is O(1). Fits in an alignment hole; trees large enough
+  /// to overflow 32 bits would not fit in memory.
+  uint32_t Subtree = 1;
+  Forest Children; // valid when TreeKind == Node
 
   explicit Tree(Token Tok) : TreeKind(Kind::Leaf), Tok(std::move(Tok)) {}
   Tree(NonterminalId Nt, Forest Children)
-      : TreeKind(Kind::Node), Nt(Nt), Children(std::move(Children)) {}
+      : TreeKind(Kind::Node), Nt(Nt), Children(std::move(Children)) {
+    for (const TreePtr &Child : this->Children)
+      Subtree += Child->Subtree;
+  }
+
+  friend class adt::Arena; // placement-constructs nodes in the arena path
+
+  /// Deep copy with no counting and no fault injection: detaching is a
+  /// lifetime operation, not parse work, so budgets and stats see the same
+  /// numbers on both allocation backends. Copies post-order into \p Block
+  /// (pre-reserved to the exact node count) and returns the raw address of
+  /// the copy's root within it. Interior child handles are *non-owning*
+  /// aliases into the block — owning ones would make the block own itself
+  /// (a shared_ptr cycle, i.e. a leak); only the root handle detach()
+  /// wraps around the returned pointer owns the block.
+  static const Tree *
+  detachImpl(const Tree &T, const std::shared_ptr<std::vector<Tree>> &Block);
 
 public:
-  // Both constructors feed the thread-local allocation counter (the
-  // robust::ParseBudget memory cap reads its delta) and are an abort-class
-  // fault-injection site.
+  // Both creation paths feed the thread-local allocation counters (the
+  // robust::ParseBudget caps read their deltas) and are an abort-class
+  // fault-injection site. With an active arena the node is bump-allocated
+  // behind a non-owning handle; otherwise it is an owning heap allocation.
   static TreePtr leaf(Token Tok) {
     ++adt::AllocationCounters::nodes();
     robust::injectPoint(robust::FaultSite::TreeAlloc);
+    if (adt::Arena *A = adt::activeArena())
+      return adt::arenaRef(A->create<Tree>(std::move(Tok)));
+    adt::AllocationCounters::bytes() +=
+        sizeof(Tree) + adt::SharedCtrlBlockBytes;
     return TreePtr(new Tree(std::move(Tok)));
   }
   static TreePtr node(NonterminalId Nt, Forest Children) {
     ++adt::AllocationCounters::nodes();
     robust::injectPoint(robust::FaultSite::TreeAlloc);
+    // Internal arena nodes skip finalizer registration: their children
+    // handles are non-owning arenaRefs and the forest buffer is
+    // arena-owned (EpochAllocator reclaims it with the epoch), so the
+    // destructor would be a no-op. Leaves keep theirs — a Token's lexeme
+    // may own heap storage.
+    if (adt::Arena *A = adt::activeArena())
+      return adt::arenaRef(A->createUnmanaged<Tree>(Nt, std::move(Children)));
+    adt::AllocationCounters::bytes() +=
+        sizeof(Tree) + adt::SharedCtrlBlockBytes;
     return TreePtr(new Tree(Nt, std::move(Children)));
   }
+
+  /// \returns an owning deep copy of this tree whose nodes and forest
+  /// buffers are heap-allocated, independent of any arena epoch. Results
+  /// returned by Machine::run() are detached automatically when an arena
+  /// is active; call this explicitly for any other tree that must outlive
+  /// the parse that built it. Always copies (also under the shared_ptr
+  /// backend, where it is merely unnecessary).
+  ///
+  /// Lifetime: the returned root handle owns the whole copy; child handles
+  /// reached through children() borrow from it (the same convention as
+  /// arena-backed trees and epoch-handoff results). Keep the root alive
+  /// while any interior handle is in use.
+  TreePtr detach() const;
 
   Kind kind() const { return TreeKind; }
   bool isLeaf() const { return TreeKind == Kind::Leaf; }
@@ -98,7 +154,7 @@ public:
   }
 
   /// \returns the number of tree nodes (leaves and internal).
-  size_t nodeCount() const;
+  size_t nodeCount() const { return Subtree; }
 
   /// Structural equality (tokens compare by terminal and literal).
   static bool equals(const Tree &A, const Tree &B);

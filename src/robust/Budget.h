@@ -83,6 +83,14 @@ struct ParseBudget {
   /// Parse-path node allocations (adt::AllocationCounters::nodes() delta:
   /// tree nodes + subparser stack nodes) before the parse is cut off.
   uint64_t MaxAllocations = Unlimited;
+  /// Parse-path bytes (adt::AllocationCounters::bytes() delta) before the
+  /// parse is cut off. Deterministic within an allocation backend, but the
+  /// accounting is backend-dependent (the arena counts every bump-allocated
+  /// byte including container buffers and visited-set path copies; the
+  /// shared_ptr baseline estimates node + control-block bytes), so tune
+  /// this cap for the backend you deploy. MaxAllocations is the
+  /// backend-independent alternative.
+  uint64_t MaxAllocBytes = Unlimited;
   /// External cooperative cancellation: when non-null and set, the parse
   /// stops at the next poll with BudgetReason::Cancelled. The flag is only
   /// read, never written, and may be shared across parses and threads.
@@ -90,7 +98,8 @@ struct ParseBudget {
 
   bool unlimited() const {
     return MaxSteps == Unlimited && MaxWallMicros == Unlimited &&
-           MaxAllocations == Unlimited && Cancel == nullptr;
+           MaxAllocations == Unlimited && MaxAllocBytes == Unlimited &&
+           Cancel == nullptr;
   }
 };
 
@@ -127,11 +136,15 @@ class BudgetTracker {
   bool HasDeadline = false;
   std::chrono::steady_clock::time_point Deadline;
   uint64_t AllocBase = 0;
+  uint64_t BytesBase = 0;
   uint32_t PollCountdown = 1;
 
   std::optional<BudgetReason> poll() {
     if (B->MaxAllocations != ParseBudget::Unlimited &&
         adt::AllocationCounters::nodes() - AllocBase > B->MaxAllocations)
+      return BudgetReason::Memory;
+    if (B->MaxAllocBytes != ParseBudget::Unlimited &&
+        adt::AllocationCounters::bytes() - BytesBase > B->MaxAllocBytes)
       return BudgetReason::Memory;
     if (--PollCountdown == 0) {
       PollCountdown = PollInterval;
@@ -154,6 +167,7 @@ public:
     if (!Enabled)
       return;
     AllocBase = adt::AllocationCounters::nodes();
+    BytesBase = adt::AllocationCounters::bytes();
     PollCountdown = 1;
     HasDeadline = Budget.MaxWallMicros != ParseBudget::Unlimited;
     if (HasDeadline)

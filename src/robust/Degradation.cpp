@@ -9,6 +9,8 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
+#include <optional>
+
 using namespace costar;
 using namespace costar::robust;
 
@@ -29,14 +31,27 @@ RobustOutcome costar::robust::parseRobust(const Grammar &G,
                                           const ParseOptions &Opts,
                                           SllCache *SharedCache,
                                           Machine::Stats *StatsOut) {
-  Machine First(G, Tables, Start, Input, Opts, SharedCache);
-  ParseResult FirstResult = First.run();
-  if (StatsOut)
-    StatsOut->accumulate(First.stats());
-  if (!retryable(FirstResult, Opts))
-    return RobustOutcome{std::move(FirstResult), false, false, {}};
+  // The first machine is destroyed before the retry runs: both may share
+  // one epoch arena (Opts.AllocArena), and the retry's run() rewinds it —
+  // the failed attempt's frames must not outlive that rewind. Its *result*
+  // safely does: accepted trees escape the epoch in run() (detached copy,
+  // or a handle co-owning a machine-private arena under
+  // DetachResults == false), and retryable results carry no trees at all.
+  // A caller who combines DetachResults == false with a caller-supplied
+  // arena owns the borrowed result's lifetime, here as everywhere.
+  uint64_t FirstSteps = 0;
+  std::optional<ParseResult> FirstResult;
+  {
+    Machine First(G, Tables, Start, Input, Opts, SharedCache);
+    FirstResult = First.run();
+    if (StatsOut)
+      StatsOut->accumulate(First.stats());
+    FirstSteps = First.stats().Steps;
+  }
+  if (!retryable(*FirstResult, Opts))
+    return RobustOutcome{std::move(*FirstResult), false, false, {}};
 
-  std::string FirstError = FirstResult.err().Message;
+  std::string FirstError = FirstResult->err().Message;
   ParseOptions Retry = Opts;
   Retry.Backend = CacheBackend::AvlPaperFaithful;
   // The retry runs on a fresh machine-local cache: whatever state the
@@ -50,7 +65,7 @@ RobustOutcome costar::robust::parseRobust(const Grammar &G,
   bool Recovered = RetryResult.kind() != ParseResult::Kind::Error;
   if (Opts.Trace)
     Opts.Trace->emit(obs::EventKind::BackendDowngrade, Recovered ? 1 : 0, 0,
-                     First.stats().Steps + Second.stats().Steps);
+                     FirstSteps + Second.stats().Steps);
   if (Opts.Metrics) {
     Opts.Metrics->add("robust.downgrades");
     if (Recovered)

@@ -58,6 +58,19 @@ BatchResult BatchParser::parseAll(const std::vector<Word> &Corpus,
     Parse.Trace = Trace;
     Parse.Metrics = Opts.CollectMetrics ? &Registries[ThreadIdx] : nullptr;
     Parse.Faults = nullptr; // the worker-scope injector governs
+    // Arenas are single-threaded; like the sinks above, any caller-supplied
+    // arena is overridden with a worker-lifetime one whose slabs warm up
+    // across the words this thread parses. Results are always detached:
+    // the batch retains every result until parseAll returns, and epoch
+    // handoff (DetachResults == false) would pin one full arena per word —
+    // unbounded memory for exactly the workloads BatchParser exists for —
+    // while a *borrowed* result would dangle at the next word's rewind.
+    Parse.DetachResults = true;
+    std::optional<adt::Arena> WorkerArena;
+    if (Parse.Alloc == adt::AllocBackend::Arena) {
+      WorkerArena.emplace();
+      Parse.AllocArena = &*WorkerArena;
+    }
     // Thread-local warm cache, seeded from the current shared snapshot
     // (whose counters are zero: snapshots carry structure, not activity).
     SllCache Local = *Shared.snapshot();

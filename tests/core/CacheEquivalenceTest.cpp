@@ -22,6 +22,7 @@
 
 #include "core/Parser.h"
 #include "core/SharedSllCache.h"
+#include "lang/Language.h"
 
 #include "../RandomGrammar.h"
 #include "../TestGrammars.h"
@@ -322,4 +323,58 @@ TEST(SharedCacheStats, MidBatchPublishKeepsAggregateDeltasConsistent) {
   uint64_t Every2 = TotalLookups(2);
   uint64_t Every8 = TotalLookups(8);
   EXPECT_EQ(Every2, Every8);
+}
+
+TEST(SharedCacheCopies, SnapshotExchangeDoesNotRecopyUnchangedStates) {
+  // Regression test for the chunked copy-on-write DfaStateTable: copying a
+  // cache (seed, publish, adopt) used to deep-copy every DFA state, so the
+  // cost of a publish/adopt cycle scaled with cache size. Now a copy moves
+  // chunk pointers, and at most one partially-filled chunk (< 64 states)
+  // is ever re-copied — when the copy first diverges from its ancestor.
+  lang::Language L = lang::makeLanguage(lang::LangId::Dot);
+  const Grammar &G = L.G;
+  NonterminalId S = L.Start;
+  GrammarAnalysis A(G, S);
+  PredictionTables Tables(G, A);
+  DerivationSampler Sampler(A, 3);
+
+  // Warm a multi-chunk cache (DOT reaches ~100 DFA states, the largest of
+  // the built-in language grammars: one full 64-state chunk plus a partial
+  // tail).
+  SharedSllCache Shared(CacheBackend::Hashed);
+  SllCache Local = *Shared.snapshot();
+  for (int I = 0; I < 120; ++I) {
+    Word W = Sampler.sampleWord(S, 12);
+    if (W.size() > 600)
+      continue;
+    Machine M(G, Tables, S, W, withBackend(CacheBackend::Hashed), &Local);
+    (void)M.run();
+  }
+  ASSERT_GT(Local.numStates(), 96u)
+      << "warmup too small to distinguish O(chunk) from O(states)";
+
+  // A full publish + snapshot + adopt cycle on the warmed cache.
+  SllCache::DfaState::copies() = 0;
+  ASSERT_TRUE(Shared.publish(Local));
+  SllCache Adopted = *Shared.snapshot();
+  uint64_t ExchangeCopies = SllCache::DfaState::copies();
+  EXPECT_LE(ExchangeCopies, 64u)
+      << "publish/adopt re-copied unchanged DFA states";
+
+  // A no-op publish (not warmer) must copy nothing at all.
+  SllCache::DfaState::copies() = 0;
+  EXPECT_FALSE(Shared.publish(Adopted));
+  EXPECT_EQ(SllCache::DfaState::copies(), 0u);
+
+  // The adopted copy stays fully usable, and warming it further touches at
+  // most the shared partial tail chunk.
+  SllCache::DfaState::copies() = 0;
+  for (int I = 0; I < 10; ++I) {
+    Word W = Sampler.sampleWord(S, 10);
+    Machine M(G, Tables, S, W, withBackend(CacheBackend::Hashed), &Adopted);
+    (void)M.run();
+  }
+  uint64_t DivergenceCopies = SllCache::DfaState::copies();
+  EXPECT_LT(DivergenceCopies, 64u)
+      << "diverging from a snapshot re-copied more than one chunk";
 }
