@@ -50,12 +50,15 @@ struct BenchCorpus {
 };
 
 /// Builds the corpus for \p Id: \p NumFiles files with token targets spread
-/// geometrically over [MinTokens, MaxTokens * scale].
+/// geometrically over [MinTokens, MaxTokens * scale]. Pass Scaled = false
+/// for corpora that are already minimal (e.g. cache-resident gate
+/// kernels), where COSTAR_BENCH_SCALE shrinking would leave timing
+/// windows too short to measure.
 inline BenchCorpus makeCorpus(lang::LangId Id, uint32_t NumFiles,
                               uint32_t MinTokens, uint32_t MaxTokens,
-                              uint64_t Seed = 20260706) {
+                              uint64_t Seed = 20260706, bool Scaled = true) {
   BenchCorpus C{lang::makeLanguage(Id), {}, {}, 0, 0};
-  double Scale = benchScale();
+  double Scale = Scaled ? benchScale() : 1.0;
   uint32_t Max = std::max<uint32_t>(MinTokens + 1,
                                     static_cast<uint32_t>(MaxTokens * Scale));
   workload::Corpus Raw =

@@ -1,31 +1,80 @@
 #!/usr/bin/env python3
-"""Fail CI when the arena allocation backend regresses against the
-committed BENCH_alloc.json baseline.
+"""Fail CI when a gated benchmark ratio regresses against its committed
+baseline JSON.
 
-Both files use the uniform BenchRecord schema written by
+Every bench binary writes the uniform BenchRecord schema from
 bench/BenchUtil.h: a JSON array of {"name", "metric", "value", "unit"}.
+Which metrics are gated — and in which direction — is keyed off the
+baseline file's basename, so CI invokes one script per baseline:
 
-CI runners and the machine that produced the committed baseline differ
-in absolute speed, so raw tokens/sec is not comparable across files.
-What *is* comparable is the arena backend's tokens/sec normalized by the
-sharedptr backend's tokens/sec measured in the same run (machine speed
-cancels out) — exactly the warm/small-suite arena_speedup and
-arena_epoch_speedup records the bench already emits. A >10% drop in
-either ratio means arena tokens/sec fell relative to the paper-faithful
-baseline: a real allocation-layer regression, not runner noise.
+  check_bench_regression.py BENCH_alloc.json build/bench/BENCH_alloc.json
+  check_bench_regression.py BENCH_micro.json build/bench/BENCH_micro.json
 
-Usage:
-  check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.10]
+CI runners and the machine that produced a committed baseline differ in
+absolute speed, so raw counts/sec never gate. What transfers across
+machines is a *ratio measured within one run* (arena vs sharedptr
+tokens/sec, SWAR vs scalar bytes/sec, optimized-CoStar vs ATN runtime):
+machine speed cancels out of the quotient. Gates therefore compare
+ratio metrics only, two ways:
+
+  - direction "higher" (speedups): fail when the current ratio drops
+    more than `tolerance` below the baseline's value.
+  - direction "lower" (slowdowns): fail when the current ratio rises
+    more than `tolerance` above the baseline's value.
+  - `bound`, when set, is an absolute cap/floor checked regardless of
+    the baseline value — e.g. optimized CoStar must beat the ATN
+    baseline (< 1.0) on every machine, not merely stay near the
+    committed ratio.
 """
 
 import argparse
 import json
+import os
 import sys
 
-GATED_METRICS = [
-    ("warm/small-suite", "arena_speedup"),
-    ("warm/small-suite", "arena_epoch_speedup"),
-]
+
+def higher(name, metric, tolerance=0.10, bound=None):
+    return {"name": name, "metric": metric, "direction": "higher",
+            "tolerance": tolerance, "bound": bound}
+
+
+def lower(name, metric, tolerance=0.10, bound=None):
+    return {"name": name, "metric": metric, "direction": "lower",
+            "tolerance": tolerance, "bound": bound}
+
+
+# Gate tables, keyed by the baseline file's basename. Tolerances are
+# looser where the measured kernel is more sensitive to runner shape
+# (the lexer ratio halves during SMT-sibling contention bursts, which
+# the bench rides out with spaced retries but a burst-constrained run
+# may still report near the 1.5x floor). Where a `bound` is set it
+# mirrors the bench binary's own hard gate — an absolute claim that
+# holds on any machine, regardless of the committed ratio.
+GATES = {
+    "BENCH_alloc.json": [
+        higher("warm/small-suite", "arena_speedup"),
+        higher("warm/small-suite", "arena_epoch_speedup"),
+    ],
+    "BENCH_micro.json": [
+        # The membership ratio is huge (10-30x) but its denominator — the
+        # std::set walk — is itself cache-sensitive, so the quotient
+        # swings widely run to run; the absolute floor carries the claim.
+        higher("membership/json", "bitset_speedup", tolerance=0.60,
+               bound=1.3),
+        higher("membership/python", "bitset_speedup", tolerance=0.60,
+               bound=1.3),
+        higher("lexer/json", "batched_speedup", tolerance=0.35, bound=1.5),
+        higher("lexer/python", "batched_speedup", tolerance=0.35,
+               bound=1.5),
+    ],
+    "BENCH_fig10.json": [
+        # The committed best ratio reflects warmed-cache reuse and is
+        # strongly machine-dependent; the absolute bound is the real
+        # claim (optimized CoStar beats the imperative ATN baseline).
+        lower("fig10/summary", "best_optimized_slowdown",
+              tolerance=3.0, bound=1.0),
+    ],
+}
 
 
 def load_records(path):
@@ -43,38 +92,61 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("current")
-    ap.add_argument("--tolerance", type=float, default=0.10,
-                    help="allowed fractional drop before failing "
-                         "(default 0.10 = 10%%)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="override every gate's allowed fractional "
+                         "change (default: per-gate values)")
     args = ap.parse_args()
+
+    key = os.path.basename(args.baseline)
+    if key not in GATES:
+        print(f"error: no gate table for baseline '{key}' "
+              f"(known: {', '.join(sorted(GATES))})", file=sys.stderr)
+        return 2
 
     base = load_records(args.baseline)
     cur = load_records(args.current)
 
     failed = False
-    for name, metric in GATED_METRICS:
-        key = (name, metric)
-        if key not in base:
-            print(f"SKIP  {name} {metric}: not in baseline "
-                  f"({args.baseline})")
+    for gate in GATES[key]:
+        k = (gate["name"], gate["metric"])
+        label = f"{gate['name']} {gate['metric']}"
+        if k not in base:
+            print(f"SKIP  {label}: not in baseline ({args.baseline})")
             continue
-        if key not in cur:
-            print(f"FAIL  {name} {metric}: missing from current run")
+        if k not in cur:
+            print(f"FAIL  {label}: missing from current run")
             failed = True
             continue
-        b, c = base[key], cur[key]
-        drop = (b - c) / b if b > 0 else 0.0
-        status = "FAIL" if drop > args.tolerance else "ok"
-        failed |= drop > args.tolerance
-        print(f"{status:<4}  {name} {metric}: baseline {b:.3f}x, "
-              f"current {c:.3f}x ({-100 * drop:+.1f}%)")
+        b, c = base[k], cur[k]
+        tol = args.tolerance if args.tolerance is not None \
+            else gate["tolerance"]
+        if gate["direction"] == "higher":
+            change = (b - c) / b if b > 0 else 0.0  # fractional drop
+            verb = "dropped"
+        else:
+            change = (c - b) / b if b > 0 else 0.0  # fractional rise
+            verb = "rose"
+        bad = change > tol
+        bound_bad = False
+        if gate["bound"] is not None:
+            bound_bad = (c > gate["bound"]
+                         if gate["direction"] == "lower"
+                         else c < gate["bound"])
+        status = "FAIL" if bad or bound_bad else "ok"
+        failed |= bad or bound_bad
+        extra = ""
+        if bound_bad:
+            cmp_ch = "<" if gate["direction"] == "lower" else ">"
+            extra = f" [bound: need {cmp_ch} {gate['bound']}]"
+        print(f"{status:<4}  {label}: baseline {b:.3f}x, current "
+              f"{c:.3f}x ({verb} {100 * max(change, 0):.1f}%, "
+              f"tol {100 * tol:.0f}%){extra}")
 
     if failed:
-        print(f"\narena backend regressed more than "
-              f"{100 * args.tolerance:.0f}% vs {args.baseline}",
-              file=sys.stderr)
+        print(f"\ngated benchmark ratios regressed beyond tolerance "
+              f"vs {args.baseline}", file=sys.stderr)
         return 1
-    print("\nno arena regression beyond tolerance")
+    print("\nno benchmark regression beyond tolerance")
     return 0
 
 

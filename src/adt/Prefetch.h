@@ -1,0 +1,47 @@
+//===- adt/Prefetch.h - Portable prefetch hints ----------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin portable wrappers over __builtin_prefetch for the pointer-chasing
+/// hot paths (sim-stack walks, DFA transition-table strides). A prefetch on
+/// a null pointer is architecturally a no-op, so callers may pass the
+/// not-yet-checked next link of a list walk without branching.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ADT_PREFETCH_H
+#define COSTAR_ADT_PREFETCH_H
+
+namespace costar {
+namespace adt {
+
+/// Hints that \p P will be read soon. Temporal locality \p Locality in
+/// [0,3]: 3 (default) keeps the line in all cache levels, 0 streams it.
+inline void prefetchRead(const void *P, [[maybe_unused]] int Locality = 3) {
+#if defined(__GNUC__) || defined(__clang__)
+  switch (Locality) {
+  case 0:
+    __builtin_prefetch(P, 0, 0);
+    break;
+  case 1:
+    __builtin_prefetch(P, 0, 1);
+    break;
+  case 2:
+    __builtin_prefetch(P, 0, 2);
+    break;
+  default:
+    __builtin_prefetch(P, 0, 3);
+    break;
+  }
+#else
+  (void)P;
+#endif
+}
+
+} // namespace adt
+} // namespace costar
+
+#endif // COSTAR_ADT_PREFETCH_H

@@ -219,6 +219,21 @@ std::vector<Conflict> findLl1Conflicts(const Grammar &G,
     Out.push_back(Conflict{X, Cell.Prod, P, FirstFirst, {Lookahead(T)}});
   };
 
+  if (const FirstFollowTables *T = A.tables()) {
+    // Shared claim enumeration (grammar/FirstFollow.h): the same routine
+    // that fills ll1::Ll1Table, so the static conflict report and the
+    // LL(1) parser generator can never disagree about a cell.
+    forEachLl1Claim(G, *T,
+                    [&](ProductionId Id, NonterminalId X, uint32_t C,
+                        Ll1ClaimSource Source) {
+                      Claim(X, C, Id,
+                            Source == Ll1ClaimSource::First
+                                ? CellSource::First
+                                : CellSource::Follow);
+                    });
+    return Out;
+  }
+
   for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
     const Production &P = G.production(Id);
     bool Nullable = false;

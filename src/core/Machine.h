@@ -76,6 +76,14 @@ struct ParseOptions {
   /// (AllocEquivalenceTest); only throughput and bytes-per-token differ.
   adt::AllocBackend Alloc = adt::AllocBackend::Arena;
 
+  /// Which FIRST/FOLLOW substrate backs the grammar analysis the parser
+  /// builds at construction (grammar/Analysis.h): Bitset (the default)
+  /// answers membership with flat uint64_t tables; SetPaperFaithful runs
+  /// the std::set fixpoints matching the paper's extracted code. Parse
+  /// results, stats, and traces are bit-identical across backends
+  /// (AnalysisEquivalenceTest); only construction and lookup cost differ.
+  AnalysisBackend Analysis = AnalysisBackend::Bitset;
+
   /// The arena to use when Alloc == Arena. When null the machine creates a
   /// private one; Parser installs its own persistent arena here so epochs
   /// reuse warmed slabs across parse() calls. Arenas are single-threaded:

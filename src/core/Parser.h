@@ -52,7 +52,7 @@ class Parser {
 
 public:
   Parser(const Grammar &G, NonterminalId Start, ParseOptions Opts = {})
-      : G(G), Start(Start), Opts(Opts), Analysis(G, Start),
+      : G(G), Start(Start), Opts(Opts), Analysis(G, Start, Opts.Analysis),
         Tables(G, Analysis), SharedCache(Opts.Backend) {
     if (this->Opts.Alloc == adt::AllocBackend::Arena &&
         !this->Opts.AllocArena) {

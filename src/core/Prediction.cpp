@@ -25,6 +25,10 @@ void costar::serializeSubparser(const Subparser &Sp,
                                 std::vector<uint32_t> &Out) {
   Out.push_back(Sp.Prediction);
   for (const SimStackNode *N = Sp.Stack.get(); N; N = N->Tail.get()) {
+    // Stack nodes are hash-consed heap/arena objects with no layout
+    // correlation, so the next link is a guaranteed cache miss on deep
+    // stacks; start its load while this frame serializes.
+    adt::prefetchRead(N->Tail.get());
     assert(N->F.Prod != SerialEnd && "production id collides with sentinel");
     Out.push_back(N->F.Prod);
     Out.push_back(N->F.Pos);

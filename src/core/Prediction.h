@@ -38,6 +38,7 @@
 #define COSTAR_CORE_PREDICTION_H
 
 #include "adt/HashIndex.h"
+#include "adt/Prefetch.h"
 #include "core/Frame.h"
 #include "core/ParseResult.h"
 #include "grammar/Analysis.h"
@@ -126,6 +127,10 @@ inline bool simStackEquals(const SimStackNode *A, const SimStackNode *B) {
   for (; A != B; A = A->Tail.get(), B = B->Tail.get()) {
     if (!A || !B || A->F.Prod != B->F.Prod || A->F.Pos != B->F.Pos)
       return false;
+    // Both walks chase unrelated heap/arena nodes; overlap the two next
+    // loads with this frame's comparison.
+    adt::prefetchRead(A->Tail.get());
+    adt::prefetchRead(B->Tail.get());
   }
   return true;
 }

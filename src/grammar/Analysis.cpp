@@ -8,8 +8,9 @@
 
 using namespace costar;
 
-GrammarAnalysis::GrammarAnalysis(const Grammar &Grammar, NonterminalId Start)
-    : G(Grammar) {
+GrammarAnalysis::GrammarAnalysis(const Grammar &Grammar, NonterminalId Start,
+                                 AnalysisBackend Backend)
+    : G(Grammar), Backend(Backend) {
   uint32_t N = G.numNonterminals();
   NullableNt.assign(N, false);
   FirstNt.assign(N, {});
@@ -17,11 +18,33 @@ GrammarAnalysis::GrammarAnalysis(const Grammar &Grammar, NonterminalId Start)
   FollowEndNt.assign(N, false);
   ProductiveNt.assign(N, false);
   MinHeightNt.assign(N, UINT32_MAX);
-  computeNullable();
-  computeFirst();
-  computeFollow(Start);
+  if (Backend == AnalysisBackend::Bitset) {
+    adoptTables(Start);
+  } else {
+    computeNullable();
+    computeFirst();
+    computeFollow(Start);
+  }
   computeProductive();
   computeMinHeight();
+}
+
+void GrammarAnalysis::adoptTables(NonterminalId Start) {
+  Tables.emplace(G, Start);
+  // Materialize the set views so first()/follow() callers and diagnostics
+  // see identical objects on both backends. Ascending bit iteration builds
+  // each set with end-position insert hints, so this is linear per row.
+  uint32_t N = G.numNonterminals();
+  for (uint32_t X = 0; X < N; ++X) {
+    NullableNt[X] = Tables->nullable(X);
+    FollowEndNt[X] = Tables->followEnd(X);
+    std::set<TerminalId> &First = FirstNt[X];
+    Tables->first().forEachSetBit(
+        X, [&](uint32_t T) { First.insert(First.end(), TerminalId(T)); });
+    std::set<TerminalId> &Follow = FollowNt[X];
+    Tables->follow().forEachSetBit(
+        X, [&](uint32_t T) { Follow.insert(Follow.end(), TerminalId(T)); });
+  }
 }
 
 void GrammarAnalysis::computeNullable() {

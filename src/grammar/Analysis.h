@@ -11,23 +11,47 @@
 /// heights (used by the random sentence sampler). All analyses are standard
 /// monotone fixpoints over the production table.
 ///
+/// FIRST/FOLLOW come in two backends behind one API, following the repo's
+/// dual-backend pattern (cache, allocation): SetPaperFaithful runs the
+/// std::set fixpoints mirroring the shape of the paper's extracted code,
+/// Bitset (the default) builds flat grammar/FirstFollow.h tables and
+/// materializes identical set views from them. Both backends expose O(1)
+/// firstContains/followContains where the Bitset backend answers with one
+/// shift+mask; the set backend pays the paper's O(log n) so benchmarks can
+/// measure exactly the gap Section 6.1 describes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COSTAR_GRAMMAR_ANALYSIS_H
 #define COSTAR_GRAMMAR_ANALYSIS_H
 
+#include "grammar/FirstFollow.h"
 #include "grammar/Grammar.h"
 
+#include <optional>
 #include <set>
 #include <span>
 #include <vector>
 
 namespace costar {
 
+/// Which FIRST/FOLLOW substrate GrammarAnalysis runs on. Both produce
+/// bit-identical sets (same least fixpoints); they differ only in lookup
+/// and construction cost.
+enum class AnalysisBackend : uint8_t {
+  /// std::set fixpoints, the shape of the paper's extracted code.
+  SetPaperFaithful,
+  /// Flat uint64_t bitset tables (grammar/FirstFollow.h).
+  Bitset,
+};
+
 /// Precomputed grammar facts. Construct once per grammar; all queries are
 /// O(1) or O(set size).
 class GrammarAnalysis {
   const Grammar &G;
+  AnalysisBackend Backend;
+  /// Populated on the Bitset backend; disengaged on SetPaperFaithful.
+  std::optional<FirstFollowTables> Tables;
   std::vector<bool> NullableNt;
   std::vector<std::set<TerminalId>> FirstNt;
   std::vector<std::set<TerminalId>> FollowNt;
@@ -43,12 +67,22 @@ class GrammarAnalysis {
   void computeFollow(NonterminalId Start);
   void computeProductive();
   void computeMinHeight();
+  void adoptTables(NonterminalId Start);
 
 public:
   /// Analyzes \p G; FOLLOW sets are computed relative to \p Start.
-  GrammarAnalysis(const Grammar &G, NonterminalId Start);
+  GrammarAnalysis(const Grammar &G, NonterminalId Start,
+                  AnalysisBackend Backend = AnalysisBackend::Bitset);
 
   const Grammar &grammar() const { return G; }
+  AnalysisBackend backend() const { return Backend; }
+
+  /// The shared flat tables, or nullptr on the SetPaperFaithful backend.
+  /// Consumers that can exploit the flat layout (ll1/Ll1Table,
+  /// analysis/Engine) branch on this once per grammar, not per lookup.
+  const FirstFollowTables *tables() const {
+    return Tables ? &*Tables : nullptr;
+  }
 
   bool nullable(NonterminalId X) const { return NullableNt[X]; }
 
@@ -62,6 +96,20 @@ public:
     return FollowNt[X];
   }
   bool followEnd(NonterminalId X) const { return FollowEndNt[X]; }
+
+  /// O(1) membership on the Bitset backend (one shift+mask); O(log n) tree
+  /// search on SetPaperFaithful. The prediction/LL(1) hot paths call these
+  /// instead of materializing sets.
+  bool firstContains(NonterminalId X, TerminalId T) const {
+    if (Tables)
+      return Tables->firstContains(X, T);
+    return FirstNt[X].count(T) != 0;
+  }
+  bool followContains(NonterminalId X, TerminalId T) const {
+    if (Tables)
+      return Tables->followContains(X, T);
+    return FollowNt[X].count(T) != 0;
+  }
 
   /// FIRST of a sentential form: the terminals that can begin a word derived
   /// from \p Syms. \p NullableOut is set to whether the whole form is

@@ -1,0 +1,108 @@
+//===- grammar/FirstFollow.cpp - Flat bitset FIRST/FOLLOW tables ----------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/FirstFollow.h"
+
+using namespace costar;
+
+FirstFollowTables::FirstFollowTables(const Grammar &G, NonterminalId Start)
+    : NumNts(G.numNonterminals()), NumTerms(G.numTerminals()),
+      FirstBits(NumNts, NumTerms), FollowBits(NumNts, NumTerms),
+      NullableNt(NumNts, 0), FollowEndNt(NumNts, 0) {
+  computeNullable(G);
+  computeFirst(G);
+  computeFollow(G, Start);
+}
+
+void FirstFollowTables::computeNullable(const Grammar &G) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
+      const Production &P = G.production(Id);
+      if (NullableNt[P.Lhs])
+        continue;
+      bool AllNullable = true;
+      for (Symbol S : P.Rhs) {
+        if (S.isTerminal() || !NullableNt[S.nonterminalId()]) {
+          AllNullable = false;
+          break;
+        }
+      }
+      if (AllNullable) {
+        NullableNt[P.Lhs] = 1;
+        Changed = true;
+      }
+    }
+  }
+}
+
+void FirstFollowTables::computeFirst(const Grammar &G) {
+  // The transfer for X -> Y1..Yk is FIRST(X) |= FIRST(Y1) | ... up to (and
+  // including) the first non-nullable symbol; a terminal contributes one
+  // bit and stops the scan. Word-wise ORs report changes for free, so the
+  // fixpoint loop needs no set-size bookkeeping.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
+      const Production &P = G.production(Id);
+      for (Symbol S : P.Rhs) {
+        if (S.isTerminal()) {
+          Changed |= FirstBits.set(P.Lhs, S.terminalId());
+          break;
+        }
+        NonterminalId Y = S.nonterminalId();
+        Changed |= FirstBits.orRowInto(P.Lhs, Y);
+        if (!NullableNt[Y])
+          break;
+      }
+    }
+  }
+}
+
+void FirstFollowTables::computeFollow(const Grammar &G, NonterminalId Start) {
+  if (Start < NumNts)
+    FollowEndNt[Start] = 1;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
+      const Production &P = G.production(Id);
+      for (size_t I = 0; I < P.Rhs.size(); ++I) {
+        if (P.Rhs[I].isTerminal())
+          continue;
+        NonterminalId X = P.Rhs[I].nonterminalId();
+        // FOLLOW(X) |= FIRST(rest); if rest is nullable, also |= FOLLOW(lhs)
+        // and inherit end-of-input. FIRST(rest) is folded in directly rather
+        // than materialized: the scan below is firstOfSeqInto with the
+        // destination row as the accumulator.
+        bool RestNullable = true;
+        for (size_t J = I + 1; J < P.Rhs.size(); ++J) {
+          Symbol S = P.Rhs[J];
+          if (S.isTerminal()) {
+            Changed |= FollowBits.set(X, S.terminalId());
+            RestNullable = false;
+            break;
+          }
+          NonterminalId Y = S.nonterminalId();
+          Changed |= FollowBits.orRowFrom(X, FirstBits, Y);
+          if (!NullableNt[Y]) {
+            RestNullable = false;
+            break;
+          }
+        }
+        if (RestNullable) {
+          Changed |= FollowBits.orRowInto(X, P.Lhs);
+          if (FollowEndNt[P.Lhs] && !FollowEndNt[X]) {
+            FollowEndNt[X] = 1;
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+}

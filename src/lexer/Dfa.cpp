@@ -7,6 +7,7 @@
 #include "lexer/Dfa.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <map>
 
@@ -15,6 +16,10 @@ using namespace costar::lexer;
 
 Dfa Dfa::fromNfa(const Nfa &N) {
   Dfa D;
+  // Subset construction can't know its state count up front; the NFA's own
+  // state count is a cheap usually-sufficient capacity guess that keeps the
+  // flat transition array from reallocating row-by-row.
+  D.reserveStates(N.numStates());
   std::map<std::vector<uint32_t>, uint32_t> StateIds;
   std::vector<std::vector<uint32_t>> Sets;
 
@@ -91,7 +96,7 @@ Dfa Dfa::minimized() const {
     for (size_t S = 0; S < N; ++S) {
       std::vector<int32_t> Sig(256);
       for (int C = 0; C < 256; ++C) {
-        int32_t T = Transitions[S][C];
+        int32_t T = next(static_cast<uint32_t>(S), static_cast<unsigned char>(C));
         Sig[C] = T == DeadState ? -1 : Block[T];
       }
       auto [It, Inserted] =
@@ -108,21 +113,21 @@ Dfa Dfa::minimized() const {
     }
   }
 
-  // Emit one state per block.
+  // Emit one state per block: the block count is known, so all rows are
+  // allocated and dead-filled in one bulk resize.
   Dfa Min;
-  for (int32_t B = 0; B < NumBlocks; ++B)
-    Min.addState(NoRule);
+  Min.addStates(static_cast<size_t>(NumBlocks), NoRule);
   std::vector<bool> Done(NumBlocks, false);
   for (size_t S = 0; S < N; ++S) {
     int32_t B = Block[S];
     if (Done[B])
       continue;
     Done[B] = true;
-    // addState above gave every block NoRule; fix tags and transitions from
-    // this representative.
-    Min.AcceptRule[B] = AcceptRule[S];
+    // addStates above gave every block NoRule; fix tags and transitions
+    // from this representative.
+    Min.setAcceptRule(static_cast<uint32_t>(B), AcceptRule[S]);
     for (int C = 0; C < 256; ++C) {
-      int32_t T = Transitions[S][C];
+      int32_t T = next(static_cast<uint32_t>(S), static_cast<unsigned char>(C));
       Min.setTransition(B, static_cast<unsigned char>(C),
                         T == DeadState ? DeadState : Block[T]);
     }

@@ -10,6 +10,13 @@
 /// containing several accepting NFA states accepts the lowest-numbered
 /// rule), and Moore-style partition-refinement minimization.
 ///
+/// Transitions live in one flat state-major array (stride 256) rather than
+/// a vector of per-state std::arrays: states are appended by growing the
+/// flat vector (one amortized memset-filled resize) instead of filling a
+/// 1 KiB stack row and copying it in, which used to dominate
+/// grammar-construction profiles for large NFAs, and downstream consumers
+/// (lexer/ScanTable.h) can read whole rows as contiguous memory.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COSTAR_LEXER_DFA_H
@@ -17,21 +24,19 @@
 
 #include "lexer/Nfa.h"
 
-#include <array>
-
 namespace costar {
 namespace lexer {
 
-/// A dense DFA: per-state 256-entry transition tables.
+/// A dense DFA: per-state 256-entry transition tables in one flat array.
 class Dfa {
 public:
   static constexpr int32_t DeadState = -1;
   static constexpr int32_t NoRule = -1;
-
-  using Row = std::array<int32_t, 256>;
+  static constexpr uint32_t AlphabetSize = 256;
 
 private:
-  std::vector<Row> Transitions;
+  /// Transitions[S * AlphabetSize + C]; DeadState where undefined.
+  std::vector<int32_t> Transitions;
   std::vector<int32_t> AcceptRule;
   uint32_t StartState = 0;
 
@@ -44,26 +49,48 @@ public:
   Dfa minimized() const;
 
   uint32_t start() const { return StartState; }
-  size_t numStates() const { return Transitions.size(); }
+  size_t numStates() const { return AcceptRule.size(); }
 
   /// Next state from \p State on byte \p C, or DeadState.
   int32_t next(uint32_t State, unsigned char C) const {
-    return Transitions[State][C];
+    return Transitions[static_cast<size_t>(State) * AlphabetSize + C];
+  }
+
+  /// The 256-entry transition row of \p State, contiguous in memory.
+  const int32_t *row(uint32_t State) const {
+    return Transitions.data() + static_cast<size_t>(State) * AlphabetSize;
   }
 
   /// Rule accepted in \p State, or NoRule.
   int32_t acceptRule(uint32_t State) const { return AcceptRule[State]; }
 
   // Mutating interface used by the builders.
+
+  /// Pre-sizes the backing stores for \p N expected states (capacity only).
+  void reserveStates(size_t N) {
+    Transitions.reserve(N * AlphabetSize);
+    AcceptRule.reserve(N);
+  }
+
+  /// Appends one state whose transitions are all DeadState.
   uint32_t addState(int32_t Accept) {
-    Row R;
-    R.fill(DeadState);
-    Transitions.push_back(R);
+    Transitions.resize(Transitions.size() + AlphabetSize, DeadState);
     AcceptRule.push_back(Accept);
-    return static_cast<uint32_t>(Transitions.size() - 1);
+    return static_cast<uint32_t>(AcceptRule.size() - 1);
+  }
+
+  /// Appends \p N dead-transition states tagged \p Accept in one bulk
+  /// resize (used by minimized(), which knows its final block count).
+  void addStates(size_t N, int32_t Accept) {
+    Transitions.resize(Transitions.size() + N * AlphabetSize, DeadState);
+    AcceptRule.resize(AcceptRule.size() + N, Accept);
+  }
+
+  void setAcceptRule(uint32_t State, int32_t Rule) {
+    AcceptRule[State] = Rule;
   }
   void setTransition(uint32_t From, unsigned char C, int32_t To) {
-    Transitions[From][C] = To;
+    Transitions[static_cast<size_t>(From) * AlphabetSize + C] = To;
   }
   void setStart(uint32_t S) { StartState = S; }
 };

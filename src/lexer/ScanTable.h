@@ -1,0 +1,200 @@
+//===- lexer/ScanTable.h - Batched DFA scanning ----------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A data-layout-optimized view of a lexer Dfa for the maximal-munch hot
+/// loop. Three ideas, all layout rather than algorithm:
+///
+///  1. Byte equivalence classes: bytes with identical transition columns
+///     share a class, shrinking each state's row from 256 entries to one
+///     per class. Lexer DFAs typically have 10-30 classes, so the whole
+///     transition table drops from numStates KiB to a few hundred bytes
+///     of L1-resident data.
+///  2. State-major interleaved rows with *pre-scaled* next entries: the
+///     table stores nextState * numClasses, so the serial dependent chain
+///     per byte is exactly load -> add -> load with no multiply in it.
+///     Accept tags are readable at the scaled index, keeping maximal-munch
+///     tracking off the critical chain (branchless selects).
+///  3. Batched input on self-loop runs: lexer time concentrates in states
+///     that absorb long byte runs without changing (string interiors,
+///     whitespace, comments, identifier/number tails). While the state is
+///     invariant the serial dependent chain disappears: whether a byte
+///     keeps the run alive is one bit in a per-state class mask, so the
+///     SWAR loop tests 8 input bytes per uint64_t load with fully
+///     independent bit probes and a single all-stay branch, instead of 8
+///     chained table loads. Tokens too short to form a run (most
+///     punctuation) fall through to the branchy per-byte step at scalar
+///     cost — the batching never pays for bytes that do not exist. For
+///     DFAs whose minimized state count (including the synthetic dead
+///     state) fits in 16, a shuffle path (SSSE3 PSHUFB / NEON TBL) keeps
+///     the entire transition function in one vector register per class —
+///     the classic "sheng" trick — cutting the per-byte latency from an
+///     L1 load to a 1-cycle shuffle.
+///
+/// Backend choice is a runtime decision (LexBackend + resolveLexBackend):
+/// binaries are built without -march flags, the SSSE3 path is compiled
+/// behind a function-level target attribute and dispatched on cpuid, and
+/// the COSTAR_LEX_BACKEND environment variable can force any backend (the
+/// CI portable-build job forces the fallbacks). All backends are
+/// bit-identical to the byte-at-a-time scalar loop in Scanner::matchAt —
+/// the randomized equivalence suite sweeps them against each other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_LEXER_SCANTABLE_H
+#define COSTAR_LEXER_SCANTABLE_H
+
+#include "lexer/Dfa.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace costar {
+namespace lexer {
+
+/// Which maximal-munch matcher Scanner runs.
+enum class LexBackend : uint8_t {
+  /// Byte-at-a-time loop over Dfa::next, the shape of the paper-era lexer.
+  ScalarPaperFaithful,
+  /// Equivalence-classed flat table with SWAR 8-byte input batching.
+  Swar,
+  /// Vector (SSSE3/NEON) self-loop run scanning for any DFA, plus
+  /// shuffle-based transitions (sheng) for <=16-state DFAs; falls back to
+  /// Swar when the CPU has no byte shuffle.
+  Simd,
+  /// Simd when profitable and available, else Swar (the default).
+  Auto,
+};
+
+/// \returns true if this build+CPU can run the shuffle path at all.
+bool cpuSupportsShuffle();
+
+/// Resolves an explicitly requested backend to the one that can actually
+/// run: Auto picks Simd when available, and Simd degrades to Swar when
+/// the CPU has no byte shuffle. Never returns Auto.
+LexBackend resolveLexBackend(LexBackend Requested, bool ShengCapable);
+
+/// The backend a freshly built Scanner starts on: the COSTAR_LEX_BACKEND
+/// environment override (scalar|swar|simd|auto; read once per process —
+/// how CI's portable-build job pins every binary to a fallback) when set,
+/// else resolveLexBackend(Auto). Explicit setLexBackend calls bypass the
+/// override so equivalence tests can always force a specific path.
+LexBackend defaultLexBackend(bool ShengCapable);
+
+/// The flat scan table compiled from a Dfa. Immutable after construction;
+/// the Dfa itself stays the source of truth for the scalar baseline.
+class ScanTable {
+public:
+  struct Match {
+    int32_t Rule = -1;
+    size_t Length = 0;
+  };
+
+  /// One token from a bulk munch pass: rule index and byte length (the
+  /// position is the running sum of predecessor lengths).
+  struct TokenSpan {
+    int32_t Rule;
+    uint32_t Length;
+  };
+
+  static constexpr uint32_t MaxShengStates = 16;
+
+  ScanTable() = default;
+  explicit ScanTable(const Dfa &D);
+
+  uint32_t numClasses() const { return NumClasses; }
+  /// States including the synthetic self-looping dead state.
+  uint32_t numStates() const { return NumStates; }
+  /// True if the shuffle path can represent this DFA (numStates() <= 16).
+  bool shengCapable() const { return NumStates <= MaxShengStates; }
+
+  /// Maximal-munch match via the SWAR batched table walk. Identical
+  /// results to the scalar Dfa walk.
+  Match matchSwar(const char *Data, size_t Size, size_t Pos) const;
+
+  /// Maximal-munch match via the vector paths (truffle run scanning, or
+  /// sheng for <=16-state DFAs); falls back to matchSwar without a
+  /// shuffle-capable CPU. Identical results to the scalar Dfa walk.
+  Match matchSimd(const char *Data, size_t Size, size_t Pos) const;
+
+  /// Bulk maximal munch: tokenizes Data from offset 0, appending one
+  /// TokenSpan per match to \p Out, and returns the number of bytes
+  /// consumed (< Size means the next byte starts no token). Equivalent to
+  /// a matchSwar loop, but the per-call setup — table pointers, dispatch,
+  /// result marshalling — is paid once per buffer instead of once per
+  /// token, which matters when the median token is a few bytes long.
+  size_t munchSwar(const char *Data, size_t Size,
+                   std::vector<TokenSpan> &Out) const;
+
+  /// Bulk maximal munch via the vector paths; same contract as munchSwar.
+  size_t munchSimd(const char *Data, size_t Size,
+                   std::vector<TokenSpan> &Out) const;
+
+private:
+  uint32_t NumClasses = 0;
+  uint32_t NumStates = 0; ///< real states + 1 synthetic dead state
+  uint32_t DeadScaled = 0;
+  uint32_t StartScaled = 0;
+  /// Byte -> equivalence class.
+  std::array<uint8_t, 256> ClassOf{};
+  /// Next[s*NumClasses + c] = nextState * NumClasses (pre-scaled).
+  std::vector<int32_t> Next;
+  /// AcceptScaled[s*NumClasses] = accept rule of s, or -1. Indexed by the
+  /// scaled state so the hot loop never divides.
+  std::vector<int32_t> AcceptScaled;
+  /// SelfMask[s*NumClasses]: bit c set iff class c self-loops on s. Indexed
+  /// by the scaled state like AcceptScaled. All-zero (run acceleration
+  /// disabled, still correct) when NumClasses > 64.
+  std::vector<uint64_t> SelfMask;
+  /// Start-state pair dispatch: Pair[c0*NumClasses + c1] fuses the first
+  /// two transitions of a match into one load — bits 0-15 scaled state
+  /// after both bytes, bits 16-17 where the walk died (0 alive, 1 at byte
+  /// 1, 2 at byte 2), bits 18-24 / 25-31 accept rule + 1 after byte 1 / 2
+  /// (0 = none). Every maximal-munch call starts in the start state and
+  /// most tokens are 1-2 bytes, so this halves the dependent-load chain
+  /// exactly where it cannot be amortized. Empty (dispatch disabled) when
+  /// the encoding does not fit (scaled states > 16 bits or > 126 rules).
+  std::vector<uint32_t> Pair;
+  /// Truffle tables for the vector run scanner: per state, two 16-byte
+  /// PSHUFB/TBL tables encoding the 256-bit "stays in this state" byte set
+  /// exactly (entry L of the first table holds hi-nibble bits 0-7 for
+  /// bytes with low nibble L; the second table holds hi-nibble bits 8-15).
+  std::vector<uint8_t> Truffle;
+  /// TruffleOff[s*NumClasses] = byte offset of state s's truffle tables,
+  /// so the hot loop maps a scaled state to its tables without dividing.
+  std::vector<uint32_t> TruffleOff;
+  /// Shuffle tables, one 16-byte row per class: Shuffle[c*16 + s] = next
+  /// unscaled state. Populated only when shengCapable().
+  std::vector<uint8_t> Shuffle;
+  /// Accept rule per unscaled state for the shuffle path.
+  std::array<int32_t, MaxShengStates> AcceptSmall{};
+  uint8_t StartSmall = 0;
+  uint8_t DeadSmall = 0;
+
+#if defined(__x86_64__) || defined(__i386__)
+  Match matchShengSse(const char *Data, size_t Size, size_t Pos) const;
+  Match matchTruffleSse(const char *Data, size_t Size, size_t Pos) const;
+  size_t munchShengSse(const char *Data, size_t Size,
+                       std::vector<TokenSpan> &Out) const;
+  size_t munchTruffleSse(const char *Data, size_t Size,
+                         std::vector<TokenSpan> &Out) const;
+#endif
+#if defined(__aarch64__)
+  Match matchShengNeon(const char *Data, size_t Size, size_t Pos) const;
+  Match matchTruffleNeon(const char *Data, size_t Size, size_t Pos) const;
+  size_t munchShengNeon(const char *Data, size_t Size,
+                        std::vector<TokenSpan> &Out) const;
+  size_t munchTruffleNeon(const char *Data, size_t Size,
+                          std::vector<TokenSpan> &Out) const;
+#endif
+};
+
+} // namespace lexer
+} // namespace costar
+
+#endif // COSTAR_LEXER_SCANTABLE_H

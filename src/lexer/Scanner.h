@@ -21,8 +21,10 @@
 #include "grammar/Grammar.h"
 #include "grammar/Token.h"
 #include "lexer/Dfa.h"
+#include "lexer/ScanTable.h"
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace costar {
@@ -73,9 +75,16 @@ struct LexResult {
 /// A compiled scanner bound to a Grammar's terminal ids.
 class Scanner {
   Dfa D;
+  /// The flat equivalence-classed table compiled from D (lexer/ScanTable.h)
+  /// backing the Swar/Simd match paths; D itself stays the scalar baseline.
+  ScanTable Table;
   /// Per rule: terminal id (for token rules) or UINT32_MAX (skip rules).
   std::vector<TerminalId> RuleTerminal;
   std::string BuildError;
+  /// The matcher matchAt runs, resolved from the requested backend, the
+  /// COSTAR_LEX_BACKEND override, CPU capability, and table shape at
+  /// construction (and again on setLexBackend). Never Auto.
+  LexBackend Backend = LexBackend::Swar;
 
 public:
   /// Compiles \p Spec, interning each token rule's name in \p G. On a bad
@@ -85,6 +94,16 @@ public:
   bool ok() const { return BuildError.empty(); }
   const std::string &buildError() const { return BuildError; }
   size_t numDfaStates() const { return D.numStates(); }
+  const ScanTable &scanTable() const { return Table; }
+
+  /// The backend matchAt will actually run (post-resolution).
+  LexBackend lexBackend() const { return Backend; }
+  /// Requests \p B, re-running resolution (Simd degrades to Swar when the
+  /// DFA or CPU does not qualify). Bypasses the COSTAR_LEX_BACKEND
+  /// override, which only pins the construction-time default.
+  void setLexBackend(LexBackend B) {
+    Backend = resolveLexBackend(B, Table.shengCapable());
+  }
 
   /// One maximal-munch match attempt at \p Pos: the rule index and match
   /// length, or Rule == -1 on failure. Building block for scanInto and for
@@ -94,6 +113,15 @@ public:
     size_t Length = 0;
   };
   MatchResult matchAt(const std::string &Input, size_t Pos) const;
+
+  /// Bulk maximal munch over the whole of \p Input on the active backend:
+  /// appends one TokenSpan per match (skip rules included — the caller
+  /// decides what to emit) and returns the bytes consumed. Equivalent to
+  /// a matchAt loop, but per-call setup, backend dispatch, and counter
+  /// updates are paid once per buffer instead of once per token, which is
+  /// the difference that matters when the median token is 1-3 bytes.
+  size_t munch(std::string_view Input,
+               std::vector<ScanTable::TokenSpan> &Out) const;
 
   /// Terminal id emitted by \p Rule, or UINT32_MAX for skip rules.
   TerminalId ruleTerminal(int32_t Rule) const {
@@ -107,6 +135,12 @@ public:
   /// indentation pipeline, which scans line fragments).
   bool scanInto(const std::string &Input, uint32_t Line, uint32_t StartCol,
                 Word &Out, LexResult &Err) const;
+
+private:
+  /// The scalar paper-faithful walk over Dfa::next — the baseline every
+  /// batched path must stay bit-identical to. matchAt and munch's scalar
+  /// case both run this.
+  MatchResult scalarMatch(const char *Data, size_t Size, size_t Pos) const;
 };
 
 } // namespace lexer

@@ -28,6 +28,17 @@ Ll1Table::Ll1Table(const GrammarAnalysis &A) : G(A.grammar()) {
     Cell = P;
   };
 
+  if (const FirstFollowTables *T = A.tables()) {
+    // Bitset backend: one shared claim enumeration (grammar/FirstFollow.h)
+    // feeds both this table and analysis/Engine's conflict pass. Claims
+    // arrive in ascending column order, matching the std::set loops below,
+    // so the conflict log is byte-identical across backends.
+    forEachLl1Claim(G, *T,
+                    [&](ProductionId Id, NonterminalId X, uint32_t C,
+                        Ll1ClaimSource) { Enter(X, C, Id); });
+    return;
+  }
+
   for (ProductionId Id = 0; Id < G.numProductions(); ++Id) {
     const Production &P = G.production(Id);
     bool Nullable = false;

@@ -6,6 +6,8 @@
 
 #include "obs/Metrics.h"
 
+#include "adt/Instrument.h"
+
 #include <bit>
 
 using namespace costar;
@@ -96,4 +98,18 @@ std::string MetricsRegistry::toJson() const {
   }
   Out += "}}";
   return Out;
+}
+
+void obs::publishTableCounters(MetricsRegistry &R) {
+  using adt::TableCounters;
+  auto Publish = [&](std::string_view Name, uint64_t &Counter) {
+    if (Counter)
+      R.add(Name, Counter);
+    Counter = 0;
+  };
+  Publish("tables.first_bit_tests", TableCounters::firstBitTests());
+  Publish("tables.follow_bit_tests", TableCounters::followBitTests());
+  Publish("lexer.swar_bytes", TableCounters::lexSwarBytes());
+  Publish("lexer.simd_bytes", TableCounters::lexSimdBytes());
+  Publish("lexer.scalar_bytes", TableCounters::lexScalarBytes());
 }

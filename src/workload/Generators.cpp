@@ -40,6 +40,20 @@ struct Gen {
   }
 
   std::string number() { return std::to_string(pick(100000)); }
+
+  /// A space-separated run of MinW..MaxW words — the shape of natural-text
+  /// payloads (JSON data values, docstrings, comments) in real corpora,
+  /// where string interiors are a large share of total source bytes.
+  std::string phrase(uint64_t MinW, uint64_t MaxW) {
+    uint64_t Words = MinW + pick(MaxW - MinW + 1);
+    std::string P;
+    for (uint64_t I = 0; I < Words; ++I) {
+      if (I)
+        P += ' ';
+      P += ident();
+    }
+    return P;
+  }
 };
 
 //===----------------------------------------------------------------------===//
@@ -80,7 +94,9 @@ class JsonGen : Gen {
       break;
     }
     case 2:
-      emit("\"" + ident() + "\"");
+      // Data values are phrase-length in real-world JSON (names, titles,
+      // descriptions), unlike the identifier-length keys.
+      emit("\"" + phrase(1, 5) + "\"");
       break;
     case 3:
       emit(number());
@@ -271,8 +287,18 @@ public:
 class PythonGen : Gen {
   std::string IndentStr;
 
+  /// Trailing-comment text: a few space-separated words, as in real code
+  /// bases where a sizable fraction of source bytes sit in comments (all
+  /// discarded by the COMMENT skip rule, so token counts are unaffected).
+  std::string commentText() { return "  # " + phrase(3, 7); }
+
   void indentLine(const std::string &Text, int64_t Tokens) {
-    emit(IndentStr + Text + "\n", Tokens + 1); // +1 for NEWLINE
+    // Trailing comments only (never comment-only lines), so the
+    // indentation pipeline sees every emitted line carry code tokens.
+    if (chance(30))
+      emit(IndentStr + Text + commentText() + "\n", Tokens + 1);
+    else
+      emit(IndentStr + Text + "\n", Tokens + 1); // +1 for NEWLINE
   }
 
   std::string expr(uint32_t Depth) {
@@ -335,12 +361,20 @@ class PythonGen : Gen {
     }
   }
 
+  /// A docstring statement (a bare STRING expression, as at the top of
+  /// most real functions): one STRING token plus the line's NEWLINE.
+  void docstring() {
+    if (chance(85))
+      indentLine("'" + phrase(6, 14) + "'", 2);
+  }
+
   void topLevelConstruct() {
     if (chance(30)) {
       emit("class " + ident() + ":\n", 4);
       IndentStr = "    ";
       emit("    def " + ident() + "(self, " + ident() + "):\n", 9);
       IndentStr = "        ";
+      docstring();
       uint64_t Stmts = 1 + pick(3);
       for (uint64_t I = 0; I < Stmts; ++I)
         statement(1);
@@ -350,6 +384,7 @@ class PythonGen : Gen {
                number() + "):\n",
            10);
       IndentStr = "    ";
+      docstring();
       uint64_t Stmts = 1 + pick(3);
       for (uint64_t I = 0; I < Stmts; ++I)
         statement(1);
