@@ -1,0 +1,194 @@
+//===- examples/costar_warm.cpp - Warm-start snapshot trainer ----------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// costar-warm: pre-trains an SLL prediction cache for one benchmark
+/// language and writes it — together with the language's lexer DFA — as a
+/// versioned, checksummed snapshot file. A later process loads the file
+/// (header and checksums validated first) and starts parsing with the
+/// cache a long warmup run would otherwise have to rebuild.
+///
+///   costar-warm --lang json --out json.snap            # generated corpus
+///   costar-warm --lang python --out py.snap --files 32 --seed 7
+///   costar-warm --lang dot --out dot.snap --corpus-file a.dot ...
+///   costar-warm --lang json --verify json.snap         # load + report
+///
+/// Exit codes: 0 success, 1 lex/snapshot error, 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+#include "lang/Language.h"
+#include "snapshot/Snapshot.h"
+#include "workload/Generators.h"
+
+#include "InputFile.h"
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace costar;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s --lang json|xml|dot|python --out FILE\n"
+      "          [--backend avl|hashed] [--files N] [--seed S]\n"
+      "          [--corpus-file PATH]...\n"
+      "       %s --lang json|xml|dot|python --verify FILE\n",
+      Prog, Prog);
+  return 2;
+}
+
+std::optional<lang::LangId> parseLang(const std::string &Name) {
+  if (Name == "json")
+    return lang::LangId::Json;
+  if (Name == "xml")
+    return lang::LangId::Xml;
+  if (Name == "dot")
+    return lang::LangId::Dot;
+  if (Name == "python")
+    return lang::LangId::Python;
+  return std::nullopt;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::optional<lang::LangId> Lang;
+  std::string Out, Verify;
+  CacheBackend Backend = CacheBackend::Hashed;
+  uint32_t NumFiles = 16;
+  uint64_t Seed = 20260809ull;
+  std::vector<std::string> CorpusFiles;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: %s requires an argument\n", Argv[0],
+                     Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--lang") {
+      Lang = parseLang(Next());
+      if (!Lang)
+        return usage(Argv[0]);
+    } else if (Arg == "--out") {
+      Out = Next();
+    } else if (Arg == "--verify") {
+      Verify = Next();
+    } else if (Arg == "--backend") {
+      std::string B = Next();
+      if (B == "avl")
+        Backend = CacheBackend::AvlPaperFaithful;
+      else if (B == "hashed")
+        Backend = CacheBackend::Hashed;
+      else
+        return usage(Argv[0]);
+    } else if (Arg == "--files") {
+      NumFiles = static_cast<uint32_t>(std::atoi(Next()));
+    } else if (Arg == "--seed") {
+      Seed = std::strtoull(Next(), nullptr, 10);
+    } else if (Arg == "--corpus-file") {
+      CorpusFiles.push_back(Next());
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (!Lang || (Out.empty() == Verify.empty()))
+    return usage(Argv[0]);
+
+  lang::Language L = lang::makeLanguage(*Lang);
+
+  if (!Verify.empty()) {
+    snapshot::LoadResult R = snapshot::loadSnapshot(Verify, L.G);
+    if (!R.ok()) {
+      std::fprintf(stderr, "%s: %s\n", Verify.c_str(),
+                   R.Err->toString().c_str());
+      return 1;
+    }
+    std::printf("%s: ok (%s)\n", Verify.c_str(), L.Name.c_str());
+    if (R.Contents.Cache)
+      std::printf("  cache: %zu states, %llu transitions\n",
+                  R.Contents.Cache->numStates(),
+                  static_cast<unsigned long long>(
+                      R.Contents.Cache->numTransitions()));
+    else
+      std::printf("  cache: none\n");
+    std::printf("  lexers: %zu\n", R.Contents.Lexers.size());
+    return 0;
+  }
+
+  // Assemble the training corpus: explicit files, or a generated one.
+  std::vector<std::string> Sources;
+  if (!CorpusFiles.empty()) {
+    for (const std::string &Path : CorpusFiles) {
+      std::string Src, Err;
+      if (!examples::readInputFile(Path.c_str(), Src, Err)) {
+        std::fprintf(stderr, "%s\n", Err.c_str());
+        return 1;
+      }
+      Sources.push_back(std::move(Src));
+    }
+  } else {
+    workload::Corpus C =
+        workload::generateCorpus(*Lang, Seed, NumFiles, 200, 2000);
+    Sources = std::move(C.Files);
+  }
+
+  ParseOptions Opts;
+  Opts.Backend = Backend;
+  Opts.ReuseCache = true;
+  Parser P(L.G, L.Start, Opts);
+  uint64_t Tokens = 0, Parsed = 0;
+  for (size_t I = 0; I < Sources.size(); ++I) {
+    lexer::LexResult Lex = L.lex(Sources[I]);
+    if (!Lex.ok()) {
+      std::fprintf(stderr, "corpus file %zu failed to lex: %s\n", I,
+                   Lex.Error.c_str());
+      return 1;
+    }
+    Tokens += Lex.Tokens.size();
+    ParseResult R = P.parse(Lex.Tokens);
+    if (R.kind() == ParseResult::Kind::Unique ||
+        R.kind() == ParseResult::Kind::Ambig)
+      ++Parsed;
+  }
+
+  // The lexer DFAs that round-trip through a snapshot: the plain scanner,
+  // or the inner scanner of the indentation pipeline. The modal scanner's
+  // mode logic is code, not data — XML snapshots carry only the cache.
+  std::vector<const lexer::Scanner *> Scanners;
+  if (L.Plain)
+    Scanners.push_back(L.Plain.get());
+  else if (L.IndentInner)
+    Scanners.push_back(L.IndentInner.get());
+
+  std::optional<robust::SnapshotError> Err = snapshot::saveSnapshot(
+      Out, L.G, &P.sharedCache(), Scanners);
+  if (Err) {
+    std::fprintf(stderr, "%s: %s\n", Out.c_str(), Err->toString().c_str());
+    return 1;
+  }
+  std::printf("%s: trained on %zu files (%llu tokens, %llu parsed), "
+              "cache %zu states / %llu transitions, %zu lexer(s)\n",
+              Out.c_str(), Sources.size(),
+              static_cast<unsigned long long>(Tokens),
+              static_cast<unsigned long long>(Parsed),
+              P.sharedCache().numStates(),
+              static_cast<unsigned long long>(
+                  P.sharedCache().numTransitions()),
+              Scanners.size());
+  return 0;
+}

@@ -106,6 +106,18 @@ public:
     }
   }
 
+  /// Visits every (key, value) binding. The visit order is PROBE order —
+  /// a function of the hash seed, table capacity, and insertion history —
+  /// so it is not stable across table growth and must never leak into
+  /// serialized artifacts. Callers that need reproducible bytes (the
+  /// snapshot writer) collect the bindings and sort by key; SllCache's
+  /// forEachTransition/forEachStart do exactly that.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (const Slot &S : Slots)
+      if (S.Value != EmptyValue)
+        Fn(S.Key, S.Value);
+  }
+
   /// Binds \p Key to \p Value. \p Key must not already be present.
   void insert(uint64_t Key, uint32_t Value) {
     assert(Value != EmptyValue && "value collides with the empty sentinel");

@@ -97,6 +97,24 @@ public:
   /// Drops any state accumulated by cache reuse.
   void resetCache() { SharedCache = SllCache(Opts.Backend); }
 
+  /// Seeds the parser's reusable SLL cache from \p Warm — typically a
+  /// snapshot-loaded cache (src/snapshot/) — so the first parse() of a
+  /// fresh process already runs at warm-cache speed. Counters are zeroed
+  /// on the seeded copy (structure, not activity: the same contract as
+  /// SharedSllCache::publish), so Machine::Stats per-parse deltas account
+  /// only for this parser's own lookups. \returns false, seeding nothing,
+  /// when \p Warm was built under a different cache backend than this
+  /// parser's options. Only meaningful with Opts.ReuseCache; without it
+  /// every parse() starts from an empty machine-local cache regardless.
+  bool warmStart(const SllCache &Warm) {
+    if (Warm.backend() != Opts.Backend)
+      return false;
+    SharedCache = Warm;
+    SharedCache.Hits = 0;
+    SharedCache.Misses = 0;
+    return true;
+  }
+
   /// The current epoch arena (null on the SharedPtrPaperFaithful backend
   /// or when the caller supplied its own). Exposed for tests and
   /// diagnostics: epoch handoff swaps in a fresh arena whenever a

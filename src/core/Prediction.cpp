@@ -516,6 +516,39 @@ void SllCache::recordTransition(uint32_t From, TerminalId T, uint32_t To) {
   }
 }
 
+void SllCache::forEachStart(
+    const std::function<void(NonterminalId, uint32_t)> &Fn) const {
+  // Both backends funnel through one sort so the enumeration order — and
+  // therefore every serialized artifact built from it — is a function of
+  // the cache's *contents*, never of probe order or AVL shape.
+  std::vector<std::pair<NonterminalId, uint32_t>> Starts;
+  if (Backend == CacheBackend::Hashed)
+    HashStartStates.forEach([&](uint64_t Key, uint32_t Id) {
+      Starts.emplace_back(static_cast<NonterminalId>(Key), Id);
+    });
+  else
+    AvlStartStates.forEach(
+        [&](NonterminalId X, uint32_t Id) { Starts.emplace_back(X, Id); });
+  std::sort(Starts.begin(), Starts.end());
+  for (const auto &[X, Id] : Starts)
+    Fn(X, Id);
+}
+
+void SllCache::forEachTransition(
+    const std::function<void(uint32_t, TerminalId, uint32_t)> &Fn) const {
+  std::vector<std::pair<uint64_t, uint32_t>> Edges;
+  if (Backend == CacheBackend::Hashed)
+    HashTransitions.forEach(
+        [&](uint64_t Key, uint32_t To) { Edges.emplace_back(Key, To); });
+  else
+    AvlTransitions.forEach(
+        [&](uint64_t Key, uint32_t To) { Edges.emplace_back(Key, To); });
+  std::sort(Edges.begin(), Edges.end());
+  for (const auto &[Key, To] : Edges)
+    Fn(static_cast<uint32_t>(Key >> 32),
+       static_cast<TerminalId>(Key & 0xFFFFFFFFu), To);
+}
+
 //===----------------------------------------------------------------------===//
 // SLL prediction
 //===----------------------------------------------------------------------===//

@@ -44,6 +44,7 @@
 #include "grammar/Analysis.h"
 #include "grammar/Token.h"
 
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -356,6 +357,25 @@ public:
     return Backend == CacheBackend::Hashed ? HashTransitions.size()
                                            : AvlTransitions.size();
   }
+
+  /// Visits every cached start-state binding (X, state id) in ascending
+  /// nonterminal order, regardless of backend. This is the serialization
+  /// path used by the warm-start snapshot writer (src/snapshot/): the
+  /// hashed backend's raw index iterates in probe order, which depends on
+  /// capacity-growth history, so enumerating it directly would make
+  /// snapshot bytes nondeterministic; the bindings are collected and
+  /// sorted by key instead, and the AVL backend's in-order walk is routed
+  /// through the same sort so both backends enumerate identically.
+  void forEachStart(
+      const std::function<void(NonterminalId, uint32_t)> &Fn) const;
+
+  /// Visits every cached DFA transition (from, terminal, to) in ascending
+  /// (from, terminal) order, regardless of backend. Deterministic for the
+  /// same reason as forEachStart; the byte-determinism regression test
+  /// (tests/snapshot/) pins that two identically trained caches serialize
+  /// to identical bytes.
+  void forEachTransition(
+      const std::function<void(uint32_t, TerminalId, uint32_t)> &Fn) const;
 };
 
 //===----------------------------------------------------------------------===//

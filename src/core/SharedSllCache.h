@@ -97,6 +97,39 @@ public:
     return Adopted;
   }
 
+  /// Adopts \p Loaded — typically a snapshot-loaded cache
+  /// (snapshot::loadSnapshot) — as the shared snapshot under the same
+  /// strictly-warmer coverage rule as publish(), but without copying: the
+  /// caller hands over ownership and the cache is stored as-is (counters
+  /// zeroed, same structure-not-activity contract as publish). \returns
+  /// false, adopting nothing, when \p Loaded is null, its backend differs
+  /// from this cache's, or it does not cover strictly more of the DFA.
+  /// The backend check makes adopt() safe to call straight off a load: a
+  /// snapshot written under the other backend is refused here even after
+  /// it passed file validation.
+  ///
+  /// Soft fault site: an injected SharedCacheAdopt fault drops the offer,
+  /// costing warmth, never correctness (same contract as publish).
+  bool adopt(std::shared_ptr<SllCache> Loaded, obs::Tracer *Trace = nullptr) {
+    if (!Loaded || Loaded->backend() != backend())
+      return false;
+    bool Adopted = false;
+    uint64_t Coverage = coverage(*Loaded);
+    if (!robust::faultFires(robust::FaultSite::SharedCacheAdopt)) {
+      Loaded->Hits = 0;
+      Loaded->Misses = 0;
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Coverage > coverage(*Snapshot)) {
+        Snapshot = std::move(Loaded);
+        Adopted = true;
+      }
+    }
+    if (Trace)
+      Trace->emit(obs::EventKind::CacheAdopt, Adopted ? 1 : 0, 0,
+                  Adopted ? Coverage : 0);
+    return Adopted;
+  }
+
 private:
   bool publishImpl(const SllCache &Warmed) {
     std::lock_guard<std::mutex> Lock(Mu);

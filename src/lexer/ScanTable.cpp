@@ -828,3 +828,57 @@ size_t ScanTable::munchSimd(const char *Data, size_t Size,
 #endif
   return munchSwar(Data, Size, Out);
 }
+
+//===----------------------------------------------------------------------===//
+// Dfa serialization (warm-start snapshots)
+//===----------------------------------------------------------------------===//
+
+void costar::lexer::serializeDfa(const Dfa &D, std::vector<uint32_t> &Out) {
+  uint32_t NumStates = static_cast<uint32_t>(D.numStates());
+  Out.reserve(Out.size() + 2 + NumStates +
+              static_cast<size_t>(NumStates) * Dfa::AlphabetSize);
+  Out.push_back(NumStates);
+  Out.push_back(D.start());
+  for (uint32_t S = 0; S < NumStates; ++S)
+    Out.push_back(static_cast<uint32_t>(D.acceptRule(S)));
+  for (uint32_t S = 0; S < NumStates; ++S) {
+    const int32_t *Row = D.row(S);
+    for (uint32_t C = 0; C < Dfa::AlphabetSize; ++C)
+      Out.push_back(static_cast<uint32_t>(Row[C]));
+  }
+}
+
+bool costar::lexer::deserializeDfa(std::span<const uint32_t> Words, Dfa &Out) {
+  if (Words.size() < 2)
+    return false;
+  uint32_t NumStates = Words[0];
+  uint32_t Start = Words[1];
+  // Reject absurd state counts before sizing anything: the transition
+  // table is numStates * 256 words, so an attacker-controlled count must
+  // not be allowed to drive a multi-gigabyte allocation.
+  size_t Expected =
+      2 + static_cast<size_t>(NumStates) * (1 + Dfa::AlphabetSize);
+  if (NumStates == 0 || Words.size() != Expected || Start >= NumStates)
+    return false;
+  Dfa D;
+  D.reserveStates(NumStates);
+  for (uint32_t S = 0; S < NumStates; ++S) {
+    int32_t Accept = static_cast<int32_t>(Words[2 + S]);
+    if (Accept < Dfa::NoRule)
+      return false;
+    D.addState(Accept);
+  }
+  const uint32_t *Trans = Words.data() + 2 + NumStates;
+  for (uint32_t S = 0; S < NumStates; ++S)
+    for (uint32_t C = 0; C < Dfa::AlphabetSize; ++C) {
+      int32_t To =
+          static_cast<int32_t>(Trans[static_cast<size_t>(S) * Dfa::AlphabetSize + C]);
+      if (To < Dfa::DeadState || To >= static_cast<int32_t>(NumStates))
+        return false;
+      if (To != Dfa::DeadState)
+        D.setTransition(S, static_cast<unsigned char>(C), To);
+    }
+  D.setStart(Start);
+  Out = std::move(D);
+  return true;
+}

@@ -51,6 +51,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,24 @@ bool cpuSupportsShuffle();
 /// run: Auto picks Simd when available, and Simd degrades to Swar when
 /// the CPU has no byte shuffle. Never returns Auto.
 LexBackend resolveLexBackend(LexBackend Requested, bool ShengCapable);
+
+/// Serializes \p D as uint32 words appended to \p Out, for the warm-start
+/// snapshot (src/snapshot/). The ScanTable itself is never serialized: it
+/// is a pure function of the Dfa (equivalence classes, pre-scaled rows,
+/// truffle/sheng tables are all derived), so the snapshot stores the
+/// source of truth and recompiles the table on load — which also keeps
+/// snapshot files portable across SIMD capabilities and architectures.
+/// Layout: numStates, startState, numStates accept rules (int32 bit
+/// pattern), numStates * 256 transitions (int32 bit pattern, DeadState
+/// where undefined).
+void serializeDfa(const Dfa &D, std::vector<uint32_t> &Out);
+
+/// Rebuilds a Dfa from serializeDfa's word layout. \returns false (leaving
+/// \p Out unspecified) on any malformed input: short payloads, a start
+/// state or transition target outside [0, numStates), or an accept rule
+/// below NoRule — so a corrupted snapshot section is rejected here rather
+/// than crashing the scanner later.
+bool deserializeDfa(std::span<const uint32_t> Words, Dfa &Out);
 
 /// The backend a freshly built Scanner starts on: the COSTAR_LEX_BACKEND
 /// environment override (scalar|swar|simd|auto; read once per process —

@@ -41,6 +41,15 @@ Scanner::Scanner(const LexerSpec &Spec, Grammar &G) {
   Backend = defaultLexBackend(Table.shengCapable());
 }
 
+Scanner Scanner::fromCompiled(Dfa D, std::vector<TerminalId> RuleTerminals) {
+  Scanner S;
+  S.D = std::move(D);
+  S.RuleTerminal = std::move(RuleTerminals);
+  S.Table = ScanTable(S.D);
+  S.Backend = defaultLexBackend(S.Table.shengCapable());
+  return S;
+}
+
 Scanner::MatchResult Scanner::matchAt(const std::string &Input,
                                       size_t Pos) const {
   switch (Backend) {

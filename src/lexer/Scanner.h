@@ -86,15 +86,32 @@ class Scanner {
   /// construction (and again on setLexBackend). Never Auto.
   LexBackend Backend = LexBackend::Swar;
 
+  Scanner() = default;
+
 public:
   /// Compiles \p Spec, interning each token rule's name in \p G. On a bad
   /// pattern, ok() is false and buildError() explains why.
   Scanner(const LexerSpec &Spec, Grammar &G);
 
+  /// Rebuilds a scanner from its compiled form — the minimized DFA plus
+  /// the per-rule terminal map — skipping the regex -> NFA -> DFA pipeline
+  /// entirely. This is the snapshot load path (src/snapshot/): the
+  /// snapshot stores exactly these two pieces, and the ScanTable is
+  /// recompiled here because it is a pure function of the DFA (see
+  /// serializeDfa). The caller is responsible for \p D being a DFA this
+  /// constructor family could have produced; terminal ids in
+  /// \p RuleTerminals must be valid for the grammar the scanner will feed
+  /// (UINT32_MAX marks skip rules).
+  static Scanner fromCompiled(Dfa D, std::vector<TerminalId> RuleTerminals);
+
   bool ok() const { return BuildError.empty(); }
   const std::string &buildError() const { return BuildError; }
   size_t numDfaStates() const { return D.numStates(); }
   const ScanTable &scanTable() const { return Table; }
+  /// The compiled DFA — the serialization source of truth for snapshots.
+  const Dfa &dfa() const { return D; }
+  /// Per rule: emitted terminal id, or UINT32_MAX for skip rules.
+  const std::vector<TerminalId> &ruleTerminals() const { return RuleTerminal; }
 
   /// The backend matchAt will actually run (post-resolution).
   LexBackend lexBackend() const { return Backend; }

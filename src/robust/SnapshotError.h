@@ -1,0 +1,120 @@
+//===- robust/SnapshotError.h - Structured snapshot failures ---*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured results for warm-start snapshot validation (src/snapshot/).
+/// A snapshot file is untrusted input: it may be truncated, bit-flipped,
+/// produced by a different build, or aimed at the wrong grammar. Every one
+/// of those conditions must surface as a SnapshotError value — never a
+/// crash, never an exception, and never a silently adopted stale cache.
+/// The corruption test battery (tests/snapshot/SnapshotCorruptionTest)
+/// sweeps seeded truncations and bit flips over real snapshot bytes and
+/// asserts exactly that contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_ROBUST_SNAPSHOTERROR_H
+#define COSTAR_ROBUST_SNAPSHOTERROR_H
+
+#include <cstdint>
+#include <string>
+
+namespace costar {
+namespace robust {
+
+/// Why a snapshot was rejected. Ordered roughly by how early in
+/// validation the condition is detected; the snapshot loader checks
+/// structural integrity (magic, endianness, version, checksums) before
+/// semantic compatibility (grammar hash, backend tag), so a corrupted
+/// header reports the corruption rather than a misleading semantic
+/// mismatch.
+enum class SnapshotErrorKind : uint8_t {
+  /// The file could not be opened, read, mapped, or written.
+  IoError,
+  /// Fewer bytes than a snapshot header; also reported when a section's
+  /// recorded extent runs past the end of the file.
+  Truncated,
+  /// The magic number is wrong: not a snapshot file at all.
+  BadMagic,
+  /// The endianness marker does not match this host. Snapshots are
+  /// adopted by memory layout, so cross-endian files are rejected rather
+  /// than translated.
+  EndiannessMismatch,
+  /// The format version differs from the one this build writes.
+  VersionMismatch,
+  /// The header/section-table checksum does not match its contents.
+  HeaderChecksumMismatch,
+  /// A section payload's checksum does not match its contents.
+  SectionChecksumMismatch,
+  /// The snapshot was trained against a different grammar (fingerprint
+  /// mismatch). Adopting it would silently cache wrong predictions, so
+  /// this is a hard reject.
+  GrammarHashMismatch,
+  /// The snapshot's SLL cache was built for a different CacheBackend than
+  /// the caller requires.
+  BackendMismatch,
+  /// The bytes passed every integrity check but decode to an impossible
+  /// structure (out-of-range production id, non-canonical ordering,
+  /// payload shorter than its own length fields claim). Distinct from
+  /// checksum failures: this is what a *maliciously consistent* file
+  /// produces.
+  Malformed,
+};
+
+/// Stable diagnostic name of \p K ("truncated", "bad-magic", ...).
+inline const char *snapshotErrorKindName(SnapshotErrorKind K) {
+  switch (K) {
+  case SnapshotErrorKind::IoError:
+    return "io-error";
+  case SnapshotErrorKind::Truncated:
+    return "truncated";
+  case SnapshotErrorKind::BadMagic:
+    return "bad-magic";
+  case SnapshotErrorKind::EndiannessMismatch:
+    return "endianness-mismatch";
+  case SnapshotErrorKind::VersionMismatch:
+    return "version-mismatch";
+  case SnapshotErrorKind::HeaderChecksumMismatch:
+    return "header-checksum-mismatch";
+  case SnapshotErrorKind::SectionChecksumMismatch:
+    return "section-checksum-mismatch";
+  case SnapshotErrorKind::GrammarHashMismatch:
+    return "grammar-hash-mismatch";
+  case SnapshotErrorKind::BackendMismatch:
+    return "backend-mismatch";
+  case SnapshotErrorKind::Malformed:
+    return "malformed";
+  }
+  return "unknown";
+}
+
+/// One structured snapshot failure: the kind, a human-readable detail
+/// line, and (where meaningful) the byte offset the validator was looking
+/// at when it rejected the file.
+struct SnapshotError {
+  SnapshotErrorKind Kind = SnapshotErrorKind::IoError;
+  std::string Detail;
+  uint64_t Offset = 0;
+
+  std::string toString() const {
+    std::string S = snapshotErrorKindName(Kind);
+    if (!Detail.empty()) {
+      S += ": ";
+      S += Detail;
+    }
+    if (Offset != 0) {
+      S += " (at byte ";
+      S += std::to_string(Offset);
+      S += ")";
+    }
+    return S;
+  }
+};
+
+} // namespace robust
+} // namespace costar
+
+#endif // COSTAR_ROBUST_SNAPSHOTERROR_H

@@ -8,9 +8,12 @@
 /// A time-boxed, fully deterministic fuzz smoke over the end-to-end
 /// pipeline: seeded pseudo-random byte streams are fed through the JSON
 /// and DOT lexers and, when they lex, parsed under a resource budget.
-/// Every outcome (accept, reject, lex error, budget exceeded) is legal;
-/// the only failures are crashes, sanitizer reports, or a hung parse —
-/// which is exactly what the CI job (ASan/UBSan, 60 s) checks for.
+/// The same seeded bytes — plus mutated copies of a genuine warm-start
+/// snapshot — are also fed through the snapshot loader as hostile files.
+/// Every outcome (accept, reject, lex error, budget exceeded, structured
+/// snapshot error) is legal; the only failures are crashes, sanitizer
+/// reports, or a hung parse — which is exactly what the CI job
+/// (ASan/UBSan, 60 s) checks for.
 ///
 /// The current input is written to an artifact file before each
 /// iteration, so a crash leaves the offending bytes on disk for CI to
@@ -25,11 +28,13 @@
 
 #include "core/Parser.h"
 #include "lang/Language.h"
+#include "snapshot/Snapshot.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 using namespace costar;
 
@@ -96,10 +101,26 @@ int main() {
   Parser JsonP(Json.G, Json.Start, Budgeted);
   Parser DotP(Dot.G, Dot.Start, Budgeted);
 
+  // Snapshot-loader leg: a genuine warm-start artifact to mutate, so the
+  // fuzz reaches past the header checks into the payload validators.
+  std::vector<uint8_t> ValidSnapshot;
+  {
+    ParseOptions Opts;
+    Opts.ReuseCache = true;
+    Parser Trainer(Json.G, Json.Start, Opts);
+    lexer::LexResult Lex = Json.lex("[{\"k\": [1, 2.5, true]}, null]");
+    if (Lex.ok())
+      (void)Trainer.parse(Lex.Tokens);
+    const lexer::Scanner *Scanners[] = {Json.Plain.get()};
+    ValidSnapshot = snapshot::buildSnapshotBytes(
+        Json.G, &Trainer.sharedCache(), Scanners);
+  }
+
   auto End = std::chrono::steady_clock::now() +
              std::chrono::duration<double>(Seconds);
   uint64_t Rng = BaseSeed;
   uint64_t Iterations = 0, Lexed = 0, Parsed = 0, Budgeted_ = 0;
+  uint64_t SnapLoads = 0, SnapRejects = 0;
 
   while (std::chrono::steady_clock::now() < End) {
     ++Iterations;
@@ -121,14 +142,42 @@ int main() {
       else
         ++Parsed;
     }
+
+    // Hostile snapshot loads: the raw fuzz bytes as a "file", and a
+    // mutated copy of the valid snapshot (seeded byte smashes plus an
+    // occasional truncation) to reach the payload validators. A load
+    // either succeeds or returns a structured error; anything else is a
+    // crash the sanitizers will flag.
+    {
+      std::span<const uint8_t> Raw(
+          reinterpret_cast<const uint8_t *>(Input.data()), Input.size());
+      snapshot::LoadResult R1 = snapshot::parseSnapshotBytes(Raw, Json.G);
+      SnapRejects += R1.ok() ? 0 : 1;
+
+      std::vector<uint8_t> Mutated = ValidSnapshot;
+      uint64_t NumEdits = 1 + splitmix64(Rng) % 8;
+      for (uint64_t E = 0; E < NumEdits && !Mutated.empty(); ++E) {
+        uint64_t R = splitmix64(Rng);
+        Mutated[R % Mutated.size()] = static_cast<uint8_t>(R >> 32);
+      }
+      if (splitmix64(Rng) % 4 == 0 && !Mutated.empty())
+        Mutated.resize(splitmix64(Rng) % Mutated.size());
+      snapshot::LoadResult R2 =
+          snapshot::parseSnapshotBytes(Mutated, Json.G);
+      SnapRejects += R2.ok() ? 0 : 1;
+      SnapLoads += 2;
+    }
   }
 
   std::remove(Artifact);
   std::printf("fuzz smoke: %llu inputs, %llu lexed, %llu parsed, "
-              "%llu budget-exceeded, 0 crashes\n",
+              "%llu budget-exceeded, %llu snapshot loads "
+              "(%llu rejected), 0 crashes\n",
               static_cast<unsigned long long>(Iterations),
               static_cast<unsigned long long>(Lexed),
               static_cast<unsigned long long>(Parsed),
-              static_cast<unsigned long long>(Budgeted_));
+              static_cast<unsigned long long>(Budgeted_),
+              static_cast<unsigned long long>(SnapLoads),
+              static_cast<unsigned long long>(SnapRejects));
   return 0;
 }
