@@ -1,0 +1,232 @@
+//===- bench/bench_service.cpp - Parse-service runtime benchmark -------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Benchmarks the parse-service runtime (src/service/) on the Python
+/// workload, the heaviest of the four paper grammars:
+///
+///  1. Saturation throughput: BatchParser on the service runtime vs. the
+///     legacy flat thread pool, same corpus, same worker count. The
+///     service's admission/routing layer must not tax throughput — the
+///     within-run ratio is a hard gate (>= 0.9x) and the committed
+///     regression gate (scripts/check_bench_regression.py).
+///
+///  2. Open-loop latency: a paced generator submits requests at a fixed
+///     fraction of the measured saturation rate — arrivals do not wait
+///     for completions, so queueing delay is real, not self-throttled.
+///     Reported: p50/p99/p999 latency from exact sorted per-request
+///     samples (the merged service histogram is only a cross-check), at
+///     50% and 90% of saturation.
+///
+/// Machine-independent ratios (saturation_vs_batch, p99_over_p50) carry
+/// the regression gates; absolute tok/s and microseconds are recorded
+/// for the EXPERIMENTS.md tables but never gated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "service/Service.h"
+#include "workload/BatchParser.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace costar;
+using namespace costar::bench;
+
+namespace {
+
+unsigned benchWorkers() {
+  unsigned HW = std::thread::hardware_concurrency();
+  return std::max(2u, std::min(HW, 8u));
+}
+
+/// Exact percentile from raw samples (nearest-rank on a sorted copy).
+uint64_t percentile(std::vector<uint64_t> Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Rank = static_cast<size_t>(Q * double(Sorted.size()));
+  if (Rank >= Sorted.size())
+    Rank = Sorted.size() - 1;
+  return Sorted[Rank];
+}
+
+struct OpenLoopResult {
+  std::vector<uint64_t> LatenciesUs; ///< Done responses only
+  size_t Done = 0;
+  size_t Refused = 0; ///< all front-door refusals + expiries
+};
+
+/// Runs the open-loop generator: \p NumRequests arrivals at
+/// \p RatePerSec, round-robin over the corpus, against a fresh service.
+/// Arrivals are paced by the clock, never by completions.
+OpenLoopResult runOpenLoop(const BenchCorpus &C, const GrammarAnalysis &A,
+                           const PredictionTables &T, double RatePerSec,
+                           size_t NumRequests) {
+  service::ServiceOptions Opts;
+  Opts.Workers = benchWorkers();
+  Opts.QueueCapacity = 4096;
+  Opts.CollectMetrics = false;
+  service::ParseService S(Opts);
+  uint32_t Gid = S.addGrammar(C.L.G, C.L.Start, &A, &T);
+  S.start();
+
+  // Warmup: every corpus file through the service once, closed loop, so
+  // the measured window sees warm per-worker SLL caches and a seeded
+  // cost model instead of a cold-start backlog.
+  {
+    std::atomic<size_t> Warmed{0};
+    for (size_t I = 0; I < C.TokenStreams.size(); ++I) {
+      service::Request R;
+      R.Id = I;
+      R.GrammarId = Gid;
+      R.Input = &C.TokenStreams[I];
+      S.submit(R, [&](service::Response &&) {
+        Warmed.fetch_add(1, std::memory_order_relaxed);
+      });
+      while (Warmed.load(std::memory_order_relaxed) <= I)
+        std::this_thread::yield();
+    }
+  }
+
+  std::vector<uint8_t> IsDone(NumRequests, 0);
+  std::vector<uint64_t> Latency(NumRequests, 0);
+  std::atomic<size_t> Delivered{0};
+
+  using Clock = service::Clock;
+  const auto Interval =
+      std::chrono::nanoseconds(static_cast<uint64_t>(1e9 / RatePerSec));
+  const Clock::time_point Start = Clock::now();
+  for (size_t I = 0; I < NumRequests; ++I) {
+    // Open loop: wait for the I-th arrival time, not for any response.
+    // Sleep to within 100us of the due time, then spin the last stretch:
+    // a pure spinner would steal a core from the workers on small
+    // machines, pure sleeping would distort sub-ms pacing.
+    Clock::time_point Due = Start + Interval * I;
+    if (Due - Clock::now() > std::chrono::microseconds(200))
+      std::this_thread::sleep_until(Due - std::chrono::microseconds(100));
+    while (Clock::now() < Due)
+      ;
+    service::Request R;
+    R.Id = I;
+    R.GrammarId = Gid;
+    R.Input = &C.TokenStreams[I % C.TokenStreams.size()];
+    S.submit(R, [&, I](service::Response &&Resp) {
+      if (Resp.Status == service::ResponseStatus::Done) {
+        IsDone[I] = 1;
+        Latency[I] = Resp.LatencyMicros;
+      }
+      Delivered.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  S.drain();
+
+  OpenLoopResult Out;
+  for (size_t I = 0; I < NumRequests; ++I) {
+    if (IsDone[I]) {
+      ++Out.Done;
+      Out.LatenciesUs.push_back(Latency[I]);
+    } else {
+      ++Out.Refused;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchArgs(Argc, Argv, "BENCH_service.json", 3);
+  const unsigned Workers = benchWorkers();
+
+  std::printf("== parse-service runtime: Python workload, %u workers ==\n",
+              Workers);
+  BenchCorpus C = makeTimingCorpus(lang::LangId::Python, 16);
+  std::printf("corpus: %zu files, %llu tokens\n", C.TokenStreams.size(),
+              static_cast<unsigned long long>(C.TotalTokens));
+
+  workload::BatchParser BP(C.L.G, C.L.Start);
+
+  // 1. Saturation: the same closed-loop corpus drain on both engines.
+  workload::BatchOptions Flat;
+  Flat.Threads = Workers;
+  Flat.UseService = false;
+  double FlatSec = measureSeconds(
+      [&] { (void)BP.parseAll(C.TokenStreams, Flat); }, Opts);
+  double FlatTokS = double(C.TotalTokens) / FlatSec;
+
+  workload::BatchOptions OnService = Flat;
+  OnService.UseService = true;
+  double ServiceSec = measureSeconds(
+      [&] { (void)BP.parseAll(C.TokenStreams, OnService); }, Opts);
+  double ServiceTokS = double(C.TotalTokens) / ServiceSec;
+
+  double Ratio = ServiceTokS / FlatTokS;
+  std::printf("saturation: flat pool %.0f tok/s, service %.0f tok/s "
+              "(%.3fx)\n",
+              FlatTokS, ServiceTokS, Ratio);
+
+  // 2. Open-loop latency at 50%% and 90%% of saturation.
+  GrammarAnalysis Analysis(C.L.G, C.L.Start);
+  PredictionTables Tables(C.L.G, Analysis);
+  double AvgTokens = double(C.TotalTokens) / double(C.TokenStreams.size());
+  double SatRate = ServiceTokS / AvgTokens; // requests/sec at saturation
+
+  std::vector<BenchRecord> Records;
+  Records.push_back({"service/python", "batch_tok_per_sec", FlatTokS,
+                     "tok/s"});
+  Records.push_back({"service/python", "service_tok_per_sec", ServiceTokS,
+                     "tok/s"});
+  Records.push_back({"service/python", "saturation_vs_batch", Ratio, "x"});
+
+  for (double Load : {0.5, 0.9}) {
+    // Bound each load level to ~20 scaled seconds of offered traffic so
+    // slow machines do not turn the latency sweep into a multi-minute
+    // run; the floor keeps enough samples for a meaningful p99.
+    double Rate = SatRate * Load;
+    size_t NumRequests = std::max<size_t>(
+        150, std::min<size_t>(4000,
+                              static_cast<size_t>(Rate * 20 * benchScale())));
+    OpenLoopResult R = runOpenLoop(C, Analysis, Tables, Rate, NumRequests);
+    double P50 = double(percentile(R.LatenciesUs, 0.50));
+    double P99 = double(percentile(R.LatenciesUs, 0.99));
+    double P999 = double(percentile(R.LatenciesUs, 0.999));
+    std::string Name =
+        "service/python/load" + std::to_string(int(Load * 100));
+    std::printf("open loop %2.0f%%: %zu done, %zu refused, p50 %.0fus, "
+                "p99 %.0fus, p999 %.0fus\n",
+                Load * 100, R.Done, R.Refused, P50, P99, P999);
+    Records.push_back({Name, "p50_us", P50, "us"});
+    Records.push_back({Name, "p99_us", P99, "us"});
+    Records.push_back({Name, "p999_us", P999, "us"});
+    Records.push_back({Name, "done", double(R.Done), "requests"});
+    Records.push_back({Name, "refused", double(R.Refused), "requests"});
+    Records.push_back(
+        {Name, "p99_over_p50", P50 > 0 ? P99 / P50 : 0.0, "x"});
+  }
+
+  if (!writeBenchJson(Records, Opts.JsonOut))
+    return 1;
+
+  // Hard gate: the service runtime must sustain the flat pool's
+  // saturation throughput (>= 0.9x leaves room for run-to-run noise; the
+  // committed-baseline gate tracks the ratio more tightly over time).
+  if (Ratio < 0.9) {
+    std::fprintf(stderr,
+                 "GATE FAILED: service saturation %.3fx of flat pool "
+                 "(needs >= 0.9)\n",
+                 Ratio);
+    return 1;
+  }
+  std::printf("gate ok: service saturation %.3fx of flat pool (>= 0.9)\n",
+              Ratio);
+  return 0;
+}

@@ -16,7 +16,9 @@
 ///   costar-warm --lang dot --out dot.snap --corpus-file a.dot ...
 ///   costar-warm --lang json --verify json.snap         # load + report
 ///
-/// Exit codes: 0 success, 1 lex/snapshot error, 2 usage error.
+/// Exit codes: 0 success, 1 lex/snapshot error, 2 usage error,
+/// 3 snapshot/flags mismatch (grammar fingerprint or backend tag — the
+/// file is intact but trained for a different grammar or cache backend).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,7 +45,8 @@ int usage(const char *Prog) {
       "usage: %s --lang json|xml|dot|python --out FILE\n"
       "          [--backend avl|hashed] [--files N] [--seed S]\n"
       "          [--corpus-file PATH]...\n"
-      "       %s --lang json|xml|dot|python --verify FILE\n",
+      "       %s --lang json|xml|dot|python --verify FILE"
+      " [--backend avl|hashed]\n",
       Prog, Prog);
   return 2;
 }
@@ -66,6 +69,7 @@ int main(int Argc, char **Argv) {
   std::optional<lang::LangId> Lang;
   std::string Out, Verify;
   CacheBackend Backend = CacheBackend::Hashed;
+  bool BackendExplicit = false;
   uint32_t NumFiles = 16;
   uint64_t Seed = 20260809ull;
   std::vector<std::string> CorpusFiles;
@@ -90,6 +94,7 @@ int main(int Argc, char **Argv) {
       Verify = Next();
     } else if (Arg == "--backend") {
       std::string B = Next();
+      BackendExplicit = true;
       if (B == "avl")
         Backend = CacheBackend::AvlPaperFaithful;
       else if (B == "hashed")
@@ -112,10 +117,24 @@ int main(int Argc, char **Argv) {
   lang::Language L = lang::makeLanguage(*Lang);
 
   if (!Verify.empty()) {
-    snapshot::LoadResult R = snapshot::loadSnapshot(Verify, L.G);
+    // An explicit --backend makes verification require that backend tag,
+    // so a backend mismatch surfaces here (exit 3) rather than as a
+    // silently refused adopt in the consuming process.
+    std::optional<CacheBackend> Require;
+    if (BackendExplicit)
+      Require = Backend;
+    snapshot::LoadResult R = snapshot::loadSnapshot(Verify, L.G, Require);
     if (!R.ok()) {
       std::fprintf(stderr, "%s: %s\n", Verify.c_str(),
                    R.Err->toString().c_str());
+      // A structurally valid snapshot aimed at the wrong grammar (or the
+      // wrong cache backend) is an operator error — the file and the
+      // --lang/--backend flags disagree — not a corrupt file. Give it a
+      // distinct exit code so wrapper scripts can tell "re-train/fix the
+      // flags" (3) apart from "the file is damaged" (1).
+      if (R.Err->Kind == robust::SnapshotErrorKind::GrammarHashMismatch ||
+          R.Err->Kind == robust::SnapshotErrorKind::BackendMismatch)
+        return 3;
       return 1;
     }
     std::printf("%s: ok (%s)\n", Verify.c_str(), L.Name.c_str());

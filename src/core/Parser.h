@@ -29,6 +29,9 @@
 #include "core/Machine.h"
 #include "grammar/Analysis.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace costar {
 
 /// A reusable CoStar parser for one grammar and start symbol.
@@ -85,6 +88,33 @@ public:
                    ? ParseResult::unique(std::move(Owned))
                    : ParseResult::ambig(std::move(Owned));
     }
+    return Result;
+  }
+
+  /// Parses \p Input under an absolute wall-clock deadline: the remaining
+  /// time is folded into the parse's ParseBudget wall cap (tightening any
+  /// cap already configured, never loosening it), so the call returns a
+  /// structured BudgetExceeded{Deadline} instead of running past the
+  /// deadline's usefulness. An already-expired deadline yields an
+  /// immediately-exhausted budget (MaxWallMicros = 0), which trips
+  /// deterministically at the first poll. This is the single-parser form
+  /// of the deadline propagation the parse-service runtime
+  /// (service/Service.h) applies per request.
+  ParseResult parseUntil(const Word &Input,
+                         std::chrono::steady_clock::time_point Deadline,
+                         Machine::Stats *StatsOut = nullptr) {
+    auto Now = std::chrono::steady_clock::now();
+    uint64_t Remaining =
+        Deadline > Now
+            ? static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      Deadline - Now)
+                      .count())
+            : 0;
+    ParseOptions Saved = Opts;
+    Opts.Budget.MaxWallMicros = std::min(Opts.Budget.MaxWallMicros, Remaining);
+    ParseResult Result = parse(Input, StatsOut);
+    Opts.Budget = Saved.Budget;
     return Result;
   }
 

@@ -8,6 +8,7 @@
 
 #include "adt/Instrument.h"
 
+#include <algorithm>
 #include <bit>
 
 using namespace costar;
@@ -36,6 +37,38 @@ void Histogram::merge(const Histogram &Other) {
     Max = Other.Max;
   for (size_t I = 0; I < NumBuckets; ++I)
     Buckets[I] += Other.Buckets[I];
+}
+
+double Histogram::quantile(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  if (Q <= 0.0)
+    return double(Min);
+  if (Q >= 1.0)
+    return double(Max);
+  // The (1-based) rank of the requested sample, then the bucket holding it.
+  double Rank = Q * double(Count);
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    if (Buckets[I] == 0)
+      continue;
+    if (double(Seen + Buckets[I]) < Rank) {
+      Seen += Buckets[I];
+      continue;
+    }
+    // Bucket I holds values in [2^(I-1), 2^I) (bucket 0 holds zeros).
+    // Interpolate by the rank's position within the bucket.
+    if (I == 0)
+      return 0.0;
+    double Lo = I == 1 ? 1.0 : double(uint64_t(1) << (I - 1));
+    double Hi = double(uint64_t(1) << std::min<size_t>(I, 63));
+    double Frac = (Rank - double(Seen)) / double(Buckets[I]);
+    double V = Lo + Frac * (Hi - Lo);
+    // Clamp to the exact observed range: the extreme buckets may be far
+    // wider than the data in them.
+    return std::min(std::max(V, double(Min)), double(Max));
+  }
+  return double(Max);
 }
 
 void MetricsRegistry::add(std::string_view Name, uint64_t Delta) {

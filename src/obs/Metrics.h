@@ -50,6 +50,16 @@ struct Histogram {
   void merge(const Histogram &Other);
 
   double mean() const { return Count ? double(Sum) / double(Count) : 0.0; }
+
+  /// Estimated value at quantile \p Q in [0, 1] (0.5 = median, 0.99 =
+  /// p99). Walks the log2 buckets to the one containing the Q-th sample
+  /// and interpolates linearly within it, clamped to the exact [Min, Max]
+  /// observed — so a single-bucket histogram answers exactly and wide
+  /// buckets answer within one power of two. Returns 0 on an empty
+  /// histogram. Tail quantiles of latency histograms (p99/p999) are the
+  /// intended use; bench_service reports exact percentiles from raw
+  /// samples and uses this only as a cross-check.
+  double quantile(double Q) const;
 };
 
 /// Named counters and histograms. Names are dot-separated paths by

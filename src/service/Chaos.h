@@ -1,0 +1,93 @@
+//===- service/Chaos.h - Service-level fault plans -------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-deterministic service-level fault plans, the runtime's analogue
+/// of robust::FaultPlan. Where FaultPlan forces failures at parse-path
+/// sites (cache probes, allocations), a ServiceChaosPlan forces failures
+/// of the *runtime around* the parses:
+///
+///  - Worker death: after its N-th request a worker "crashes" at a clean
+///    request boundary and is respawned with all thread-local serving
+///    state lost — warm SLL cache copy, arena slabs, fault-injector
+///    occurrence counts, backoff stream. Respawn must be invisible to
+///    correctness: only warmth (and hence latency) is lost.
+///
+///  - Queue stall: a worker sleeps before taking its N-th request,
+///    modelling a descheduled or wedged core. Stalls back pressure the
+///    channel; admission control and shedding, not crashes, must absorb
+///    the overflow.
+///
+///  - Deadline storms are not a plan arm: the chaos harness drives them
+///    from the outside by submitting floods of near-zero deadlines
+///    (tests/service/), since they are a property of traffic, not of the
+///    runtime.
+///
+/// Plans are deterministic per (seed, worker count): chaos trials that
+/// fail reproduce from their seed alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SERVICE_CHAOS_H
+#define COSTAR_SERVICE_CHAOS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace costar {
+namespace service {
+
+struct ServiceChaosPlan {
+  struct DeathArm {
+    uint32_t Worker = 0;
+    /// Die after completing this many requests (per life). 0 never fires.
+    uint64_t AfterRequests = 0;
+    /// How many lives end this way (respawns are unlimited; this caps how
+    /// many times the death repeats).
+    uint32_t MaxDeaths = 1;
+  };
+  struct StallArm {
+    uint32_t Worker = 0;
+    /// Stall before taking the N-th request of the worker's lifetime
+    /// (across respawns). 0 never fires.
+    uint64_t AtRequest = 0;
+    uint64_t StallMicros = 0;
+  };
+
+  std::vector<DeathArm> Deaths;
+  std::vector<StallArm> Stalls;
+
+  bool empty() const { return Deaths.empty() && Stalls.empty(); }
+
+  /// A deterministic pseudo-random plan (splitmix64 over \p Seed) for a
+  /// service of \p Workers workers: up to two deaths and one stall,
+  /// spread over the workers. Equal inputs give equal plans everywhere.
+  static ServiceChaosPlan random(uint64_t Seed, uint32_t Workers) {
+    auto Next = [&Seed]() {
+      Seed += 0x9E3779B97F4A7C15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+      return Z ^ (Z >> 31);
+    };
+    ServiceChaosPlan P;
+    if (Workers == 0)
+      return P;
+    uint32_t NumDeaths = Next() % 3;        // 0..2
+    for (uint32_t I = 0; I < NumDeaths; ++I)
+      P.Deaths.push_back(DeathArm{static_cast<uint32_t>(Next() % Workers),
+                                  1 + Next() % 6, 1});
+    if (Next() % 2)
+      P.Stalls.push_back(StallArm{static_cast<uint32_t>(Next() % Workers),
+                                  1 + Next() % 8, 200 + Next() % 2000});
+    return P;
+  }
+};
+
+} // namespace service
+} // namespace costar
+
+#endif // COSTAR_SERVICE_CHAOS_H

@@ -1,0 +1,127 @@
+//===- service/CircuitBreaker.h - Per-grammar circuit breaker --*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-grammar circuit breaker for the parse-service runtime. Parses of
+/// one grammar that keep ending in structured *infrastructure* failures
+/// (ParseResult::Error — injected faults, invariant violations — after
+/// retries and the AVL downgrade are exhausted) indicate something is
+/// wrong with that grammar's serving state, not with individual inputs;
+/// continuing to burn worker time on it starves healthy grammars sharing
+/// the service. The breaker converts that pattern into fast, explicit
+/// BreakerOpen refusals:
+///
+///   Closed    -> normal service; Threshold *consecutive* failures trip
+///                the breaker (any success resets the streak).
+///   Open      -> every request is refused without parsing until
+///                CooldownMicros have elapsed since the trip.
+///   HalfOpen  -> one probe request is admitted; its success closes the
+///                breaker, its failure re-opens it (fresh cooldown).
+///
+/// Reject and BudgetExceeded results never count as failures: a reject is
+/// a correct answer about the input, and a tripped budget is the
+/// request's own envelope, not grammar health.
+///
+/// Thread model: admit() runs on the submit path and is a single relaxed
+/// atomic load while the breaker is closed (the hot path); state
+/// transitions take a mutex, which only contends while the grammar is
+/// actively failing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SERVICE_CIRCUITBREAKER_H
+#define COSTAR_SERVICE_CIRCUITBREAKER_H
+
+#include "service/Request.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace costar {
+namespace service {
+
+class CircuitBreaker {
+public:
+  enum class State : uint8_t { Closed, Open, HalfOpen };
+
+  /// \p Threshold consecutive failures trip the breaker; 0 disables it
+  /// entirely (admit() is always true and costs one load).
+  CircuitBreaker(uint32_t Threshold, uint64_t CooldownMicros)
+      : Threshold(Threshold), CooldownMicros(CooldownMicros) {}
+
+  /// Submit-path check. \returns true when the request may proceed;
+  /// \p IsProbe is set when it is the half-open probe, which the caller
+  /// must report back via onResult(..., IsProbe).
+  bool admit(Clock::time_point Now, bool &IsProbe) {
+    IsProbe = false;
+    if (Threshold == 0)
+      return true;
+    if (Current.load(std::memory_order_acquire) == State::Closed)
+      return true;
+    std::lock_guard<std::mutex> Lock(M);
+    switch (Current.load(std::memory_order_relaxed)) {
+    case State::Closed:
+      return true; // closed while we waited for the lock
+    case State::Open:
+      if (Now < OpenedAt + std::chrono::microseconds(CooldownMicros))
+        return false;
+      // Cooldown elapsed: half-open, and this request is the probe.
+      Current.store(State::HalfOpen, std::memory_order_release);
+      IsProbe = true;
+      return true;
+    case State::HalfOpen:
+      return false; // one probe at a time
+    }
+    return true;
+  }
+
+  /// Worker-path report of a finished parse. \p Failure means a final
+  /// ParseResult::Error (after retry/downgrade), \p IsProbe echoes
+  /// admit()'s flag.
+  void onResult(bool Failure, bool IsProbe, Clock::time_point Now) {
+    if (Threshold == 0)
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    if (IsProbe) {
+      if (Failure) {
+        OpenedAt = Now;
+        Current.store(State::Open, std::memory_order_release);
+      } else {
+        ConsecutiveFailures = 0;
+        Current.store(State::Closed, std::memory_order_release);
+      }
+      return;
+    }
+    if (!Failure) {
+      ConsecutiveFailures = 0;
+      return;
+    }
+    if (++ConsecutiveFailures >= Threshold &&
+        Current.load(std::memory_order_relaxed) == State::Closed) {
+      Trips.fetch_add(1, std::memory_order_relaxed);
+      OpenedAt = Now;
+      Current.store(State::Open, std::memory_order_release);
+    }
+  }
+
+  State state() const { return Current.load(std::memory_order_acquire); }
+  uint64_t trips() const { return Trips.load(std::memory_order_relaxed); }
+
+private:
+  const uint32_t Threshold;
+  const uint64_t CooldownMicros;
+  std::mutex M;
+  std::atomic<State> Current{State::Closed};
+  uint32_t ConsecutiveFailures = 0;
+  std::atomic<uint64_t> Trips{0};
+  Clock::time_point OpenedAt{};
+};
+
+} // namespace service
+} // namespace costar
+
+#endif // COSTAR_SERVICE_CIRCUITBREAKER_H

@@ -1,0 +1,147 @@
+//===- service/Request.h - Parse-service request/response types -*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/response vocabulary of the parse-service runtime. A
+/// Request names a registered grammar, carries a pre-lexed input word, a
+/// priority class, and an optional absolute deadline; a Response reports
+/// exactly one terminal outcome per submitted request — either a parse
+/// result (which may itself be a structured failure: Reject, Error,
+/// BudgetExceeded) or a service-level refusal (admission rejection,
+/// overload shed, expiry, open circuit breaker).
+///
+/// The failure taxonomy is deliberately flat and total: every request
+/// submitted to the service ends in exactly one ResponseStatus, the
+/// chaos suite counts them, and "no lost or duplicated responses" is an
+/// asserted invariant, not an aspiration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SERVICE_REQUEST_H
+#define COSTAR_SERVICE_REQUEST_H
+
+#include "core/Machine.h"
+#include "grammar/Token.h"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+namespace costar {
+namespace service {
+
+using Clock = std::chrono::steady_clock;
+
+/// Priority classes for overload shedding, ordered from never-shed to
+/// first-shed. Under load the front door sheds BestEffort traffic first,
+/// then Batch; Interactive requests are only ever refused by a full
+/// queue or an unmeetable deadline.
+enum class Priority : uint8_t {
+  Interactive,
+  Batch,
+  BestEffort,
+};
+
+inline const char *priorityName(Priority P) {
+  switch (P) {
+  case Priority::Interactive:
+    return "interactive";
+  case Priority::Batch:
+    return "batch";
+  case Priority::BestEffort:
+    return "best_effort";
+  }
+  return "unknown";
+}
+
+/// One parse request. The input word is borrowed, not owned: it must stay
+/// alive until the request's response has been delivered (the batch layer
+/// keeps its corpus alive across parseAll; the open-loop bench keeps its
+/// token streams alive for the whole run).
+struct Request {
+  /// Caller-chosen identifier, echoed in the Response. The batch layer
+  /// uses the corpus word index; it also stamps trace events.
+  uint64_t Id = 0;
+  /// Which registered grammar parses this input (ParseService::addGrammar
+  /// return value).
+  uint32_t GrammarId = 0;
+  const Word *Input = nullptr;
+  Priority Class = Priority::Batch;
+  /// Absolute completion deadline. Propagated into the parse's
+  /// ParseBudget wall-clock cap; requests that cannot start before it
+  /// are Expired, requests whose estimated completion exceeds it are
+  /// rejected at the front door (when deadline admission is on).
+  std::optional<Clock::time_point> Deadline;
+};
+
+/// How a request terminated, from the service's point of view. Done means
+/// "a Machine ran and produced a ParseResult" — including structured
+/// in-parse failures; the other statuses are service-level refusals where
+/// no machine ran (no partial state, cheap by construction).
+enum class ResponseStatus : uint8_t {
+  /// The parse ran; Response::Result holds its outcome.
+  Done,
+  /// Admission control refused the request: the grammar's queues were
+  /// full, or its estimated completion time exceeded the deadline.
+  Rejected,
+  /// Overload shedding dropped the request by priority class.
+  Shed,
+  /// The deadline passed before a worker could start the parse.
+  Expired,
+  /// The grammar's circuit breaker was open.
+  BreakerOpen,
+};
+
+inline const char *responseStatusName(ResponseStatus S) {
+  switch (S) {
+  case ResponseStatus::Done:
+    return "done";
+  case ResponseStatus::Rejected:
+    return "rejected";
+  case ResponseStatus::Shed:
+    return "shed";
+  case ResponseStatus::Expired:
+    return "expired";
+  case ResponseStatus::BreakerOpen:
+    return "breaker_open";
+  }
+  return "unknown";
+}
+
+/// The single terminal outcome of one request.
+struct Response {
+  uint64_t Id = 0;
+  uint32_t GrammarId = 0;
+  ResponseStatus Status = ResponseStatus::Rejected;
+  /// Why a Rejected/Shed response was refused ("queue_full",
+  /// "deadline_unmeetable", "overload"); empty for other statuses.
+  const char *Refusal = "";
+  /// The parse outcome, present exactly when Status == Done.
+  std::optional<ParseResult> Result;
+  /// The parse was retried on the paper-faithful AVL backend after a
+  /// transient Hashed-backend failure (robust::parseRobust).
+  bool Downgraded = false;
+  /// In-place retry attempts spent on transient failures (jittered
+  /// backoff between attempts), not counting the backend downgrade.
+  uint32_t Retries = 0;
+  /// Wall-clock from submit to response delivery, and from submit to
+  /// parse start (queue wait). Zero for front-door refusals.
+  uint64_t LatencyMicros = 0;
+  uint64_t QueueWaitMicros = 0;
+  /// Machine statistics of the final parse attempt (Done only).
+  Machine::Stats Stats;
+};
+
+/// Per-request completion hook, invoked exactly once on the worker thread
+/// that finished the request (or inline in submit() for front-door
+/// refusals when the caller asked refusals to be delivered through it).
+using ResponseCallback = std::function<void(Response &&)>;
+
+} // namespace service
+} // namespace costar
+
+#endif // COSTAR_SERVICE_REQUEST_H

@@ -1,0 +1,99 @@
+//===- service/SpscQueue.h - Bounded SPSC request channel ------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded single-producer/single-consumer ring buffer, the per-worker
+/// request channel of the parse-service runtime (service/Service.h). The
+/// front door (router) is the producer; the core-pinned worker is the
+/// consumer. Capacity is fixed at construction — a full channel is an
+/// admission-control signal (reject the request), never a blocking wait
+/// inside the service.
+///
+/// The implementation is the classic two-counter ring: the producer owns
+/// Tail, the consumer owns Head, each published with release stores and
+/// read with acquire loads, so the slot contents written before a Tail
+/// bump are visible to the consumer that observes the bump (and
+/// symmetrically for reuse after a Head bump). Slots hold movable values;
+/// no allocation happens after construction.
+///
+/// Multi-threaded submitters serialize on the service's per-queue producer
+/// lock — the queue itself stays strictly SPSC, which keeps the consumer
+/// side wait-free (one acquire load + one release store per pop).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SERVICE_SPSCQUEUE_H
+#define COSTAR_SERVICE_SPSCQUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace costar {
+namespace service {
+
+template <typename T> class SpscQueue {
+  std::vector<T> Slots;
+  size_t Mask;
+  /// Producer cursor: next slot to write. Only the producer stores it.
+  alignas(64) std::atomic<size_t> Tail{0};
+  /// Consumer cursor: next slot to read. Only the consumer stores it.
+  alignas(64) std::atomic<size_t> Head{0};
+
+  static size_t roundUpPow2(size_t N) {
+    size_t P = 1;
+    while (P < N)
+      P <<= 1;
+    return P;
+  }
+
+public:
+  explicit SpscQueue(size_t Capacity)
+      : Slots(roundUpPow2(Capacity < 2 ? 2 : Capacity)),
+        Mask(Slots.size() - 1) {}
+
+  size_t capacity() const { return Slots.size(); }
+
+  /// Queued elements at this instant (racy by nature; exact for the
+  /// producer and consumer themselves, a snapshot for anyone else).
+  size_t size() const {
+    size_t T_ = Tail.load(std::memory_order_acquire);
+    size_t H = Head.load(std::memory_order_acquire);
+    return T_ - H;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Producer side: enqueue \p V. \returns false (leaving \p V untouched)
+  /// when the ring is full — the caller turns that into an admission
+  /// rejection.
+  bool tryPush(T &V) {
+    size_t T_ = Tail.load(std::memory_order_relaxed);
+    size_t H = Head.load(std::memory_order_acquire);
+    if (T_ - H >= Slots.size())
+      return false;
+    Slots[T_ & Mask] = std::move(V);
+    Tail.store(T_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: dequeue into \p Out. \returns false when empty.
+  bool tryPop(T &Out) {
+    size_t H = Head.load(std::memory_order_relaxed);
+    size_t T_ = Tail.load(std::memory_order_acquire);
+    if (H == T_)
+      return false;
+    Out = std::move(Slots[H & Mask]);
+    Head.store(H + 1, std::memory_order_release);
+    return true;
+  }
+};
+
+} // namespace service
+} // namespace costar
+
+#endif // COSTAR_SERVICE_SPSCQUEUE_H

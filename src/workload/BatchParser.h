@@ -71,6 +71,14 @@ struct BatchOptions {
   /// it also covers the publish/adopt cache-exchange sites between
   /// words). ParseOptions::Faults inside Parse is ignored here.
   const robust::FaultPlan *Faults = nullptr;
+  /// Run the batch on the parse-service runtime (service::ParseService:
+  /// per-worker SPSC channels, grammar-affinity workers, graceful drain)
+  /// with batch semantics — no deadlines, no shedding, no breaker, no
+  /// in-place retries, channels sized to the corpus. When false, use the
+  /// legacy flat thread pool, kept as a differential baseline: the
+  /// batch suites assert both paths produce identical results, and
+  /// bench_service gates the service's saturation throughput against it.
+  bool UseService = true;
 };
 
 struct BatchResult {

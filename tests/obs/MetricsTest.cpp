@@ -168,6 +168,46 @@ TEST(MachineMetrics, ResultKindCountersCoverAllOutcomes) {
   EXPECT_EQ(R.counter("result.error"), 1u);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinLog2Buckets) {
+  obs::Histogram Empty;
+  EXPECT_EQ(Empty.quantile(0.5), 0.0);
+
+  // A constant series answers exactly at every quantile: interpolation is
+  // clamped to the observed [Min, Max].
+  obs::Histogram C;
+  for (int I = 0; I < 100; ++I)
+    C.record(42);
+  EXPECT_DOUBLE_EQ(C.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(C.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(C.quantile(0.999), 42.0);
+  EXPECT_DOUBLE_EQ(C.quantile(1.0), 42.0);
+
+  // Uniform 1..1024: the extremes are exact, interior quantiles land
+  // within one power of two of the true answer and stay monotone.
+  obs::Histogram U;
+  for (uint64_t V = 1; V <= 1024; ++V)
+    U.record(V);
+  EXPECT_DOUBLE_EQ(U.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(U.quantile(1.0), 1024.0);
+  double Median = U.quantile(0.5);   // true: 512.5
+  double P99 = U.quantile(0.99);     // true: ~1014
+  double P999 = U.quantile(0.999);   // true: ~1023
+  EXPECT_GE(Median, 256.0);
+  EXPECT_LE(Median, 1024.0);
+  EXPECT_GE(P99, 512.0);
+  EXPECT_LE(P99, 1024.0);
+  EXPECT_LE(Median, P99);
+  EXPECT_LE(P99, P999);
+
+  // Zeros live in bucket 0 and answer 0 at low quantiles.
+  obs::Histogram Z;
+  for (int I = 0; I < 10; ++I)
+    Z.record(0);
+  Z.record(7);
+  EXPECT_DOUBLE_EQ(Z.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Z.quantile(1.0), 7.0);
+}
+
 TEST(BatchMetrics, MergedRegistryMatchesBatchAggregate) {
   Grammar G = figure2Grammar();
   NonterminalId S = G.lookupNonterminal("S");

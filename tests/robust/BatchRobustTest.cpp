@@ -180,3 +180,27 @@ TEST(BatchRobust, PersistentFaultWithoutDegradationSurfacesErrors) {
   std::string Summary = R.summary();
   EXPECT_NE(Summary.find("errors=12"), std::string::npos);
 }
+
+TEST(BatchRobust, SummaryListsQuarantineInCorpusOrderAcrossThreadCounts) {
+  // The quarantine list in summary() is sorted by corpus index, so the
+  // summary is one deterministic string no matter how many workers raced
+  // over the corpus or which finished first.
+  Grammar G = chainGrammar();
+  BatchParser P(G, 0);
+  std::set<size_t> LongAt = {3, 11, 24};
+  std::vector<Word> Corpus = mixedCorpus(LongAt, 32);
+
+  BatchOptions Opts;
+  Opts.Parse.Budget.MaxSteps = 100;
+  std::string Expected;
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    Opts.Threads = Threads;
+    std::string S = P.parseAll(Corpus, Opts).summary();
+    EXPECT_NE(S.find("[3:steps,11:steps,24:steps]"), std::string::npos)
+        << "threads=" << Threads << ": " << S;
+    if (Expected.empty())
+      Expected = S;
+    else
+      EXPECT_EQ(S, Expected) << "threads=" << Threads;
+  }
+}

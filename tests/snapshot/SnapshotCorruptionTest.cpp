@@ -204,6 +204,49 @@ TEST(SnapshotCorruption, HeaderFieldMismatchesReportTheirKind) {
   }
 }
 
+TEST(SnapshotCorruption, MismatchKindsSurviveTheFilePath) {
+  // The costar-warm --verify CLI maps GrammarHashMismatch and
+  // BackendMismatch to a distinct exit code (3: intact file, wrong
+  // grammar/flags — re-train or fix the flags) vs. structural corruption
+  // (1). That mapping is only as good as the error kinds surfacing
+  // through loadSnapshot's file path exactly as they do from
+  // parseSnapshotBytes — pin both kinds end to end through a real file.
+  Fixture F(CacheBackend::Hashed);
+  std::string Path = testing::TempDir() + "costar_mismatch_kinds.snap";
+  {
+    std::FILE *Out = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(Out, nullptr);
+    ASSERT_EQ(std::fwrite(F.Bytes.data(), 1, F.Bytes.size(), Out),
+              F.Bytes.size());
+    std::fclose(Out);
+  }
+  {
+    // Fingerprint mismatch: the JSON-trained file against the DOT grammar.
+    lang::Language Dot = lang::makeLanguage(lang::LangId::Dot);
+    snapshot::LoadResult R = snapshot::loadSnapshot(Path, Dot.G);
+    ASSERT_FALSE(R.ok());
+    EXPECT_EQ(R.Err->Kind, SnapshotErrorKind::GrammarHashMismatch);
+    EXPECT_EQ(R.Contents.Cache, nullptr);
+  }
+  {
+    // Backend-tag mismatch: a Hashed-trained file under a required AVL
+    // backend (costar-warm --verify --backend avl).
+    snapshot::LoadResult R = snapshot::loadSnapshot(
+        Path, F.L.G, CacheBackend::AvlPaperFaithful);
+    ASSERT_FALSE(R.ok());
+    EXPECT_EQ(R.Err->Kind, SnapshotErrorKind::BackendMismatch);
+    EXPECT_EQ(R.Contents.Cache, nullptr);
+  }
+  {
+    // And the matching require succeeds — the mismatch rejects above are
+    // about the pairing, not the file.
+    snapshot::LoadResult R =
+        snapshot::loadSnapshot(Path, F.L.G, CacheBackend::Hashed);
+    EXPECT_TRUE(R.ok());
+  }
+  std::remove(Path.c_str());
+}
+
 TEST(SnapshotCorruption, ChecksumValidButMalformedPayloadsAreRejected) {
   // SnapshotBuilder produces files whose every checksum is correct; what
   // varies here is the payload semantics. These must all fall through the

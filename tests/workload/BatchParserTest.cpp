@@ -207,6 +207,33 @@ TEST(BatchParser, AllocBackendsAgreeUnderThreading) {
   }
 }
 
+TEST(BatchParser, ServicePathMatchesFlatPoolBaseline) {
+  // BatchParser's default engine is the parse-service runtime; the old
+  // flat thread pool is kept exactly for this differential: same corpus,
+  // same thread count, bit-identical results and deterministic aggregates
+  // on both engines.
+  std::mt19937_64 Rng(1212);
+  for (int Trial = 0; Trial < 6; ++Trial) {
+    Grammar G = randomNonLeftRecursiveGrammar(Rng);
+    workload::BatchParser P(G, 0);
+    std::vector<Word> Corpus = sampledCorpus(G, 40, Rng());
+
+    workload::BatchOptions OnService;
+    OnService.Threads = 4;
+    OnService.PublishInterval = 3;
+    OnService.UseService = true;
+    workload::BatchOptions FlatPool = OnService;
+    FlatPool.UseService = false;
+
+    workload::BatchResult RS = P.parseAll(Corpus, OnService);
+    workload::BatchResult RF = P.parseAll(Corpus, FlatPool);
+    expectSameResults(RS, RF);
+    EXPECT_EQ(RS.Aggregate.Consumes, RF.Aggregate.Consumes);
+    EXPECT_EQ(RS.Aggregate.Pushes, RF.Aggregate.Pushes);
+    EXPECT_EQ(RS.Aggregate.Returns, RF.Aggregate.Returns);
+  }
+}
+
 TEST(BatchParser, EmptyCorpusAndZeroThreads) {
   Grammar G = figure2Grammar();
   NonterminalId S = G.lookupNonterminal("S");
