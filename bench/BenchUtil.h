@@ -95,6 +95,10 @@ inline BenchCorpus makeTimingCorpus(lang::LangId Id, uint32_t NumFiles) {
     // cost on the big Python grammar is the highest of the four (Figure 9's
     // slowest plot).
     return makeCorpus(Id, NumFiles, 500, 25000);
+  case lang::LangId::Verilog:
+    // The zoo addition (PR 9): module-shaped sources sized like the DOT
+    // corpus; the linter bench reuses the same shapes.
+    return makeCorpus(Id, NumFiles, 200, 50000);
   }
   return makeCorpus(Id, NumFiles, 200, 50000);
 }

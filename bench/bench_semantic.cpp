@@ -1,0 +1,104 @@
+//===- bench/bench_semantic.cpp - Semantic lint overhead benchmark -----------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prices the semantic pass framework on its production workload: the
+/// costar-verilint rule battery (declaration + usage passes, scoped
+/// symbol tables, constant folding, diagnostic sink) running over parse
+/// trees of the Verilog corpus. Two timed configurations on identical
+/// pre-lexed inputs and a warm SLL cache:
+///
+///   parse       the production parse alone (the floor every lint run
+///               pays regardless)
+///   parse+lint  the same parse followed by the full lint battery and
+///               report extraction
+///
+/// Hard gate (mirrored as an absolute bound in
+/// scripts/check_bench_regression.py):
+///   lint_over_parse <= 2.0   linting a file costs at most as much
+///                            again as parsing it — the framework's
+///                            tree walks stay within the parser's own
+///                            order of work
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+
+#include "core/Parser.h"
+#include "semantic/VerilogLint.h"
+
+#include <cstdio>
+
+using namespace costar;
+using namespace costar::bench;
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchArgs(Argc, Argv, "BENCH_semantic.json");
+  std::printf("=== Semantic passes: lint overhead over pure parsing ===\n\n");
+
+  // The costar-verilint deployment shape: a batch of module files from
+  // small to DOT-corpus-sized (the sweep harness uses the same shapes).
+  BenchCorpus C = makeTimingCorpus(lang::LangId::Verilog, /*NumFiles=*/8);
+  ParseOptions PO;
+  PO.ReuseCache = true;
+
+  semantic::VerilogLinter Linter(C.L.G);
+  uint64_t Findings = 0;
+
+  // Both configurations run on the same warm cache: the gate prices the
+  // lint passes, not cache training (bench_warmstart owns that story).
+  Parser ParseP(C.L.G, C.L.Start, PO);
+  for (const Word &W : C.TokenStreams)
+    (void)ParseP.parse(W);
+  double ParseSec = measureSeconds(
+      [&] {
+        for (const Word &W : C.TokenStreams)
+          (void)ParseP.parse(W);
+      },
+      Opts);
+
+  Parser LintP(C.L.G, C.L.Start, PO);
+  for (const Word &W : C.TokenStreams)
+    (void)LintP.parse(W);
+  double LintSec = measureSeconds(
+      [&] {
+        Findings = 0;
+        for (const Word &W : C.TokenStreams) {
+          ParseResult R = LintP.parse(W);
+          if (R.accepted())
+            Findings += Linter.lint(R.tree()).Diags.size();
+        }
+      },
+      Opts);
+
+  double Tokens = static_cast<double>(C.TotalTokens);
+  double ParseTps = Tokens / ParseSec;
+  double LintTps = Tokens / LintSec;
+  double Ratio = LintSec / ParseSec;
+
+  std::printf("corpus: %zu files, %llu tokens (Verilog), %llu findings "
+              "per pass\n\n",
+              C.TokenStreams.size(),
+              static_cast<unsigned long long>(C.TotalTokens),
+              static_cast<unsigned long long>(Findings));
+  std::printf("  parse only:  %12.0f tok/s\n", ParseTps);
+  std::printf("  parse+lint:  %12.0f tok/s\n", LintTps);
+  std::printf("\n  (parse+lint) / parse: %.3fx   (gate: <= 2.0)\n", Ratio);
+
+  std::vector<BenchRecord> Records = {
+      {"semantic/verilog", "parse_tokens_per_sec", ParseTps, "tok/s"},
+      {"semantic/verilog", "lint_tokens_per_sec", LintTps, "tok/s"},
+      {"semantic/verilog", "lint_over_parse", Ratio, "ratio"},
+  };
+  if (!writeBenchJson(Records, Opts.JsonOut))
+    return 1;
+
+  bool WithinBudget = Ratio <= 2.0;
+  std::printf("\nGates:\n");
+  std::printf("  lint overhead stays within 2x of pure parse: %s\n",
+              WithinBudget ? "HOLDS" : "VIOLATED");
+  return WithinBudget ? 0 : 1;
+}

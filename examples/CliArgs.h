@@ -1,0 +1,128 @@
+//===- examples/CliArgs.h - Shared argv handling for the CLIs --*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one argv scanner the example binaries share, extracted from the
+/// per-CLI copies that had drifted apart (costar-analyze accepted only
+/// `--format=sarif`, costar-warm only `--backend avl`). CliArgs accepts
+/// both spellings for every valued option, reports a missing value as a
+/// parse error instead of exiting from inside the library, and leaves
+/// positionals and unknown-option policy to the caller.
+///
+/// Also home to writeFileAtomic: the same-directory temporary + rename
+/// discipline of snapshot::saveSnapshot, for CLIs that write report
+/// artifacts (--sarif-out) a consumer may read while the tool reruns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_EXAMPLES_CLIARGS_H
+#define COSTAR_EXAMPLES_CLIARGS_H
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace costar {
+namespace examples {
+
+/// Cursor over argv. Each loop iteration tries the CLI's options in
+/// order; the first match consumes the argument(s) and returns. Typical
+/// shape:
+///
+///   examples::CliArgs Args(argc, argv);
+///   while (Args.more()) {
+///     if (auto V = Args.value("--format"))      { ... }
+///     else if (Args.flag("--demo"))             { ... }
+///     else if (Args.isOption())                 return usageError(Args);
+///     else                                      Files.push_back(Args.positional());
+///     if (!Args.Error.empty())                  return usageError(Args);
+///   }
+class CliArgs {
+public:
+  CliArgs(int Argc, char **Argv) : Argc(Argc), Argv(Argv) {}
+
+  /// More arguments to consume and no parse error yet.
+  bool more() const { return Pos < Argc && Error.empty(); }
+
+  std::string_view current() const { return Argv[Pos]; }
+
+  /// Matches a bare flag (`--demo`, `-h`); consumes it on match.
+  bool flag(std::string_view Name) {
+    if (current() != Name)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  /// Matches an option that carries a value, in either spelling:
+  /// `--name value` or `--name=value`. A trailing `--name` with no value
+  /// sets Error and returns nullopt (distinguishable from "no match"
+  /// because Error is set).
+  std::optional<std::string> value(std::string_view Name) {
+    std::string_view Arg = current();
+    if (Arg == Name) {
+      if (Pos + 1 >= Argc) {
+        Error = std::string(Name) + " requires an argument";
+        return std::nullopt;
+      }
+      Pos += 2;
+      return std::string(Argv[Pos - 1]);
+    }
+    if (Arg.size() > Name.size() && Arg.substr(0, Name.size()) == Name &&
+        Arg[Name.size()] == '=') {
+      ++Pos;
+      return std::string(Arg.substr(Name.size() + 1));
+    }
+    return std::nullopt;
+  }
+
+  /// True when the current argument looks like an option (leading '-').
+  bool isOption() const {
+    return !current().empty() && current()[0] == '-';
+  }
+
+  /// Consumes the current argument as a positional operand.
+  std::string positional() { return Argv[Pos++]; }
+
+  /// First parse error (an option missing its value); empty when clean.
+  std::string Error;
+
+private:
+  int Argc;
+  char **Argv;
+  int Pos = 1;
+};
+
+/// Writes \p Contents to \p Path via a same-directory temporary and
+/// std::rename — the snapshot::saveSnapshot discipline: a reader racing
+/// the writer sees either the old complete file or the new complete
+/// file, never a torn prefix. On failure removes the temporary, sets
+/// \p Err to a one-line diagnostic, and returns false.
+inline bool writeFileAtomic(const std::string &Path,
+                            std::string_view Contents, std::string &Err) {
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    Err = "cannot open '" + Tmp + "' for writing";
+    return false;
+  }
+  bool Ok = Contents.empty() ||
+            std::fwrite(Contents.data(), 1, Contents.size(), F) ==
+                Contents.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok || std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    Err = "cannot write '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+} // namespace examples
+} // namespace costar
+
+#endif // COSTAR_EXAMPLES_CLIARGS_H

@@ -8,10 +8,11 @@
 /// The command-line front end of the static grammar-analysis engine.
 ///
 ///   costar-analyze [--format=text|jsonl|sarif] FILE.g...
-///   costar-analyze [--format=...] --builtin json|xml|dot|python|all
+///   costar-analyze [--format=...] --builtin json|xml|dot|python|verilog|all
 ///   costar-analyze [--format=...] --demo
+///   costar-analyze --sarif-out report.sarif FILE.g...
 ///
-/// Exit codes (lint convention):
+/// Exit codes (lint convention, shared with costar-verilint):
 ///   0  analysis ran, no error-severity findings
 ///   1  analysis ran, at least one error-severity finding
 ///   2  usage error, unreadable input, or grammar syntax error
@@ -23,6 +24,7 @@
 #include "gdsl/GrammarDsl.h"
 #include "lang/Language.h"
 
+#include "CliArgs.h"
 #include "InputFile.h"
 
 #include <cstdio>
@@ -46,13 +48,21 @@ int usage() {
       stderr,
       "usage: costar-analyze [--format=text|jsonl|sarif] FILE.g...\n"
       "       costar-analyze [--format=...] --builtin "
-      "json|xml|dot|python|all\n"
+      "json|xml|dot|python|verilog|all\n"
       "       costar-analyze [--format=...] --demo\n"
+      "       costar-analyze --sarif-out FILE.sarif FILE.g...\n"
       "\n"
       "Runs the whole-grammar static analysis battery (left recursion,\n"
       "useless symbols, derivation cycles, LL(1) conflict prediction,\n"
       "complexity metrics) and reports findings with stable rule codes.\n"
-      "Exit: 0 clean, 1 error findings, 2 usage/input failure.\n");
+      "--sarif-out writes the SARIF document to FILE.sarif (atomic\n"
+      "rename) in addition to the stdout report.\n"
+      "\n"
+      "Exit codes (lint convention, shared with costar-verilint and\n"
+      "grammar_lint):\n"
+      "  0  analysis ran, no error-severity findings\n"
+      "  1  analysis ran, at least one error-severity finding\n"
+      "  2  usage error, unreadable input, or grammar syntax error\n");
   return 2;
 }
 
@@ -75,6 +85,8 @@ bool builtinInputs(const std::string &Which, std::vector<Input> &Inputs) {
     Add(lang::LangId::Dot);
   else if (Which == "python")
     Add(lang::LangId::Python);
+  else if (Which == "verilog")
+    Add(lang::LangId::Verilog);
   else
     return false;
   return true;
@@ -84,48 +96,51 @@ bool builtinInputs(const std::string &Which, std::vector<Input> &Inputs) {
 
 int main(int argc, char **argv) {
   Format Fmt = Format::Text;
+  std::string SarifOut;
   std::vector<Input> Inputs;
 
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg.rfind("--format=", 0) == 0) {
-      std::string F = Arg.substr(9);
-      if (F == "text")
+  examples::CliArgs Args(argc, argv);
+  while (Args.more()) {
+    if (auto F = Args.value("--format")) {
+      if (*F == "text")
         Fmt = Format::Text;
-      else if (F == "jsonl")
+      else if (*F == "jsonl")
         Fmt = Format::Jsonl;
-      else if (F == "sarif")
+      else if (*F == "sarif")
         Fmt = Format::Sarif;
       else {
-        std::fprintf(stderr, "error: unknown format '%s'\n", F.c_str());
+        std::fprintf(stderr, "error: unknown format '%s'\n", F->c_str());
         return usage();
       }
-    } else if (Arg == "--builtin") {
-      if (I + 1 >= argc) {
-        std::fprintf(stderr, "error: --builtin needs an argument\n");
+    } else if (auto B = Args.value("--builtin")) {
+      if (!builtinInputs(*B, Inputs)) {
+        std::fprintf(stderr, "error: unknown builtin '%s'\n", B->c_str());
         return usage();
       }
-      if (!builtinInputs(argv[++I], Inputs)) {
-        std::fprintf(stderr, "error: unknown builtin '%s'\n", argv[I]);
-        return usage();
-      }
-    } else if (Arg == "--demo") {
+    } else if (auto O = Args.value("--sarif-out")) {
+      SarifOut = *O;
+    } else if (Args.flag("--demo")) {
       Inputs.push_back(Input{"<demo>", messyDemoGrammarText()});
-    } else if (Arg == "--help" || Arg == "-h") {
+    } else if (Args.flag("--help") || Args.flag("-h")) {
       usage();
       return 0;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+    } else if (Args.isOption()) {
+      std::fprintf(stderr, "error: unknown option '%s'\n",
+                   std::string(Args.current()).c_str());
       return usage();
     } else {
       Input In;
-      In.Name = Arg;
+      In.Name = Args.positional();
       std::string Err;
-      if (!examples::readInputFile(Arg.c_str(), In.Text, Err)) {
+      if (!examples::readInputFile(In.Name.c_str(), In.Text, Err)) {
         std::fprintf(stderr, "error: %s\n", Err.c_str());
         return 2;
       }
       Inputs.push_back(std::move(In));
+    }
+    if (!Args.Error.empty()) {
+      std::fprintf(stderr, "error: %s\n", Args.Error.c_str());
+      return usage();
     }
   }
   if (Inputs.empty())
@@ -165,12 +180,20 @@ int main(int argc, char **argv) {
       Out += renderJsonl(E.In.Name, E.L.G, E.R);
       break;
     case Format::Sarif:
-      SarifFiles.push_back(AnalyzedFile{E.In.Name, &E.L.G, &E.R});
-      break;
+      break; // rendered once over all files below
     }
+    SarifFiles.push_back(AnalyzedFile{E.In.Name, &E.L.G, &E.R});
   }
   if (Fmt == Format::Sarif)
     Out = renderSarif(SarifFiles);
+
+  if (!SarifOut.empty()) {
+    std::string Err;
+    if (!examples::writeFileAtomic(SarifOut, renderSarif(SarifFiles), Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+  }
 
   std::fputs(Out.c_str(), stdout);
   return AnyErrors ? 1 : 0;

@@ -27,6 +27,7 @@
 #include "snapshot/Snapshot.h"
 #include "workload/Generators.h"
 
+#include "CliArgs.h"
 #include "InputFile.h"
 
 #include <cstdio>
@@ -42,10 +43,10 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(
       stderr,
-      "usage: %s --lang json|xml|dot|python --out FILE\n"
+      "usage: %s --lang json|xml|dot|python|verilog --out FILE\n"
       "          [--backend avl|hashed] [--files N] [--seed S]\n"
       "          [--corpus-file PATH]...\n"
-      "       %s --lang json|xml|dot|python --verify FILE"
+      "       %s --lang json|xml|dot|python|verilog --verify FILE"
       " [--backend avl|hashed]\n",
       Prog, Prog);
   return 2;
@@ -60,6 +61,8 @@ std::optional<lang::LangId> parseLang(const std::string &Name) {
     return lang::LangId::Dot;
   if (Name == "python")
     return lang::LangId::Python;
+  if (Name == "verilog")
+    return lang::LangId::Verilog;
   return std::nullopt;
 }
 
@@ -74,41 +77,36 @@ int main(int Argc, char **Argv) {
   uint64_t Seed = 20260809ull;
   std::vector<std::string> CorpusFiles;
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    auto Next = [&]() -> const char * {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "%s: %s requires an argument\n", Argv[0],
-                     Arg.c_str());
-        std::exit(2);
-      }
-      return Argv[++I];
-    };
-    if (Arg == "--lang") {
-      Lang = parseLang(Next());
+  examples::CliArgs Args(Argc, Argv);
+  while (Args.more()) {
+    if (auto L = Args.value("--lang")) {
+      Lang = parseLang(*L);
       if (!Lang)
         return usage(Argv[0]);
-    } else if (Arg == "--out") {
-      Out = Next();
-    } else if (Arg == "--verify") {
-      Verify = Next();
-    } else if (Arg == "--backend") {
-      std::string B = Next();
+    } else if (auto O = Args.value("--out")) {
+      Out = *O;
+    } else if (auto V = Args.value("--verify")) {
+      Verify = *V;
+    } else if (auto B = Args.value("--backend")) {
       BackendExplicit = true;
-      if (B == "avl")
+      if (*B == "avl")
         Backend = CacheBackend::AvlPaperFaithful;
-      else if (B == "hashed")
+      else if (*B == "hashed")
         Backend = CacheBackend::Hashed;
       else
         return usage(Argv[0]);
-    } else if (Arg == "--files") {
-      NumFiles = static_cast<uint32_t>(std::atoi(Next()));
-    } else if (Arg == "--seed") {
-      Seed = std::strtoull(Next(), nullptr, 10);
-    } else if (Arg == "--corpus-file") {
-      CorpusFiles.push_back(Next());
+    } else if (auto F = Args.value("--files")) {
+      NumFiles = static_cast<uint32_t>(std::atoi(F->c_str()));
+    } else if (auto S = Args.value("--seed")) {
+      Seed = std::strtoull(S->c_str(), nullptr, 10);
+    } else if (auto C = Args.value("--corpus-file")) {
+      CorpusFiles.push_back(*C);
     } else {
       return usage(Argv[0]);
+    }
+    if (!Args.Error.empty()) {
+      std::fprintf(stderr, "%s: %s\n", Argv[0], Args.Error.c_str());
+      return 2;
     }
   }
   if (!Lang || (Out.empty() == Verify.empty()))

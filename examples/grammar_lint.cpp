@@ -21,8 +21,10 @@
 ///
 /// Run:  ./grammar_lint [file.g]
 ///
-/// Exit: 0 when no error-severity findings and no ambiguous word was
-/// found, 1 otherwise, 2 on unreadable input or grammar syntax errors.
+/// Exit codes (lint convention, shared with costar-analyze and
+/// costar-verilint): 0 when no error-severity findings and no ambiguous
+/// word was found, 1 otherwise, 2 on usage errors, unreadable input, or
+/// grammar syntax errors.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +35,7 @@
 #include "grammar/Sampler.h"
 #include "xform/Transforms.h"
 
+#include "CliArgs.h"
 #include "InputFile.h"
 
 #include <cstdio>
@@ -40,16 +43,53 @@
 
 using namespace costar;
 
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: grammar_lint [file.g]\n"
+      "\n"
+      "Lints one grammar-DSL file (or a built-in demo grammar when no\n"
+      "file is given): the full static report, Paull's rewrite when left\n"
+      "recursion is found, and an ambiguity probe over sampled words.\n"
+      "\n"
+      "Exit codes (lint convention, shared with costar-analyze and\n"
+      "costar-verilint):\n"
+      "  0  lint ran, no error-severity findings, no ambiguous word\n"
+      "  1  lint ran, error findings or an ambiguous word was found\n"
+      "  2  usage error, unreadable input, or grammar syntax error\n");
+  return 2;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   std::string Source;
   std::string File = "<demo>";
-  if (argc > 1) {
+
+  examples::CliArgs Args(argc, argv);
+  while (Args.more()) {
+    if (Args.flag("--help") || Args.flag("-h")) {
+      usage();
+      return 0;
+    } else if (Args.isOption()) {
+      std::fprintf(stderr, "error: unknown option '%s'\n",
+                   std::string(Args.current()).c_str());
+      return usage();
+    } else if (File != "<demo>") {
+      std::fprintf(stderr, "error: more than one input file\n");
+      return usage();
+    } else {
+      File = Args.positional();
+    }
+  }
+  if (File != "<demo>") {
     std::string Err;
-    if (!examples::readInputFile(argv[1], Source, Err)) {
+    if (!examples::readInputFile(File.c_str(), Source, Err)) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 2;
     }
-    File = argv[1];
   } else {
     Source = analysis::messyDemoGrammarText();
     std::printf("(no file given; linting a built-in demo grammar)\n");

@@ -1,0 +1,53 @@
+// Synthesizable-flavored Verilog subset: the surface grammar of
+// costar-verilint (module/port/wire/reg/parameter/assign/always). Kept
+// in sync with VerilogGrammarText in src/lang/Language.cpp; the
+// examples suite runs costar-analyze over this file to keep it loading
+// clean (no left recursion, no error-class findings).
+//
+// Unambiguous by construction: statement bodies under if/else/case are
+// begin/end blocks or single assignments (never a bare nested if, which
+// removes the dangling-else ambiguity), and expressions use the usual
+// non-left-recursive precedence ladder.
+source_text  : module_decl+ ;
+module_decl  : 'module' ID port_list? ';' module_item* 'endmodule' ;
+port_list    : '(' port ( ',' port )* ')' ;
+port         : port_dir? 'reg'? range? ID ;
+port_dir     : 'input' | 'output' | 'inout' ;
+module_item  : port_decl
+             | net_decl
+             | reg_decl
+             | param_decl
+             | assign_stmt
+             | always_block ;
+port_decl    : port_dir 'reg'? range? ID ( ',' ID )* ';' ;
+net_decl     : 'wire' range? ID ( ',' ID )* ';' ;
+reg_decl     : 'reg' range? ID ( ',' ID )* ';' ;
+param_decl   : 'parameter' ID '=' expr ';' ;
+assign_stmt  : 'assign' lvalue '=' expr ';' ;
+always_block : 'always' '@' '(' event_list ')' stmt ;
+event_list   : event_expr ( 'or' event_expr )* ;
+event_expr   : ( 'posedge' | 'negedge' )? ID ;
+stmt         : seq_block | if_stmt | case_stmt | proc_assign | ';' ;
+seq_block    : 'begin' stmt* 'end' ;
+if_stmt      : 'if' '(' expr ')' body ( 'else' body )? ;
+case_stmt    : 'case' '(' expr ')' case_item+ 'endcase' ;
+case_item    : expr ':' body | 'default' ':' body ;
+body         : seq_block | proc_assign | ';' ;
+proc_assign  : lvalue ( '=' | '<=' ) expr ';' ;
+lvalue       : ID select? ;
+select       : '[' expr ( ':' expr )? ']' ;
+range        : '[' expr ':' expr ']' ;
+expr         : or_expr ( '?' expr ':' expr )? ;
+or_expr      : and_expr ( '||' and_expr )* ;
+and_expr     : bitor_expr ( '&&' bitor_expr )* ;
+bitor_expr   : bitxor_expr ( '|' bitxor_expr )* ;
+bitxor_expr  : bitand_expr ( '^' bitand_expr )* ;
+bitand_expr  : eq_expr ( '&' eq_expr )* ;
+eq_expr      : rel_expr ( ( '==' | '!=' ) rel_expr )* ;
+rel_expr     : shift_expr ( ( '<' | '>' | '<=' | '>=' ) shift_expr )* ;
+shift_expr   : add_expr ( ( '<<' | '>>' ) add_expr )* ;
+add_expr     : mul_expr ( ( '+' | '-' ) mul_expr )* ;
+mul_expr     : unary_expr ( ( '*' | '/' | '%' ) unary_expr )* ;
+unary_expr   : ( '!' | '~' | '-' | '&' | '|' | '^' ) unary_expr | primary ;
+primary      : ID select? | NUMBER | BASED | '(' expr ')' | concat ;
+concat       : '{' expr ( ',' expr )* '}' ;

@@ -1,0 +1,27 @@
+// Deliberately faulty: every VL rule fires at least once. The lint
+// smoke test pins the finding count and the exit code (1) on this file.
+module top(clk, d, q);
+  input clk;
+  input [7:0] d;
+  output reg [7:0] q;
+  wire [7:0] w;
+  wire [3:0] narrow;
+  wire unused_net;        // VL006 never read
+  reg  [7:0] r;
+  reg  [7:0] r;           // VL002 duplicate declaration
+  parameter WIDTH = 8;
+  assign w = d;
+  assign w = r;           // VL007 multiply-driven net
+  assign narrow = d;      // VL003 width mismatch (4 vs 8)
+  assign r = d;           // VL008 continuous assignment to reg
+  assign w2 = d;          // VL001 undeclared identifier
+  wire [1:0] tiny;
+  assign tiny = 9;        // VL005 constant needs 4 bits
+  always @(posedge clk) begin
+    if (WIDTH > 4)        // VL004 condition is constant
+      q <= d;
+    else
+      q <= w;
+    narrow <= d;          // VL008 procedural assignment to a wire
+  end
+endmodule

@@ -1,0 +1,12 @@
+// Clean: a parameterized counter. costar-verilint exits 0 on this file.
+module counter(input clk, input rst, output reg [7:0] count);
+  parameter STEP = 1;
+  wire [7:0] next;
+  assign next = count + STEP;
+  always @(posedge clk) begin
+    if (rst)
+      count <= 8'h00;
+    else
+      count <= next;
+  end
+endmodule

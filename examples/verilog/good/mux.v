@@ -1,0 +1,19 @@
+// Clean: 1995-style header ports completed by direction items, a
+// ternary select, and a case statement over a based literal.
+module mux4(sel, a, b, c, d, y);
+  input [1:0] sel;
+  input [3:0] a, b, c, d;
+  output reg [3:0] y;
+  always @(sel or a or b or c or d) begin
+    case (sel)
+      2'b00: y = a;
+      2'b01: y = b;
+      2'b10: y = c;
+      default: y = d;
+    endcase
+  end
+endmodule
+
+module pick(input s, input [3:0] p, input [3:0] q, output [3:0] r);
+  assign r = s ? p : q;
+endmodule

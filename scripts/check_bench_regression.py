@@ -86,6 +86,14 @@ GATES = {
         higher("warmstart/python", "loaded_vs_cold", tolerance=0.80,
                bound=2.0),
     ],
+    "BENCH_semantic.json": [
+        # The semantic framework's price tag: the full costar-verilint
+        # battery (two tree passes, scope tables, constant folding) may
+        # cost at most as much again as the parse that produced the
+        # tree. The bound mirrors the bench binary's own hard gate.
+        lower("semantic/verilog", "lint_over_parse", tolerance=0.25,
+              bound=2.0),
+    ],
     "BENCH_service.json": [
         # The service runtime's admission/routing layer must not tax
         # saturation throughput vs. the flat thread pool (bound mirrors

@@ -59,6 +59,28 @@ const RuleInfo Rules[] = {
      "prediction never falls back to full LL"},
     {RuleCode::MET001, "MET001", Severity::Note,
      "grammar complexity metrics"},
+    {RuleCode::VL001, "VL001", Severity::Error,
+     "undeclared identifier: a signal is referenced before any port, "
+     "wire, reg, or parameter declaration introduces it"},
+    {RuleCode::VL002, "VL002", Severity::Error,
+     "duplicate declaration: the name is already declared in this scope"},
+    {RuleCode::VL003, "VL003", Severity::Warning,
+     "bit-width mismatch: the two sides of an assignment have different "
+     "known widths, so the value is silently truncated or zero-extended"},
+    {RuleCode::VL004, "VL004", Severity::Warning,
+     "constant condition: the controlling expression folds to a "
+     "compile-time constant, so one branch can never execute"},
+    {RuleCode::VL005, "VL005", Severity::Warning,
+     "constant truncated: a folded constant value does not fit the "
+     "target's declared width"},
+    {RuleCode::VL006, "VL006", Severity::Warning,
+     "unused signal: declared but never read by any expression"},
+    {RuleCode::VL007, "VL007", Severity::Error,
+     "multiply-driven net: more than one continuous assignment drives "
+     "the same net"},
+    {RuleCode::VL008, "VL008", Severity::Error,
+     "wrong assignment context: continuous assignment to a reg, or "
+     "procedural assignment to a wire"},
 };
 
 } // namespace

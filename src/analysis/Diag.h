@@ -52,6 +52,20 @@ enum class RuleCode : uint8_t {
   USE003, ///< Duplicate production (identical right-hand sides).
   LL001,  ///< Verdict: LL(1)-clean, SLL never needs full-LL fallback.
   MET001, ///< Grammar complexity metrics.
+
+  // Tree-level semantic lint rules (src/semantic/, costar-verilint).
+  // Same append-only contract; these diagnose *parsed input* rather than
+  // the grammar itself, so Nt/Prod stay unset and Span points into the
+  // linted source file.
+  VL001, ///< Undeclared identifier.
+  VL002, ///< Duplicate declaration.
+  VL003, ///< Bit-width mismatch between assignment sides.
+  VL004, ///< Condition folds to a compile-time constant.
+  VL005, ///< Constant value truncated by a narrower target.
+  VL006, ///< Signal declared but never read.
+  VL007, ///< Net driven by more than one continuous assignment.
+  VL008, ///< Assignment in the wrong context (assign to reg, or
+         ///< procedural assignment to a wire).
 };
 
 /// Registry metadata for one rule.

@@ -161,7 +161,8 @@ const char *sarifLevel(Severity S) {
 } // namespace
 
 std::string
-costar::analysis::renderSarif(std::span<const AnalyzedFile> Files) {
+costar::analysis::renderSarif(std::span<const AnalyzedFile> Files,
+                              std::string_view ToolName) {
   std::string Out;
   Out += "{\n";
   Out += "  \"$schema\": "
@@ -171,7 +172,9 @@ costar::analysis::renderSarif(std::span<const AnalyzedFile> Files) {
   Out += "    {\n";
   Out += "      \"tool\": {\n";
   Out += "        \"driver\": {\n";
-  Out += "          \"name\": \"costar-analyze\",\n";
+  Out += "          \"name\": \"";
+  Out += ToolName;
+  Out += "\",\n";
   Out += "          \"informationUri\": "
          "\"https://github.com/costar-cpp/costar\",\n";
   Out += "          \"rules\": [\n";

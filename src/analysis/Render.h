@@ -26,6 +26,7 @@
 
 #include <span>
 #include <string>
+#include <string_view>
 
 namespace costar {
 namespace analysis {
@@ -52,7 +53,10 @@ std::string renderJsonl(const std::string &File, const Grammar &G,
                         const AnalysisReport &R);
 
 /// SARIF 2.1.0 document covering one or more analyzed files in one run.
-std::string renderSarif(std::span<const AnalyzedFile> Files);
+/// \p ToolName identifies the driver (the CLI that ran the analysis);
+/// the rules array is always the full shared registry either way.
+std::string renderSarif(std::span<const AnalyzedFile> Files,
+                        std::string_view ToolName = "costar-analyze");
 
 /// Single-file SARIF convenience wrapper.
 std::string renderSarif(const std::string &File, const Grammar &G,

@@ -18,16 +18,36 @@ Tree::detachImpl(const Tree &T,
   // exact node count, so element addresses are stable. Child handles are
   // non-owning (arenaRef): a handle stored *inside* the block that owned
   // the block would form a shared_ptr cycle and leak the whole copy.
-  if (T.isLeaf()) {
-    Block->push_back(Tree(T.Tok));
-    return &Block->back();
+  //
+  // Iterative with an explicit frame stack: the grammar DSL desugars
+  // lists into right-recursive spines as deep as the input, so native
+  // recursion here would cap the parseable input size at the stack limit.
+  struct Frame {
+    const Tree *Node;
+    size_t Next = 0; // children copied so far
+    Forest Kids;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back(Frame{&T});
+  const Tree *Result = nullptr;
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const Tree *Node = F.Node;
+    if (!Node->isLeaf() && F.Next < Node->Children.size()) {
+      if (F.Next == 0)
+        F.Kids.reserve(Node->Children.size());
+      const Tree *Child = Node->Children[F.Next++].get();
+      Stack.push_back(Frame{Child}); // invalidates F; loop re-borrows
+      continue;
+    }
+    Block->push_back(Node->isLeaf() ? Tree(Node->Tok)
+                                    : Tree(Node->Nt, std::move(F.Kids)));
+    Result = &Block->back();
+    Stack.pop_back();
+    if (!Stack.empty())
+      Stack.back().Kids.push_back(adt::arenaRef(Result));
   }
-  Forest Kids;
-  Kids.reserve(T.Children.size());
-  for (const TreePtr &Child : T.Children)
-    Kids.push_back(adt::arenaRef(detachImpl(*Child, Block)));
-  Block->push_back(Tree(T.Nt, std::move(Kids)));
-  return &Block->back();
+  return Result;
 }
 
 TreePtr Tree::detach() const {

@@ -229,6 +229,89 @@ void wirePythonLexer(Language &L) {
   L.Indent = std::make_unique<IndentingScanner>(*L.IndentInner, L.G);
 }
 
+//===----------------------------------------------------------------------===//
+// Verilog subset
+//===----------------------------------------------------------------------===//
+
+// A synthesizable-flavored Verilog subset (module/port/wire/reg/
+// parameter/assign/always), the surface grammar of costar-verilint. Two
+// deliberate shape choices keep it unambiguous: statement bodies under
+// `if`/`else`/`case` are begin/end blocks or single assignments (never a
+// bare nested `if`, which removes the dangling-else ambiguity), and the
+// expression grammar is the usual non-left-recursive precedence ladder
+// with `( op next )*` repetition. `<=` serves as both the nonblocking
+// assignment operator and less-or-equal; the grammar stays unambiguous
+// because statements are never bare expressions.
+const char *VerilogGrammarText = R"(
+source_text  : module_decl+ ;
+module_decl  : 'module' ID port_list? ';' module_item* 'endmodule' ;
+port_list    : '(' port ( ',' port )* ')' ;
+port         : port_dir? 'reg'? range? ID ;
+port_dir     : 'input' | 'output' | 'inout' ;
+module_item  : port_decl
+             | net_decl
+             | reg_decl
+             | param_decl
+             | assign_stmt
+             | always_block ;
+port_decl    : port_dir 'reg'? range? ID ( ',' ID )* ';' ;
+net_decl     : 'wire' range? ID ( ',' ID )* ';' ;
+reg_decl     : 'reg' range? ID ( ',' ID )* ';' ;
+param_decl   : 'parameter' ID '=' expr ';' ;
+assign_stmt  : 'assign' lvalue '=' expr ';' ;
+always_block : 'always' '@' '(' event_list ')' stmt ;
+event_list   : event_expr ( 'or' event_expr )* ;
+event_expr   : ( 'posedge' | 'negedge' )? ID ;
+stmt         : seq_block | if_stmt | case_stmt | proc_assign | ';' ;
+seq_block    : 'begin' stmt* 'end' ;
+if_stmt      : 'if' '(' expr ')' body ( 'else' body )? ;
+case_stmt    : 'case' '(' expr ')' case_item+ 'endcase' ;
+case_item    : expr ':' body | 'default' ':' body ;
+body         : seq_block | proc_assign | ';' ;
+proc_assign  : lvalue ( '=' | '<=' ) expr ';' ;
+lvalue       : ID select? ;
+select       : '[' expr ( ':' expr )? ']' ;
+range        : '[' expr ':' expr ']' ;
+expr         : or_expr ( '?' expr ':' expr )? ;
+or_expr      : and_expr ( '||' and_expr )* ;
+and_expr     : bitor_expr ( '&&' bitor_expr )* ;
+bitor_expr   : bitxor_expr ( '|' bitxor_expr )* ;
+bitxor_expr  : bitand_expr ( '^' bitand_expr )* ;
+bitand_expr  : eq_expr ( '&' eq_expr )* ;
+eq_expr      : rel_expr ( ( '==' | '!=' ) rel_expr )* ;
+rel_expr     : shift_expr ( ( '<' | '>' | '<=' | '>=' ) shift_expr )* ;
+shift_expr   : add_expr ( ( '<<' | '>>' ) add_expr )* ;
+add_expr     : mul_expr ( ( '+' | '-' ) mul_expr )* ;
+mul_expr     : unary_expr ( ( '*' | '/' | '%' ) unary_expr )* ;
+unary_expr   : ( '!' | '~' | '-' | '&' | '|' | '^' ) unary_expr | primary ;
+primary      : ID select? | NUMBER | BASED | '(' expr ')' | concat ;
+concat       : '{' expr ( ',' expr )* '}' ;
+)";
+
+void wireVerilogLexer(Language &L) {
+  LexerSpec Spec;
+  for (const char *Kw :
+       {"module", "endmodule", "input", "output", "inout", "wire", "reg",
+        "parameter", "assign", "always", "posedge", "negedge", "begin",
+        "end", "if", "else", "case", "endcase", "default", "or"})
+    Spec.literal(Kw);
+  for (const char *Op :
+       {"<=", ">=", "==", "!=", "<<", ">>", "&&", "||", "=", "<", ">",
+        "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "?", ":", ";",
+        ",", "(", ")", "[", "]", "{", "}", "@"})
+    Spec.literal(Op);
+  // BASED covers sized literals like 4'b1010 / 8'hFF; maximal munch keeps
+  // it ahead of NUMBER on the shared digit prefix.
+  Spec.token("ID", "[a-zA-Z_][a-zA-Z0-9_]*")
+      .token("NUMBER", "[0-9]+")
+      .token("BASED", "[0-9]+'[bodhBODH][0-9a-fA-FxzXZ_]+")
+      .skip("LINE_COMMENT", "//[^\\n]*")
+      .skip("BLOCK_COMMENT", "/\\*([^*]|\\*+[^*/])*\\*+/")
+      .skip("WS", "[ \\t\\r\\n]+");
+  L.Plain = std::make_unique<Scanner>(Spec, L.G);
+  assert(L.Plain->ok() && "Verilog lexer failed to build");
+}
+
 Language buildLanguage(const char *Name, const char *GrammarText,
                        void (*WireLexer)(Language &)) {
   gdsl::LoadedGrammar Loaded = gdsl::loadGrammar(GrammarText);
@@ -254,13 +337,16 @@ Language costar::lang::makeLanguage(LangId Id) {
     return buildLanguage("DOT", DotGrammarText, wireDotLexer);
   case LangId::Python:
     return buildLanguage("Python", PythonGrammarText, wirePythonLexer);
+  case LangId::Verilog:
+    return buildLanguage("Verilog", VerilogGrammarText, wireVerilogLexer);
   }
   assert(false && "unknown language id");
   return Language();
 }
 
 std::vector<LangId> costar::lang::allLanguages() {
-  return {LangId::Json, LangId::Xml, LangId::Dot, LangId::Python};
+  return {LangId::Json, LangId::Xml, LangId::Dot, LangId::Python,
+          LangId::Verilog};
 }
 
 const char *costar::lang::langName(LangId Id) {
@@ -273,6 +359,8 @@ const char *costar::lang::langName(LangId Id) {
     return "DOT";
   case LangId::Python:
     return "Python";
+  case LangId::Verilog:
+    return "Verilog";
   }
   return "?";
 }
@@ -287,6 +375,8 @@ const char *costar::lang::grammarText(LangId Id) {
     return DotGrammarText;
   case LangId::Python:
     return PythonGrammarText;
+  case LangId::Verilog:
+    return VerilogGrammarText;
   }
   return "";
 }

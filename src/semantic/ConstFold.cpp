@@ -1,0 +1,203 @@
+//===- semantic/ConstFold.cpp - Constant-expression folding ---------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantic/ConstFold.h"
+
+#include <cctype>
+
+using namespace costar;
+using namespace costar::semantic;
+
+uint32_t costar::semantic::bitsNeeded(int64_t V) {
+  if (V < 0)
+    return 64;
+  uint32_t Bits = 1;
+  uint64_t U = static_cast<uint64_t>(V);
+  while (U >>= 1)
+    ++Bits;
+  return Bits;
+}
+
+namespace {
+
+uint32_t maxWidth(ConstValue L, ConstValue R) {
+  if (L.Width == 0 || R.Width == 0)
+    return L.Width == 0 ? R.Width : L.Width;
+  return L.Width > R.Width ? L.Width : R.Width;
+}
+
+/// Two's-complement wrapping arithmetic via unsigned intermediates:
+/// signed overflow is UB, and folding must be total.
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+} // namespace
+
+std::optional<ConstValue>
+costar::semantic::foldBinary(std::string_view Op, ConstValue L, ConstValue R) {
+  uint32_t ArithW = maxWidth(L, R);
+  if (Op == "+")
+    return ConstValue{wrapAdd(L.Value, R.Value), ArithW};
+  if (Op == "-")
+    return ConstValue{wrapSub(L.Value, R.Value), ArithW};
+  if (Op == "*")
+    return ConstValue{wrapMul(L.Value, R.Value), ArithW};
+  if (Op == "/") {
+    if (R.Value == 0 || (L.Value == INT64_MIN && R.Value == -1))
+      return std::nullopt;
+    return ConstValue{L.Value / R.Value, ArithW};
+  }
+  if (Op == "%") {
+    if (R.Value == 0 || (L.Value == INT64_MIN && R.Value == -1))
+      return std::nullopt;
+    return ConstValue{L.Value % R.Value, ArithW};
+  }
+  if (Op == "&")
+    return ConstValue{L.Value & R.Value, ArithW};
+  if (Op == "|")
+    return ConstValue{L.Value | R.Value, ArithW};
+  if (Op == "^")
+    return ConstValue{L.Value ^ R.Value, ArithW};
+  if (Op == "<<" || Op == ">>") {
+    if (R.Value < 0 || R.Value > 63)
+      return std::nullopt;
+    uint64_t U = static_cast<uint64_t>(L.Value);
+    uint64_t Shifted = Op == "<<" ? U << R.Value : U >> R.Value;
+    return ConstValue{static_cast<int64_t>(Shifted), L.Width};
+  }
+  if (Op == "==")
+    return ConstValue{L.Value == R.Value ? 1 : 0, 1};
+  if (Op == "!=")
+    return ConstValue{L.Value != R.Value ? 1 : 0, 1};
+  if (Op == "<")
+    return ConstValue{L.Value < R.Value ? 1 : 0, 1};
+  if (Op == ">")
+    return ConstValue{L.Value > R.Value ? 1 : 0, 1};
+  if (Op == "<=")
+    return ConstValue{L.Value <= R.Value ? 1 : 0, 1};
+  if (Op == ">=")
+    return ConstValue{L.Value >= R.Value ? 1 : 0, 1};
+  if (Op == "&&")
+    return ConstValue{(L.Value != 0 && R.Value != 0) ? 1 : 0, 1};
+  if (Op == "||")
+    return ConstValue{(L.Value != 0 || R.Value != 0) ? 1 : 0, 1};
+  return std::nullopt;
+}
+
+std::optional<ConstValue> costar::semantic::foldUnary(std::string_view Op,
+                                                      ConstValue V) {
+  if (Op == "!")
+    return ConstValue{V.Value == 0 ? 1 : 0, 1};
+  if (Op == "~")
+    return ConstValue{~V.Value, V.Width};
+  if (Op == "-")
+    return ConstValue{wrapSub(0, V.Value), V.Width};
+  // Reductions need an exact bit count to fold.
+  if (V.Width == 0 || V.Width > 64)
+    return std::nullopt;
+  uint64_t Mask =
+      V.Width == 64 ? ~uint64_t{0} : (uint64_t{1} << V.Width) - 1;
+  uint64_t Bits = static_cast<uint64_t>(V.Value) & Mask;
+  if (Op == "&")
+    return ConstValue{Bits == Mask ? 1 : 0, 1};
+  if (Op == "|")
+    return ConstValue{Bits != 0 ? 1 : 0, 1};
+  if (Op == "^")
+    return ConstValue{__builtin_parityll(Bits) ? 1 : 0, 1};
+  return std::nullopt;
+}
+
+std::optional<ConstValue>
+costar::semantic::parseIntLiteral(std::string_view Lexeme) {
+  if (Lexeme.empty())
+    return std::nullopt;
+  uint64_t V = 0;
+  for (char C : Lexeme) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return std::nullopt;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (V > (UINT64_MAX - Digit) / 10)
+      return std::nullopt; // overflow
+    V = V * 10 + Digit;
+  }
+  if (V > static_cast<uint64_t>(INT64_MAX))
+    return std::nullopt;
+  return ConstValue{static_cast<int64_t>(V), 0};
+}
+
+std::optional<BasedLiteral>
+costar::semantic::parseBasedLiteral(std::string_view Lexeme) {
+  size_t Tick = Lexeme.find('\'');
+  if (Tick == std::string_view::npos || Tick == 0 ||
+      Tick + 2 > Lexeme.size())
+    return std::nullopt;
+  auto SizeV = parseIntLiteral(Lexeme.substr(0, Tick));
+  if (!SizeV || SizeV->Value <= 0 || SizeV->Value > 1u << 20)
+    return std::nullopt;
+  BasedLiteral Out;
+  Out.Width = static_cast<uint32_t>(SizeV->Value);
+  char Base = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(Lexeme[Tick + 1])));
+  uint64_t Radix;
+  switch (Base) {
+  case 'b':
+    Radix = 2;
+    break;
+  case 'o':
+    Radix = 8;
+    break;
+  case 'd':
+    Radix = 10;
+    break;
+  case 'h':
+    Radix = 16;
+    break;
+  default:
+    return std::nullopt;
+  }
+  std::string_view Digits = Lexeme.substr(Tick + 2);
+  if (Digits.empty())
+    return std::nullopt;
+  uint64_t V = 0;
+  bool SawDigit = false;
+  for (char Raw : Digits) {
+    char C = static_cast<char>(std::tolower(static_cast<unsigned char>(Raw)));
+    if (C == '_')
+      continue;
+    if (C == 'x' || C == 'z' || C == '?') {
+      // Width is still known; the value is not a constant.
+      Out.Value = std::nullopt;
+      return Out;
+    }
+    uint64_t Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<uint64_t>(C - 'a') + 10;
+    else
+      return std::nullopt;
+    if (Digit >= Radix)
+      return std::nullopt;
+    if (V > (UINT64_MAX - Digit) / Radix)
+      return std::nullopt; // overflow
+    V = V * Radix + Digit;
+    SawDigit = true;
+  }
+  if (!SawDigit || V > static_cast<uint64_t>(INT64_MAX))
+    return std::nullopt;
+  Out.Value = static_cast<int64_t>(V);
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- semantic/ConstFold.h - Constant-expression folding ------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constant-folding evaluator of the semantic framework: operator
+/// folding over 64-bit two's-complement values with an attached bit
+/// width (Width 0 = unsized, the width-flexible form of plain integer
+/// literals), plus parsers for plain and Verilog-style based literals
+/// (4'b1010, 8'hff). Folding is total and deterministic: any operation
+/// whose result the evaluator cannot pin down exactly (division by
+/// zero, out-of-range shifts, literals with x/z digits) returns nullopt
+/// rather than guessing, so lint rules built on folding (constant
+/// conditions, truncated constants) never misfire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SEMANTIC_CONSTFOLD_H
+#define COSTAR_SEMANTIC_CONSTFOLD_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace costar {
+namespace semantic {
+
+/// A folded constant. Width 0 means unsized (width-flexible).
+struct ConstValue {
+  int64_t Value = 0;
+  uint32_t Width = 0;
+};
+
+/// Bits needed to represent \p V as an unsigned value (minimum 1);
+/// 64 for negative values.
+uint32_t bitsNeeded(int64_t V);
+
+/// Folds `L op R` for the C-style binary operators the expression
+/// ladders use ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+/// "==", "!=", "<", ">", "<=", ">=", "&&", "||"). Result width: 1 for
+/// comparisons and logical operators, the left operand's width for
+/// shifts, max of the operand widths otherwise. nullopt for unknown
+/// operators, division/modulo by zero, and shifts outside [0, 63].
+std::optional<ConstValue> foldBinary(std::string_view Op, ConstValue L,
+                                     ConstValue R);
+
+/// Folds `op V` for "!", "~", "-", and the reduction operators "&",
+/// "|", "^" (reductions and "!" yield width 1; "~" and "-" keep the
+/// operand width). Reductions of unsized operands return nullopt — the
+/// reduction's value depends on the operand's width.
+std::optional<ConstValue> foldUnary(std::string_view Op, ConstValue V);
+
+/// Parses a plain decimal literal ("42") into an unsized constant.
+std::optional<ConstValue> parseIntLiteral(std::string_view Lexeme);
+
+/// A parsed Verilog based literal (4'b1010): the declared width, and the
+/// value unless the digits contain x/z placeholders.
+struct BasedLiteral {
+  uint32_t Width = 0;
+  std::optional<int64_t> Value;
+};
+
+/// Parses a sized based literal ("<size>'<base><digits>", bases b/o/d/h,
+/// case-insensitive, '_' separators allowed). nullopt when malformed or
+/// when the value would not fit in 64 bits.
+std::optional<BasedLiteral> parseBasedLiteral(std::string_view Lexeme);
+
+} // namespace semantic
+} // namespace costar
+
+#endif // COSTAR_SEMANTIC_CONSTFOLD_H

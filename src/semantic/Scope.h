@@ -1,0 +1,90 @@
+//===- semantic/Scope.h - Scoped symbol tables -----------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexically scoped symbol tables for semantic passes: declare() reports
+/// same-scope duplicates by returning the surviving entry, lookup() walks
+/// scopes innermost-out, and iteration follows declaration order — the
+/// property that keeps pass output byte-deterministic (the framework's
+/// determinism gate covers renderer output across allocation/cache
+/// backends and service thread counts, so no container here may
+/// introduce hash-order iteration).
+///
+/// Scopes are expected to be small (a module's declarations, a block's
+/// locals); lookups are linear scans, which also keeps behavior identical
+/// across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SEMANTIC_SCOPE_H
+#define COSTAR_SEMANTIC_SCOPE_H
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace costar {
+namespace semantic {
+
+template <typename Info> class ScopedSymbolTable {
+public:
+  struct Entry {
+    std::string Name;
+    Info Value;
+  };
+
+  /// Opens a nested scope; subsequent declarations land in it.
+  void push() { Scopes.emplace_back(); }
+
+  /// Closes the innermost scope, dropping its declarations.
+  void pop() {
+    assert(!Scopes.empty() && "pop on an empty scope stack");
+    Scopes.pop_back();
+  }
+
+  size_t depth() const { return Scopes.size(); }
+
+  /// Declares \p Name in the innermost scope. \returns nullptr on
+  /// success, or the existing same-scope entry when \p Name is a
+  /// duplicate (the caller reports it; the original declaration wins).
+  Entry *declare(const std::string &Name, Info Value) {
+    assert(!Scopes.empty() && "declare with no open scope");
+    std::vector<Entry> &Top = Scopes.back();
+    for (Entry &E : Top)
+      if (E.Name == Name)
+        return &E;
+    Top.push_back(Entry{Name, std::move(Value)});
+    return nullptr;
+  }
+
+  /// Finds \p Name, innermost scope first; nullptr when undeclared.
+  Entry *lookup(const std::string &Name) {
+    for (size_t S = Scopes.size(); S > 0; --S)
+      for (Entry &E : Scopes[S - 1])
+        if (E.Name == Name)
+          return &E;
+    return nullptr;
+  }
+  const Entry *lookup(const std::string &Name) const {
+    return const_cast<ScopedSymbolTable *>(this)->lookup(Name);
+  }
+
+  /// Applies \p Fn to every entry of the innermost scope, in declaration
+  /// order (the deterministic order end-of-scope passes report in).
+  template <typename Fn> void forEachCurrent(Fn &&F) {
+    assert(!Scopes.empty() && "no open scope");
+    for (Entry &E : Scopes.back())
+      F(E);
+  }
+
+private:
+  std::vector<std::vector<Entry>> Scopes;
+};
+
+} // namespace semantic
+} // namespace costar
+
+#endif // COSTAR_SEMANTIC_SCOPE_H

@@ -1,0 +1,39 @@
+//===- semantic/Sink.cpp - Lint diagnostics sink --------------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantic/Sink.h"
+
+#include <algorithm>
+#include <tuple>
+
+using namespace costar;
+using namespace costar::semantic;
+
+void DiagnosticSink::report(analysis::RuleCode Code, SourceSpan Span,
+                            std::string Message, std::string Hint) {
+  analysis::Diagnostic D;
+  D.Code = Code;
+  D.Sev = analysis::ruleInfo(Code).DefaultSeverity;
+  D.Span = Span;
+  D.Message = std::move(Message);
+  D.Hint = std::move(Hint);
+  Diags.push_back(std::move(D));
+}
+
+analysis::AnalysisReport DiagnosticSink::take() {
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [](const analysis::Diagnostic &A,
+                      const analysis::Diagnostic &B) {
+                     return std::tie(A.Span.Line, A.Span.Col, A.Code,
+                                     A.Message) <
+                            std::tie(B.Span.Line, B.Span.Col, B.Code,
+                                     B.Message);
+                   });
+  analysis::AnalysisReport R;
+  R.Diags = std::move(Diags);
+  Diags.clear();
+  return R;
+}

@@ -1,0 +1,51 @@
+//===- semantic/Sink.h - Lint diagnostics sink -----------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects semantic-pass findings into the analysis::AnalysisReport
+/// vocabulary, so the PR 4 renderers (text / JSONL / SARIF) serve lint
+/// output unchanged. Lint diagnostics describe the *parsed input* rather
+/// than the grammar, so Nt/Prod stay unset (renderers already treat
+/// Nt == UINT32_MAX as "no grammar subject") and Span points into the
+/// linted source file. take() orders findings by source position, then
+/// rule code, then message — a total, content-only order, which is what
+/// makes renderer output byte-identical regardless of which backend,
+/// thread, or pass sequence produced the findings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SEMANTIC_SINK_H
+#define COSTAR_SEMANTIC_SINK_H
+
+#include "analysis/Diag.h"
+
+#include <string>
+#include <vector>
+
+namespace costar {
+namespace semantic {
+
+class DiagnosticSink {
+public:
+  /// Records one finding with the rule's registry-default severity.
+  void report(analysis::RuleCode Code, SourceSpan Span, std::string Message,
+              std::string Hint = std::string());
+
+  size_t size() const { return Diags.size(); }
+  bool empty() const { return Diags.empty(); }
+
+  /// Sorts findings into their canonical order and moves them into a
+  /// fresh report, leaving the sink empty for reuse.
+  analysis::AnalysisReport take();
+
+private:
+  std::vector<analysis::Diagnostic> Diags;
+};
+
+} // namespace semantic
+} // namespace costar
+
+#endif // COSTAR_SEMANTIC_SINK_H

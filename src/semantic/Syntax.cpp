@@ -1,0 +1,117 @@
+//===- semantic/Syntax.cpp - Parse-tree navigation utilities --------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantic/Syntax.h"
+
+#include <cctype>
+
+using namespace costar;
+using namespace costar::semantic;
+
+ProductionId ProductionResolver::resolve(const Tree &Node) const {
+  if (Node.isLeaf())
+    return InvalidProductionId;
+  const Forest &Children = Node.children();
+  for (ProductionId P : G.productionsFor(Node.nonterminal())) {
+    const std::vector<Symbol> &Rhs = G.production(P).Rhs;
+    if (Rhs.size() != Children.size())
+      continue;
+    bool Match = true;
+    for (size_t I = 0; I < Rhs.size(); ++I)
+      if (!(Children[I]->rootSymbol() == Rhs[I])) {
+        Match = false;
+        break;
+      }
+    if (Match)
+      return P;
+  }
+  return InvalidProductionId;
+}
+
+bool costar::semantic::isSynthesizedName(std::string_view Name) {
+  size_t Sep = Name.rfind("__");
+  if (Sep == std::string_view::npos)
+    return false;
+  std::string_view Tail = Name.substr(Sep + 2);
+  for (std::string_view Tag : {"grp", "star", "plus", "opt"}) {
+    if (Tail.size() > Tag.size() && Tail.substr(0, Tag.size()) == Tag) {
+      std::string_view Digits = Tail.substr(Tag.size());
+      bool AllDigits = true;
+      for (char C : Digits)
+        if (!std::isdigit(static_cast<unsigned char>(C)))
+          AllDigits = false;
+      if (AllDigits)
+        return true;
+    }
+  }
+  return false;
+}
+
+std::vector<const Tree *>
+costar::semantic::flatChildren(const Grammar &G, const Tree &Node) {
+  std::vector<const Tree *> Out;
+  if (Node.isLeaf())
+    return Out;
+  std::vector<const Tree *> Work;
+  const Forest &Top = Node.children();
+  for (size_t I = Top.size(); I > 0; --I)
+    Work.push_back(Top[I - 1].get());
+  while (!Work.empty()) {
+    const Tree *T = Work.back();
+    Work.pop_back();
+    if (!T->isLeaf() &&
+        isSynthesizedName(G.nonterminalName(T->nonterminal()))) {
+      const Forest &Kids = T->children();
+      for (size_t I = Kids.size(); I > 0; --I)
+        Work.push_back(Kids[I - 1].get());
+      continue;
+    }
+    Out.push_back(T);
+  }
+  return Out;
+}
+
+const Tree *costar::semantic::firstLeaf(const Tree &T) {
+  // Leftmost-first DFS; children deriving epsilon (empty synthesized
+  // opt/star nodes) contribute no leaves and fall through to the next
+  // sibling.
+  std::vector<const Tree *> Work{&T};
+  while (!Work.empty()) {
+    const Tree *Cur = Work.back();
+    Work.pop_back();
+    if (Cur->isLeaf())
+      return Cur;
+    const Forest &Kids = Cur->children();
+    for (size_t I = Kids.size(); I > 0; --I)
+      Work.push_back(Kids[I - 1].get());
+  }
+  return nullptr;
+}
+
+SourceSpan costar::semantic::spanOf(const Tree &T) {
+  if (const Tree *Leaf = firstLeaf(T))
+    return SourceSpan{Leaf->token().Line, Leaf->token().Col};
+  return SourceSpan{0, 0};
+}
+
+const Tree *
+costar::semantic::findChild(const std::vector<const Tree *> &Flat,
+                            const Grammar &G, std::string_view RuleName) {
+  for (const Tree *T : Flat)
+    if (!T->isLeaf() && G.nonterminalName(T->nonterminal()) == RuleName)
+      return T;
+  return nullptr;
+}
+
+std::vector<const Tree *>
+costar::semantic::leavesOf(const std::vector<const Tree *> &Flat,
+                           TerminalId Term) {
+  std::vector<const Tree *> Out;
+  for (const Tree *T : Flat)
+    if (T->isLeaf() && T->token().Term == Term)
+      Out.push_back(T);
+  return Out;
+}

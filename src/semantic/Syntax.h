@@ -1,0 +1,78 @@
+//===- semantic/Syntax.h - Parse-tree navigation utilities -----*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural utilities over CoStar parse trees, the substrate of the
+/// semantic pass framework. Trees store only the nonterminal per Node
+/// (Figure 1 of the paper), so the ProductionResolver recovers which
+/// production built a Node by matching its children's root symbols against
+/// the grammar's ordered alternatives. The flattening helpers undo the
+/// grammar DSL's EBNF desugaring: `*`/`+`/`?`/`()` lower into synthesized
+/// right-recursive helper nonterminals (`rule__star3`-style names), and
+/// flatChildren() expands those spines back into the flat child sequence
+/// the rule author wrote, iteratively, so arbitrarily long lists cannot
+/// overflow the stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SEMANTIC_SYNTAX_H
+#define COSTAR_SEMANTIC_SYNTAX_H
+
+#include "grammar/Grammar.h"
+#include "grammar/SourceMap.h"
+#include "grammar/Tree.h"
+
+#include <string_view>
+#include <vector>
+
+namespace costar {
+namespace semantic {
+
+/// Recovers the production that built a Node by matching children against
+/// the grammar's ordered alternatives for the Node's nonterminal.
+class ProductionResolver {
+  const Grammar &G;
+
+public:
+  explicit ProductionResolver(const Grammar &G) : G(G) {}
+
+  /// \returns the first production of Node's nonterminal whose right-hand
+  /// side matches the children's root symbols, or InvalidProductionId for
+  /// a Leaf or an unmatchable Node (a tree from a different grammar).
+  ProductionId resolve(const Tree &Node) const;
+};
+
+/// True for nonterminal names the grammar DSL synthesizes while lowering
+/// EBNF (`base__grpN` / `base__starN` / `base__plusN` / `base__optN`).
+/// User rules cannot collide: the DSL lexer accepts no digit-terminated
+/// `__grp`/`__star`/`__plus`/`__opt` suffix without a preceding rule that
+/// the desugarer itself created.
+bool isSynthesizedName(std::string_view Name);
+
+/// The children of \p Node with synthesized EBNF helper nodes expanded
+/// inline: the flat child sequence of the rule as the author wrote it.
+/// Expansion is iterative, so list spines of any length are safe.
+std::vector<const Tree *> flatChildren(const Grammar &G, const Tree &Node);
+
+/// The leftmost Leaf under \p T (including \p T itself), or nullptr if
+/// the subtree derives epsilon.
+const Tree *firstLeaf(const Tree &T);
+
+/// Source position of the first token under \p T: {0, 0} (Line 0 =
+/// unknown) when the subtree derives epsilon.
+SourceSpan spanOf(const Tree &T);
+
+/// Convenience filters over a flat child sequence.
+const Tree *findChild(const std::vector<const Tree *> &Flat, const Grammar &G,
+                      std::string_view RuleName);
+/// All ID-style leaves of terminal \p Term, in order.
+std::vector<const Tree *> leavesOf(const std::vector<const Tree *> &Flat,
+                                   TerminalId Term);
+
+} // namespace semantic
+} // namespace costar
+
+#endif // COSTAR_SEMANTIC_SYNTAX_H

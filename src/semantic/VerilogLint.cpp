@@ -1,0 +1,630 @@
+//===- semantic/VerilogLint.cpp - Verilog-subset lint passes --------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantic/VerilogLint.h"
+
+#include "semantic/ConstFold.h"
+#include "semantic/Scope.h"
+#include "semantic/Sink.h"
+#include "semantic/Visitor.h"
+
+#include <cassert>
+
+using namespace costar;
+using namespace costar::semantic;
+using analysis::RuleCode;
+
+namespace {
+
+enum class SigKind : uint8_t { Net, Reg, Param, Placeholder };
+
+const char *sigKindName(SigKind K) {
+  switch (K) {
+  case SigKind::Net:
+    return "wire";
+  case SigKind::Reg:
+    return "reg";
+  case SigKind::Param:
+    return "parameter";
+  case SigKind::Placeholder:
+    return "port";
+  }
+  return "?";
+}
+
+struct SigInfo {
+  SigKind Kind = SigKind::Net;
+  /// Declared width; 0 = unknown (non-foldable range) or unsized (param).
+  uint32_t Width = 1;
+  bool IsPort = false;
+  SourceSpan Decl;
+  bool Read = false;
+  bool Written = false;
+  uint32_t ContDrivers = 0;
+  /// Where the first whole-net continuous driver assigned, for VL007 hints.
+  SourceSpan FirstDrive;
+  std::optional<int64_t> ParamValue;
+};
+
+SourceSpan leafSpan(const Tree &Leaf) {
+  return SourceSpan{Leaf.token().Line, Leaf.token().Col};
+}
+
+std::string atSpan(SourceSpan S) {
+  return std::to_string(S.Line) + ":" + std::to_string(S.Col);
+}
+
+} // namespace
+
+struct VerilogLinter::ModuleCtx {
+  ScopedSymbolTable<SigInfo> Symbols;
+  DiagnosticSink &Sink;
+};
+
+/// What expression analysis learns about a subexpression: an inferred
+/// bit width (0 = unknown/unsized) and, when every operand folds, the
+/// constant value.
+struct VerilogLinter::ExprInfo {
+  uint32_t Width = 0;
+  std::optional<int64_t> Value;
+};
+
+VerilogLinter::VerilogLinter(const Grammar &G) : G(G) {
+  auto Nt = [&](const char *Name) {
+    NonterminalId Id = G.lookupNonterminal(Name);
+    assert(Id != UINT32_MAX && "not the Verilog subset grammar");
+    return Id;
+  };
+  auto Tm = [&](const char *Name) {
+    TerminalId Id = G.lookupTerminal(Name);
+    assert(Id != UINT32_MAX && "not the Verilog subset grammar");
+    return Id;
+  };
+  Ids.ModuleDecl = Nt("module_decl");
+  Ids.Port = Nt("port");
+  Ids.PortDir = Nt("port_dir");
+  Ids.PortDecl = Nt("port_decl");
+  Ids.NetDecl = Nt("net_decl");
+  Ids.RegDecl = Nt("reg_decl");
+  Ids.ParamDecl = Nt("param_decl");
+  Ids.AssignStmt = Nt("assign_stmt");
+  Ids.AlwaysBlock = Nt("always_block");
+  Ids.EventExpr = Nt("event_expr");
+  Ids.Stmt = Nt("stmt");
+  Ids.SeqBlock = Nt("seq_block");
+  Ids.IfStmt = Nt("if_stmt");
+  Ids.CaseStmt = Nt("case_stmt");
+  Ids.CaseItem = Nt("case_item");
+  Ids.Body = Nt("body");
+  Ids.ProcAssign = Nt("proc_assign");
+  Ids.Lvalue = Nt("lvalue");
+  Ids.Select = Nt("select");
+  Ids.Range = Nt("range");
+  Ids.Expr = Nt("expr");
+  Ids.OrExpr = Nt("or_expr");
+  Ids.AndExpr = Nt("and_expr");
+  Ids.BitorExpr = Nt("bitor_expr");
+  Ids.BitxorExpr = Nt("bitxor_expr");
+  Ids.BitandExpr = Nt("bitand_expr");
+  Ids.EqExpr = Nt("eq_expr");
+  Ids.RelExpr = Nt("rel_expr");
+  Ids.ShiftExpr = Nt("shift_expr");
+  Ids.AddExpr = Nt("add_expr");
+  Ids.MulExpr = Nt("mul_expr");
+  Ids.UnaryExpr = Nt("unary_expr");
+  Ids.Primary = Nt("primary");
+  Ids.Concat = Nt("concat");
+  Ids.IdTok = Tm("ID");
+  Ids.NumberTok = Tm("NUMBER");
+  Ids.BasedTok = Tm("BASED");
+}
+
+analysis::AnalysisReport VerilogLinter::lint(const TreePtr &Root) const {
+  DiagnosticSink Sink;
+  if (Root && !Root->isLeaf()) {
+    for (const Tree *Module : flatChildren(G, *Root)) {
+      if (Module->isLeaf() || Module->nonterminal() != Ids.ModuleDecl)
+        continue;
+      ModuleCtx M{ScopedSymbolTable<SigInfo>(), Sink};
+      M.Symbols.push();
+      lintModule(*Module, M);
+      M.Symbols.pop();
+    }
+  }
+  return Sink.take();
+}
+
+void VerilogLinter::lintModule(const Tree &ModuleNode, ModuleCtx &M) const {
+  declarePass(ModuleNode, M);
+  usagePass(ModuleNode, M);
+  finishModule(M);
+}
+
+//===----------------------------------------------------------------------===//
+// Declaration pass (TreeVisitor-driven, fires in source order)
+//===----------------------------------------------------------------------===//
+
+void VerilogLinter::declarePass(const Tree &ModuleNode, ModuleCtx &M) const {
+  // Declares every ID of one port/net/reg declaration item. Flat shape:
+  // [port_dir?] ['reg'?] [range?] ID (',' ID)*. A header port with no
+  // direction is a 1995-style placeholder completed by a later
+  // input/output/inout item.
+  auto declareSignals = [this, &M](const std::vector<const Tree *> &Flat,
+                                   bool IsPort, SigKind PlainKind) {
+    const Tree *Dir = findChild(Flat, G, "port_dir");
+    bool IsReg = false;
+    for (const Tree *T : Flat)
+      if (T->isLeaf() && T->token().Lexeme == "reg")
+        IsReg = true;
+    uint32_t Width = 1;
+    if (const Tree *Range = findChild(Flat, G, "range"))
+      Width = foldRange(*Range, M);
+    for (const Tree *IdLeaf : leavesOf(Flat, Ids.IdTok)) {
+      const std::string &Name = IdLeaf->token().Lexeme;
+      SourceSpan At = leafSpan(*IdLeaf);
+      SigInfo Info;
+      Info.Kind = IsPort && !Dir ? SigKind::Placeholder
+                  : IsReg        ? SigKind::Reg
+                  : IsPort       ? SigKind::Net
+                                 : PlainKind;
+      Info.Width = Width;
+      Info.IsPort = IsPort;
+      Info.Decl = At;
+      if (auto *Existing = M.Symbols.declare(Name, Info)) {
+        if (Existing->Value.Kind == SigKind::Placeholder && Dir) {
+          // The port item completes the header placeholder in place,
+          // keeping the header position as the declaration site.
+          SourceSpan FirstAt = Existing->Value.Decl;
+          Existing->Value = Info;
+          Existing->Value.Decl = FirstAt;
+          continue;
+        }
+        M.Sink.report(RuleCode::VL002, At,
+                      "duplicate declaration of '" + Name + "'",
+                      "first declared at " + atSpan(Existing->Value.Decl));
+      }
+    }
+  };
+
+  TreeVisitor V(G);
+  V.onEnter("port",
+            [&](const VisitContext &Ctx) {
+              declareSignals(flatChildren(G, Ctx.Node), /*IsPort=*/true,
+                             SigKind::Net);
+            })
+      .onEnter("port_decl",
+               [&](const VisitContext &Ctx) {
+                 declareSignals(flatChildren(G, Ctx.Node), /*IsPort=*/true,
+                                SigKind::Net);
+               })
+      .onEnter("net_decl",
+               [&](const VisitContext &Ctx) {
+                 declareSignals(flatChildren(G, Ctx.Node),
+                                /*IsPort=*/false, SigKind::Net);
+               })
+      .onEnter("reg_decl",
+               [&](const VisitContext &Ctx) {
+                 declareSignals(flatChildren(G, Ctx.Node),
+                                /*IsPort=*/false, SigKind::Reg);
+               })
+      .onEnter("param_decl", [&](const VisitContext &Ctx) {
+        auto Flat = flatChildren(G, Ctx.Node);
+        auto IdLeaves = leavesOf(Flat, Ids.IdTok);
+        if (IdLeaves.empty())
+          return;
+        const Tree *IdLeaf = IdLeaves.front();
+        const Tree *ValueExpr = findChild(Flat, G, "expr");
+        SigInfo Info;
+        Info.Kind = SigKind::Param;
+        Info.Width = 0; // parameters are unsized
+        Info.Decl = leafSpan(*IdLeaf);
+        if (ValueExpr)
+          Info.ParamValue = analyzeExpr(*ValueExpr, M).Value;
+        if (auto *Existing = M.Symbols.declare(IdLeaf->token().Lexeme, Info))
+          M.Sink.report(RuleCode::VL002, Info.Decl,
+                        "duplicate declaration of '" +
+                            IdLeaf->token().Lexeme + "'",
+                        "first declared at " +
+                            atSpan(Existing->Value.Decl));
+      });
+  // Walk only this module's subtree; handlers fire preorder = in source
+  // order, so parameter values fold in declaration order. The aliasing
+  // handle keeps walk()'s TreePtr signature without claiming ownership.
+  V.walk(TreePtr(TreePtr(), &ModuleNode));
+}
+
+//===----------------------------------------------------------------------===//
+// Usage / driver / width pass
+//===----------------------------------------------------------------------===//
+
+void VerilogLinter::usagePass(const Tree &ModuleNode, ModuleCtx &M) const {
+  for (const Tree *Item : flatChildren(G, ModuleNode)) {
+    if (Item->isLeaf())
+      continue;
+    // module_item wraps exactly one alternative.
+    auto Inner = flatChildren(G, *Item);
+    if (Inner.size() != 1 || Inner[0]->isLeaf())
+      continue;
+    NonterminalId X = Inner[0]->nonterminal();
+    if (X == Ids.AssignStmt)
+      lintAssign(*Inner[0], M);
+    else if (X == Ids.AlwaysBlock)
+      lintAlways(*Inner[0], M);
+    // Declaration items were handled by declarePass.
+  }
+}
+
+void VerilogLinter::lintAssign(const Tree &AssignNode, ModuleCtx &M) const {
+  auto Flat = flatChildren(G, AssignNode);
+  const Tree *Lv = findChild(Flat, G, "lvalue");
+  const Tree *Rhs = findChild(Flat, G, "expr");
+  uint32_t LhsWidth = 0;
+  SourceSpan At = spanOf(AssignNode);
+  if (Lv) {
+    auto LvFlat = flatChildren(G, *Lv);
+    auto IdLeaves = leavesOf(LvFlat, Ids.IdTok);
+    const Tree *Sel = findChild(LvFlat, G, "select");
+    if (!IdLeaves.empty()) {
+      const Tree *IdLeaf = IdLeaves.front();
+      const std::string &Name = IdLeaf->token().Lexeme;
+      At = leafSpan(*IdLeaf);
+      auto *E = M.Symbols.lookup(Name);
+      if (!E) {
+        M.Sink.report(RuleCode::VL001, At,
+                      "use of undeclared identifier '" + Name + "'");
+      } else {
+        E->Value.Written = true;
+        SigKind K = E->Value.Kind;
+        if (K == SigKind::Reg) {
+          M.Sink.report(RuleCode::VL008, At,
+                        "continuous assignment to reg '" + Name + "'",
+                        "drive regs from always blocks; make '" + Name +
+                            "' a wire to use assign");
+        } else if (K == SigKind::Param) {
+          M.Sink.report(RuleCode::VL008, At,
+                        "continuous assignment to parameter '" + Name +
+                            "'");
+        } else if (!Sel) {
+          // Whole-net continuous driver; partial (selected) drivers of
+          // disjoint bits are legal and not counted.
+          if (++E->Value.ContDrivers >= 2)
+            M.Sink.report(RuleCode::VL007, At,
+                          "net '" + Name +
+                              "' driven by multiple continuous "
+                              "assignments",
+                          "also driven at " +
+                              atSpan(E->Value.FirstDrive));
+          else
+            E->Value.FirstDrive = At;
+        }
+        LhsWidth = Sel ? selectWidth(*Sel, M) : E->Value.Width;
+      }
+    }
+    if (Sel && !IdLeaves.empty() && !M.Symbols.lookup(
+                                        IdLeaves.front()->token().Lexeme))
+      selectWidth(*Sel, M); // still mark reads inside the index exprs
+  }
+  if (Rhs) {
+    ExprInfo R = analyzeExpr(*Rhs, M);
+    checkAssignWidths(LhsWidth, R, At, M);
+  }
+}
+
+void VerilogLinter::lintAlways(const Tree &AlwaysNode, ModuleCtx &M) const {
+  auto Flat = flatChildren(G, AlwaysNode);
+  if (const Tree *Events = findChild(Flat, G, "event_list"))
+    for (const Tree *Ev : flatChildren(G, *Events)) {
+      if (Ev->isLeaf() || Ev->nonterminal() != Ids.EventExpr)
+        continue;
+      auto EvFlat = flatChildren(G, *Ev);
+      for (const Tree *IdLeaf : leavesOf(EvFlat, Ids.IdTok))
+        signalRead(*IdLeaf, nullptr, M);
+    }
+  if (const Tree *Body = findChild(Flat, G, "stmt"))
+    lintStmt(*Body, M);
+}
+
+void VerilogLinter::lintStmt(const Tree &StmtNode, ModuleCtx &M) const {
+  NonterminalId X = StmtNode.nonterminal();
+  if (X == Ids.Stmt || X == Ids.Body) {
+    // One-alternative wrappers: a block, a nested statement, or ';'.
+    for (const Tree *Inner : flatChildren(G, StmtNode))
+      if (!Inner->isLeaf())
+        lintStmt(*Inner, M);
+    return;
+  }
+  auto Flat = flatChildren(G, StmtNode);
+  if (X == Ids.SeqBlock) {
+    M.Symbols.push();
+    for (const Tree *T : Flat)
+      if (!T->isLeaf() && T->nonterminal() == Ids.Stmt)
+        lintStmt(*T, M);
+    M.Symbols.pop();
+    return;
+  }
+  if (X == Ids.IfStmt) {
+    if (const Tree *Cond = findChild(Flat, G, "expr")) {
+      ExprInfo C = analyzeExpr(*Cond, M);
+      if (C.Value)
+        M.Sink.report(RuleCode::VL004, spanOf(*Cond),
+                      "if condition always evaluates to " +
+                          std::to_string(*C.Value));
+    }
+    for (const Tree *T : Flat)
+      if (!T->isLeaf() && T->nonterminal() == Ids.Body)
+        lintStmt(*T, M);
+    return;
+  }
+  if (X == Ids.CaseStmt) {
+    if (const Tree *Subject = findChild(Flat, G, "expr")) {
+      ExprInfo C = analyzeExpr(*Subject, M);
+      if (C.Value)
+        M.Sink.report(RuleCode::VL004, spanOf(*Subject),
+                      "case selector always evaluates to " +
+                          std::to_string(*C.Value));
+    }
+    for (const Tree *T : Flat)
+      if (!T->isLeaf() && T->nonterminal() == Ids.CaseItem) {
+        auto ItemFlat = flatChildren(G, *T);
+        if (const Tree *Label = findChild(ItemFlat, G, "expr"))
+          analyzeExpr(*Label, M); // constant labels are the normal case
+        if (const Tree *B = findChild(ItemFlat, G, "body"))
+          lintStmt(*B, M);
+      }
+    return;
+  }
+  if (X == Ids.ProcAssign) {
+    const Tree *Lv = findChild(Flat, G, "lvalue");
+    const Tree *Rhs = findChild(Flat, G, "expr");
+    uint32_t LhsWidth = 0;
+    SourceSpan At = spanOf(StmtNode);
+    if (Lv) {
+      auto LvFlat = flatChildren(G, *Lv);
+      auto IdLeaves = leavesOf(LvFlat, Ids.IdTok);
+      const Tree *Sel = findChild(LvFlat, G, "select");
+      if (!IdLeaves.empty()) {
+        const Tree *IdLeaf = IdLeaves.front();
+        const std::string &Name = IdLeaf->token().Lexeme;
+        At = leafSpan(*IdLeaf);
+        auto *E = M.Symbols.lookup(Name);
+        if (!E) {
+          M.Sink.report(RuleCode::VL001, At,
+                        "use of undeclared identifier '" + Name + "'");
+        } else {
+          E->Value.Written = true;
+          SigKind K = E->Value.Kind;
+          if (K == SigKind::Net || K == SigKind::Placeholder) {
+            M.Sink.report(RuleCode::VL008, At,
+                          "procedural assignment to wire '" + Name + "'",
+                          "make '" + Name +
+                              "' a reg, or drive it with assign");
+          } else if (K == SigKind::Param) {
+            M.Sink.report(RuleCode::VL008, At,
+                          "procedural assignment to parameter '" + Name +
+                              "'");
+          }
+          LhsWidth = Sel ? selectWidth(*Sel, M) : E->Value.Width;
+        }
+      }
+      if (Sel && LhsWidth == 0)
+        selectWidth(*Sel, M); // mark reads inside the index exprs
+    }
+    if (Rhs) {
+      ExprInfo R = analyzeExpr(*Rhs, M);
+      checkAssignWidths(LhsWidth, R, At, M);
+    }
+    return;
+  }
+}
+
+void VerilogLinter::finishModule(ModuleCtx &M) const {
+  M.Symbols.forEachCurrent([&](ScopedSymbolTable<SigInfo>::Entry &E) {
+    const SigInfo &S = E.Value;
+    if ((S.Kind == SigKind::Net || S.Kind == SigKind::Reg) && !S.IsPort &&
+        !S.Read)
+      M.Sink.report(RuleCode::VL006, S.Decl,
+                    std::string(sigKindName(S.Kind)) + " '" + E.Name +
+                        "' is never read",
+                    S.Written ? "driven but unused; delete it or use it"
+                              : "declared but never used");
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Expression analysis: width inference + constant folding + use marking
+//===----------------------------------------------------------------------===//
+
+uint32_t VerilogLinter::foldRange(const Tree &RangeNode, ModuleCtx &M) const {
+  // '[' expr ':' expr ']' — width |msb - lsb| + 1 when both ends fold.
+  std::vector<ExprInfo> Ends;
+  for (const Tree *T : flatChildren(G, RangeNode))
+    if (!T->isLeaf())
+      Ends.push_back(analyzeExpr(*T, M));
+  if (Ends.size() == 2 && Ends[0].Value && Ends[1].Value) {
+    int64_t D = *Ends[0].Value - *Ends[1].Value;
+    if (D < 0)
+      D = -D;
+    if (D < (int64_t{1} << 20))
+      return static_cast<uint32_t>(D) + 1;
+  }
+  return 0;
+}
+
+uint32_t VerilogLinter::selectWidth(const Tree &SelectNode,
+                                    ModuleCtx &M) const {
+  // '[' expr ']' selects one bit; '[' expr ':' expr ']' is a part-select
+  // with the same width rule as a declaration range.
+  std::vector<ExprInfo> Exprs;
+  for (const Tree *T : flatChildren(G, SelectNode))
+    if (!T->isLeaf())
+      Exprs.push_back(analyzeExpr(*T, M));
+  if (Exprs.size() == 1)
+    return 1;
+  if (Exprs.size() == 2 && Exprs[0].Value && Exprs[1].Value) {
+    int64_t D = *Exprs[0].Value - *Exprs[1].Value;
+    if (D < 0)
+      D = -D;
+    if (D < (int64_t{1} << 20))
+      return static_cast<uint32_t>(D) + 1;
+  }
+  return 0;
+}
+
+VerilogLinter::ExprInfo VerilogLinter::signalRead(const Tree &IdLeaf,
+                                                  const Tree *Select,
+                                                  ModuleCtx &M) const {
+  const std::string &Name = IdLeaf.token().Lexeme;
+  auto *E = M.Symbols.lookup(Name);
+  if (!E) {
+    M.Sink.report(RuleCode::VL001, leafSpan(IdLeaf),
+                  "use of undeclared identifier '" + Name + "'");
+    if (Select)
+      selectWidth(*Select, M); // still mark reads in the index exprs
+    return ExprInfo{};
+  }
+  E->Value.Read = true;
+  ExprInfo Out;
+  if (E->Value.Kind == SigKind::Param) {
+    Out.Width = 0; // unsized
+    Out.Value = E->Value.ParamValue;
+  } else {
+    Out.Width = E->Value.Width;
+  }
+  if (Select) {
+    Out.Width = selectWidth(*Select, M);
+    Out.Value = std::nullopt; // bit extraction is not folded
+  }
+  return Out;
+}
+
+VerilogLinter::ExprInfo VerilogLinter::analyzeExpr(const Tree &Node,
+                                                   ModuleCtx &M) const {
+  if (Node.isLeaf()) {
+    const Token &T = Node.token();
+    if (T.Term == Ids.NumberTok) {
+      auto V = parseIntLiteral(T.Lexeme);
+      ExprInfo Out;
+      if (V)
+        Out.Value = V->Value; // unsized: width stays 0
+      return Out;
+    }
+    if (T.Term == Ids.BasedTok) {
+      auto B = parseBasedLiteral(T.Lexeme);
+      ExprInfo Out;
+      if (B) {
+        Out.Width = B->Width;
+        Out.Value = B->Value;
+      }
+      return Out;
+    }
+    if (T.Term == Ids.IdTok)
+      return signalRead(Node, nullptr, M);
+    return ExprInfo{};
+  }
+  NonterminalId X = Node.nonterminal();
+  auto Flat = flatChildren(G, Node);
+  if (Flat.empty())
+    return ExprInfo{};
+  if (X == Ids.Expr) {
+    if (Flat.size() == 1)
+      return analyzeExpr(*Flat[0], M);
+    // or_expr '?' expr ':' expr — a constant condition in a plain
+    // expression is not VL004 (that rule covers if/case controls only).
+    ExprInfo Cond = analyzeExpr(*Flat[0], M);
+    ExprInfo Then = analyzeExpr(*Flat[2], M);
+    ExprInfo Else = analyzeExpr(*Flat[4], M);
+    ExprInfo Out;
+    Out.Width = Then.Width > Else.Width ? Then.Width : Else.Width;
+    if (Cond.Value)
+      Out.Value = *Cond.Value != 0 ? Then.Value : Else.Value;
+    return Out;
+  }
+  if (X == Ids.UnaryExpr) {
+    if (Flat.size() == 1)
+      return analyzeExpr(*Flat[0], M);
+    const std::string &Op = Flat[0]->token().Lexeme;
+    ExprInfo V = analyzeExpr(*Flat[1], M);
+    ExprInfo Out;
+    Out.Width = (Op == "~" || Op == "-") ? V.Width : 1;
+    if (V.Value)
+      if (auto F = foldUnary(Op, ConstValue{*V.Value, V.Width}))
+        Out.Value = F->Value;
+    return Out;
+  }
+  if (X == Ids.Primary) {
+    const Tree *First = Flat[0];
+    if (First->isLeaf() && First->token().Term == Ids.IdTok) {
+      const Tree *Sel =
+          Flat.size() > 1 && !Flat[1]->isLeaf() ? Flat[1] : nullptr;
+      return signalRead(*First, Sel, M);
+    }
+    if (First->isLeaf() && First->token().Lexeme == "(")
+      return Flat.size() > 1 ? analyzeExpr(*Flat[1], M) : ExprInfo{};
+    return analyzeExpr(*First, M); // NUMBER / BASED leaf, or concat node
+  }
+  if (X == Ids.Concat) {
+    ExprInfo Out;
+    uint32_t Sum = 0;
+    bool AllKnown = true;
+    for (const Tree *T : Flat) {
+      if (T->isLeaf())
+        continue;
+      ExprInfo E = analyzeExpr(*T, M);
+      if (E.Width == 0)
+        AllKnown = false;
+      else
+        Sum += E.Width;
+    }
+    if (AllKnown)
+      Out.Width = Sum;
+    return Out;
+  }
+  // The binary precedence ladder: [operand (op operand)*], left-folded.
+  // Unknown/unsized widths adapt to the other operand (max(0, w) == w).
+  ExprInfo Acc = analyzeExpr(*Flat[0], M);
+  for (size_t I = 1; I + 1 < Flat.size(); I += 2) {
+    if (!Flat[I]->isLeaf())
+      break; // not an operator position: unexpected shape
+    const std::string &Op = Flat[I]->token().Lexeme;
+    ExprInfo R = analyzeExpr(*Flat[I + 1], M);
+    ExprInfo Next;
+    bool Boolean = Op == "==" || Op == "!=" || Op == "<" || Op == ">" ||
+                   Op == "<=" || Op == ">=" || Op == "&&" || Op == "||";
+    if (Boolean)
+      Next.Width = 1;
+    else if (Op == "<<" || Op == ">>")
+      Next.Width = Acc.Width;
+    else
+      Next.Width = Acc.Width > R.Width ? Acc.Width : R.Width;
+    if (Acc.Value && R.Value)
+      if (auto F = foldBinary(Op, ConstValue{*Acc.Value, Acc.Width},
+                              ConstValue{*R.Value, R.Width}))
+        Next.Value = F->Value;
+    Acc = Next;
+  }
+  return Acc;
+}
+
+void VerilogLinter::checkAssignWidths(uint32_t LhsWidth, const ExprInfo &Rhs,
+                                      SourceSpan At, ModuleCtx &M) const {
+  if (LhsWidth == 0)
+    return; // unknown target width: stay silent rather than guess
+  auto Bits = [](uint32_t W) {
+    return std::to_string(W) + (W == 1 ? " bit" : " bits");
+  };
+  if (Rhs.Width != 0 && Rhs.Width != LhsWidth) {
+    M.Sink.report(RuleCode::VL003, At,
+                  "assignment width mismatch: target is " + Bits(LhsWidth) +
+                      ", expression is " + Bits(Rhs.Width));
+    return;
+  }
+  if (Rhs.Width == 0 && Rhs.Value && *Rhs.Value >= 0 &&
+      bitsNeeded(*Rhs.Value) > LhsWidth)
+    M.Sink.report(RuleCode::VL005, At,
+                  "constant " + std::to_string(*Rhs.Value) +
+                      " does not fit in " + Bits(LhsWidth) + " (needs " +
+                      Bits(bitsNeeded(*Rhs.Value)) + ")");
+}

@@ -1,0 +1,87 @@
+//===- semantic/VerilogLint.h - Verilog-subset lint passes -----*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural HDL lint passes over CoStar parse trees of the Verilog
+/// subset grammar (lang::LangId::Verilog): the costar-verilint engine.
+/// Built on the semantic framework — the declaration pass runs as
+/// TreeVisitor handlers, scoping uses ScopedSymbolTable, widths and
+/// constants flow through the ConstFold evaluator, and findings land in a
+/// DiagnosticSink whose reports the analysis:: renderers serialize.
+///
+/// Check classes (rule codes VL001..VL008, registered in analysis/Diag):
+///  - VL001 undeclared identifier, VL002 duplicate declaration
+///  - VL003 assignment bit-width mismatch, VL005 constant truncated
+///  - VL004 constant if/case condition (constant folding)
+///  - VL006 signal never read, VL007 multiply-driven net
+///  - VL008 wrong assignment context (assign to reg / procedural to wire)
+///
+/// Conventions the linter assumes (documented for corpus authors):
+/// parameters and ranges fold in declaration order, an undirectioned
+/// header port is a placeholder completed by a later `input/output/inout`
+/// item, an unranged declaration is 1 bit wide, and a non-foldable range
+/// makes the width unknown (width checks stay silent rather than guess).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SEMANTIC_VERILOGLINT_H
+#define COSTAR_SEMANTIC_VERILOGLINT_H
+
+#include "analysis/Diag.h"
+#include "grammar/Tree.h"
+
+namespace costar {
+namespace semantic {
+
+/// Lints parse trees of one Verilog-subset Grammar instance. The
+/// constructor resolves and caches every rule and token id it needs;
+/// constructing against a grammar that is not the Verilog subset asserts.
+class VerilogLinter {
+public:
+  explicit VerilogLinter(const Grammar &G);
+
+  /// Runs every pass over one file's parse tree (a source_text node) and
+  /// \returns the findings, canonically ordered. Deterministic: a given
+  /// tree shape yields byte-identical reports regardless of allocation
+  /// or cache backend, thread, or call history.
+  analysis::AnalysisReport lint(const TreePtr &Root) const;
+
+private:
+  const Grammar &G;
+  struct RuleIds {
+    NonterminalId ModuleDecl, Port, PortDir, PortDecl, NetDecl, RegDecl,
+        ParamDecl, AssignStmt, AlwaysBlock, EventExpr, Stmt, SeqBlock,
+        IfStmt, CaseStmt, CaseItem, Body, ProcAssign, Lvalue, Select,
+        Range, Expr, OrExpr, AndExpr, BitorExpr, BitxorExpr, BitandExpr,
+        EqExpr, RelExpr, ShiftExpr, AddExpr, MulExpr, UnaryExpr, Primary,
+        Concat;
+    TerminalId IdTok, NumberTok, BasedTok;
+  } Ids;
+
+  struct ModuleCtx;
+  struct ExprInfo;
+
+  void lintModule(const Tree &ModuleNode, ModuleCtx &M) const;
+  void declarePass(const Tree &ModuleNode, ModuleCtx &M) const;
+  void usagePass(const Tree &ModuleNode, ModuleCtx &M) const;
+  void finishModule(ModuleCtx &M) const;
+
+  void lintAssign(const Tree &AssignNode, ModuleCtx &M) const;
+  void lintAlways(const Tree &AlwaysNode, ModuleCtx &M) const;
+  void lintStmt(const Tree &StmtNode, ModuleCtx &M) const;
+  uint32_t foldRange(const Tree &RangeNode, ModuleCtx &M) const;
+  uint32_t selectWidth(const Tree &SelectNode, ModuleCtx &M) const;
+  ExprInfo signalRead(const Tree &IdLeaf, const Tree *Select,
+                      ModuleCtx &M) const;
+  ExprInfo analyzeExpr(const Tree &Node, ModuleCtx &M) const;
+  void checkAssignWidths(uint32_t LhsWidth, const ExprInfo &Rhs,
+                         SourceSpan At, ModuleCtx &M) const;
+};
+
+} // namespace semantic
+} // namespace costar
+
+#endif // COSTAR_SEMANTIC_VERILOGLINT_H

@@ -1,0 +1,101 @@
+//===- semantic/Visitor.cpp - Parse-tree pass visitor ---------------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantic/Visitor.h"
+
+#include <cassert>
+
+using namespace costar;
+using namespace costar::semantic;
+
+NonterminalId TreeVisitor::ruleId(const std::string &Rule) const {
+  NonterminalId Nt = G.lookupNonterminal(Rule);
+  assert(Nt != UINT32_MAX && "handler registered for unknown rule");
+  return Nt;
+}
+
+TreeVisitor &TreeVisitor::onEnter(const std::string &Rule, Handler H) {
+  EnterHandlers[ruleId(Rule)] = std::move(H);
+  return *this;
+}
+
+TreeVisitor &TreeVisitor::onExit(const std::string &Rule, Handler H) {
+  ExitHandlers[ruleId(Rule)] = std::move(H);
+  return *this;
+}
+
+TreeVisitor &TreeVisitor::onEnterAlt(const std::string &Rule,
+                                     uint32_t AltIndex, Handler H) {
+  NonterminalId Nt = ruleId(Rule);
+  const std::vector<ProductionId> &Prods = G.productionsFor(Nt);
+  assert(AltIndex < Prods.size() && "alternative index out of range");
+  AltHandlers[{Nt, Prods[AltIndex]}] = std::move(H);
+  return *this;
+}
+
+TreeVisitor &TreeVisitor::onLeaf(LeafHandler H) {
+  LeafH = std::move(H);
+  return *this;
+}
+
+VisitContext TreeVisitor::makeContext(const Tree &Node, const Tree *Parent,
+                                      uint32_t Depth) const {
+  NonterminalId Nt = Node.nonterminal();
+  return VisitContext{Node,
+                      Nt,
+                      Resolver.resolve(Node),
+                      spanOf(Node),
+                      Spans ? Spans->nonterminal(Nt) : SourceSpan{},
+                      Depth,
+                      Parent};
+}
+
+void TreeVisitor::walk(const TreePtr &Root) const {
+  if (!Root)
+    return;
+  struct Frame {
+    const Tree *Node;
+    const Tree *Parent;
+    uint32_t Depth;
+    bool Entered;
+  };
+  std::vector<Frame> Stack{{Root.get(), nullptr, 0, false}};
+  while (!Stack.empty()) {
+    // Copy the frame out: pushing children below reallocates the stack.
+    Frame F = Stack.back();
+    Stack.pop_back();
+    if (F.Entered) {
+      // Children done: postorder event.
+      auto It = ExitHandlers.find(F.Node->nonterminal());
+      if (It != ExitHandlers.end())
+        It->second(makeContext(*F.Node, F.Parent, F.Depth));
+      continue;
+    }
+    const Tree *Node = F.Node;
+    if (Node->isLeaf()) {
+      if (LeafH)
+        LeafH(Node->token(), F.Parent);
+      continue;
+    }
+    NonterminalId Nt = Node->nonterminal();
+    auto EnterIt = EnterHandlers.find(Nt);
+    if (EnterIt != EnterHandlers.end() || !AltHandlers.empty()) {
+      VisitContext Ctx = makeContext(*Node, F.Parent, F.Depth);
+      if (EnterIt != EnterHandlers.end())
+        EnterIt->second(Ctx);
+      if (!AltHandlers.empty()) {
+        auto AltIt = AltHandlers.find({Nt, Ctx.Prod});
+        if (AltIt != AltHandlers.end())
+          AltIt->second(Ctx);
+      }
+    }
+    if (ExitHandlers.count(Nt) != 0)
+      Stack.push_back({Node, F.Parent, F.Depth, true});
+    const Forest &Kids = Node->children();
+    for (size_t I = Kids.size(); I > 0; --I)
+      Stack.push_back({Kids[I - 1].get(), Node, F.Depth + 1, false});
+  }
+}

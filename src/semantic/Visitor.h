@@ -1,0 +1,101 @@
+//===- semantic/Visitor.h - Parse-tree pass visitor ------------*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass driver of the semantic framework: a preorder/postorder tree
+/// walker that dispatches to handlers keyed by nonterminal or by
+/// (nonterminal, production). Registration is by rule name (resolved
+/// against the Grammar once), so passes read like the grammar they
+/// analyze. The walk is iterative — right-recursive list spines from the
+/// DSL's EBNF desugaring can be as long as the input, and must not
+/// translate into native stack depth.
+///
+/// When the grammar was loaded through gdsl::loadGrammar, a SourceMap can
+/// be attached; the VisitContext then carries the grammar-DSL span of the
+/// rule that built each node alongside the input-token span, so
+/// diagnostics can point at both the offending source and the grammar
+/// rule involved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SEMANTIC_VISITOR_H
+#define COSTAR_SEMANTIC_VISITOR_H
+
+#include "semantic/Syntax.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace costar {
+namespace semantic {
+
+/// Everything a handler sees about the node under visit. Span is the
+/// input-file position of the node's first token; RuleSpan is the
+/// grammar-DSL definition site of the node's rule (Line 0 when no
+/// SourceMap is attached).
+struct VisitContext {
+  const Tree &Node;
+  NonterminalId Nt;
+  /// Resolved production, or InvalidProductionId if the node matches no
+  /// alternative of its rule (a tree from a different grammar).
+  ProductionId Prod;
+  SourceSpan Span;
+  SourceSpan RuleSpan;
+  uint32_t Depth;
+  const Tree *Parent; // nullptr at the root
+};
+
+/// Preorder/postorder walker with name-keyed handler registration.
+class TreeVisitor {
+public:
+  using Handler = std::function<void(const VisitContext &)>;
+  using LeafHandler = std::function<void(const Token &, const Tree *Parent)>;
+
+  explicit TreeVisitor(const Grammar &G) : G(G), Resolver(G) {}
+
+  /// Attaches grammar-DSL definition spans (from gdsl::LoadedGrammar) so
+  /// VisitContext::RuleSpan resolves.
+  TreeVisitor &withSourceMap(const SourceMap *Spans) {
+    this->Spans = Spans;
+    return *this;
+  }
+
+  /// Fires before the children of every \p Rule node are walked.
+  TreeVisitor &onEnter(const std::string &Rule, Handler H);
+  /// Fires after the children of every \p Rule node are walked.
+  TreeVisitor &onExit(const std::string &Rule, Handler H);
+  /// Fires on entry only when the node was built by alternative
+  /// \p AltIndex (position within the rule's ordered productions).
+  TreeVisitor &onEnterAlt(const std::string &Rule, uint32_t AltIndex,
+                          Handler H);
+  /// Fires on every leaf token, in yield order.
+  TreeVisitor &onLeaf(LeafHandler H);
+
+  /// Walks \p Root iteratively, firing handlers. Unregistered rules cost
+  /// one map probe; contexts (production resolution, span search) are
+  /// only materialized for nodes that have a handler.
+  void walk(const TreePtr &Root) const;
+
+private:
+  const Grammar &G;
+  ProductionResolver Resolver;
+  const SourceMap *Spans = nullptr;
+  std::map<NonterminalId, Handler> EnterHandlers;
+  std::map<NonterminalId, Handler> ExitHandlers;
+  std::map<std::pair<NonterminalId, ProductionId>, Handler> AltHandlers;
+  LeafHandler LeafH;
+
+  NonterminalId ruleId(const std::string &Rule) const;
+  VisitContext makeContext(const Tree &Node, const Tree *Parent,
+                           uint32_t Depth) const;
+};
+
+} // namespace semantic
+} // namespace costar
+
+#endif // COSTAR_SEMANTIC_VISITOR_H

@@ -108,6 +108,14 @@ uint32_t ParseService::addGrammar(const Grammar &G, NonterminalId Start,
   return static_cast<uint32_t>(Grammars.size() - 1);
 }
 
+bool ParseService::warmStart(uint32_t GrammarId,
+                             std::shared_ptr<SllCache> Loaded) {
+  assert(!Started && "warmStart after start()");
+  if (Started || GrammarId >= Grammars.size())
+    return false;
+  return Grammars[GrammarId]->Shared.adopt(std::move(Loaded));
+}
+
 void ParseService::start() {
   assert(!Started && "start() twice");
   assert(!Grammars.empty() && "start() with no grammars");

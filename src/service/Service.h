@@ -153,6 +153,14 @@ public:
                       const GrammarAnalysis *Analysis = nullptr,
                       const PredictionTables *Tables = nullptr);
 
+  /// Seeds \p GrammarId's shared warm cache from a snapshot-loaded SLL
+  /// cache (src/snapshot/), so the first worker to serve that grammar
+  /// adopts pre-trained prediction state instead of starting cold. Same
+  /// contract as SharedSllCache::adopt: \returns false, seeding nothing,
+  /// on a null cache or a backend mismatch. Call between addGrammar and
+  /// start().
+  bool warmStart(uint32_t GrammarId, std::shared_ptr<SllCache> Loaded);
+
   /// Spawns (and pins) the workers. addGrammar is frozen after this.
   void start();
 

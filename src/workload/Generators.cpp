@@ -406,6 +406,181 @@ public:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// Verilog subset
+//===----------------------------------------------------------------------===//
+
+/// Emits well-formed modules against the Verilog-subset grammar: every
+/// referenced signal is declared first (wire/reg/port/parameter), so the
+/// whole corpus parses Unique and lints mostly clean — the shape
+/// costar-verilint and bench_semantic sweep. Widths and expression forms
+/// are varied to exercise the precedence ladder and the select/concat
+/// corners of the grammar.
+class VerilogGen : Gen {
+  std::vector<std::string> Wires;
+  std::vector<std::string> Regs;
+  uint32_t NameCounter = 0;
+
+  std::string fresh(const char *Stem) {
+    return std::string(Stem) + std::to_string(NameCounter++);
+  }
+
+  const std::string &someSignal() {
+    // Declarations precede uses, so both pools are non-empty by the time
+    // expressions are emitted.
+    if (Regs.empty() || (!Wires.empty() && chance(60)))
+      return Wires[pick(Wires.size())];
+    return Regs[pick(Regs.size())];
+  }
+
+  std::string literal() {
+    switch (pick(4)) {
+    case 0:
+      return std::to_string(1 + pick(8)) + "'b" +
+             std::string(chance(50) ? "1010" : "1");
+    case 1:
+      return "8'h" + std::string(chance(50) ? "ff" : "3c");
+    default:
+      return std::to_string(pick(256));
+    }
+  }
+
+  std::string expr(uint32_t Depth) {
+    if (Depth > 2 || Budget <= 0 || chance(45)) {
+      if (chance(40))
+        return literal();
+      std::string S = someSignal();
+      if (chance(20))
+        S += "[" + std::to_string(pick(4)) + "]";
+      return S;
+    }
+    switch (pick(8)) {
+    case 0:
+      Budget -= 3;
+      return "(" + expr(Depth + 1) + ")";
+    case 1:
+      Budget -= 4;
+      return "{" + expr(Depth + 1) + ", " + expr(Depth + 1) + "}";
+    case 2:
+      Budget -= 2;
+      return "~" + expr(Depth + 1);
+    case 3: {
+      Budget -= 5;
+      return expr(Depth + 1) + " ? " + expr(Depth + 1) + " : " +
+             expr(Depth + 1);
+    }
+    default: {
+      static const char *Ops[] = {" & ",  " | ", " ^ ",  " + ", " - ",
+                                  " == ", " < ", " >> ", " && "};
+      Budget -= 3;
+      return expr(Depth + 1) + Ops[pick(9)] + expr(Depth + 1);
+    }
+    }
+  }
+
+  std::string range() {
+    return "[" + std::to_string(1 + pick(31)) + ":0] ";
+  }
+
+  void statement(const std::string &Clocked, uint32_t Depth) {
+    const std::string &R = Regs[pick(Regs.size())];
+    if (Budget <= 0 || Depth > 2) {
+      emit("      " + R + " " + Clocked + " " + expr(2) + ";\n", 4);
+      return;
+    }
+    switch (pick(4)) {
+    case 0:
+      emit("      if (" + expr(1) + ")\n", 5);
+      emit("        " + R + " " + Clocked + " " + expr(2) + ";\n", 4);
+      if (chance(40)) {
+        emit("      else\n", 1);
+        emit("        " + R + " " + Clocked + " " + literal() + ";\n", 4);
+      }
+      break;
+    case 1:
+      emit("      case (" + someSignal() + ")\n", 5);
+      for (uint64_t I = 0, N = 1 + pick(3); I < N; ++I)
+        emit("        " + literal() + ": " + R + " " + Clocked + " " +
+                 expr(2) + ";\n",
+             6);
+      emit("        default: " + R + " " + Clocked + " " + literal() +
+               ";\n",
+           6);
+      emit("      endcase\n", 1);
+      break;
+    case 2:
+      emit("      begin\n", 1);
+      statement(Clocked, Depth + 1);
+      statement(Clocked, Depth + 1);
+      emit("      end\n", 1);
+      break;
+    default:
+      emit("      " + R + " " + Clocked + " " + expr(1) + ";\n", 4);
+      break;
+    }
+  }
+
+  void module() {
+    Wires.clear();
+    Regs.clear();
+    std::string Clk = fresh("clk");
+    std::string In = fresh("in");
+    std::string Out = fresh("out");
+    Wires.push_back(Clk);
+    Wires.push_back(In);
+    Regs.push_back(Out);
+    emit("module " + fresh("mod") + "(input " + Clk + ", input " +
+             (chance(50) ? range() : "") + In + ", output reg " + Out +
+             ");\n",
+         12);
+    // Declarations first: wires driven by assigns, regs driven in always
+    // blocks.
+    uint64_t NWires = 1 + pick(4);
+    for (uint64_t I = 0; I < NWires; ++I) {
+      std::string W = fresh("w");
+      emit("  wire " + (chance(40) ? range() : "") + W + ";\n", 4);
+      Wires.push_back(W);
+    }
+    uint64_t NRegs = 1 + pick(3);
+    for (uint64_t I = 0; I < NRegs; ++I) {
+      std::string R = fresh("r");
+      emit("  reg " + (chance(40) ? range() : "") + R + ";\n", 4);
+      Regs.push_back(R);
+    }
+    if (chance(50))
+      emit("  parameter " + fresh("WIDTH") + " = " + literal() + ";\n", 5);
+    // Continuous assigns drive the fresh wires (skip Clk/In/Out at
+    // indices 0..2 of the pools so ports are not multiply driven).
+    for (uint64_t I = 0; I < NWires && Budget > 0; ++I)
+      emit("  assign " + Wires[2 + I] + " = " + expr(0) + ";\n", 5);
+    uint64_t NAlways = 1 + pick(2);
+    for (uint64_t I = 0; I < NAlways && Budget > -8; ++I) {
+      if (chance(60)) {
+        emit("  always @(posedge " + Clk + ")\n", 6);
+        emit("    begin\n", 1);
+        statement("<=", 1);
+        emit("    end\n", 1);
+      } else {
+        emit("  always @(" + In + " or " + Wires[2 + pick(NWires)] +
+                 ")\n",
+             7);
+        emit("    begin\n", 1);
+        statement("=", 1);
+        emit("    end\n", 1);
+      }
+    }
+    emit("endmodule\n\n", 1);
+  }
+
+public:
+  using Gen::Gen;
+  std::string run() {
+    while (Budget > 0)
+      module();
+    return std::move(Out);
+  }
+};
+
 } // namespace
 
 std::string costar::workload::generateSource(lang::LangId Lang,
@@ -420,6 +595,8 @@ std::string costar::workload::generateSource(lang::LangId Lang,
     return DotGen(Rng, TargetTokens).run();
   case lang::LangId::Python:
     return PythonGen(Rng, TargetTokens).run();
+  case lang::LangId::Verilog:
+    return VerilogGen(Rng, TargetTokens).run();
   }
   assert(false && "unknown language");
   return "";

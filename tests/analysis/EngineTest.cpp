@@ -42,16 +42,20 @@ AnalysisReport analyzeDsl(const gdsl::LoadedGrammar &L) {
 
 TEST(AnalysisEngine, RuleRegistryIsInRuleCodeOrder) {
   std::span<const RuleInfo> Rules = allRules();
-  ASSERT_EQ(Rules.size(), 11u);
+  ASSERT_EQ(Rules.size(), 19u); // 11 grammar rules + VL001-VL008
   for (size_t I = 0; I < Rules.size(); ++I) {
     EXPECT_EQ(static_cast<size_t>(Rules[I].Code), I);
     EXPECT_EQ(&ruleInfo(Rules[I].Code), &Rules[I]);
   }
   EXPECT_STREQ(ruleInfo(RuleCode::LR001).Id, "LR001");
   EXPECT_STREQ(ruleInfo(RuleCode::MET001).Id, "MET001");
+  EXPECT_STREQ(ruleInfo(RuleCode::VL001).Id, "VL001");
+  EXPECT_STREQ(ruleInfo(RuleCode::VL008).Id, "VL008");
   EXPECT_EQ(ruleInfo(RuleCode::LR003).DefaultSeverity, Severity::Error);
   EXPECT_EQ(ruleInfo(RuleCode::AMB002).DefaultSeverity, Severity::Warning);
   EXPECT_EQ(ruleInfo(RuleCode::LL001).DefaultSeverity, Severity::Note);
+  EXPECT_EQ(ruleInfo(RuleCode::VL007).DefaultSeverity, Severity::Error);
+  EXPECT_EQ(ruleInfo(RuleCode::VL005).DefaultSeverity, Severity::Warning);
 }
 
 TEST(AnalysisEngine, CleanGrammarGetsOnlyVerdictAndMetrics) {

@@ -9,7 +9,9 @@
 /// pipeline: seeded pseudo-random byte streams are fed through the JSON
 /// and DOT lexers and, when they lex, parsed under a resource budget.
 /// The same seeded bytes — plus mutated copies of a genuine warm-start
-/// snapshot — are also fed through the snapshot loader as hostile files.
+/// snapshot — are also fed through the snapshot loader as hostile files,
+/// and byte-smashed outputs of the Verilog workload generator run the
+/// lex + parse + semantic-lint pipeline end to end.
 /// Every outcome (accept, reject, lex error, budget exceeded, structured
 /// snapshot error) is legal; the only failures are crashes, sanitizer
 /// reports, or a hung parse — which is exactly what the CI job
@@ -28,7 +30,9 @@
 
 #include "core/Parser.h"
 #include "lang/Language.h"
+#include "semantic/VerilogLint.h"
 #include "snapshot/Snapshot.h"
+#include "workload/Generators.h"
 
 #include <chrono>
 #include <cstdio>
@@ -48,13 +52,14 @@ uint64_t splitmix64(uint64_t &State) {
   return Z ^ (Z >> 31);
 }
 
-/// Random bytes biased toward the structural characters of the target
+/// Bytes biased toward the structural characters of the target
 /// languages, so a useful fraction of inputs survives the lexer instead
-/// of dying at the first byte.
+/// of dying at the first byte. Shared with the Verilog mutation leg.
+const char Structural[] = "{}[]():;,=\"' \n\t0123456789"
+                          "abcdefghijklmnopqrstuvwxyz"
+                          "->truefalsenull._";
+
 std::string randomInput(uint64_t &Rng) {
-  static const char Structural[] = "{}[]():;,=\"' \n\t0123456789"
-                                   "abcdefghijklmnopqrstuvwxyz"
-                                   "->truefalsenull._";
   size_t Len = splitmix64(Rng) % 2048;
   std::string S;
   S.reserve(Len);
@@ -98,8 +103,11 @@ int main() {
 
   lang::Language Json = lang::makeLanguage(lang::LangId::Json);
   lang::Language Dot = lang::makeLanguage(lang::LangId::Dot);
+  lang::Language Verilog = lang::makeLanguage(lang::LangId::Verilog);
   Parser JsonP(Json.G, Json.Start, Budgeted);
   Parser DotP(Dot.G, Dot.Start, Budgeted);
+  Parser VerilogP(Verilog.G, Verilog.Start, Budgeted);
+  semantic::VerilogLinter Linter(Verilog.G);
 
   // Snapshot-loader leg: a genuine warm-start artifact to mutate, so the
   // fuzz reaches past the header checks into the payload validators.
@@ -120,7 +128,7 @@ int main() {
              std::chrono::duration<double>(Seconds);
   uint64_t Rng = BaseSeed;
   uint64_t Iterations = 0, Lexed = 0, Parsed = 0, Budgeted_ = 0;
-  uint64_t SnapLoads = 0, SnapRejects = 0;
+  uint64_t SnapLoads = 0, SnapRejects = 0, Linted = 0;
 
   while (std::chrono::steady_clock::now() < End) {
     ++Iterations;
@@ -167,17 +175,53 @@ int main() {
       SnapRejects += R2.ok() ? 0 : 1;
       SnapLoads += 2;
     }
+
+    // Verilog leg: a generated module corpus with seeded byte smashes,
+    // run through lex + parse + the semantic lint passes. Valid-looking
+    // mutants reach the linter's scope/width/fold logic with trees the
+    // hand-written tests would never produce; any outcome but a crash is
+    // legal (lint findings included).
+    {
+      std::mt19937_64 Gen(splitmix64(Rng));
+      std::string VSrc = workload::generateSource(lang::LangId::Verilog,
+                                                  Gen, 120);
+      uint64_t NumEdits = splitmix64(Rng) % 8;
+      for (uint64_t E = 0; E < NumEdits && !VSrc.empty(); ++E) {
+        uint64_t R = splitmix64(Rng);
+        VSrc[R % VSrc.size()] = Structural[(R >> 8) %
+                                           (sizeof(Structural) - 1)];
+      }
+      if (!writeArtifact(Artifact, VSrc, BaseSeed)) {
+        std::fprintf(stderr, "cannot write artifact %s\n", Artifact);
+        return 2;
+      }
+      lexer::LexResult Lex = Verilog.lex(VSrc);
+      if (Lex.ok()) {
+        ++Lexed;
+        ParseResult R = VerilogP.parse(Lex.Tokens);
+        if (R.kind() == ParseResult::Kind::BudgetExceeded) {
+          ++Budgeted_;
+        } else {
+          ++Parsed;
+          if (R.accepted()) {
+            (void)Linter.lint(R.tree());
+            ++Linted;
+          }
+        }
+      }
+    }
   }
 
   std::remove(Artifact);
   std::printf("fuzz smoke: %llu inputs, %llu lexed, %llu parsed, "
               "%llu budget-exceeded, %llu snapshot loads "
-              "(%llu rejected), 0 crashes\n",
+              "(%llu rejected), %llu linted, 0 crashes\n",
               static_cast<unsigned long long>(Iterations),
               static_cast<unsigned long long>(Lexed),
               static_cast<unsigned long long>(Parsed),
               static_cast<unsigned long long>(Budgeted_),
               static_cast<unsigned long long>(SnapLoads),
-              static_cast<unsigned long long>(SnapRejects));
+              static_cast<unsigned long long>(SnapRejects),
+              static_cast<unsigned long long>(Linted));
   return 0;
 }

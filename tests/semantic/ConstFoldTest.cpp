@@ -1,0 +1,155 @@
+//===- tests/semantic/ConstFoldTest.cpp - Constant folding tests ---------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The folding evaluator: operator semantics, width propagation, the
+/// totality rule (anything the evaluator cannot pin down exactly returns
+/// nullopt), and the two literal parsers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "semantic/ConstFold.h"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+
+using namespace costar::semantic;
+
+namespace {
+
+ConstValue cv(int64_t Value, uint32_t Width = 0) {
+  return ConstValue{Value, Width};
+}
+
+} // namespace
+
+TEST(ConstFoldTest, BitsNeeded) {
+  EXPECT_EQ(bitsNeeded(0), 1u);
+  EXPECT_EQ(bitsNeeded(1), 1u);
+  EXPECT_EQ(bitsNeeded(2), 2u);
+  EXPECT_EQ(bitsNeeded(255), 8u);
+  EXPECT_EQ(bitsNeeded(256), 9u);
+  EXPECT_EQ(bitsNeeded(INT64_MAX), 63u);
+  EXPECT_EQ(bitsNeeded(-1), 64u);
+}
+
+TEST(ConstFoldTest, ArithmeticAndWidthPropagation) {
+  auto Sum = foldBinary("+", cv(2, 4), cv(3, 8));
+  ASSERT_TRUE(Sum);
+  EXPECT_EQ(Sum->Value, 5);
+  EXPECT_EQ(Sum->Width, 8u); // max of the operand widths
+  // Unsized adapts: width comes from the sized operand.
+  EXPECT_EQ(foldBinary("*", cv(6), cv(7, 16))->Width, 16u);
+  EXPECT_EQ(foldBinary("*", cv(6), cv(7, 16))->Value, 42);
+  EXPECT_EQ(foldBinary("-", cv(1), cv(2))->Value, -1);
+  EXPECT_EQ(foldBinary("/", cv(7), cv(2))->Value, 3);
+  EXPECT_EQ(foldBinary("%", cv(7), cv(2))->Value, 1);
+}
+
+TEST(ConstFoldTest, TotalityGuards) {
+  // Division/modulo by zero, the INT64_MIN / -1 overflow case, shifts
+  // outside [0, 63], and unknown operators all refuse to fold.
+  EXPECT_FALSE(foldBinary("/", cv(1), cv(0)));
+  EXPECT_FALSE(foldBinary("%", cv(1), cv(0)));
+  EXPECT_FALSE(foldBinary("/", cv(INT64_MIN), cv(-1)));
+  EXPECT_FALSE(foldBinary("<<", cv(1), cv(64)));
+  EXPECT_FALSE(foldBinary(">>", cv(1), cv(-1)));
+  EXPECT_FALSE(foldBinary("**", cv(2), cv(3)));
+  // Wrapping instead of UB on signed overflow.
+  auto Wrapped = foldBinary("+", cv(INT64_MAX), cv(1));
+  ASSERT_TRUE(Wrapped);
+  EXPECT_EQ(Wrapped->Value, INT64_MIN);
+}
+
+TEST(ConstFoldTest, ShiftsKeepLeftWidth) {
+  auto Shl = foldBinary("<<", cv(1, 8), cv(3, 32));
+  ASSERT_TRUE(Shl);
+  EXPECT_EQ(Shl->Value, 8);
+  EXPECT_EQ(Shl->Width, 8u);
+  EXPECT_EQ(foldBinary(">>", cv(12, 8), cv(2))->Value, 3);
+}
+
+TEST(ConstFoldTest, ComparisonsAndLogicalAreOneBit) {
+  for (const char *Op : {"==", "!=", "<", ">", "<=", ">=", "&&", "||"}) {
+    auto R = foldBinary(Op, cv(3, 8), cv(5, 8));
+    ASSERT_TRUE(R) << Op;
+    EXPECT_EQ(R->Width, 1u) << Op;
+  }
+  EXPECT_EQ(foldBinary("<", cv(3), cv(5))->Value, 1);
+  EXPECT_EQ(foldBinary("==", cv(3), cv(5))->Value, 0);
+  EXPECT_EQ(foldBinary("&&", cv(3), cv(0))->Value, 0);
+  EXPECT_EQ(foldBinary("||", cv(0), cv(2))->Value, 1);
+}
+
+TEST(ConstFoldTest, UnaryOperators) {
+  EXPECT_EQ(foldUnary("!", cv(0, 8))->Value, 1);
+  EXPECT_EQ(foldUnary("!", cv(3, 8))->Value, 0);
+  EXPECT_EQ(foldUnary("!", cv(3, 8))->Width, 1u);
+  // ~ and - keep the operand width.
+  EXPECT_EQ(foldUnary("~", cv(0, 4))->Value, -1);
+  EXPECT_EQ(foldUnary("~", cv(0, 4))->Width, 4u);
+  EXPECT_EQ(foldUnary("-", cv(5, 8))->Value, -5);
+  EXPECT_EQ(foldUnary("-", cv(5, 8))->Width, 8u);
+}
+
+TEST(ConstFoldTest, ReductionsNeedAnExactWidth) {
+  // &4'b1111 is 1; &4'b0111 is 0; |, ^ count set bits within the width.
+  EXPECT_EQ(foldUnary("&", cv(15, 4))->Value, 1);
+  EXPECT_EQ(foldUnary("&", cv(7, 4))->Value, 0);
+  EXPECT_EQ(foldUnary("|", cv(0, 4))->Value, 0);
+  EXPECT_EQ(foldUnary("|", cv(8, 4))->Value, 1);
+  EXPECT_EQ(foldUnary("^", cv(7, 4))->Value, 1); // three set bits
+  EXPECT_EQ(foldUnary("^", cv(5, 4))->Value, 0); // two set bits
+  // An unsized operand has no definite bit count to reduce over.
+  EXPECT_FALSE(foldUnary("&", cv(15)));
+  EXPECT_FALSE(foldUnary("|", cv(1)));
+  EXPECT_FALSE(foldUnary("?", cv(1, 4))); // unknown operator
+}
+
+TEST(ConstFoldTest, ParseIntLiteral) {
+  auto V = parseIntLiteral("42");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->Value, 42);
+  EXPECT_EQ(V->Width, 0u); // plain literals are unsized
+  EXPECT_EQ(parseIntLiteral("0")->Value, 0);
+  EXPECT_FALSE(parseIntLiteral(""));
+  EXPECT_FALSE(parseIntLiteral("4x"));
+  EXPECT_FALSE(parseIntLiteral("-1"));
+  EXPECT_FALSE(parseIntLiteral("99999999999999999999")); // overflows
+}
+
+TEST(ConstFoldTest, ParseBasedLiteral) {
+  auto B = parseBasedLiteral("4'b1010");
+  ASSERT_TRUE(B);
+  EXPECT_EQ(B->Width, 4u);
+  ASSERT_TRUE(B->Value);
+  EXPECT_EQ(*B->Value, 10);
+  EXPECT_EQ(*parseBasedLiteral("8'hff")->Value, 255);
+  EXPECT_EQ(*parseBasedLiteral("8'HFF")->Value, 255); // case-insensitive
+  EXPECT_EQ(*parseBasedLiteral("6'o17")->Value, 15);
+  EXPECT_EQ(*parseBasedLiteral("10'd42")->Value, 42);
+  EXPECT_EQ(*parseBasedLiteral("16'hff_ff")->Value, 65535); // separators
+}
+
+TEST(ConstFoldTest, BasedLiteralPlaceholdersKeepWidthOnly) {
+  auto B = parseBasedLiteral("4'b10x0");
+  ASSERT_TRUE(B);
+  EXPECT_EQ(B->Width, 4u);
+  EXPECT_FALSE(B->Value); // x/z digits: width known, value not constant
+  EXPECT_FALSE(parseBasedLiteral("4'bz1")->Value);
+}
+
+TEST(ConstFoldTest, BasedLiteralRejectsMalformedInput) {
+  EXPECT_FALSE(parseBasedLiteral("'b1"));      // no size
+  EXPECT_FALSE(parseBasedLiteral("4'"));       // no base
+  EXPECT_FALSE(parseBasedLiteral("4'b"));      // no digits
+  EXPECT_FALSE(parseBasedLiteral("4'q1010"));  // unknown base
+  EXPECT_FALSE(parseBasedLiteral("4'b1012"));  // digit outside the radix
+  EXPECT_FALSE(parseBasedLiteral("0'b0"));     // zero width
+  EXPECT_FALSE(parseBasedLiteral("4'b____"));  // separators only
+  EXPECT_FALSE(parseBasedLiteral("2000000'b1")); // width over the cap
+}

@@ -1,0 +1,98 @@
+//===- tests/semantic/ScopeTest.cpp - Scoped symbol table tests ----------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scoped symbol table: duplicate detection within a scope, shadowing
+/// across scopes, innermost-out lookup, and the declaration-order
+/// iteration the determinism gate depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "semantic/Scope.h"
+
+#include <gtest/gtest.h>
+
+using namespace costar::semantic;
+
+TEST(ScopeTest, DeclareAndLookup) {
+  ScopedSymbolTable<int> T;
+  T.push();
+  EXPECT_EQ(T.declare("a", 1), nullptr);
+  EXPECT_EQ(T.declare("b", 2), nullptr);
+  ASSERT_NE(T.lookup("a"), nullptr);
+  EXPECT_EQ(T.lookup("a")->Value, 1);
+  EXPECT_EQ(T.lookup("b")->Value, 2);
+  EXPECT_EQ(T.lookup("c"), nullptr);
+}
+
+TEST(ScopeTest, DuplicateReturnsOriginalEntry) {
+  ScopedSymbolTable<int> T;
+  T.push();
+  EXPECT_EQ(T.declare("x", 1), nullptr);
+  // The original declaration wins; the caller gets it back to report.
+  auto *Existing = T.declare("x", 2);
+  ASSERT_NE(Existing, nullptr);
+  EXPECT_EQ(Existing->Value, 1);
+  EXPECT_EQ(T.lookup("x")->Value, 1);
+}
+
+TEST(ScopeTest, InnerScopeShadowsAndPops) {
+  ScopedSymbolTable<int> T;
+  T.push();
+  T.declare("x", 1);
+  T.push();
+  // Same name in a nested scope is not a duplicate — it shadows.
+  EXPECT_EQ(T.declare("x", 2), nullptr);
+  EXPECT_EQ(T.lookup("x")->Value, 2);
+  EXPECT_EQ(T.depth(), 2u);
+  T.pop();
+  EXPECT_EQ(T.lookup("x")->Value, 1);
+  EXPECT_EQ(T.depth(), 1u);
+}
+
+TEST(ScopeTest, LookupWalksOutward) {
+  ScopedSymbolTable<int> T;
+  T.push();
+  T.declare("outer", 1);
+  T.push();
+  T.declare("inner", 2);
+  EXPECT_EQ(T.lookup("outer")->Value, 1); // found one scope out
+  EXPECT_EQ(T.lookup("inner")->Value, 2);
+  T.pop();
+  EXPECT_EQ(T.lookup("inner"), nullptr); // dropped with its scope
+}
+
+TEST(ScopeTest, ForEachCurrentFollowsDeclarationOrder) {
+  ScopedSymbolTable<int> T;
+  T.push();
+  T.declare("c", 3);
+  T.declare("a", 1);
+  T.declare("b", 2);
+  T.push();
+  T.declare("z", 26);
+  // Only the innermost scope, in the order names were declared — never
+  // sorted, never hash-ordered.
+  std::vector<std::string> Inner;
+  T.forEachCurrent([&](auto &E) { Inner.push_back(E.Name); });
+  EXPECT_EQ(Inner, (std::vector<std::string>{"z"}));
+  T.pop();
+  std::vector<std::string> Outer;
+  T.forEachCurrent([&](auto &E) { Outer.push_back(E.Name); });
+  EXPECT_EQ(Outer, (std::vector<std::string>{"c", "a", "b"}));
+}
+
+TEST(ScopeTest, EntriesAreMutableThroughLookup) {
+  // Passes accumulate facts (read/written flags, fold results) on the
+  // entry in place.
+  struct Info {
+    bool Read = false;
+  };
+  ScopedSymbolTable<Info> T;
+  T.push();
+  T.declare("sig", Info{});
+  T.lookup("sig")->Value.Read = true;
+  EXPECT_TRUE(T.lookup("sig")->Value.Read);
+}

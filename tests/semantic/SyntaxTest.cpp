@@ -1,0 +1,217 @@
+//===- tests/semantic/SyntaxTest.cpp - Tree navigation tests -------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic framework's tree substrate: production resolution against
+/// the grammar's ordered alternatives, synthesized-name detection, EBNF
+/// spine flattening (including a list long enough to overflow a recursive
+/// walker), and the span/leaf helpers. Token words are built by hand so
+/// every test controls source positions exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+#include "gdsl/GrammarDsl.h"
+#include "semantic/Syntax.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+using namespace costar;
+using namespace costar::semantic;
+
+namespace {
+
+/// `list : '[' item (',' item)* ']'` — the canonical EBNF list, whose
+/// desugaring produces exactly the right-recursive synthesized spine the
+/// flattening helpers exist to undo.
+struct ListFixture {
+  gdsl::LoadedGrammar L;
+
+  ListFixture() {
+    L = gdsl::loadGrammar("list : '[' item ( ',' item )* ']' ;\n"
+                          "item : NUM | list ;\n");
+    EXPECT_TRUE(L.ok()) << L.Error;
+  }
+
+  /// Digit-leading lexemes become NUM tokens; everything else is the
+  /// literal terminal named by its text.
+  Token tok(const std::string &Lexeme, uint32_t Line = 1,
+            uint32_t Col = 0) const {
+    bool IsNum = std::isdigit(static_cast<unsigned char>(Lexeme[0]));
+    TerminalId T = L.G.lookupTerminal(IsNum ? "NUM" : Lexeme);
+    EXPECT_NE(T, UINT32_MAX) << Lexeme;
+    return Token(T, Lexeme, Line, Col);
+  }
+
+  /// One token per element, columns assigned 1, 2, 3, ... on line 1.
+  Word word(const std::vector<std::string> &Lexemes) const {
+    Word W;
+    for (size_t I = 0; I < Lexemes.size(); ++I)
+      W.push_back(tok(Lexemes[I], 1, static_cast<uint32_t>(I + 1)));
+    return W;
+  }
+
+  TreePtr parse(const Word &W) const {
+    Parser P(L.G, L.Start);
+    ParseResult R = P.parse(W);
+    EXPECT_TRUE(R.accepted());
+    return R.accepted() ? R.tree() : TreePtr();
+  }
+};
+
+} // namespace
+
+TEST(SyntaxTest, IsSynthesizedName) {
+  EXPECT_TRUE(isSynthesizedName("list__grp0"));
+  EXPECT_TRUE(isSynthesizedName("list__star12"));
+  EXPECT_TRUE(isSynthesizedName("a__plus3"));
+  EXPECT_TRUE(isSynthesizedName("x__opt0"));
+  EXPECT_FALSE(isSynthesizedName("list"));
+  EXPECT_FALSE(isSynthesizedName("list__star"));  // no counter
+  EXPECT_FALSE(isSynthesizedName("list__starX")); // non-digit counter
+  EXPECT_FALSE(isSynthesizedName("my__struct"));  // not a DSL suffix
+  EXPECT_FALSE(isSynthesizedName(""));
+}
+
+TEST(SyntaxTest, FlatChildrenUndoesEbnfDesugaring) {
+  ListFixture F;
+  TreePtr Root = F.parse(F.word({"[", "1", ",", "2", ",", "3", "]"}));
+  ASSERT_TRUE(Root);
+  // The author wrote '[' item (',' item)* ']': flattening the root must
+  // yield the bracket leaves, three item nodes, and two comma leaves, in
+  // source order, with no synthesized spine nodes visible.
+  auto Flat = flatChildren(F.L.G, *Root);
+  ASSERT_EQ(Flat.size(), 7u);
+  EXPECT_TRUE(Flat[0]->isLeaf());
+  EXPECT_EQ(Flat[0]->token().Lexeme, "[");
+  EXPECT_TRUE(Flat.back()->isLeaf());
+  EXPECT_EQ(Flat.back()->token().Lexeme, "]");
+  std::vector<std::string> ItemYields;
+  size_t Commas = 0;
+  for (const Tree *T : Flat) {
+    if (!T->isLeaf()) {
+      EXPECT_EQ(F.L.G.nonterminalName(T->nonterminal()), "item");
+      ItemYields.push_back(firstLeaf(*T)->token().Lexeme);
+    } else if (T->token().Lexeme == ",") {
+      ++Commas;
+    }
+  }
+  EXPECT_EQ(ItemYields, (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(Commas, 2u);
+}
+
+TEST(SyntaxTest, FlatChildrenSurvivesLongListSpine) {
+  // A list long enough that recursive spine expansion would overflow the
+  // native stack: the desugared (',' item)* is one synthesized node per
+  // element, chained right-recursively.
+  ListFixture F;
+  constexpr size_t N = 50000;
+  std::vector<std::string> Lexemes;
+  Lexemes.reserve(2 * N + 1);
+  Lexemes.push_back("[");
+  Lexemes.push_back("0");
+  for (size_t I = 1; I < N; ++I) {
+    Lexemes.push_back(",");
+    Lexemes.push_back(std::to_string(I % 10));
+  }
+  Lexemes.push_back("]");
+  TreePtr Root = F.parse(F.word(Lexemes));
+  ASSERT_TRUE(Root);
+  auto Flat = flatChildren(F.L.G, *Root);
+  // 2 brackets + N items + N-1 commas.
+  EXPECT_EQ(Flat.size(), 2u + N + (N - 1));
+}
+
+TEST(SyntaxTest, ProductionResolverRecoversAlternative) {
+  ListFixture F;
+  TreePtr Root = F.parse(F.word({"[", "1", ",", "[", "2", "]", ",", "3",
+                                 "]"}));
+  ASSERT_TRUE(Root);
+  ProductionResolver Resolver(F.L.G);
+  NonterminalId ItemNt = F.L.G.lookupNonterminal("item");
+  ASSERT_NE(ItemNt, UINT32_MAX);
+  const auto &Prods = F.L.G.productionsFor(ItemNt);
+  ASSERT_EQ(Prods.size(), 2u);
+  // item -> NUM is alternative 0 and item -> list alternative 1 (source
+  // order); the outer items are NUM, list, NUM.
+  auto Flat = flatChildren(F.L.G, *Root);
+  std::vector<ProductionId> Got;
+  for (const Tree *T : Flat)
+    if (!T->isLeaf() && T->nonterminal() == ItemNt)
+      Got.push_back(Resolver.resolve(*T));
+  ASSERT_EQ(Got.size(), 3u);
+  EXPECT_EQ(Got[0], Prods[0]);
+  EXPECT_EQ(Got[1], Prods[1]);
+  EXPECT_EQ(Got[2], Prods[0]);
+}
+
+TEST(SyntaxTest, ResolveLeafIsInvalid) {
+  ListFixture F;
+  TreePtr Root = F.parse(F.word({"[", "7", "]"}));
+  ASSERT_TRUE(Root);
+  ProductionResolver Resolver(F.L.G);
+  const Tree *Leaf = firstLeaf(*Root);
+  ASSERT_NE(Leaf, nullptr);
+  EXPECT_EQ(Resolver.resolve(*Leaf), InvalidProductionId);
+}
+
+TEST(SyntaxTest, SpanOfReportsFirstTokenPosition) {
+  ListFixture F;
+  // Hand-assigned positions: the list opens at 3:7 and its second item
+  // starts at 4:2.
+  Word W{F.tok("[", 3, 7), F.tok("1", 3, 8), F.tok(",", 3, 9),
+         F.tok("22", 4, 2), F.tok("]", 4, 4)};
+  TreePtr Root = F.parse(W);
+  ASSERT_TRUE(Root);
+  EXPECT_EQ(spanOf(*Root), (SourceSpan{3, 7}));
+  auto Flat = flatChildren(F.L.G, *Root);
+  const Tree *SecondItem = nullptr;
+  for (const Tree *T : Flat)
+    if (!T->isLeaf())
+      SecondItem = T;
+  ASSERT_NE(SecondItem, nullptr);
+  EXPECT_EQ(spanOf(*SecondItem), (SourceSpan{4, 2}));
+  EXPECT_EQ(firstLeaf(*SecondItem)->token().Lexeme, "22");
+}
+
+TEST(SyntaxTest, EpsilonSubtreeHasNoLeafAndUnknownSpan) {
+  ListFixture F;
+  // "[1]" leaves the (',' item)* spine empty: the synthesized star child
+  // derives epsilon, so it has no first leaf and span {0, 0}.
+  TreePtr Root = F.parse(F.word({"[", "1", "]"}));
+  ASSERT_TRUE(Root);
+  const Tree *Epsilon = nullptr;
+  for (const TreePtr &Child : Root->children())
+    if (!Child->isLeaf() &&
+        isSynthesizedName(F.L.G.nonterminalName(Child->nonterminal())))
+      Epsilon = Child.get();
+  ASSERT_NE(Epsilon, nullptr);
+  EXPECT_EQ(firstLeaf(*Epsilon), nullptr);
+  EXPECT_EQ(spanOf(*Epsilon), (SourceSpan{0, 0}));
+  // And the flattened view simply omits it.
+  EXPECT_EQ(flatChildren(F.L.G, *Root).size(), 3u);
+}
+
+TEST(SyntaxTest, FindChildAndLeavesOf) {
+  ListFixture F;
+  TreePtr Root = F.parse(F.word({"[", "1", ",", "2", "]"}));
+  ASSERT_TRUE(Root);
+  auto Flat = flatChildren(F.L.G, *Root);
+  const Tree *Item = findChild(Flat, F.L.G, "item");
+  ASSERT_NE(Item, nullptr);
+  EXPECT_EQ(F.L.G.nonterminalName(Item->nonterminal()), "item");
+  EXPECT_EQ(findChild(Flat, F.L.G, "no_such_rule"), nullptr);
+  TerminalId Num = F.L.G.lookupTerminal("NUM");
+  ASSERT_NE(Num, UINT32_MAX);
+  // leavesOf filters the flat sequence itself: items are nodes, so no NUM
+  // leaves at the list level; one inside an item's own flat children.
+  EXPECT_TRUE(leavesOf(Flat, Num).empty());
+  auto ItemFlat = flatChildren(F.L.G, *Item);
+  ASSERT_EQ(leavesOf(ItemFlat, Num).size(), 1u);
+  EXPECT_EQ(leavesOf(ItemFlat, Num)[0]->token().Lexeme, "1");
+}

@@ -1,0 +1,404 @@
+//===- tests/semantic/VerilogLintTest.cpp - HDL lint pass tests ----------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The costar-verilint engine, rule by rule (VL001..VL008), through the
+/// production parse path (lang::LangId::Verilog). Also the framework's
+/// two cross-cutting gates: rendered findings must be byte-identical
+/// across every {cache backend} x {allocation backend} combination, and
+/// spans must stay accurate on CRLF line endings and multi-byte UTF-8
+/// content (columns are 1-based byte offsets, the renderers' contract).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Render.h"
+#include "core/Parser.h"
+#include "lang/Language.h"
+#include "semantic/VerilogLint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace costar;
+using analysis::RuleCode;
+using analysis::Severity;
+
+namespace {
+
+class VerilogLintTest : public ::testing::Test {
+protected:
+  lang::Language L = lang::makeLanguage(lang::LangId::Verilog);
+  semantic::VerilogLinter Linter{L.G};
+
+  analysis::AnalysisReport lint(const std::string &Src,
+                                ParseOptions Opts = ParseOptions()) {
+    lexer::LexResult Lex = L.lex(Src);
+    EXPECT_TRUE(Lex.ok()) << Lex.Error;
+    Parser P(L.G, L.Start, Opts);
+    ParseResult R = P.parse(Lex.Tokens);
+    EXPECT_TRUE(R.accepted()) << Src;
+    if (!R.accepted())
+      return {};
+    return Linter.lint(R.tree());
+  }
+
+  static std::vector<RuleCode> codes(const analysis::AnalysisReport &R) {
+    std::vector<RuleCode> Out;
+    for (const auto &D : R.Diags)
+      Out.push_back(D.Code);
+    return Out;
+  }
+
+  static const analysis::Diagnostic *
+  find(const analysis::AnalysisReport &R, RuleCode Code) {
+    for (const auto &D : R.Diags)
+      if (D.Code == Code)
+        return &D;
+    return nullptr;
+  }
+};
+
+} // namespace
+
+TEST_F(VerilogLintTest, CleanModuleHasNoFindings) {
+  auto R = lint("module counter(input clk, input rst,\n"
+                "               output reg [7:0] count);\n"
+                "  parameter STEP = 1;\n"
+                "  wire [7:0] next;\n"
+                "  assign next = count + STEP;\n"
+                "  always @(posedge clk) begin\n"
+                "    if (rst)\n"
+                "      count <= 8'h00;\n"
+                "    else\n"
+                "      count <= next;\n"
+                "  end\n"
+                "endmodule\n");
+  EXPECT_TRUE(R.Diags.empty());
+  EXPECT_FALSE(R.hasErrors());
+}
+
+TEST_F(VerilogLintTest, Vl001UndeclaredIdentifier) {
+  // w2 is never declared; ports a/b are exempt from never-read checks,
+  // so the undeclared lvalue is the only finding.
+  auto R = lint("module m(a, b);\n"
+                "  input a;\n"
+                "  output b;\n"
+                "  assign b = a;\n"
+                "  assign w2 = a;\n"
+                "endmodule\n");
+  ASSERT_EQ(R.Diags.size(), 1u);
+  EXPECT_EQ(R.Diags[0].Code, RuleCode::VL001);
+  EXPECT_EQ(R.Diags[0].Sev, Severity::Error);
+  EXPECT_NE(R.Diags[0].Message.find("'w2'"), std::string::npos);
+  EXPECT_EQ(R.Diags[0].Span.Line, 5u);
+  EXPECT_EQ(R.Diags[0].Span.Col, 10u);
+}
+
+TEST_F(VerilogLintTest, Vl002DuplicateDeclaration) {
+  auto R = lint("module m(a, b);\n"
+                "  input a;\n"
+                "  output b;\n"
+                "  reg [3:0] r;\n"
+                "  reg [3:0] r;\n"
+                "  always @(posedge a) r <= a;\n"
+                "  assign b = r;\n"
+                "endmodule\n");
+  const auto *D = find(R, RuleCode::VL002);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Sev, Severity::Error);
+  EXPECT_NE(D->Message.find("'r'"), std::string::npos);
+  EXPECT_EQ(D->Span.Line, 5u); // the re-declaration, not the original
+}
+
+TEST_F(VerilogLintTest, Vl003WidthMismatch) {
+  auto R = lint("module m(d, q);\n"
+                "  input [7:0] d;\n"
+                "  output [3:0] q;\n"
+                "  assign q = d;\n"
+                "endmodule\n");
+  const auto *D = find(R, RuleCode::VL003);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Sev, Severity::Warning);
+  EXPECT_NE(D->Message.find("4 bits"), std::string::npos);
+  EXPECT_NE(D->Message.find("8 bits"), std::string::npos);
+  EXPECT_EQ(D->Span.Line, 4u);
+}
+
+TEST_F(VerilogLintTest, Vl003StaysSilentWhenWidthUnknown) {
+  // The range does not fold (it reads a signal), so q's width is
+  // unknown and the width checker must not guess.
+  auto R = lint("module m(d, q, n);\n"
+                "  input [7:0] d;\n"
+                "  input [3:0] n;\n"
+                "  output q;\n"
+                "  wire [n:0] u;\n"
+                "  assign u = d;\n"
+                "  assign q = u;\n"
+                "endmodule\n");
+  EXPECT_EQ(find(R, RuleCode::VL003), nullptr);
+}
+
+TEST_F(VerilogLintTest, Vl004ConstantCondition) {
+  auto R = lint("module m(clk, q, d);\n"
+                "  input clk, d;\n"
+                "  output reg q;\n"
+                "  parameter WIDTH = 8;\n"
+                "  always @(posedge clk) begin\n"
+                "    if (WIDTH > 4)\n"
+                "      q <= d;\n"
+                "    else\n"
+                "      q <= 0;\n"
+                "  end\n"
+                "endmodule\n");
+  const auto *D = find(R, RuleCode::VL004);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Sev, Severity::Warning);
+  EXPECT_EQ(D->Span.Line, 6u);
+  EXPECT_NE(D->Message.find("always evaluates to 1"), std::string::npos);
+}
+
+TEST_F(VerilogLintTest, Vl004CaseSelectorConstant) {
+  auto R = lint("module m(clk, q);\n"
+                "  input clk;\n"
+                "  output reg q;\n"
+                "  always @(posedge clk) begin\n"
+                "    case (2 + 2)\n"
+                "      4: q <= 1;\n"
+                "      default: q <= 0;\n"
+                "    endcase\n"
+                "  end\n"
+                "endmodule\n");
+  const auto *D = find(R, RuleCode::VL004);
+  ASSERT_NE(D, nullptr);
+  EXPECT_NE(D->Message.find("case selector"), std::string::npos);
+  EXPECT_NE(D->Message.find("always evaluates to 4"), std::string::npos);
+}
+
+TEST_F(VerilogLintTest, Vl004NonConstantConditionIsQuiet) {
+  auto R = lint("module m(clk, q, d);\n"
+                "  input clk, d;\n"
+                "  output reg q;\n"
+                "  always @(posedge clk) begin\n"
+                "    if (d > 0)\n"
+                "      q <= 1;\n"
+                "  end\n"
+                "endmodule\n");
+  EXPECT_EQ(find(R, RuleCode::VL004), nullptr);
+}
+
+TEST_F(VerilogLintTest, Vl005ConstantTruncation) {
+  auto R = lint("module m(q);\n"
+                "  output q;\n"
+                "  wire [1:0] tiny;\n"
+                "  assign tiny = 9;\n"
+                "  assign q = tiny;\n"
+                "endmodule\n");
+  const auto *D = find(R, RuleCode::VL005);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Sev, Severity::Warning);
+  EXPECT_NE(D->Message.find("9"), std::string::npos);
+  EXPECT_NE(D->Message.find("needs 4 bits"), std::string::npos);
+  // A fitting constant is fine: no VL005 for values within the width.
+  auto Ok = lint("module m(q);\n"
+                 "  output q;\n"
+                 "  wire [1:0] tiny;\n"
+                 "  assign tiny = 3;\n"
+                 "  assign q = tiny;\n"
+                 "endmodule\n");
+  EXPECT_EQ(find(Ok, RuleCode::VL005), nullptr);
+}
+
+TEST_F(VerilogLintTest, Vl006NeverReadDistinguishesHints) {
+  auto R = lint("module m(a, b);\n"
+                "  input a;\n"
+                "  output b;\n"
+                "  wire dead;\n"
+                "  wire driven;\n"
+                "  assign driven = a;\n"
+                "  assign b = a;\n"
+                "endmodule\n");
+  ASSERT_EQ(R.Diags.size(), 2u);
+  EXPECT_EQ(R.Diags[0].Code, RuleCode::VL006);
+  EXPECT_EQ(R.Diags[1].Code, RuleCode::VL006);
+  // Findings come out in source order: dead (line 4) then driven (5).
+  EXPECT_EQ(R.Diags[0].Span.Line, 4u);
+  EXPECT_NE(R.Diags[0].Hint.find("declared but never used"),
+            std::string::npos);
+  EXPECT_EQ(R.Diags[1].Span.Line, 5u);
+  EXPECT_NE(R.Diags[1].Hint.find("driven but unused"), std::string::npos);
+}
+
+TEST_F(VerilogLintTest, Vl006ExemptsPorts) {
+  // An unused *port* is part of the module's interface, not dead code.
+  auto R = lint("module m(a, b, unused);\n"
+                "  input a, unused;\n"
+                "  output b;\n"
+                "  assign b = a;\n"
+                "endmodule\n");
+  EXPECT_TRUE(R.Diags.empty());
+}
+
+TEST_F(VerilogLintTest, Vl007MultiplyDrivenNet) {
+  auto R = lint("module m(a, b, q);\n"
+                "  input a, b;\n"
+                "  output q;\n"
+                "  wire w;\n"
+                "  assign w = a;\n"
+                "  assign w = b;\n"
+                "  assign q = w;\n"
+                "endmodule\n");
+  const auto *D = find(R, RuleCode::VL007);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Sev, Severity::Error);
+  EXPECT_EQ(D->Span.Line, 6u); // the second driver
+  // The hint points back at the first driver's position (line 5).
+  EXPECT_NE(D->Hint.find("5:"), std::string::npos);
+}
+
+TEST_F(VerilogLintTest, Vl007IgnoresBitSelectDrivers) {
+  // Driving disjoint bits is a legitimate pattern; only whole-net
+  // continuous drivers count.
+  auto R = lint("module m(a, b, q);\n"
+                "  input a, b;\n"
+                "  output q;\n"
+                "  wire [1:0] w;\n"
+                "  assign w[0] = a;\n"
+                "  assign w[1] = b;\n"
+                "  assign q = w[0];\n"
+                "endmodule\n");
+  EXPECT_EQ(find(R, RuleCode::VL007), nullptr);
+}
+
+TEST_F(VerilogLintTest, Vl008WrongAssignmentContexts) {
+  auto R = lint("module m(clk, a, q);\n"
+                "  input clk, a;\n"
+                "  output q;\n"
+                "  reg r;\n"
+                "  wire w;\n"
+                "  assign r = a;\n"
+                "  always @(posedge clk) w <= a;\n"
+                "  assign q = r & w;\n"
+                "endmodule\n");
+  std::vector<const analysis::Diagnostic *> Vl8;
+  for (const auto &D : R.Diags)
+    if (D.Code == RuleCode::VL008)
+      Vl8.push_back(&D);
+  ASSERT_EQ(Vl8.size(), 2u);
+  // Source order: the continuous assign to the reg (line 6), then the
+  // procedural assign to the wire (line 7).
+  EXPECT_EQ(Vl8[0]->Span.Line, 6u);
+  EXPECT_NE(Vl8[0]->Hint.find("wire"), std::string::npos);
+  EXPECT_EQ(Vl8[1]->Span.Line, 7u);
+  EXPECT_NE(Vl8[1]->Message.find("procedural"), std::string::npos);
+}
+
+TEST_F(VerilogLintTest, ReportOrderIsCanonical) {
+  // Findings sort by position regardless of which pass produced them:
+  // the duplicate (declare pass) and the undeclared use (usage pass)
+  // interleave by line.
+  auto R = lint("module m(a, b);\n"
+                "  input a;\n"
+                "  output b;\n"
+                "  wire x;\n"
+                "  wire x;\n"
+                "  assign x = missing;\n"
+                "  assign b = x;\n"
+                "endmodule\n");
+  auto Cs = codes(R);
+  ASSERT_EQ(Cs.size(), 2u);
+  EXPECT_EQ(Cs[0], RuleCode::VL002); // line 5
+  EXPECT_EQ(Cs[1], RuleCode::VL001); // line 6
+  EXPECT_TRUE(std::is_sorted(R.Diags.begin(), R.Diags.end(),
+                             [](const auto &A, const auto &B) {
+                               return A.Span.Line < B.Span.Line;
+                             }));
+}
+
+TEST_F(VerilogLintTest, FindingsAreByteDeterministicAcrossBackends) {
+  // The determinism gate: the rendered report (text and JSONL) must be
+  // byte-identical whichever cache and allocation backend parsed the
+  // file. The tree shape is the only input the linter sees, and the
+  // sink's ordering is content-only, so any divergence here is a bug.
+  const std::string Src = "module m(clk, d, q);\n"
+                          "  input clk;\n"
+                          "  input [7:0] d;\n"
+                          "  output reg [3:0] q;\n"
+                          "  wire [7:0] w;\n"
+                          "  wire dead;\n"
+                          "  assign w = d;\n"
+                          "  assign w = d;\n"
+                          "  parameter P = 2;\n"
+                          "  always @(posedge clk) begin\n"
+                          "    if (P > 1)\n"
+                          "      q <= w;\n"
+                          "  end\n"
+                          "endmodule\n";
+  std::vector<std::string> Texts, Jsonls;
+  for (CacheBackend Cache :
+       {CacheBackend::Hashed, CacheBackend::AvlPaperFaithful}) {
+    for (adt::AllocBackend Alloc :
+         {adt::AllocBackend::Arena, adt::AllocBackend::SharedPtrPaperFaithful}) {
+      ParseOptions Opts;
+      Opts.Backend = Cache;
+      Opts.Alloc = Alloc;
+      analysis::AnalysisReport R = lint(Src, Opts);
+      EXPECT_FALSE(R.Diags.empty());
+      Texts.push_back(analysis::renderText("m.v", L.G, R));
+      Jsonls.push_back(analysis::renderJsonl("m.v", L.G, R));
+    }
+  }
+  ASSERT_EQ(Texts.size(), 4u);
+  for (size_t I = 1; I < Texts.size(); ++I) {
+    EXPECT_EQ(Texts[0], Texts[I]) << "text diverged at combination " << I;
+    EXPECT_EQ(Jsonls[0], Jsonls[I]) << "jsonl diverged at combination " << I;
+  }
+}
+
+TEST_F(VerilogLintTest, SpansSurviveCrlfLineEndings) {
+  // Windows line endings: \r sits at the end of each line, so line and
+  // column numbers on the following lines must be unaffected.
+  auto R = lint("module m(a, b);\r\n"
+                "  input a;\r\n"
+                "  output b;\r\n"
+                "  assign b = a;\r\n"
+                "  assign w2 = a;\r\n"
+                "endmodule\r\n");
+  ASSERT_EQ(R.Diags.size(), 1u);
+  EXPECT_EQ(R.Diags[0].Code, RuleCode::VL001);
+  EXPECT_EQ(R.Diags[0].Span.Line, 5u);
+  EXPECT_EQ(R.Diags[0].Span.Col, 10u); // same column as with \n endings
+}
+
+TEST_F(VerilogLintTest, SpansUseByteColumnsForUtf8Content) {
+  // Multi-byte UTF-8 inside a block comment shifts subsequent tokens on
+  // the same line: columns are 1-based *byte* offsets (the convention
+  // editors and SARIF both accept), so "unicode" spelled with four
+  // two-byte characters pushes the declaration right by exactly 4.
+  //
+  //   "  /* ünïcödé */ wire x;"  — x lands at byte column 26
+  //   "  /* unicode */ wire x;"  — ASCII control: byte column 22
+  const std::string Utf8Line = "  /* \xC3\xBCn\xC3\xAF"
+                               "c\xC3\xB6"
+                               "d\xC3\xA9 */ wire x;\n";
+  auto R = lint("module m(a);\n"
+                "  input a;\n" +
+                Utf8Line +
+                "  assign x = a;\n"
+                "endmodule\n");
+  ASSERT_EQ(R.Diags.size(), 1u);
+  EXPECT_EQ(R.Diags[0].Code, RuleCode::VL006);
+  EXPECT_EQ(R.Diags[0].Span.Line, 3u);
+  EXPECT_EQ(R.Diags[0].Span.Col, 26u);
+
+  auto Ascii = lint("module m(a);\n"
+                    "  input a;\n"
+                    "  /* unicode */ wire x;\n"
+                    "  assign x = a;\n"
+                    "endmodule\n");
+  ASSERT_EQ(Ascii.Diags.size(), 1u);
+  EXPECT_EQ(Ascii.Diags[0].Span.Col, 22u);
+}

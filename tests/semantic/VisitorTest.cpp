@@ -1,0 +1,205 @@
+//===- tests/semantic/VisitorTest.cpp - Tree visitor tests ---------------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass driver: preorder/postorder handler ordering, per-alternative
+/// dispatch, leaf yield order, grammar-DSL rule spans via withSourceMap,
+/// depth/parent context, and the iterative walk surviving a list spine as
+/// long as the input.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+#include "gdsl/GrammarDsl.h"
+#include "semantic/Visitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+using namespace costar;
+using namespace costar::semantic;
+
+namespace {
+
+struct ListFixture {
+  gdsl::LoadedGrammar L;
+
+  ListFixture() {
+    L = gdsl::loadGrammar("list : '[' item ( ',' item )* ']' ;\n"
+                          "item : NUM | list ;\n");
+    EXPECT_TRUE(L.ok()) << L.Error;
+  }
+
+  Token tok(const std::string &Lexeme, uint32_t Col) const {
+    bool IsNum = std::isdigit(static_cast<unsigned char>(Lexeme[0]));
+    TerminalId T = L.G.lookupTerminal(IsNum ? "NUM" : Lexeme);
+    EXPECT_NE(T, UINT32_MAX) << Lexeme;
+    return Token(T, Lexeme, 1, Col);
+  }
+
+  Word word(const std::vector<std::string> &Lexemes) const {
+    Word W;
+    for (size_t I = 0; I < Lexemes.size(); ++I)
+      W.push_back(tok(Lexemes[I], static_cast<uint32_t>(I + 1)));
+    return W;
+  }
+
+  TreePtr parse(const Word &W) const {
+    Parser P(L.G, L.Start);
+    ParseResult R = P.parse(W);
+    EXPECT_TRUE(R.accepted());
+    return R.accepted() ? R.tree() : TreePtr();
+  }
+};
+
+} // namespace
+
+TEST(VisitorTest, EnterAndExitNestProperly) {
+  ListFixture F;
+  // "[1,[2],3]" with one-token-per-column positions: events are tagged
+  // with the node's span column, which pins each event to its node.
+  TreePtr Root =
+      F.parse(F.word({"[", "1", ",", "[", "2", "]", ",", "3", "]"}));
+  ASSERT_TRUE(Root);
+  std::vector<std::string> Events;
+  auto Record = [&](const char *Kind, const std::string &Rule) {
+    return [&Events, Kind, Rule](const VisitContext &Ctx) {
+      Events.push_back(Kind + Rule + "@" + std::to_string(Ctx.Span.Col));
+    };
+  };
+  TreeVisitor V(F.L.G);
+  V.onEnter("list", Record(">", "list"))
+      .onExit("list", Record("<", "list"))
+      .onEnter("item", Record(">", "item"))
+      .onExit("item", Record("<", "item"));
+  V.walk(Root);
+  EXPECT_EQ(Events,
+            (std::vector<std::string>{
+                ">list@1", ">item@2", "<item@2", ">item@4", ">list@4",
+                ">item@5", "<item@5", "<list@4", "<item@4", ">item@8",
+                "<item@8", "<list@1"}));
+}
+
+TEST(VisitorTest, AltHandlersFireByAlternative) {
+  ListFixture F;
+  TreePtr Root =
+      F.parse(F.word({"[", "1", ",", "[", "2", "]", ",", "3", "]"}));
+  ASSERT_TRUE(Root);
+  // item has two alternatives in source order: NUM, then list. The input
+  // holds four item nodes: 1, [2], the nested 2, and 3.
+  std::vector<std::string> NumItems;
+  size_t ListItems = 0;
+  TreeVisitor V(F.L.G);
+  V.onEnterAlt("item", 0, [&](const VisitContext &Ctx) {
+    NumItems.push_back(firstLeaf(Ctx.Node)->token().Lexeme);
+  });
+  V.onEnterAlt("item", 1, [&](const VisitContext &) { ++ListItems; });
+  V.walk(Root);
+  EXPECT_EQ(NumItems, (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(ListItems, 1u);
+}
+
+TEST(VisitorTest, LeafHandlerSeesYieldOrder) {
+  ListFixture F;
+  Word W = F.word({"[", "1", ",", "[", "2", "]", ",", "3", "]"});
+  TreePtr Root = F.parse(W);
+  ASSERT_TRUE(Root);
+  std::vector<std::string> Lexemes;
+  TreeVisitor V(F.L.G);
+  V.onLeaf([&](const Token &T, const Tree *Parent) {
+    EXPECT_NE(Parent, nullptr); // the root is a Node, so every leaf has one
+    Lexemes.push_back(T.Lexeme);
+  });
+  V.walk(Root);
+  ASSERT_EQ(Lexemes.size(), W.size());
+  for (size_t I = 0; I < W.size(); ++I)
+    EXPECT_EQ(Lexemes[I], W[I].Lexeme);
+}
+
+TEST(VisitorTest, SourceMapAttachesRuleSpans) {
+  ListFixture F;
+  TreePtr Root = F.parse(F.word({"[", "1", "]"}));
+  ASSERT_TRUE(Root);
+  // The DSL text defines list on line 1 and item on line 2; with the
+  // LoadedGrammar's span table attached, every context carries its rule's
+  // definition site. Without it, RuleSpan stays unknown (Line 0).
+  SourceSpan WithMap, WithoutMap;
+  TreeVisitor Mapped(F.L.G);
+  Mapped.withSourceMap(&F.L.Spans)
+      .onEnter("item", [&](const VisitContext &Ctx) { WithMap = Ctx.RuleSpan; });
+  Mapped.walk(Root);
+  TreeVisitor Unmapped(F.L.G);
+  Unmapped.onEnter("item",
+                   [&](const VisitContext &Ctx) { WithoutMap = Ctx.RuleSpan; });
+  Unmapped.walk(Root);
+  EXPECT_EQ(WithMap.Line, 2u);
+  EXPECT_FALSE(WithoutMap.valid());
+}
+
+TEST(VisitorTest, ContextCarriesDepthParentAndProduction) {
+  ListFixture F;
+  TreePtr Root = F.parse(F.word({"[", "1", ",", "[", "2", "]", "]"}));
+  ASSERT_TRUE(Root);
+  NonterminalId ItemNt = F.L.G.lookupNonterminal("item");
+  const auto &ItemProds = F.L.G.productionsFor(ItemNt);
+  uint32_t RootDepth = 99, InnerDepth = 0;
+  const Tree *RootParent = Root.get(); // sentinel: must become nullptr
+  bool SawInner = false;
+  std::vector<ProductionId> ItemProdsSeen;
+  TreeVisitor V(F.L.G);
+  V.onEnter("list", [&](const VisitContext &Ctx) {
+    if (Ctx.Parent == nullptr) {
+      RootDepth = Ctx.Depth;
+      RootParent = Ctx.Parent;
+    } else {
+      SawInner = true;
+      InnerDepth = Ctx.Depth;
+      // The inner list's parent is the item node that wraps it.
+      EXPECT_EQ(Ctx.Parent->nonterminal(), ItemNt);
+    }
+  });
+  V.onEnter("item", [&](const VisitContext &Ctx) {
+    ItemProdsSeen.push_back(Ctx.Prod);
+  });
+  V.walk(Root);
+  EXPECT_EQ(RootDepth, 0u);
+  EXPECT_EQ(RootParent, nullptr);
+  EXPECT_TRUE(SawInner);
+  EXPECT_GT(InnerDepth, 0u);
+  // Three item nodes: NUM, list, nested NUM — resolved productions match
+  // the grammar's ordered alternatives.
+  ASSERT_EQ(ItemProdsSeen.size(), 3u);
+  EXPECT_EQ(ItemProdsSeen[0], ItemProds[0]);
+  EXPECT_EQ(ItemProdsSeen[1], ItemProds[1]);
+  EXPECT_EQ(ItemProdsSeen[2], ItemProds[0]);
+}
+
+TEST(VisitorTest, WalkSurvivesLongListSpine) {
+  // The desugared (',' item)* chains one synthesized node per element;
+  // the walk is iterative, so 50k elements must not overflow the native
+  // stack even with exit handlers registered (which double the frames).
+  ListFixture F;
+  constexpr size_t N = 50000;
+  std::vector<std::string> Lexemes;
+  Lexemes.reserve(2 * N + 1);
+  Lexemes.push_back("[");
+  Lexemes.push_back("0");
+  for (size_t I = 1; I < N; ++I) {
+    Lexemes.push_back(",");
+    Lexemes.push_back(std::to_string(I % 10));
+  }
+  Lexemes.push_back("]");
+  TreePtr Root = F.parse(F.word(Lexemes));
+  ASSERT_TRUE(Root);
+  size_t Entered = 0, Exited = 0;
+  TreeVisitor V(F.L.G);
+  V.onEnter("item", [&](const VisitContext &) { ++Entered; });
+  V.onExit("item", [&](const VisitContext &) { ++Exited; });
+  V.walk(Root);
+  EXPECT_EQ(Entered, N);
+  EXPECT_EQ(Exited, N);
+}

@@ -62,6 +62,7 @@ TEST(Workload, JsonCorpusParsesUnique) { checkCorpus(LangId::Json, 1); }
 TEST(Workload, XmlCorpusParsesUnique) { checkCorpus(LangId::Xml, 2); }
 TEST(Workload, DotCorpusParsesUnique) { checkCorpus(LangId::Dot, 3); }
 TEST(Workload, PythonCorpusParsesUnique) { checkCorpus(LangId::Python, 4); }
+TEST(Workload, VerilogCorpusParsesUnique) { checkCorpus(LangId::Verilog, 5); }
 
 TEST(Workload, GenerationIsDeterministicPerSeed) {
   std::mt19937_64 RngA(7), RngB(7), RngC(8);
