@@ -21,9 +21,26 @@
 ///     samples (the merged service histogram is only a cross-check), at
 ///     50% and 90% of saturation.
 ///
-/// Machine-independent ratios (saturation_vs_batch, p99_over_p50) carry
-/// the regression gates; absolute tok/s and microseconds are recorded
-/// for the EXPERIMENTS.md tables but never gated.
+///  3. Skewed grammar mix (the PR 10 scheduler scenario): an 80/20-style
+///     cost-skewed request mix over {python, json, dot, verilog} — python
+///     is ~40% of requests but carries most of the token-cost, so under
+///     FifoAffinity its single home worker saturates (~1.6x utilization
+///     at 50% aggregate load on 4 workers) while the other three idle.
+///     Both scheduler backends run the same paced open loop; reported
+///     per backend: p50/p99, p99_over_p50, steal_rate — and the same-run
+///     ratio steal_tail_improvement = fifo p99/p50 over steal p99/p50,
+///     which is the machine-independent gate (>= 1.5x, armed only when
+///     the machine has >= 4 hardware threads: on fewer cores there is no
+///     parallel capacity to steal and the scenario is degenerate).
+///
+///  4. Deadline storm: tight mixed deadlines at 80% load on both
+///     backends; deadline_met_rate and edf_inversions_avoided are
+///     recorded (never gated — met rates are machine-dependent).
+///
+/// Machine-independent ratios (saturation_vs_batch, p99_over_p50,
+/// steal_tail_improvement) carry the regression gates; absolute tok/s
+/// and microseconds are recorded for the EXPERIMENTS.md tables but never
+/// gated.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -141,6 +158,176 @@ OpenLoopResult runOpenLoop(const BenchCorpus &C, const GrammarAnalysis &A,
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Skewed grammar mix + deadline storm (scheduler scenarios)
+//===----------------------------------------------------------------------===//
+
+/// The cost-skewed request mix: four grammars, python ~40% of requests
+/// but carrying most of the token-cost (its files are larger and its
+/// grammar is the slowest per token), the cheap grammars round-robined
+/// over the rest. The schedule is a fixed deterministic interleave so
+/// both scheduler backends replay exactly the same arrivals.
+struct SkewedMix {
+  std::vector<BenchCorpus> Corpora;          ///< python, json, dot, verilog
+  std::vector<size_t> ReqGrammar;            ///< request -> corpus index
+  std::vector<const Word *> ReqWord;         ///< request -> token stream
+  uint64_t PythonTokens = 0, TotalTokens = 0;
+
+  explicit SkewedMix(size_t NumRequests) {
+    Corpora.push_back(makeCorpus(lang::LangId::Python, 8, 500, 6000));
+    Corpora.push_back(makeCorpus(lang::LangId::Json, 8, 100, 600));
+    Corpora.push_back(makeCorpus(lang::LangId::Dot, 8, 100, 600));
+    Corpora.push_back(makeCorpus(lang::LangId::Verilog, 8, 100, 600));
+    // Pattern of five: python, cheap, python, cheap, cheap = 40% python
+    // by count; the cheap slots cycle json -> dot -> verilog.
+    size_t Cheap = 0;
+    std::vector<size_t> Cursor(Corpora.size(), 0);
+    for (size_t I = 0; I < NumRequests; ++I) {
+      size_t G;
+      if (I % 5 == 0 || I % 5 == 2)
+        G = 0;
+      else
+        G = 1 + Cheap++ % 3;
+      const BenchCorpus &C = Corpora[G];
+      const Word &W = C.TokenStreams[Cursor[G]++ % C.TokenStreams.size()];
+      ReqGrammar.push_back(G);
+      ReqWord.push_back(&W);
+      TotalTokens += W.size();
+      if (G == 0)
+        PythonTokens += W.size();
+    }
+  }
+};
+
+struct SkewedRunResult {
+  OpenLoopResult Loop;
+  uint64_t Steals = 0;
+  uint64_t StealFails = 0;
+  uint64_t EdfInversionsAvoided = 0;
+};
+
+/// One skewed-mix (or storm) run: a fresh four-grammar service on
+/// \p Sched, warmed per grammar, then the fixed schedule replayed as a
+/// paced open loop. \p DeadlineMicrosFor maps a request index to a
+/// deadline offset in microseconds (0 = no deadline) — the skewed
+/// scenario passes all-zero, the storm passes its deadline pattern.
+template <typename DeadlineFn>
+SkewedRunResult runSkewed(const SkewedMix &Mix, service::SchedulerBackend Sched,
+                          double RatePerSec, DeadlineFn DeadlineMicrosFor) {
+  service::ServiceOptions Opts;
+  Opts.Workers = benchWorkers();
+  Opts.QueueCapacity = 8192;
+  Opts.Scheduler = Sched;
+  // With one home worker per grammar every steal crosses grammar lines,
+  // so the scenario measures cold stealing — the knob the skew exists
+  // to justify.
+  Opts.AllowColdSteal = true;
+  Opts.CollectMetrics = true;
+  service::ParseService S(Opts);
+  std::vector<uint32_t> Gids;
+  for (const BenchCorpus &C : Mix.Corpora)
+    Gids.push_back(S.addGrammar(C.L.G, C.L.Start));
+  S.start();
+
+  // Warmup: every file of every corpus once, closed loop, so each home
+  // worker's caches and every grammar's cost model are warm before the
+  // measured window.
+  {
+    std::atomic<size_t> Warmed{0};
+    size_t Sent = 0;
+    for (size_t G = 0; G < Mix.Corpora.size(); ++G)
+      for (const Word &W : Mix.Corpora[G].TokenStreams) {
+        service::Request R;
+        R.Id = Sent;
+        R.GrammarId = Gids[G];
+        R.Input = &W;
+        S.submit(R, [&](service::Response &&) {
+          Warmed.fetch_add(1, std::memory_order_relaxed);
+        });
+        ++Sent;
+        while (Warmed.load(std::memory_order_relaxed) < Sent)
+          std::this_thread::yield();
+      }
+  }
+
+  const size_t N = Mix.ReqWord.size();
+  std::vector<uint8_t> IsDone(N, 0);
+  std::vector<uint64_t> Latency(N, 0);
+
+  using Clock = service::Clock;
+  const auto Interval =
+      std::chrono::nanoseconds(static_cast<uint64_t>(1e9 / RatePerSec));
+  const Clock::time_point Start = Clock::now();
+  for (size_t I = 0; I < N; ++I) {
+    Clock::time_point Due = Start + Interval * I;
+    if (Due - Clock::now() > std::chrono::microseconds(200))
+      std::this_thread::sleep_until(Due - std::chrono::microseconds(100));
+    while (Clock::now() < Due)
+      ;
+    service::Request R;
+    R.Id = I;
+    R.GrammarId = Gids[Mix.ReqGrammar[I]];
+    R.Input = Mix.ReqWord[I];
+    uint64_t DeadlineUs = DeadlineMicrosFor(I);
+    if (DeadlineUs > 0)
+      R.Deadline = Clock::now() + std::chrono::microseconds(DeadlineUs);
+    S.submit(std::move(R), [&, I](service::Response &&Resp) {
+      if (Resp.Status == service::ResponseStatus::Done) {
+        IsDone[I] = 1;
+        Latency[I] = Resp.LatencyMicros;
+      }
+    });
+  }
+  S.drain();
+
+  SkewedRunResult Out;
+  const obs::MetricsRegistry &M = S.report().Metrics;
+  Out.Steals = M.counter("service.steals");
+  Out.StealFails = M.counter("service.steal_fails");
+  Out.EdfInversionsAvoided = M.counter("service.edf_inversions_avoided");
+  for (size_t I = 0; I < N; ++I) {
+    if (IsDone[I]) {
+      ++Out.Loop.Done;
+      Out.Loop.LatenciesUs.push_back(Latency[I]);
+    } else {
+      ++Out.Loop.Refused;
+    }
+  }
+  return Out;
+}
+
+/// Closed-loop saturation of the skewed mix: submit everything, drain,
+/// time it. Run on StealEdf (work-conserving, so this is the mix's
+/// service capacity); both backends are then paced at the same fraction
+/// of it.
+double skewedSaturationRate(const SkewedMix &Mix) {
+  service::ServiceOptions Opts;
+  Opts.Workers = benchWorkers();
+  Opts.QueueCapacity = 8192;
+  Opts.Scheduler = service::SchedulerBackend::StealEdf;
+  Opts.AllowColdSteal = true;
+  service::ParseService S(Opts);
+  std::vector<uint32_t> Gids;
+  for (const BenchCorpus &C : Mix.Corpora)
+    Gids.push_back(S.addGrammar(C.L.G, C.L.Start));
+  S.start();
+
+  const size_t N = Mix.ReqWord.size();
+  auto T0 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I < N; ++I) {
+    service::Request R;
+    R.Id = I;
+    R.GrammarId = Gids[Mix.ReqGrammar[I]];
+    R.Input = Mix.ReqWord[I];
+    S.submit(std::move(R), [](service::Response &&) {});
+  }
+  S.drain();
+  double Sec = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+  return Sec > 0 ? double(N) / Sec : 1.0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -213,6 +400,95 @@ int main(int Argc, char **Argv) {
         {Name, "p99_over_p50", P50 > 0 ? P99 / P50 : 0.0, "x"});
   }
 
+  // 3. Skewed grammar mix on both scheduler backends.
+  const unsigned ParallelCapacity =
+      std::min(std::thread::hardware_concurrency(), Workers);
+  std::printf("== skewed mix: 4 grammars, python-heavy, %u workers ==\n",
+              Workers);
+  size_t MixProbe = std::max<size_t>(
+      200, std::min<size_t>(1000, size_t(400 * benchScale())));
+  SkewedMix Mix(MixProbe);
+  std::printf("mix: %zu requests, python %.0f%% of tokens\n",
+              Mix.ReqWord.size(),
+              100.0 * double(Mix.PythonTokens) / double(Mix.TotalTokens));
+  double MixSat = skewedSaturationRate(Mix);
+  double MixRate = MixSat * 0.5;
+  auto NoDeadline = [](size_t) { return uint64_t(0); };
+
+  Records.push_back({"service/skewed", "python_token_share",
+                     double(Mix.PythonTokens) / double(Mix.TotalTokens),
+                     "fraction"});
+  Records.push_back({"service/skewed", "parallel_capacity",
+                     double(ParallelCapacity), "threads"});
+
+  double TailRatio[2] = {0, 0}; // [0] = fifo, [1] = steal
+  for (int B = 0; B < 2; ++B) {
+    service::SchedulerBackend Sched =
+        B == 0 ? service::SchedulerBackend::FifoAffinity
+               : service::SchedulerBackend::StealEdf;
+    const char *Tag = B == 0 ? "fifo" : "steal";
+    SkewedRunResult R = runSkewed(Mix, Sched, MixRate, NoDeadline);
+    double P50 = double(percentile(R.Loop.LatenciesUs, 0.50));
+    double P99 = double(percentile(R.Loop.LatenciesUs, 0.99));
+    TailRatio[B] = P50 > 0 ? P99 / P50 : 0.0;
+    double StealRate =
+        R.Loop.Done > 0 ? double(R.Steals) / double(R.Loop.Done) : 0.0;
+    std::string Name = std::string("service/skewed/") + Tag + "/load50";
+    std::printf("skewed %s: %zu done, %zu refused, p50 %.0fus, p99 %.0fus "
+                "(%.1fx), steals %llu (rate %.3f), steal_fails %llu\n",
+                Tag, R.Loop.Done, R.Loop.Refused, P50, P99, TailRatio[B],
+                static_cast<unsigned long long>(R.Steals), StealRate,
+                static_cast<unsigned long long>(R.StealFails));
+    Records.push_back({Name, "p50_us", P50, "us"});
+    Records.push_back({Name, "p99_us", P99, "us"});
+    Records.push_back({Name, "p99_over_p50", TailRatio[B], "x"});
+    Records.push_back({Name, "done", double(R.Loop.Done), "requests"});
+    Records.push_back({Name, "refused", double(R.Loop.Refused), "requests"});
+    Records.push_back({Name, "steal_rate", StealRate, "steals/req"});
+  }
+  double TailImprovement =
+      TailRatio[1] > 0 ? TailRatio[0] / TailRatio[1] : 0.0;
+  std::printf("skewed: steal tail improvement %.2fx (fifo p99/p50 %.1f vs "
+              "steal %.1f)\n",
+              TailImprovement, TailRatio[0], TailRatio[1]);
+  Records.push_back({"service/skewed", "steal_tail_improvement",
+                     TailImprovement, "x"});
+
+  // 4. Deadline storm on both backends: tight mixed deadlines at 80% of
+  //    the mix's saturation; a third of requests carry no deadline so
+  //    the EDF heap actually reorders (inversions avoided). Record-only.
+  std::printf("== deadline storm: 80%% load, mixed deadlines ==\n");
+  size_t StormN = std::max<size_t>(
+      150, std::min<size_t>(600, size_t(250 * benchScale())));
+  SkewedMix Storm(StormN);
+  double StormRate = skewedSaturationRate(Storm) * 0.8;
+  auto StormDeadline = [&Storm](size_t I) -> uint64_t {
+    if (I % 3 == 2)
+      return 0; // no deadline: drains FIFO behind deadlined work
+    // Python requests get a looser budget than the cheap grammars, but
+    // both are tight against a storming backlog.
+    return Storm.ReqGrammar[I] == 0 ? 50000 : 10000;
+  };
+  for (int B = 0; B < 2; ++B) {
+    service::SchedulerBackend Sched =
+        B == 0 ? service::SchedulerBackend::FifoAffinity
+               : service::SchedulerBackend::StealEdf;
+    const char *Tag = B == 0 ? "fifo" : "steal";
+    SkewedRunResult R = runSkewed(Storm, Sched, StormRate, StormDeadline);
+    double MetRate =
+        double(R.Loop.Done) / double(R.Loop.Done + R.Loop.Refused);
+    std::string Name = std::string("service/storm/") + Tag;
+    std::printf("storm %s: %zu done, %zu refused/expired, met rate %.3f, "
+                "edf inversions avoided %llu\n",
+                Tag, R.Loop.Done, R.Loop.Refused, MetRate,
+                static_cast<unsigned long long>(R.EdfInversionsAvoided));
+    Records.push_back({Name, "deadline_met_rate", MetRate, "fraction"});
+    Records.push_back({Name, "edf_inversions_avoided",
+                       double(R.EdfInversionsAvoided), "events"});
+    Records.push_back({Name, "done", double(R.Loop.Done), "requests"});
+    Records.push_back({Name, "refused", double(R.Loop.Refused), "requests"});
+  }
+
   if (!writeBenchJson(Records, Opts.JsonOut))
     return 1;
 
@@ -228,5 +504,26 @@ int main(int Argc, char **Argv) {
   }
   std::printf("gate ok: service saturation %.3fx of flat pool (>= 0.9)\n",
               Ratio);
+
+  // Hard gate: stealing must repair the skewed mix's tail — >= 1.5x
+  // better p99/p50 than FifoAffinity in the same run. Armed only with
+  // real parallel capacity: on a 1-2 core machine there is nobody to
+  // steal the hot worker's backlog onto and the scenario is degenerate
+  // (CI runners have 4).
+  if (ParallelCapacity >= 4) {
+    if (TailImprovement < 1.5) {
+      std::fprintf(stderr,
+                   "GATE FAILED: steal tail improvement %.2fx on skewed "
+                   "mix (needs >= 1.5)\n",
+                   TailImprovement);
+      return 1;
+    }
+    std::printf("gate ok: steal tail improvement %.2fx (>= 1.5)\n",
+                TailImprovement);
+  } else {
+    std::printf("gate skipped: parallel capacity %u < 4, skewed-mix tail "
+                "gate needs real parallelism\n",
+                ParallelCapacity);
+  }
   return 0;
 }

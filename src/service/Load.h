@@ -23,9 +23,18 @@
 ///    needed. The model is advisory: while it is cold (no completed
 ///    parses yet) estimates are zero and deadline admission stays open.
 ///
-/// All counters are relaxed atomics: they steer routing and shedding,
-/// where a slightly stale read changes which valid decision is taken,
-/// never correctness of results.
+/// Coherence protocol (the stale-backlog fix): the producer charges the
+/// backlog *before* attempting the push and rolls back with undoEnqueue
+/// if the push is refused; the consumer (worker or thief) credits it only
+/// after removing the request. Since every decrement is preceded — in the
+/// RMW modification order of the counter — by its matching increment, no
+/// reader can ever observe the unsigned counters mid-wrap. The previous
+/// protocol (charge after a successful push) let a fast worker's
+/// decrement land first, so a concurrent submitter's feasibility read saw
+/// BacklogTokens wrapped to ~2^64 and spuriously rejected a meetable
+/// deadline request. Increments release, reads acquire, so a backlog
+/// observed at routing time is a real bound on the work ahead of the
+/// request being placed.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,9 +69,14 @@ public:
   }
 
   /// Estimated micros to parse \p Tokens tokens; 0 while the model is
-  /// cold.
+  /// cold. Saturates instead of wrapping: an absurd backlog reading must
+  /// estimate as "infeasible", never overflow back to a small number.
   uint64_t estimateMicros(uint64_t Tokens) const {
-    uint64_t Fx = NsPerTokenFx.load(std::memory_order_relaxed);
+    uint64_t Fx = NsPerTokenFx.load(std::memory_order_acquire);
+    if (Fx == 0)
+      return 0;
+    if (Tokens > UINT64_MAX / Fx)
+      return UINT64_MAX >> (FxShift + 10);
     return (Tokens * Fx) >> FxShift >> 10; // ns -> ~us (/1024)
   }
 
@@ -72,25 +86,37 @@ public:
 };
 
 /// One worker's published load: queue depth and backlog, in tokens.
+/// Shared counters — under the StealEdf scheduler a thief decrements the
+/// victim's load, so these are read and written from any worker, and the
+/// enqueue-before-push protocol above is what keeps every read exact.
 struct WorkerLoad {
   std::atomic<uint32_t> Depth{0};
   std::atomic<uint64_t> BacklogTokens{0};
 
-  /// Producer side, after a successful enqueue.
+  /// Producer side, charged *before* the push is attempted (roll back
+  /// with undoEnqueue if the push is refused).
   void onEnqueue(uint64_t Tokens) {
-    Depth.fetch_add(1, std::memory_order_relaxed);
-    BacklogTokens.fetch_add(Tokens, std::memory_order_relaxed);
+    Depth.fetch_add(1, std::memory_order_release);
+    BacklogTokens.fetch_add(Tokens, std::memory_order_release);
   }
 
-  /// Worker side, after taking a request off the channel.
+  /// Producer side: roll back a charge whose push was refused (queue
+  /// full, or the service started draining).
+  void undoEnqueue(uint64_t Tokens) {
+    Depth.fetch_sub(1, std::memory_order_release);
+    BacklogTokens.fetch_sub(Tokens, std::memory_order_release);
+  }
+
+  /// Consumer side — the owning worker or, under StealEdf, the thief that
+  /// removed the request from this worker's pending set.
   void onDequeue(uint64_t Tokens) {
-    Depth.fetch_sub(1, std::memory_order_relaxed);
-    BacklogTokens.fetch_sub(Tokens, std::memory_order_relaxed);
+    Depth.fetch_sub(1, std::memory_order_release);
+    BacklogTokens.fetch_sub(Tokens, std::memory_order_release);
   }
 
-  uint32_t depth() const { return Depth.load(std::memory_order_relaxed); }
+  uint32_t depth() const { return Depth.load(std::memory_order_acquire); }
   uint64_t backlogTokens() const {
-    return BacklogTokens.load(std::memory_order_relaxed);
+    return BacklogTokens.load(std::memory_order_acquire);
   }
 };
 

@@ -1,0 +1,172 @@
+//===- service/StealDeque.h - Lock-striped EDF pending set -----*- C++ -*-===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pending set behind the StealEdf scheduler backend: one bounded
+/// binary min-heap per worker, keyed on (absolute deadline, submission
+/// sequence), each guarded by its own mutex — the "lock stripe". Three
+/// parties touch a stripe:
+///
+///  - Producers (submitter threads, already serialized per worker by the
+///    service's producer locks) push admitted requests with their EDF key.
+///  - The owning worker pops the earliest-(deadline, seq) entry. A
+///    deadline-free entry carries Key == NoDeadline, so deadline-free
+///    traffic drains in FIFO order after all deadline-carrying work —
+///    which is exactly EDF with FIFO tiebreak.
+///  - Thieves (idle workers) remove the earliest eligible entry, where
+///    eligibility is a caller predicate ("a grammar this thief has warmed
+///    caches for", or anything when cold steals are allowed).
+///
+/// Exactly-once removal is trivial by construction: every removal happens
+/// under the stripe mutex, so a request leaves the heap exactly once, and
+/// whoever removed it owns its response. The heap is small (bounded by
+/// the per-worker queue capacity) and contention is rare — the owner and
+/// a thief collide only when the owner's backlog is the most-backlogged
+/// in the victim set, which is precisely when sharing it is the point.
+///
+/// Pops also report whether EDF reordered ahead of FIFO order (the popped
+/// entry was not the oldest pending one); the service counts these as
+/// `service.edf_inversions_avoided`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COSTAR_SERVICE_STEALDEQUE_H
+#define COSTAR_SERVICE_STEALDEQUE_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace costar {
+namespace service {
+
+template <typename T> class StealDeque {
+public:
+  /// EDF key for deadline-free entries: sorts after every real deadline,
+  /// FIFO among themselves via the sequence tiebreak.
+  static constexpr uint64_t NoDeadline = UINT64_MAX;
+
+  explicit StealDeque(size_t Capacity) : Cap(Capacity < 2 ? 2 : Capacity) {
+    Heap.reserve(Cap);
+  }
+
+  size_t capacity() const { return Cap; }
+  /// Entries at this instant (monotonic snapshot; exact under the stripe
+  /// lock, advisory for routing/idle checks outside it).
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  /// Producer side: admit one entry under \p DeadlineKey (absolute
+  /// deadline in microseconds, NoDeadline if none). \returns false
+  /// (leaving \p V untouched) when full — the caller turns that into an
+  /// admission rejection, never a blocking wait.
+  bool tryPush(uint64_t DeadlineKey, T &V) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Heap.size() >= Cap)
+      return false;
+    Heap.push_back(Entry{DeadlineKey, NextSeq++, std::move(V)});
+    siftUp(Heap.size() - 1);
+    Count.store(Heap.size(), std::memory_order_release);
+    return true;
+  }
+
+  /// Owner side: remove the earliest-(deadline, seq) entry. When
+  /// \p InversionAvoided is non-null it is set iff the popped entry was
+  /// not the oldest pending one — i.e. EDF just served a deadline ahead
+  /// of the FIFO order that would have inverted it.
+  bool tryPop(T &Out, bool *InversionAvoided = nullptr) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Heap.empty())
+      return false;
+    if (InversionAvoided) {
+      uint64_t MinSeq = Heap[0].Seq;
+      for (const Entry &E : Heap)
+        MinSeq = std::min(MinSeq, E.Seq);
+      *InversionAvoided = Heap[0].Seq != MinSeq;
+    }
+    Out = std::move(Heap[0].Value);
+    removeAt(0);
+    return true;
+  }
+
+  /// Thief side: remove the earliest-(deadline, seq) entry satisfying
+  /// \p Eligible. Linear scan under the stripe lock — the heap is bounded
+  /// and the scan runs only on otherwise-idle thieves.
+  template <typename Pred> bool trySteal(T &Out, Pred Eligible) {
+    std::lock_guard<std::mutex> Lock(M);
+    size_t Best = Heap.size();
+    for (size_t I = 0; I < Heap.size(); ++I)
+      if (Eligible(static_cast<const T &>(Heap[I].Value)) &&
+          (Best == Heap.size() || less(Heap[I], Heap[Best])))
+        Best = I;
+    if (Best == Heap.size())
+      return false;
+    Out = std::move(Heap[Best].Value);
+    removeAt(Best);
+    return true;
+  }
+
+private:
+  struct Entry {
+    uint64_t Key;
+    uint64_t Seq;
+    T Value;
+  };
+
+  static bool less(const Entry &A, const Entry &B) {
+    return A.Key != B.Key ? A.Key < B.Key : A.Seq < B.Seq;
+  }
+
+  void siftUp(size_t I) {
+    while (I > 0) {
+      size_t P = (I - 1) / 2;
+      if (!less(Heap[I], Heap[P]))
+        break;
+      std::swap(Heap[I], Heap[P]);
+      I = P;
+    }
+  }
+
+  void siftDown(size_t I) {
+    for (;;) {
+      size_t L = 2 * I + 1, R = L + 1, S = I;
+      if (L < Heap.size() && less(Heap[L], Heap[S]))
+        S = L;
+      if (R < Heap.size() && less(Heap[R], Heap[S]))
+        S = R;
+      if (S == I)
+        break;
+      std::swap(Heap[I], Heap[S]);
+      I = S;
+    }
+  }
+
+  void removeAt(size_t I) {
+    size_t Last = Heap.size() - 1;
+    if (I != Last)
+      Heap[I] = std::move(Heap[Last]);
+    Heap.pop_back();
+    if (I < Heap.size()) {
+      siftUp(I);
+      siftDown(I);
+    }
+    Count.store(Heap.size(), std::memory_order_release);
+  }
+
+  std::mutex M;
+  std::vector<Entry> Heap;
+  size_t Cap;
+  uint64_t NextSeq = 0;
+  std::atomic<size_t> Count{0};
+};
+
+} // namespace service
+} // namespace costar
+
+#endif // COSTAR_SERVICE_STEALDEQUE_H

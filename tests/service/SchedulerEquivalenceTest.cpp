@@ -1,0 +1,219 @@
+//===- tests/service/SchedulerEquivalenceTest.cpp - Fifo vs StealEdf ---------===//
+//
+// Part of the CoStar-C++ project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The scheduler dual-backend differential: FifoAffinity (the PR 8
+// paper-of-record baseline) and StealEdf (work stealing + EDF draining +
+// steal-aware admission) must be observationally equivalent wherever the
+// service's contract is deterministic:
+//
+//   - on serial load (one outstanding request at a time) every admission
+//     decision — accept, Expired, deadline_unmeetable — is identical,
+//   - every completed request's ParseResult is bit-identical between the
+//     backends and to a single-threaded reference parse, under both
+//     serial and concurrent submission.
+//
+// What the backends may legitimately differ in — which worker served a
+// request, in what order, and how long it waited — is exactly what the
+// bench measures, not what this suite pins.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "grammar/Tree.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace costar;
+using namespace costar::service;
+
+namespace {
+
+/// S -> 'a' S | 'b'
+struct ChainGrammar {
+  Grammar G;
+  NonterminalId S;
+  TerminalId A, B;
+
+  ChainGrammar() {
+    S = G.internNonterminal("S");
+    A = G.internTerminal("a");
+    B = G.internTerminal("b");
+    G.addProduction(S, {Symbol::terminal(A), Symbol::nonterminal(S)});
+    G.addProduction(S, {Symbol::terminal(B)});
+  }
+
+  Word word(size_t NumA, bool Accept = true) const {
+    Word W;
+    W.reserve(NumA + 1);
+    for (size_t I = 0; I < NumA; ++I)
+      W.emplace_back(A, "a");
+    if (Accept)
+      W.emplace_back(B, "b");
+    return W;
+  }
+};
+
+/// One request's scheduler-independent observable outcome.
+struct Decision {
+  ResponseStatus Status = ResponseStatus::Rejected;
+  std::string Refusal;
+  int ResultKind = -1; // ParseResult::Kind when Done, -1 otherwise
+};
+
+} // namespace
+
+TEST(SchedulerEquivalence, SerialLoadMakesIdenticalAdmissionDecisions) {
+  // Serial load: exactly one request outstanding at a time, so routing,
+  // feasibility, and expiry see identical state on both backends and
+  // every decision must match. The script walks the deterministic
+  // admission categories: no deadline (accepted), already expired
+  // (Expired at the front door), generously feasible (accepted), and —
+  // after the cost model is warm — hopeless (deadline_unmeetable).
+  ChainGrammar C;
+  std::vector<Word> Words;
+  for (size_t I = 0; I < 12; ++I)
+    Words.push_back(C.word(4 + 16 * I));
+  const Word Huge = C.word(500000);
+
+  auto runScript = [&](SchedulerBackend Sched) {
+    ServiceOptions Opts;
+    Opts.Workers = 2;
+    Opts.PinWorkers = false;
+    Opts.Scheduler = Sched;
+    ParseService S(Opts);
+    uint32_t Gid = S.addGrammar(C.G, C.S);
+    S.start();
+
+    std::vector<Decision> Decisions;
+    auto await = [&](Request R) {
+      std::atomic<bool> Got{false};
+      Decision D;
+      S.submit(std::move(R), [&](Response &&Resp) {
+        D.Status = Resp.Status;
+        D.Refusal = Resp.Refusal;
+        if (Resp.Result)
+          D.ResultKind = static_cast<int>(Resp.Result->kind());
+        Got.store(true, std::memory_order_release);
+      });
+      while (!Got.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      Decisions.push_back(std::move(D));
+    };
+
+    // Warm-up pass doubles as the cost-model trainer (32 clean parses).
+    for (size_t Round = 0; Round < 3; ++Round)
+      for (size_t I = 0; I < Words.size(); ++I) {
+        Request R;
+        R.Id = Round * Words.size() + I;
+        R.GrammarId = Gid;
+        R.Input = &Words[I];
+        switch (I % 3) {
+        case 0: // no deadline
+          break;
+        case 1: // already expired when submitted
+          R.Deadline = Clock::now() - std::chrono::milliseconds(1);
+          break;
+        case 2: // generous: estimates are microseconds, this is a minute
+          R.Deadline = Clock::now() + std::chrono::seconds(60);
+          break;
+        }
+        await(std::move(R));
+      }
+
+    // The hopeless request: half a million tokens against two
+    // milliseconds, with a warm model. Unmeetable on any backend.
+    Request R;
+    R.Id = 1000;
+    R.GrammarId = Gid;
+    R.Input = &Huge;
+    R.Deadline = Clock::now() + std::chrono::milliseconds(2);
+    await(std::move(R));
+
+    S.drain();
+    return Decisions;
+  };
+
+  std::vector<Decision> Fifo = runScript(SchedulerBackend::FifoAffinity);
+  std::vector<Decision> Steal = runScript(SchedulerBackend::StealEdf);
+
+  ASSERT_EQ(Fifo.size(), Steal.size());
+  for (size_t I = 0; I < Fifo.size(); ++I) {
+    EXPECT_EQ(Fifo[I].Status, Steal[I].Status) << "request " << I;
+    EXPECT_EQ(Fifo[I].Refusal, Steal[I].Refusal) << "request " << I;
+    EXPECT_EQ(Fifo[I].ResultKind, Steal[I].ResultKind) << "request " << I;
+  }
+  // And the script hit every category on both backends.
+  size_t Done = 0, Expired = 0, Unmeetable = 0;
+  for (const Decision &D : Fifo) {
+    Done += D.Status == ResponseStatus::Done;
+    Expired += D.Status == ResponseStatus::Expired;
+    Unmeetable += D.Refusal == "deadline_unmeetable";
+  }
+  EXPECT_EQ(Done, 24u);      // categories 0 and 2, three rounds each
+  EXPECT_EQ(Expired, 12u);   // category 1
+  EXPECT_EQ(Unmeetable, 1u); // the hopeless request
+}
+
+TEST(SchedulerEquivalence, ConcurrentLoadProducesBitIdenticalTrees) {
+  // Fire the whole corpus at once on each backend: stealing and EDF may
+  // shuffle who parses what in which order, but every completed parse
+  // must be bit-identical to the single-threaded reference — warmth and
+  // placement can never leak into results.
+  ChainGrammar C;
+  std::vector<Word> Words;
+  std::vector<ParseResult> Refs;
+  for (size_t I = 0; I < 48; ++I) {
+    Words.push_back(C.word(2 + 7 * I, /*Accept=*/I % 9 != 8));
+    Refs.push_back(parse(C.G, C.S, Words.back()));
+  }
+
+  for (SchedulerBackend Sched :
+       {SchedulerBackend::FifoAffinity, SchedulerBackend::StealEdf}) {
+    SCOPED_TRACE(schedulerBackendName(Sched));
+    ServiceOptions Opts;
+    Opts.Workers = 4;
+    Opts.PinWorkers = false;
+    Opts.QueueCapacity = 2 * Words.size();
+    Opts.Scheduler = Sched;
+    Opts.AllowColdSteal = true;
+    ParseService S(Opts);
+    uint32_t Gid = S.addGrammar(C.G, C.S);
+    S.start();
+
+    const size_t N = Words.size();
+    std::vector<std::atomic<uint32_t>> Hits(N);
+    std::vector<Response> Responses(N);
+    for (size_t I = 0; I < N; ++I) {
+      Request R;
+      R.Id = I;
+      R.GrammarId = Gid;
+      R.Input = &Words[I];
+      ASSERT_EQ(S.submit(R, [&, I](Response &&Resp) {
+        EXPECT_EQ(Hits[I].fetch_add(1, std::memory_order_relaxed), 0u);
+        Responses[I] = std::move(Resp);
+      }),
+                ResponseStatus::Done);
+    }
+    S.drain();
+
+    for (size_t I = 0; I < N; ++I) {
+      ASSERT_EQ(Hits[I].load(), 1u) << "request " << I;
+      ASSERT_EQ(Responses[I].Status, ResponseStatus::Done);
+      ASSERT_TRUE(Responses[I].Result.has_value());
+      ASSERT_EQ(Responses[I].Result->kind(), Refs[I].kind()) << I;
+      if (Refs[I].accepted()) {
+        EXPECT_TRUE(treeEquals(Responses[I].Result->tree(), Refs[I].tree()))
+            << "request " << I;
+      }
+    }
+  }
+}

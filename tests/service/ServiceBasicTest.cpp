@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -522,4 +523,108 @@ TEST(ServiceBasic, DrainRacingSubmittersLosesNoResponse) {
   }
   EXPECT_EQ(Done + Refused, PerThread * NumThreads);
   EXPECT_EQ(S.report().Metrics.counter("service.done"), Done);
+}
+
+TEST(ServiceBasic, CostModelEstimateSaturatesInsteadOfWrapping) {
+  // A mid-wrap backlog reading (~2^64 tokens) fed into the cost model
+  // must estimate as "infeasible", never overflow back to a small number
+  // that sneaks past deadline admission.
+  CostModel M;
+  M.observe(1000, 1000000); // 1000 ns/token
+  uint64_t Sane = M.estimateMicros(1u << 20);
+  EXPECT_GT(Sane, 0u);
+  uint64_t Saturated = M.estimateMicros(UINT64_MAX - 5);
+  EXPECT_EQ(Saturated, UINT64_MAX >> (CostModel::FxShift + 10));
+  EXPECT_GT(Saturated, Sane);
+}
+
+TEST(ServiceBasic, AdmissionBacklogStaysCoherentUnderConcurrentDrains) {
+  // Regression for the stale-backlog admission bug. The old submit path
+  // charged WorkerLoad only *after* a successful push, so a fast worker's
+  // dequeue decrement could land before the producer's increment; a
+  // concurrent submitter's deadline-feasibility read then saw
+  // BacklogTokens wrapped to ~2^64, the completion estimate exploded, and
+  // a trivially meetable request was refused "deadline_unmeetable". The
+  // fixed protocol (charge before push with rollback, acquire/release
+  // counters, and feasibility reusing the routing snapshot) makes the
+  // wrapped observation impossible. This test hammers that exact
+  // interleaving: one worker constantly dequeuing shallow churn while
+  // another thread submits generous-deadline requests that must all be
+  // admitted.
+  ChainGrammar C;
+  const Word Small = C.word(4);
+
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.PinWorkers = false;
+  Opts.QueueCapacity = 4096;
+  ParseService S(Opts);
+  uint32_t Gid = S.addGrammar(C.G, C.S);
+  S.start();
+
+  // Warm the cost model so deadline admission actually estimates (a cold
+  // model admits everything and would mask the bug).
+  {
+    std::atomic<size_t> Warmed{0};
+    for (size_t I = 0; I < 32; ++I) {
+      Request R;
+      R.Id = I;
+      R.GrammarId = Gid;
+      R.Input = &Small;
+      S.submit(R, [&](Response &&) { Warmed.fetch_add(1); });
+    }
+    while (Warmed.load() < 32)
+      std::this_thread::yield();
+  }
+
+  // Churn: keep the worker popping a shallow queue — the decrement side
+  // of the race fires constantly, right as probes read the backlog.
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> ChurnInFlight{0};
+  std::thread Churn([&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      if (ChurnInFlight.load(std::memory_order_acquire) >= 4) {
+        std::this_thread::yield();
+        continue;
+      }
+      Request R;
+      R.Id = 0;
+      R.GrammarId = Gid;
+      R.Input = &Small;
+      ChurnInFlight.fetch_add(1, std::memory_order_acq_rel);
+      S.submit(R, [&](Response &&) {
+        ChurnInFlight.fetch_sub(1, std::memory_order_acq_rel);
+      });
+    }
+  });
+
+  // Probes: small requests with 30-second deadlines. Any rejection is
+  // the regression (the real backlog never exceeds a handful of tiny
+  // words, so the honest estimate is microseconds).
+  constexpr size_t Probes = 500;
+  std::atomic<size_t> ProbesDelivered{0};
+  std::atomic<size_t> DeadlineRejects{0};
+  for (size_t I = 0; I < Probes; ++I) {
+    Request R;
+    R.Id = 1 + I;
+    R.GrammarId = Gid;
+    R.Input = &Small;
+    R.Class = Priority::Interactive;
+    R.Deadline = Clock::now() + std::chrono::seconds(30);
+    S.submit(R, [&](Response &&Resp) {
+      if (Resp.Status == ResponseStatus::Rejected &&
+          std::string_view(Resp.Refusal) == "deadline_unmeetable")
+        DeadlineRejects.fetch_add(1);
+      ProbesDelivered.fetch_add(1);
+    });
+  }
+  while (ProbesDelivered.load() < Probes)
+    std::this_thread::yield();
+  Stop.store(true, std::memory_order_release);
+  Churn.join();
+  S.drain();
+
+  EXPECT_EQ(DeadlineRejects.load(), 0u)
+      << "stale-backlog read spuriously rejected a meetable deadline";
+  EXPECT_EQ(S.report().Metrics.counter("service.rejected.deadline"), 0u);
 }

@@ -15,6 +15,7 @@
 #include "workload/BatchParser.h"
 
 #include "adt/Arena.h"
+#include "service/Service.h"
 
 #include "../RandomGrammar.h"
 #include "../TestGrammars.h"
@@ -23,6 +24,9 @@
 #include "workload/Generators.h"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
 
 using namespace costar;
 using namespace costar::test;
@@ -34,9 +38,10 @@ void expectSameResults(const workload::BatchResult &A,
   ASSERT_EQ(A.Results.size(), B.Results.size());
   for (size_t I = 0; I < A.Results.size(); ++I) {
     ASSERT_EQ(A.Results[I].kind(), B.Results[I].kind()) << "word " << I;
-    if (A.Results[I].accepted())
+    if (A.Results[I].accepted()) {
       EXPECT_TRUE(treeEquals(A.Results[I].tree(), B.Results[I].tree()))
           << "word " << I;
+    }
   }
   EXPECT_EQ(A.Accepted, B.Accepted);
   EXPECT_EQ(A.Rejected, B.Rejected);
@@ -201,8 +206,9 @@ TEST(BatchParser, AllocBackendsAgreeUnderThreading) {
     // Every returned tree must have escaped its worker's epoch: results
     // are heap-owned, never pointers into a (since rewound) arena slab.
     for (const ParseResult &R : RA.Results) {
-      if (R.accepted())
+      if (R.accepted()) {
         EXPECT_FALSE(adt::Arena::ownedByLiveArena(R.tree().get()));
+      }
     }
   }
 }
@@ -231,6 +237,90 @@ TEST(BatchParser, ServicePathMatchesFlatPoolBaseline) {
     EXPECT_EQ(RS.Aggregate.Consumes, RF.Aggregate.Consumes);
     EXPECT_EQ(RS.Aggregate.Pushes, RF.Aggregate.Pushes);
     EXPECT_EQ(RS.Aggregate.Returns, RF.Aggregate.Returns);
+  }
+}
+
+TEST(BatchParser, ServicePathMatchesFlatPoolWithDeadlinesAndPriorities) {
+  // The same differential, but the service side carries what the batch
+  // mapping strips: per-request deadlines (generous — a minute against
+  // microsecond parses, so admission always accepts) and a mixed
+  // Interactive/Batch/BestEffort priority cycle. Run it on both
+  // scheduler backends: deadlines reorder EDF draining and priorities
+  // feed shedding bookkeeping, but neither may leak into results —
+  // every tree stays bit-identical to the flat-pool parse.
+  std::mt19937_64 Rng(1313);
+  for (int Trial = 0; Trial < 2; ++Trial) {
+    Grammar G = randomNonLeftRecursiveGrammar(Rng);
+    workload::BatchParser P(G, 0);
+    std::vector<Word> Corpus = sampledCorpus(G, 40, Rng());
+
+    workload::BatchOptions FlatPool;
+    FlatPool.Threads = 4;
+    FlatPool.PublishInterval = 3;
+    FlatPool.UseService = false;
+    workload::BatchResult RF = P.parseAll(Corpus, FlatPool);
+
+    for (service::SchedulerBackend Sched :
+         {service::SchedulerBackend::FifoAffinity,
+          service::SchedulerBackend::StealEdf}) {
+      SCOPED_TRACE(service::schedulerBackendName(Sched));
+      // Batch-parity service config (mirrors BatchParser::runService),
+      // except deadline admission stays on so the deadlines below walk
+      // the real feasibility path.
+      service::ServiceOptions SO;
+      SO.Workers = 4;
+      SO.PinWorkers = false;
+      SO.QueueCapacity = 2 * Corpus.size();
+      SO.PublishInterval = 3;
+      SO.Retry.MaxRetries = 0;
+      SO.BreakerThreshold = 0;
+      SO.ShedBestEffortAt = 2.0;
+      SO.ShedBatchAt = 2.0;
+      SO.Scheduler = Sched;
+      SO.AllowColdSteal = true;
+      service::ParseService S(SO);
+      uint32_t Gid = S.addGrammar(G, 0, nullptr, &P.tables());
+      S.start();
+
+      const size_t N = Corpus.size();
+      std::vector<std::optional<ParseResult>> Buf(N);
+      for (size_t I = 0; I < N; ++I) {
+        service::Request Req;
+        Req.Id = I;
+        Req.GrammarId = Gid;
+        Req.Input = &Corpus[I];
+        switch (I % 3) {
+        case 0:
+          Req.Class = service::Priority::Interactive;
+          break;
+        case 1:
+          Req.Class = service::Priority::Batch;
+          break;
+        case 2:
+          Req.Class = service::Priority::BestEffort;
+          break;
+        }
+        if (I % 2 == 0)
+          Req.Deadline =
+              service::Clock::now() + std::chrono::seconds(60);
+        service::ResponseStatus St =
+            S.submit(std::move(Req), [&Buf, I](service::Response &&Resp) {
+              if (Resp.Result)
+                Buf[I] = std::move(*Resp.Result);
+            });
+        ASSERT_EQ(St, service::ResponseStatus::Done) << "request " << I;
+      }
+      S.drain();
+
+      for (size_t I = 0; I < N; ++I) {
+        ASSERT_TRUE(Buf[I].has_value()) << "request " << I;
+        ASSERT_EQ(Buf[I]->kind(), RF.Results[I].kind()) << "request " << I;
+        if (RF.Results[I].accepted()) {
+          EXPECT_TRUE(treeEquals(Buf[I]->tree(), RF.Results[I].tree()))
+              << "request " << I;
+        }
+      }
+    }
   }
 }
 
